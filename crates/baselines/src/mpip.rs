@@ -1,0 +1,172 @@
+//! mpiP-style statistical MPI profiler.
+//!
+//! mpiP interposes PMPI wrappers and aggregates per call-site statistics;
+//! it reports *what* communication costs, not *why*. This reimplementation
+//! consumes the simulator's communication records directly — the same
+//! information a PMPI layer sees.
+
+use std::collections::HashMap;
+
+use progmodel::Program;
+use simrt::{simulate, RunConfig, RunData, SimError};
+
+/// One aggregated call-site row.
+#[derive(Debug, Clone)]
+pub struct MpipSite {
+    /// MPI function name.
+    pub call: String,
+    /// Call-site id (statement id — mpiP's "site" numbers).
+    pub site: u32,
+    /// Aggregate operation time over all ranks (µs).
+    pub time_us: f64,
+    /// Percentage of aggregate application time.
+    pub app_pct: f64,
+    /// Percentage of aggregate MPI time.
+    pub mpi_pct: f64,
+    /// Number of calls.
+    pub count: u64,
+    /// Mean message size in bytes.
+    pub avg_bytes: f64,
+}
+
+/// The mpiP-style report.
+#[derive(Debug, Clone)]
+pub struct MpipReport {
+    /// Aggregate application time (rank-seconds, µs).
+    pub app_time_us: f64,
+    /// Aggregate MPI time (µs).
+    pub mpi_time_us: f64,
+    /// Per call-site rows, sorted by time descending.
+    pub sites: Vec<MpipSite>,
+}
+
+impl MpipReport {
+    /// Render the classic mpiP text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("@--- mpiP-style Aggregate Time (top sites) ---\n");
+        out.push_str(&format!(
+            "App time: {:.3} s   MPI time: {:.3} s ({:.2}%)\n",
+            self.app_time_us / 1e6,
+            self.mpi_time_us / 1e6,
+            100.0 * self.mpi_time_us / self.app_time_us.max(1e-12)
+        ));
+        out.push_str("Call            Site   Time(ms)    App%   MPI%    Count  AvgSz\n");
+        for s in &self.sites {
+            out.push_str(&format!(
+                "{:<15} {:<6} {:<10.2} {:<6.2} {:<6.2} {:<8} {:<8.0}\n",
+                s.call,
+                s.site,
+                s.time_us / 1e3,
+                s.app_pct,
+                s.mpi_pct,
+                s.count,
+                s.avg_bytes
+            ));
+        }
+        out
+    }
+
+    /// The row of one MPI function (summed over sites), if present.
+    pub fn function_pct(&self, call: &str) -> f64 {
+        self.sites
+            .iter()
+            .filter(|s| s.call == call)
+            .map(|s| s.app_pct)
+            .sum()
+    }
+}
+
+/// Build an mpiP-style report from collected run data.
+pub fn mpip_from_data(data: &RunData) -> MpipReport {
+    let app_time_us: f64 = data.elapsed.iter().sum();
+    let mut agg: HashMap<(String, u32), (f64, u64, u64)> = HashMap::new();
+    for rec in &data.comm_records {
+        let e = agg
+            .entry((rec.kind.mpi_name().to_string(), rec.stmt.0))
+            .or_insert((0.0, 0, 0));
+        e.0 += rec.complete - rec.post;
+        e.1 += 1;
+        e.2 += rec.bytes;
+    }
+    let mpi_time_us: f64 = agg.values().map(|v| v.0).sum();
+    let mut sites: Vec<MpipSite> = agg
+        .into_iter()
+        .map(|((call, site), (time, count, bytes))| MpipSite {
+            call,
+            site,
+            time_us: time,
+            app_pct: 100.0 * time / app_time_us.max(1e-12),
+            mpi_pct: 100.0 * time / mpi_time_us.max(1e-12),
+            count,
+            avg_bytes: bytes as f64 / count.max(1) as f64,
+        })
+        .collect();
+    sites.sort_by(|a, b| b.time_us.total_cmp(&a.time_us));
+    MpipReport {
+        app_time_us,
+        mpi_time_us,
+        sites,
+    }
+}
+
+/// Run a program under the mpiP-style profiler (comm records only, no
+/// sampling — the lightweight configuration).
+pub fn mpip_profile(prog: &Program, cfg: &RunConfig) -> Result<MpipReport, SimError> {
+    let mut cfg = cfg.clone();
+    cfg.collection = simrt::CollectionConfig {
+        sampling_period_us: None,
+        collect_pmu: false,
+        collect_comm: true,
+        collect_locks: false,
+        trace_events: false,
+        trace_store_cap: 0,
+        sample_cost_us: 0.0,
+        comm_wrapper_cost_us: 0.3, // mpiP's lightweight wrappers
+        trace_event_cost_us: 0.0,
+    };
+    let data = simulate(prog, &cfg)?;
+    Ok(mpip_from_data(&data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use progmodel::{c, rank, ProgramBuilder};
+
+    fn prog() -> Program {
+        let mut pb = ProgramBuilder::new("m");
+        let main = pb.declare("main", "m.c");
+        pb.define(main, |f| {
+            f.loop_("it", c(100.0), |b| {
+                b.compute("work", (rank() + 1.0) * c(200.0));
+                b.allreduce(c(64.0));
+                b.barrier();
+            });
+        });
+        pb.build(main)
+    }
+
+    #[test]
+    fn sites_and_percentages() {
+        let report = mpip_profile(&prog(), &RunConfig::new(4)).unwrap();
+        assert_eq!(report.sites.len(), 2); // allreduce + barrier sites
+        let total_mpi_pct: f64 = report.sites.iter().map(|s| s.mpi_pct).sum();
+        assert!((total_mpi_pct - 100.0).abs() < 1e-6);
+        assert!(report.function_pct("MPI_Allreduce") > 0.0);
+        // Imbalance means real wait time in the allreduce: a large share
+        // of app time is MPI.
+        assert!(report.mpi_time_us / report.app_time_us > 0.2);
+        let text = report.render();
+        assert!(text.contains("MPI_Allreduce"));
+        assert!(text.contains("App time"));
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let report = mpip_profile(&prog(), &RunConfig::new(4)).unwrap();
+        for site in &report.sites {
+            assert_eq!(site.count, 400, "{}: {}", site.call, site.count); // 100 iters × 4 ranks
+        }
+    }
+}

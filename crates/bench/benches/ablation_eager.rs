@@ -1,0 +1,38 @@
+//! **Ablation: eager/rendezvous threshold** — the LAMMPS case study's
+//! secondary bugs (waiting `MPI_Send`s) exist *because* large messages
+//! use rendezvous semantics. Sweeping the runtime's eager threshold shows
+//! the propagation channel appearing: once the 60 kB reverse-comm
+//! messages fall under rendezvous, send waits jump and the makespan grows.
+
+use bench::print_table;
+use simrt::{CommKindTag, RunConfig};
+
+fn main() {
+    let prog = workloads::lammps();
+    let ranks = 16;
+    let mut rows = Vec::new();
+    for threshold in [1u64 << 10, 1 << 13, 1 << 15, 1 << 16, 1 << 17, 1 << 20] {
+        let mut cfg = RunConfig::new(ranks);
+        cfg.network.eager_threshold = threshold;
+        let data = simrt::simulate(&prog, &cfg).unwrap();
+        let send_wait: f64 = data
+            .comm_records
+            .iter()
+            .filter(|r| r.kind == CommKindTag::Send)
+            .map(|r| r.wait)
+            .sum();
+        let mode = if threshold >= 60_000 { "eager" } else { "rendezvous" };
+        rows.push(vec![
+            format!("{threshold}"),
+            mode.to_string(),
+            format!("{:.1}", send_wait / 1e3),
+            format!("{:.1}", data.total_time / 1e3),
+        ]);
+    }
+    print_table(
+        &format!("ablation: eager threshold on LAMMPS ({ranks} ranks, 60 kB messages)"),
+        &["threshold(B)", "60kB msgs go", "send wait(ms)", "makespan(ms)"],
+        &rows,
+    );
+    println!("\nthe paper's MPI_Send secondary bug requires rendezvous semantics: with a large-enough eager threshold the sends stop blocking and the propagation channel disappears");
+}

@@ -1,0 +1,72 @@
+//! **Ablation: LCA implementation choice** — causal analysis needs
+//! lowest-common-ancestor queries on the parallel view. The bitset index
+//! ([`graphalgo::LcaIndex`]) answers queries in microseconds but costs
+//! O(V²) bits to build; the BFS variant ([`graphalgo::lca_bfs`]) is
+//! allocation-light per query. This sweep shows the crossover that made
+//! the causal pass use BFS on parallel views.
+
+use std::time::Instant;
+
+use bench::print_table;
+use pag::{EdgeLabel, Pag, VertexId, VertexLabel, ViewKind};
+
+fn layered(layers: usize, width: usize) -> Pag {
+    let mut g = Pag::with_capacity(ViewKind::Parallel, "dag", layers * width, layers * width * 2);
+    for l in 0..layers {
+        for w in 0..width {
+            g.add_vertex(VertexLabel::Compute, format!("n{l}_{w}").as_str());
+        }
+    }
+    for l in 0..layers - 1 {
+        for w in 0..width {
+            let src = VertexId((l * width + w) as u32);
+            g.add_edge(src, VertexId(((l + 1) * width + w) as u32), EdgeLabel::IntraProc);
+            g.add_edge(
+                src,
+                VertexId(((l + 1) * width + (w + 1) % width) as u32),
+                EdgeLabel::IntraProc,
+            );
+        }
+    }
+    g
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (layers, width) in [(20usize, 20usize), (40, 40), (80, 80), (120, 120)] {
+        let g = layered(layers, width);
+        let n = g.num_vertices();
+        let a = VertexId((n - 2) as u32);
+        let b = VertexId((n - width - 3) as u32);
+
+        // Bitset index: build once + query.
+        let t0 = Instant::now();
+        let idx = graphalgo::LcaIndex::build(&g, |_| true).expect("acyclic");
+        let build = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let r1 = idx.lca(a, b);
+        let q_index = t1.elapsed().as_secs_f64();
+
+        // BFS variant: per query, no index.
+        let t2 = Instant::now();
+        let r2 = graphalgo::lca_bfs(&g, a, b, |_| true).map(|(v, _, _)| v);
+        let q_bfs = t2.elapsed().as_secs_f64();
+
+        assert_eq!(r1.is_some(), r2.is_some(), "both must agree on existence");
+        // Index memory: |V|^2 bits of ancestor sets.
+        let index_mb = (n as f64 * n as f64 / 8.0) / 1e6;
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", index_mb),
+            format!("{:.1}", build * 1e3),
+            format!("{:.1}", q_index * 1e6),
+            format!("{:.1}", q_bfs * 1e6),
+        ]);
+    }
+    print_table(
+        "ablation: LCA bitset index vs per-query BFS",
+        &["|V|", "index mem (MB)", "index build (ms)", "index query (us)", "bfs query (us)"],
+        &rows,
+    );
+    println!("\nthe bitset index needs |V|^2/8 bytes — a 400k-vertex parallel view would need ~20 GB, hence the causal pass queries via backward BFS");
+}

@@ -1,0 +1,67 @@
+//! **Figure 16** — Contention-detection output on the parallel view of
+//! Vite's PAG: embeddings of the resource-contention pattern around the
+//! detected `_M_realloc_insert` vertices.
+//!
+//! Paper: "resource contention exists in allocate, reallocate, and
+//! deallocate (called by _M_realloc_insert, and _M_emplace)" — the
+//! allocator's implicit lock serializes the threads.
+
+use perflow::paradigms::contention_diagnosis;
+use perflow::PerFlow;
+use simrt::RunConfig;
+
+fn main() {
+    let pflow = PerFlow::new();
+    let prog = workloads::vite();
+    let fast = pflow
+        .run(&prog, &RunConfig::new(8).with_threads(2))
+        .unwrap();
+    let slow = pflow
+        .run(&prog, &RunConfig::new(8).with_threads(8))
+        .unwrap();
+
+    let d = contention_diagnosis(&fast, &slow, 10).unwrap();
+    println!("{}", d.report.render());
+
+    // Describe the embeddings like the zoomed-in subgraph of Fig. 16.
+    let pag = d.contention_vertices.graph.pag();
+    println!(
+        "contention subgraph: {} vertices, {} inter-thread wait edges",
+        d.contention_vertices.len(),
+        d.contention_edges.len()
+    );
+    let mut shown = 0;
+    for &e in &d.contention_edges.ids {
+        let ed = pag.edge(e);
+        let (s, dd) = (pag.vertex(ed.src), pag.vertex(ed.dst));
+        println!(
+            "  {}@p{}t{} --blocks--> {}@p{}t{}  (wait {:.2} ms × {})",
+            s.name,
+            s.props.get_f64(pag::keys::PROC) as i64,
+            s.props.get_f64(pag::keys::THREAD) as i64,
+            dd.name,
+            dd.props.get_f64(pag::keys::PROC) as i64,
+            dd.props.get_f64(pag::keys::THREAD) as i64,
+            ed.props.get_f64(pag::keys::WAIT_TIME) / 1e3,
+            ed.props
+                .get(pag::keys::COUNT)
+                .and_then(|p| p.as_i64())
+                .unwrap_or(0),
+        );
+        shown += 1;
+        if shown >= 8 {
+            break;
+        }
+    }
+    let mut names: Vec<&str> = d
+        .contention_vertices
+        .ids
+        .iter()
+        .map(|&v| pag.vertex_name(v))
+        .collect();
+    names.sort();
+    names.dedup();
+    println!(
+        "\nshape check: contention detected in {names:?} — paper finds it in the allocator entry points"
+    );
+}

@@ -1,0 +1,44 @@
+//! **Table 2** — Code size, binary size, and |V|/|E| of the top-down and
+//! parallel views of the PAG for every evaluated program.
+//!
+//! Paper shapes to hold: the top-down view is a tree (|E| = |V|-1);
+//! parallel |V| = top-down |V| × processes; parallel |E| exceeds the
+//! per-flow chains by the communication edges; LAMMPS ≫ ZeusMP > Vite >
+//! NPB in structure size; MG is the largest NPB kernel.
+
+use bench::{bench_ranks, fmt_bytes, print_table};
+use simrt::RunConfig;
+
+fn main() {
+    let ranks = bench_ranks();
+    let programs = workloads::all_programs();
+    let mut rows = Vec::new();
+    for (prog, name) in programs.iter().zip(workloads::PROGRAM_NAMES) {
+        let run = collect::profile(prog, &RunConfig::new(ranks)).expect("profile failed");
+        let td = &run.pag;
+        let pv = collect::build_parallel_view(&run);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", prog.kloc),
+            fmt_bytes(prog.binary_bytes),
+            td.num_vertices().to_string(),
+            td.num_edges().to_string(),
+            pv.num_vertices().to_string(),
+            pv.num_edges().to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Table 2: PAG features ({ranks} processes)"),
+        &[
+            "Program",
+            "Code(KLoc)",
+            "Binary",
+            "TD |V|",
+            "TD |E|",
+            "Par |V|",
+            "Par |E|",
+        ],
+        &rows,
+    );
+    println!("\ninvariants: TD |E| = TD |V| - 1 (tree);  Par |V| = TD |V| × P (+thread flows)");
+}

@@ -1,0 +1,94 @@
+//! **§5.3 tool comparison** — PerFlow vs mpiP, HPCToolkit, Scalasca and
+//! ScalAna on the ZeusMP study:
+//!
+//! * mpiP reports the `MPI_Allreduce` share growing with scale (paper:
+//!   0.06% → 7.93% from 16 to 2048 procs) but names no cause;
+//! * HPCToolkit ranks scalability losses but stops at the MPI calls;
+//! * Scalasca finds the waits automatically but needs full traces —
+//!   paper: 56.72% runtime overhead and 57.64 GB vs PerFlow's 1.56% and
+//!   2.4 MB at 128 procs;
+//! * ScalAna finds the same causes but is thousands of lines of
+//!   special-purpose code vs 27 lines of PerFlow APIs.
+
+use bench::{collection_overhead, fmt_bytes, print_table};
+use simrt::{CollectionConfig, RunConfig};
+
+fn main() {
+    let prog = workloads::zeusmp();
+    let ranks = 64u32;
+    let cfg = RunConfig::new(ranks);
+
+    // --- mpiP view at two scales -------------------------------------
+    let mpip_small = baselines::mpip_profile(&prog, &RunConfig::new(16)).unwrap();
+    let mpip_large = baselines::mpip_profile(&prog, &RunConfig::new(256)).unwrap();
+    println!("### mpiP: MPI_Allreduce share grows with scale");
+    println!(
+        "  16 ranks: {:.2}% of app time   256 ranks: {:.2}% of app time",
+        mpip_small.function_pct("MPI_Allreduce"),
+        mpip_large.function_pct("MPI_Allreduce")
+    );
+    println!("  (paper: 0.06% at 16 procs → 7.93% at 2048 procs; no cause reported)");
+
+    // --- HPCToolkit scaling losses ------------------------------------
+    let run_small = collect::profile(&prog, &RunConfig::new(16)).unwrap();
+    let run_large = collect::profile(&prog, &RunConfig::new(256)).unwrap();
+    let hpc = baselines::hpctoolkit_scaling(&run_small, &run_large, 5);
+    println!("\n### HPCToolkit-style scaling losses (top 5)");
+    print!("{}", hpc.render());
+
+    // --- cost axis: PerFlow sampling vs Scalasca tracing ---------------
+    let perflow_overhead = collection_overhead(&prog, &cfg, CollectionConfig::sampling(), 3);
+    let run = collect::profile(&prog, &cfg).unwrap();
+    let perflow_space = run.space_cost() as u64;
+    let scalasca = baselines::scalasca_trace(&prog, &cfg).unwrap();
+
+    let rows = vec![
+        vec![
+            "PerFlow (sampling)".to_string(),
+            format!("{:.2}%", perflow_overhead * 100.0),
+            fmt_bytes(perflow_space),
+            "graph analysis on PAG".to_string(),
+        ],
+        vec![
+            "Scalasca (tracing)".to_string(),
+            format!("{:.2}%", scalasca.runtime_overhead * 100.0),
+            fmt_bytes(scalasca.trace_bytes),
+            format!(
+                "wait states: {} = {:.1} ms",
+                scalasca.wait_states[0].0.name(),
+                scalasca.wait_states[0].1 / 1e3
+            ),
+        ],
+    ];
+    print_table(
+        &format!("collection cost on ZeusMP ({ranks} ranks)"),
+        &["tool", "runtime overhead", "storage", "analysis"],
+        &rows,
+    );
+    println!("(paper at 128 procs: Scalasca 56.72% / 57.64 GB vs PerFlow 1.56% / 2.4 MB)");
+
+    // --- LoC comparison: paradigm vs monolithic ScalAna ----------------
+    let paradigm_src = include_str!("../../core/src/paradigms/scalability.rs");
+    let scalana_src = include_str!("../../baselines/src/scalana.rs");
+    let example_src = include_str!("../../../examples/scalability.rs");
+    let loc = |src: &str| {
+        src.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
+            .count()
+    };
+    println!("\n### implementation effort (non-comment LoC)");
+    println!(
+        "  using the built-in paradigm (examples/scalability.rs): {:>5} lines",
+        loc(example_src)
+    );
+    println!(
+        "  the reusable paradigm itself (composition of passes):  {:>5} lines",
+        loc(paradigm_src)
+    );
+    println!(
+        "  monolithic ScalAna-style analyzer:                     {:>5} lines",
+        loc(scalana_src)
+    );
+    println!("  (paper: 27 lines of PerFlow APIs vs thousands of lines of ScalAna)");
+}

@@ -1,0 +1,125 @@
+//! Shared helpers for the table/figure regeneration harnesses.
+//!
+//! Every table and figure of the paper's evaluation (§5) has a bench
+//! target in `benches/` that reprints it from the reproduction (see
+//! DESIGN.md §5 for the index). Scales are laptop-sized by default and
+//! overridable through environment variables:
+//!
+//! * `PERFLOW_BENCH_RANKS` — rank count for Table 1/2 (default 128)
+//! * `PERFLOW_BENCH_LARGE` — large-scale rank count for the ZeusMP
+//!   study (default 512)
+
+use std::time::Instant;
+
+use progmodel::Program;
+use simrt::{simulate, CollectionConfig, RunConfig};
+
+/// Rank count used for Table 1/2 (paper: 128).
+pub fn bench_ranks() -> u32 {
+    std::env::var("PERFLOW_BENCH_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Large-scale rank count for the ZeusMP scaling study (paper: 2048).
+pub fn bench_large_ranks() -> u32 {
+    std::env::var("PERFLOW_BENCH_LARGE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512)
+}
+
+/// Median wall-clock seconds of `f` over `reps` runs.
+pub fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Application-side overhead of running `prog` with `collection`
+/// relative to an uninstrumented run: the relative growth of the
+/// *virtual* makespan, i.e. exactly the slowdown the paper's Table 1
+/// reports (the instrumentation's observer effect on the application).
+pub fn collection_overhead(
+    prog: &Program,
+    cfg: &RunConfig,
+    collection: CollectionConfig,
+    _reps: usize,
+) -> f64 {
+    let mut off_cfg = cfg.clone();
+    off_cfg.collection = CollectionConfig::off();
+    let mut on_cfg = cfg.clone();
+    on_cfg.collection = collection;
+    let t_off = simulate(prog, &off_cfg).expect("plain run failed").total_time;
+    let t_on = simulate(prog, &on_cfg)
+        .expect("collected run failed")
+        .total_time;
+    ((t_on - t_off) / t_off.max(1e-9)).max(0.0)
+}
+
+/// Print an aligned table: header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}");
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncol));
+    for row in rows {
+        println!("{}", fmt(row));
+    }
+}
+
+/// Human-readable byte counts (paper prints K/M).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1_000_000 {
+        format!("{:.1}M", b as f64 / 1e6)
+    } else if b >= 1_000 {
+        format!("{:.0}K", b as f64 / 1e3)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(28_000), "28K");
+        assert_eq!(fmt_bytes(2_400_000), "2.4M");
+    }
+
+    #[test]
+    fn median_is_robust() {
+        let mut n = 0;
+        let m = median_secs(3, || {
+            n += 1;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert_eq!(n, 3);
+        assert!(m >= 0.001);
+    }
+}

@@ -1,0 +1,330 @@
+//! Performance data embedding (§3.3).
+//!
+//! Each piece of runtime data carries a calling context; embedding
+//! resolves the context to its skeleton path and accumulates the data on
+//! the corresponding vertices: sampled time becomes per-process inclusive
+//! time vectors (every vertex on the path), PMU and communication/lock
+//! statistics attach to the deepest vertex.
+
+use std::collections::HashMap;
+
+use pag::{keys, Pag, VertexId};
+use progmodel::Program;
+use simrt::{CtxId, RunData};
+
+use crate::resolve::ContextResolver;
+use crate::static_pag::StaticPag;
+
+/// A fully profiled run: the data-carrying top-down PAG plus everything
+/// the parallel-view builder and the report module need.
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// Top-down view with embedded performance data.
+    pub pag: Pag,
+    /// `(parent vertex, frame)` → child vertex (extended by dynamic
+    /// fill-in).
+    pub child_map: HashMap<(VertexId, simrt::CtxFrame), VertexId>,
+    /// Root vertex.
+    pub root: VertexId,
+    /// The raw run data.
+    pub data: RunData,
+    /// Resolved context → vertex path cache.
+    pub ctx_paths: HashMap<CtxId, Vec<VertexId>>,
+    /// Inclusive sampled time per (vertex, rank, thread), µs.
+    pub vt_times: HashMap<(VertexId, u32, u32), f64>,
+    /// Static-analysis wall time (seconds).
+    pub static_seconds: f64,
+}
+
+impl ProfiledRun {
+    /// The deepest vertex of a context (resolved during embedding).
+    pub fn ctx_leaf(&self, ctx: CtxId) -> Option<VertexId> {
+        self.ctx_paths.get(&ctx).and_then(|p| p.last().copied())
+    }
+
+    /// Serialized PAG size in bytes (Table 1's space cost).
+    pub fn space_cost(&self) -> usize {
+        pag::serialize::space_cost(&self.pag)
+    }
+}
+
+/// Embed run data into the static skeleton.
+pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
+    let nranks = data.nranks as usize;
+    let mut resolver = ContextResolver::new(prog);
+    let mut per_proc: HashMap<VertexId, Vec<f64>> = HashMap::new();
+    let mut self_time: HashMap<VertexId, f64> = HashMap::new();
+    let mut vt_times: HashMap<(VertexId, u32, u32), f64> = HashMap::new();
+
+    // 1. Samples → inclusive per-process time on every path vertex.
+    if let Some(period) = data.sample_period_us {
+        for (&(ctx, rank, thread), &count) in &data.samples {
+            let dt = count as f64 * period;
+            let path = resolver.resolve(&mut sp, &data.cct, ctx);
+            for &v in &path {
+                per_proc
+                    .entry(v)
+                    .or_insert_with(|| vec![0.0; nranks])[rank as usize] += dt;
+                *vt_times.entry((v, rank, thread)).or_insert(0.0) += dt;
+            }
+            if let Some(&leaf) = path.last() {
+                *self_time.entry(leaf).or_insert(0.0) += dt;
+            }
+        }
+    }
+
+    // 2. PMU estimates → deepest vertex.
+    let pmu: Vec<(CtxId, simrt::PmuAgg)> = data.pmu.iter().map(|(c, p)| (*c, *p)).collect();
+    for (ctx, agg) in pmu {
+        let leaf = resolver.resolve_leaf(&mut sp, &data.cct, ctx);
+        let props = &mut sp.pag.vertex_mut(leaf).props;
+        props.add_f64(keys::PMU_INSTRUCTIONS, agg.instructions);
+        props.add_f64(keys::PMU_CYCLES, agg.cycles);
+        props.add_f64(keys::PMU_CACHE_MISSES, agg.cache_misses);
+    }
+
+    // 3. Communication records → deepest vertex statistics.
+    struct CommAgg {
+        count: i64,
+        bytes: u64,
+        wait: f64,
+        op_time: f64,
+        bytes_per_proc: Vec<f64>,
+        wait_per_proc: Vec<f64>,
+        kinds: std::collections::BTreeSet<&'static str>,
+        peers: std::collections::BTreeSet<u32>,
+    }
+    let mut comm_aggs: HashMap<VertexId, CommAgg> = HashMap::new();
+    for rec in &data.comm_records {
+        let leaf = resolver.resolve_leaf(&mut sp, &data.cct, rec.ctx);
+        let agg = comm_aggs.entry(leaf).or_insert_with(|| CommAgg {
+            count: 0,
+            bytes: 0,
+            wait: 0.0,
+            op_time: 0.0,
+            bytes_per_proc: vec![0.0; nranks],
+            wait_per_proc: vec![0.0; nranks],
+            kinds: Default::default(),
+            peers: Default::default(),
+        });
+        agg.count += 1;
+        agg.bytes += rec.bytes;
+        agg.wait += rec.wait;
+        agg.op_time += rec.complete - rec.post;
+        agg.bytes_per_proc[rec.rank as usize] += rec.bytes as f64;
+        agg.wait_per_proc[rec.rank as usize] += rec.wait;
+        agg.kinds.insert(rec.kind.mpi_name());
+        if rec.peer != u32::MAX {
+            agg.peers.insert(rec.peer);
+        }
+    }
+    for (v, agg) in comm_aggs {
+        let pattern = if agg.peers.is_empty() {
+            "collective".to_string()
+        } else if agg.peers.len() <= 2 {
+            "p2p-neighbor".to_string()
+        } else {
+            format!("p2p-{}peers", agg.peers.len())
+        };
+        let info = format!(
+            "{} pattern={} count={} bytes={}",
+            agg.kinds.iter().copied().collect::<Vec<_>>().join("/"),
+            pattern,
+            agg.count,
+            agg.bytes
+        );
+        let props = &mut sp.pag.vertex_mut(v).props;
+        props.set(keys::COMM_INFO, info);
+        props.add_i64(keys::COUNT, agg.count);
+        props.add_i64(keys::COMM_BYTES, agg.bytes as i64);
+        props.add_f64(keys::COMM_TIME, agg.op_time);
+        props.add_f64(keys::WAIT_TIME, agg.wait);
+        props.set(keys::BYTES_PER_PROC, agg.bytes_per_proc);
+        props.set(keys::WAIT_PER_PROC, agg.wait_per_proc);
+    }
+
+    // 4. Lock records → deepest vertex wait statistics.
+    for rec in &data.lock_records {
+        let leaf = resolver.resolve_leaf(&mut sp, &data.cct, rec.ctx);
+        let props = &mut sp.pag.vertex_mut(leaf).props;
+        props.add_i64(keys::COUNT, 1);
+        props.add_f64(keys::WAIT_TIME, rec.wait());
+    }
+
+    // 5. Write time vectors.
+    for (v, vec) in per_proc {
+        let total: f64 = vec.iter().sum();
+        let props = &mut sp.pag.vertex_mut(v).props;
+        props.set(keys::TIME, total);
+        props.set(keys::TIME_PER_PROC, vec);
+    }
+    for (v, t) in self_time {
+        sp.pag.vertex_mut(v).props.set(keys::SELF_TIME, t);
+    }
+    // Root gets the exact elapsed times (not subject to sampling error).
+    {
+        let props = &mut sp.pag.vertex_mut(sp.root).props;
+        props.set(keys::TIME, data.elapsed.iter().sum::<f64>());
+        props.set(keys::TIME_PER_PROC, data.elapsed.clone());
+    }
+    sp.pag.set_num_procs(data.nranks);
+    sp.pag.set_threads_per_proc(data.nthreads);
+
+    // Freeze the resolver cache for downstream consumers.
+    let mut ctx_paths = HashMap::new();
+    for &(ctx, _, _) in data.samples.keys() {
+        let p = resolver.resolve(&mut sp, &data.cct, ctx);
+        ctx_paths.insert(ctx, p);
+    }
+    for rec in &data.comm_records {
+        let p = resolver.resolve(&mut sp, &data.cct, rec.ctx);
+        ctx_paths.insert(rec.ctx, p);
+    }
+    for e in &data.msg_edges {
+        for ctx in [e.src_ctx, e.dst_ctx] {
+            let p = resolver.resolve(&mut sp, &data.cct, ctx);
+            ctx_paths.insert(ctx, p);
+        }
+    }
+    for rec in &data.lock_records {
+        let p = resolver.resolve(&mut sp, &data.cct, rec.ctx);
+        ctx_paths.insert(rec.ctx, p);
+        if let Some((_, _, hctx)) = rec.blocked_by {
+            let p = resolver.resolve(&mut sp, &data.cct, hctx);
+            ctx_paths.insert(hctx, p);
+        }
+    }
+
+    ProfiledRun {
+        pag: sp.pag,
+        child_map: sp.child_map,
+        root: sp.root,
+        data,
+        ctx_paths,
+        vt_times,
+        static_seconds: sp.static_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile;
+    use pag::VertexLabel;
+    use progmodel::{c, noise, rank, ProgramBuilder};
+    use simrt::RunConfig;
+
+    fn imbalanced_prog() -> Program {
+        let mut pb = ProgramBuilder::new("emb");
+        let main = pb.declare("main", "e.c");
+        let work = pb.declare("work", "e.c");
+        pb.define(work, |f| {
+            // Rank 0 does 3× the work.
+            f.compute(
+                "kernel",
+                rank().eq(0.0).select(c(300.0), c(100.0)) * noise(0.1, 3),
+            );
+        });
+        pb.define(main, |f| {
+            f.loop_("loop_1", c(2000.0), |b| {
+                b.call(work);
+                b.allreduce(c(8.0));
+            });
+        });
+        pb.build(main)
+    }
+
+    #[test]
+    fn time_vectors_reflect_imbalance() {
+        let p = imbalanced_prog();
+        let run = profile(&p, &RunConfig::new(4)).unwrap();
+        let kernel = run.pag.find_by_name("kernel")[0];
+        let vec = run
+            .pag
+            .vprop(kernel, keys::TIME_PER_PROC)
+            .expect("per-proc time")
+            .as_f64_slice()
+            .unwrap()
+            .to_vec();
+        assert_eq!(vec.len(), 4);
+        assert!(
+            vec[0] > 2.0 * vec[1],
+            "rank 0 should dominate kernel time: {vec:?}"
+        );
+        // Inclusive time propagates up to loop and main.
+        let loop_v = run.pag.find_by_name("loop_1")[0];
+        assert!(run.pag.vertex_time(loop_v) >= run.pag.vertex_time(kernel));
+        assert!(run.pag.vertex_time(run.root) > 0.0);
+    }
+
+    #[test]
+    fn allreduce_gets_wait_time_and_comm_info() {
+        let p = imbalanced_prog();
+        let run = profile(&p, &RunConfig::new(4)).unwrap();
+        let ar = run.pag.find_by_name("MPI_Allreduce")[0];
+        let props = &run.pag.vertex(ar).props;
+        assert!(props.get_f64(keys::WAIT_TIME) > 0.0);
+        assert_eq!(props.get(keys::COUNT).unwrap().as_i64(), Some(8000));
+        let info = props.get(keys::COMM_INFO).unwrap().as_str().unwrap();
+        assert!(info.contains("MPI_Allreduce"), "{info}");
+        assert!(info.contains("collective"), "{info}");
+    }
+
+    #[test]
+    fn sampled_root_time_matches_elapsed() {
+        let p = imbalanced_prog();
+        let run = profile(&p, &RunConfig::new(4)).unwrap();
+        let per_proc = run
+            .pag
+            .vprop(run.root, keys::TIME_PER_PROC)
+            .unwrap()
+            .as_f64_slice()
+            .unwrap()
+            .to_vec();
+        assert_eq!(per_proc, run.data.elapsed);
+    }
+
+    #[test]
+    fn pmu_lands_on_compute_leaf() {
+        let p = imbalanced_prog();
+        let run = profile(&p, &RunConfig::new(2)).unwrap();
+        let kernel = run.pag.find_by_name("kernel")[0];
+        assert!(run.pag.vertex(kernel).props.get_f64(keys::PMU_INSTRUCTIONS) > 0.0);
+        // Loop vertex has no direct PMU data.
+        let loop_v = run.pag.find_by_name("loop_1")[0];
+        assert_eq!(run.pag.vertex(loop_v).props.get_f64(keys::PMU_INSTRUCTIONS), 0.0);
+    }
+
+    #[test]
+    fn space_cost_positive_and_bounded() {
+        let p = imbalanced_prog();
+        let run = profile(&p, &RunConfig::new(2)).unwrap();
+        let cost = run.space_cost();
+        assert!(cost > 100);
+        assert!(cost < 1_000_000);
+    }
+
+    #[test]
+    fn vt_times_cover_threads() {
+        let mut pb = ProgramBuilder::new("thr");
+        let main = pb.declare("main", "t.c");
+        pb.define(main, |f| {
+            f.thread_region(c(3.0), |b| {
+                b.compute("twork", c(50_000.0) * noise(0.2, 5));
+            });
+        });
+        let p = pb.build(main);
+        let run = profile(&p, &RunConfig::new(1).with_threads(3)).unwrap();
+        let tw = run.pag.find_by_name("twork")[0];
+        let threads_seen: std::collections::HashSet<u32> = run
+            .vt_times
+            .keys()
+            .filter(|&&(v, _, _)| v == tw)
+            .map(|&(_, _, t)| t)
+            .collect();
+        assert_eq!(threads_seen.len(), 3, "{threads_seen:?}");
+        // The region vertex exists with ThreadSpawn label.
+        let regions = run.pag.find_by_label(VertexLabel::Call(pag::CallKind::ThreadSpawn));
+        assert_eq!(regions.len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # Hybrid static-dynamic analysis (§3.2–3.4)
+//!
+//! This crate turns a program model plus a simulated run into Program
+//! Abstraction Graphs:
+//!
+//! 1. **Static analysis** ([`static_analysis`]) walks the program IR —
+//!    the Dyninst substitute — and produces the *top-down view* skeleton:
+//!    a static expansion tree whose vertices are functions, loops,
+//!    branches, calls, compute kernels and comm operations, with
+//!    intra-procedural tree edges and inter-procedural call edges.
+//!    Indirect call sites are marked for runtime fill-in.
+//! 2. **Dynamic analysis** runs the program under [`simrt`] with the
+//!    built-in sampling collection module.
+//! 3. **Performance data embedding** ([`embed()`](embed::embed), §3.3) resolves each
+//!    sample's calling context to the skeleton path and accumulates
+//!    per-process inclusive time, PMU estimates, communication statistics
+//!    and lock statistics onto the vertices. Contexts reaching through
+//!    runtime-resolved indirect calls extend the skeleton on the fly;
+//!    recursion beyond the static cut is clamped to the recursive call
+//!    vertex.
+//! 4. **Parallel view construction** ([`parallel::build_parallel_view`],
+//!    §3.4) replicates the executed structure as one *flow* per process
+//!    (plus per-thread flows under thread regions) and adds inter-process
+//!    and inter-thread edges from the run's message and lock records.
+
+pub mod embed;
+pub mod parallel;
+pub mod resolve;
+pub mod static_pag;
+
+pub use embed::{embed, ProfiledRun};
+pub use parallel::build_parallel_view;
+pub use resolve::ContextResolver;
+pub use static_pag::{static_analysis, StaticPag};
+
+use progmodel::Program;
+use simrt::{simulate, RunConfig, SimError};
+
+/// End-to-end: static analysis + simulated run + embedding. This is what
+/// PerFlow's `pflow.run(...)` performs under the hood.
+pub fn profile(prog: &Program, cfg: &RunConfig) -> Result<ProfiledRun, SimError> {
+    let static_pag = static_analysis(prog);
+    let data = simulate(prog, cfg)?;
+    Ok(embed(prog, static_pag, data))
+}

@@ -1,0 +1,294 @@
+//! Static extraction of the top-down PAG skeleton.
+//!
+//! The skeleton is a *static expansion tree*: starting from the entry
+//! function, every call site expands its callee inline (recursion is cut
+//! at the first repeated function on the expansion stack, marking the
+//! call `Recursive`). This mirrors the structure the paper reports in
+//! Table 2, where the top-down view of every program has `|E| = |V| - 1`.
+
+use std::collections::HashMap;
+
+use pag::{keys, CallKind, EdgeLabel, Pag, VertexId, VertexLabel, ViewKind};
+use progmodel::{CallTarget, CommOp, FuncId, Function, Program, Stmt, StmtKind};
+use simrt::CtxFrame;
+
+/// The static skeleton plus the structure index used to resolve calling
+/// contexts onto vertices.
+#[derive(Debug, Clone)]
+pub struct StaticPag {
+    /// The top-down view skeleton (no performance data yet).
+    pub pag: Pag,
+    /// `(parent vertex, frame)` → child vertex. Mirrors CCT interning.
+    pub child_map: HashMap<(VertexId, CtxFrame), VertexId>,
+    /// The root (entry function) vertex.
+    pub root: VertexId,
+    /// Wall-clock seconds spent in static analysis (Table 1's "static"
+    /// column).
+    pub static_seconds: f64,
+}
+
+/// Run static analysis on a program model.
+pub fn static_analysis(prog: &Program) -> StaticPag {
+    let t0 = std::time::Instant::now();
+    let mut b = Builder {
+        prog,
+        pag: Pag::new(ViewKind::TopDown, prog.name.clone()),
+        child_map: HashMap::new(),
+    };
+    let root = b.expand_function(None, prog.entry, &mut Vec::new());
+    b.pag.set_root(root);
+    StaticPag {
+        pag: b.pag,
+        child_map: b.child_map,
+        root,
+        static_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+struct Builder<'p> {
+    prog: &'p Program,
+    pag: Pag,
+    child_map: HashMap<(VertexId, CtxFrame), VertexId>,
+}
+
+impl<'p> Builder<'p> {
+    /// Expand a function as a child of `parent` (a call vertex), or as the
+    /// root when `parent` is `None`.
+    fn expand_function(
+        &mut self,
+        parent: Option<VertexId>,
+        fid: FuncId,
+        stack: &mut Vec<FuncId>,
+    ) -> VertexId {
+        let func: &Function = self.prog.function(fid);
+        let v = self.pag.add_vertex(VertexLabel::Function, func.name.clone());
+        self.pag
+            .set_vprop(v, keys::DEBUG_INFO, format!("{}:{}", func.file, func.line));
+        if let Some(p) = parent {
+            self.pag.add_edge(p, v, EdgeLabel::InterProc);
+            self.child_map.insert((p, CtxFrame::Func(fid)), v);
+        }
+        stack.push(fid);
+        self.expand_stmts(v, &func.body, func, stack);
+        stack.pop();
+        v
+    }
+
+    fn expand_stmts(
+        &mut self,
+        parent: VertexId,
+        stmts: &'p [Stmt],
+        func: &'p Function,
+        stack: &mut Vec<FuncId>,
+    ) {
+        for stmt in stmts {
+            let (label, name): (VertexLabel, std::sync::Arc<str>) = match &stmt.kind {
+                StmtKind::Compute { name, .. } => (VertexLabel::Compute, name.clone()),
+                StmtKind::Loop { name, .. } => (VertexLabel::Loop, name.clone()),
+                StmtKind::Branch { name, .. } => (VertexLabel::Branch, name.clone()),
+                StmtKind::Call { target } => match target {
+                    CallTarget::Static(callee) => {
+                        let callee_fn = self.prog.function(*callee);
+                        let kind = if stack.contains(callee) {
+                            CallKind::Recursive
+                        } else {
+                            CallKind::User
+                        };
+                        (VertexLabel::Call(kind), callee_fn.name.clone())
+                    }
+                    CallTarget::Indirect { .. } => {
+                        (VertexLabel::Call(CallKind::Indirect), "indirect_call".into())
+                    }
+                },
+                StmtKind::Comm(op) => (VertexLabel::Call(CallKind::Comm), comm_name(op).into()),
+                StmtKind::ThreadRegion { .. } => {
+                    (VertexLabel::Call(CallKind::ThreadSpawn), "parallel_region".into())
+                }
+                StmtKind::Lock { name, .. } => (VertexLabel::Call(CallKind::Lock), name.clone()),
+            };
+            let v = self.pag.add_vertex(label, name);
+            self.pag
+                .set_vprop(v, keys::DEBUG_INFO, format!("{}:{}", func.file, stmt.line));
+            self.pag.add_edge(parent, v, EdgeLabel::IntraProc);
+            self.child_map.insert((parent, CtxFrame::Stmt(stmt.id)), v);
+
+            match &stmt.kind {
+                StmtKind::Loop { body, .. } | StmtKind::ThreadRegion { body, .. } => {
+                    self.expand_stmts(v, body, func, stack);
+                }
+                StmtKind::Branch {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    self.expand_stmts(v, then_body, func, stack);
+                    self.expand_stmts(v, else_body, func, stack);
+                }
+                StmtKind::Call {
+                    target: CallTarget::Static(callee),
+                } if !stack.contains(callee) => {
+                    self.expand_function(Some(v), *callee, stack);
+                }
+                // Indirect call targets are filled in from runtime data
+                // during embedding (§3.2: "marks the function calls whose
+                // information cannot be obtained at the static phase").
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Expand one function under an (indirect) call vertex of an existing
+/// static PAG — the dynamic structure fill-in path.
+pub fn expand_dynamic_call(
+    sp: &mut StaticPag,
+    prog: &Program,
+    call_vertex: VertexId,
+    fid: FuncId,
+) -> VertexId {
+    let mut b = Builder {
+        prog,
+        pag: std::mem::replace(&mut sp.pag, Pag::new(ViewKind::TopDown, "")),
+        child_map: std::mem::take(&mut sp.child_map),
+    };
+    let v = b.expand_function(Some(call_vertex), fid, &mut Vec::new());
+    sp.pag = b.pag;
+    sp.child_map = b.child_map;
+    v
+}
+
+fn comm_name(op: &CommOp) -> &'static str {
+    op.mpi_name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use progmodel::{c, rank, ProgramBuilder};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new("s");
+        let main = pb.declare("main", "s.c");
+        let foo = pb.declare("foo", "s.c");
+        pb.define(foo, |f| {
+            f.compute("kernel", c(1.0));
+            f.allreduce(c(8.0));
+        });
+        pb.define(main, |f| {
+            f.loop_("loop_1", c(10.0), |b| {
+                b.call(foo);
+                b.call(foo); // second call site → second expansion
+            });
+            f.barrier();
+        });
+        pb.build(main)
+    }
+
+    #[test]
+    fn skeleton_is_a_tree() {
+        let p = sample();
+        let sp = static_analysis(&p);
+        assert_eq!(sp.pag.num_edges(), sp.pag.num_vertices() - 1);
+        assert_eq!(sp.pag.root(), Some(sp.root));
+        // main, loop_1, 2 × (call foo + foo + kernel + allreduce), barrier
+        assert_eq!(sp.pag.num_vertices(), 1 + 1 + 2 * 4 + 1);
+    }
+
+    #[test]
+    fn call_sites_expand_separately() {
+        let p = sample();
+        let sp = static_analysis(&p);
+        let kernels = sp.pag.find_by_name("kernel");
+        assert_eq!(kernels.len(), 2, "one kernel vertex per call site");
+        let comms = sp.pag.find_by_name("MPI_*");
+        assert_eq!(comms.len(), 3); // 2 allreduce + 1 barrier
+    }
+
+    #[test]
+    fn debug_info_attached() {
+        let p = sample();
+        let sp = static_analysis(&p);
+        for v in sp.pag.vertex_ids() {
+            let d = sp.pag.vprop(v, keys::DEBUG_INFO).unwrap().as_str().unwrap();
+            assert!(d.starts_with("s.c:"), "bad debug info {d}");
+        }
+    }
+
+    #[test]
+    fn recursion_is_cut_and_marked() {
+        let mut pb = ProgramBuilder::new("rec");
+        let main = pb.declare("main", "r.c");
+        let f = pb.declare("f", "r.c");
+        pb.define(f, |b| {
+            b.compute("k", c(1.0));
+            b.call(f);
+        });
+        pb.define(main, |b| b.call(f));
+        let p = pb.build(main);
+        let sp = static_analysis(&p);
+        let rec_calls = sp.pag.find_by_label(VertexLabel::Call(CallKind::Recursive));
+        assert_eq!(rec_calls.len(), 1);
+        // Finite tree despite infinite static recursion.
+        assert!(sp.pag.num_vertices() < 10);
+    }
+
+    #[test]
+    fn indirect_calls_unexpanded_statically() {
+        let mut pb = ProgramBuilder::new("ind");
+        let main = pb.declare("main", "i.c");
+        let fa = pb.declare("fa", "i.c");
+        pb.define(fa, |b| b.compute("ka", c(1.0)));
+        pb.define(main, |b| b.call_indirect(vec![fa], rank()));
+        let p = pb.build(main);
+        let sp = static_analysis(&p);
+        let ind = sp.pag.find_by_label(VertexLabel::Call(CallKind::Indirect));
+        assert_eq!(ind.len(), 1);
+        assert_eq!(sp.pag.out_degree(ind[0]), 0, "not expanded statically");
+        assert!(sp.pag.find_by_name("ka").is_empty());
+    }
+
+    #[test]
+    fn dynamic_fill_in_expands_under_call() {
+        let mut pb = ProgramBuilder::new("ind2");
+        let main = pb.declare("main", "i.c");
+        let fa = pb.declare("fa", "i.c");
+        pb.define(fa, |b| b.compute("ka", c(1.0)));
+        pb.define(main, |b| b.call_indirect(vec![fa], rank()));
+        let p = pb.build(main);
+        let mut sp = static_analysis(&p);
+        let call = sp.pag.find_by_label(VertexLabel::Call(CallKind::Indirect))[0];
+        let fv = expand_dynamic_call(&mut sp, &p, call, progmodel::FuncId(1));
+        assert_eq!(sp.pag.vertex_name(fv), "fa");
+        assert_eq!(sp.pag.out_degree(call), 1);
+        assert_eq!(sp.pag.find_by_name("ka").len(), 1);
+        // child_map updated for resolution.
+        assert!(sp
+            .child_map
+            .contains_key(&(call, CtxFrame::Func(progmodel::FuncId(1)))));
+    }
+
+    #[test]
+    fn branch_expands_both_arms() {
+        let mut pb = ProgramBuilder::new("br");
+        let main = pb.declare("main", "b.c");
+        pb.define(main, |b| {
+            b.branch(
+                "cond",
+                rank().lt(2.0),
+                |t| t.compute("then_k", c(1.0)),
+                |e| e.compute("else_k", c(1.0)),
+            );
+        });
+        let p = pb.build(main);
+        let sp = static_analysis(&p);
+        assert_eq!(sp.pag.find_by_name("then_k").len(), 1);
+        assert_eq!(sp.pag.find_by_name("else_k").len(), 1);
+    }
+
+    #[test]
+    fn static_time_is_measured() {
+        let sp = static_analysis(&sample());
+        assert!(sp.static_seconds >= 0.0);
+        assert!(sp.static_seconds < 5.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! The PerFlowGraph: an executable dataflow graph of passes (§4.1).
+//!
+//! Nodes are passes; edges carry [`Value`]s from an output port of one
+//! node to an input port of another. `execute()` topologically schedules
+//! the graph and runs each *level* (nodes whose inputs are all ready) in
+//! parallel with scoped threads — dataflow graphs with independent
+//! branches (e.g. the Vite diagnosis graph of Fig. 14) exploit multicore
+//! hosts automatically.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::PerFlowError;
+use crate::pass::{Pass, PassCx, SourcePass};
+use crate::value::Value;
+
+/// Identifier of a node within one [`PerFlowGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+struct Node {
+    pass: Arc<dyn Pass>,
+}
+
+/// A wire from `(from_node, out_port)` to `(to_node, in_port)`.
+#[derive(Debug, Clone, Copy)]
+struct Wire {
+    from: NodeId,
+    out_port: usize,
+    to: NodeId,
+    in_port: usize,
+}
+
+/// Result of running one node: its outputs plus the pass trail.
+type NodeResult = Result<(Vec<Value>, Vec<String>), PerFlowError>;
+
+/// An executable dataflow graph of performance-analysis passes.
+#[derive(Default)]
+pub struct PerFlowGraph {
+    nodes: Vec<Node>,
+    wires: Vec<Wire>,
+}
+
+/// All node outputs after execution.
+pub struct Outputs {
+    values: HashMap<NodeId, Vec<Value>>,
+    /// Order in which passes ran (merged trails).
+    pub trail: Vec<String>,
+}
+
+impl Outputs {
+    /// The outputs of one node.
+    pub fn of(&self, node: NodeId) -> &[Value] {
+        self.values.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Convenience: the first output of a node as a vertex set.
+    pub fn vertices(&self, node: NodeId) -> Option<&crate::set::VertexSet> {
+        self.of(node).first().and_then(Value::as_vertices)
+    }
+
+    /// Convenience: the first output of a node as a report.
+    pub fn report(&self, node: NodeId) -> Option<&crate::report::Report> {
+        self.of(node).first().and_then(Value::as_report)
+    }
+}
+
+impl PerFlowGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a pass node.
+    pub fn add_pass(&mut self, pass: impl Pass + 'static) -> NodeId {
+        self.nodes.push(Node {
+            pass: Arc::new(pass),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add a source node emitting a fixed value.
+    pub fn add_source(&mut self, value: impl Into<Value>) -> NodeId {
+        self.add_pass(SourcePass::new(value))
+    }
+
+    /// Connect output port `out_port` of `from` to input port `in_port`
+    /// of `to`.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        out_port: usize,
+        to: NodeId,
+        in_port: usize,
+    ) -> Result<(), PerFlowError> {
+        for n in [from, to] {
+            if n.0 >= self.nodes.len() {
+                return Err(PerFlowError::BadNode { node: n.0 });
+            }
+        }
+        if self
+            .wires
+            .iter()
+            .any(|w| w.to == to && w.in_port == in_port)
+        {
+            return Err(PerFlowError::PortConflict {
+                node: to.0,
+                port: in_port,
+            });
+        }
+        self.wires.push(Wire {
+            from,
+            out_port,
+            to,
+            in_port,
+        });
+        Ok(())
+    }
+
+    /// Shorthand: connect first output of `from` to port 0 of `to`.
+    pub fn pipe(&mut self, from: NodeId, to: NodeId) -> Result<(), PerFlowError> {
+        self.connect(from, 0, to, 0)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Render the PerFlowGraph itself as DOT — the visualization the
+    /// paper draws in Figs. 2, 8, 11 and 14 (passes as boxes, set flow as
+    /// arrows).
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", title.replace('"', "'"));
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(
+            out,
+            "  node [shape=box, style=\"rounded,filled\", fillcolor=\"#eef3fb\", fontname=\"Helvetica\"];"
+        );
+        for (i, node) in self.nodes.iter().enumerate() {
+            let name = node.pass.name();
+            let shape = if name == "source" {
+                ", shape=ellipse, fillcolor=\"#f4f4f4\""
+            } else if name == "report" {
+                ", shape=note, fillcolor=\"#fdf3dd\""
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  n{i} [label=\"{name}\"{shape}];");
+        }
+        for w in &self.wires {
+            let label = if w.out_port == 0 && w.in_port == 0 {
+                String::new()
+            } else {
+                format!(" [label=\"{}→{}\"]", w.out_port, w.in_port)
+            };
+            let _ = writeln!(out, "  n{} -> n{}{};", w.from.0, w.to.0, label);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Execute the graph. Independent ready nodes run concurrently.
+    pub fn execute(&self) -> Result<Outputs, PerFlowError> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = vec![0; n];
+        for w in &self.wires {
+            indeg[w.to.0] += 1;
+        }
+        let mut done: Vec<bool> = vec![false; n];
+        let mut values: HashMap<NodeId, Vec<Value>> = HashMap::new();
+        let mut trail: Vec<String> = Vec::new();
+        let mut completed = 0usize;
+
+        while completed < n {
+            // Ready = all inputs produced.
+            let ready: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    !done[i]
+                        && self
+                            .wires
+                            .iter()
+                            .filter(|w| w.to.0 == i)
+                            .all(|w| done[w.from.0])
+                })
+                .collect();
+            if ready.is_empty() {
+                return Err(PerFlowError::CyclicGraph);
+            }
+            // Gather inputs for every ready node.
+            let mut jobs: Vec<(usize, Vec<Value>)> = Vec::with_capacity(ready.len());
+            for &i in &ready {
+                let mut wires_in: Vec<&Wire> = self.wires.iter().filter(|w| w.to.0 == i).collect();
+                wires_in.sort_by_key(|w| w.in_port);
+                let mut inputs = Vec::with_capacity(wires_in.len());
+                for (expect, w) in wires_in.iter().enumerate() {
+                    if w.in_port != expect {
+                        return Err(PerFlowError::MissingInput {
+                            pass: self.nodes[i].pass.name().to_string(),
+                            port: expect,
+                        });
+                    }
+                    let outs = &values[&w.from];
+                    let v = outs.get(w.out_port).cloned().ok_or_else(|| {
+                        PerFlowError::MissingInput {
+                            pass: self.nodes[i].pass.name().to_string(),
+                            port: w.in_port,
+                        }
+                    })?;
+                    inputs.push(v);
+                }
+                let declared = self.nodes[i].pass.arity();
+                if inputs.len() < declared {
+                    return Err(PerFlowError::MissingInput {
+                        pass: self.nodes[i].pass.name().to_string(),
+                        port: inputs.len(),
+                    });
+                }
+                jobs.push((i, inputs));
+            }
+            // Run the level in parallel.
+            let results: Vec<(usize, NodeResult)> =
+                if jobs.len() == 1 {
+                    let (i, inputs) = jobs.pop().unwrap();
+                    let mut cx = PassCx::new();
+                    let r = self.nodes[i].pass.run(&inputs, &mut cx);
+                    vec![(i, r.map(|v| (v, cx.trail)))]
+                } else {
+                    crossbeam::thread::scope(|s| {
+                        let handles: Vec<_> = jobs
+                            .into_iter()
+                            .map(|(i, inputs)| {
+                                let pass = Arc::clone(&self.nodes[i].pass);
+                                s.spawn(move |_| {
+                                    let mut cx = PassCx::new();
+                                    let r = pass.run(&inputs, &mut cx);
+                                    (i, r.map(|v| (v, cx.trail)))
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("pass panicked"))
+                            .collect()
+                    })
+                    .expect("scope panicked")
+                };
+            for (i, res) in results {
+                let (outs, t) = res?;
+                values.insert(NodeId(i), outs);
+                trail.push(self.nodes[i].pass.name().to_string());
+                trail.extend(t);
+                done[i] = true;
+                completed += 1;
+            }
+        }
+        Ok(Outputs { values, trail })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::FnPass;
+
+    fn add_pass() -> FnPass<impl Fn(&[Value]) -> Result<Vec<Value>, PerFlowError> + Send + Sync> {
+        FnPass::new("add", 2, |inputs: &[Value]| {
+            let a = inputs[0].as_num().unwrap();
+            let b = inputs[1].as_num().unwrap();
+            Ok(vec![Value::Num(a + b)])
+        })
+    }
+
+    #[test]
+    fn linear_pipeline() {
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(2.0);
+        let double = g.add_pass(FnPass::new("double", 1, |i: &[Value]| {
+            Ok(vec![Value::Num(i[0].as_num().unwrap() * 2.0)])
+        }));
+        g.pipe(s, double).unwrap();
+        let out = g.execute().unwrap();
+        assert_eq!(out.of(double)[0].as_num(), Some(4.0));
+        assert!(out.trail.contains(&"double".to_string()));
+    }
+
+    #[test]
+    fn diamond_with_two_inputs() {
+        let mut g = PerFlowGraph::new();
+        let a = g.add_source(1.0);
+        let b = g.add_source(2.0);
+        let sum = g.add_pass(add_pass());
+        g.connect(a, 0, sum, 0).unwrap();
+        g.connect(b, 0, sum, 1).unwrap();
+        let out = g.execute().unwrap();
+        assert_eq!(out.of(sum)[0].as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn parallel_branches_both_execute() {
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(10.0);
+        let inc = g.add_pass(FnPass::new("inc", 1, |i: &[Value]| {
+            Ok(vec![Value::Num(i[0].as_num().unwrap() + 1.0)])
+        }));
+        let dec = g.add_pass(FnPass::new("dec", 1, |i: &[Value]| {
+            Ok(vec![Value::Num(i[0].as_num().unwrap() - 1.0)])
+        }));
+        g.pipe(s, inc).unwrap();
+        g.pipe(s, dec).unwrap();
+        let join = g.add_pass(add_pass());
+        g.connect(inc, 0, join, 0).unwrap();
+        g.connect(dec, 0, join, 1).unwrap();
+        let out = g.execute().unwrap();
+        assert_eq!(out.of(join)[0].as_num(), Some(20.0));
+    }
+
+    #[test]
+    fn multiple_output_ports() {
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(5.0);
+        let split = g.add_pass(FnPass::new("split", 1, |i: &[Value]| {
+            let v = i[0].as_num().unwrap();
+            Ok(vec![Value::Num(v), Value::Num(-v)])
+        }));
+        g.pipe(s, split).unwrap();
+        let neg = g.add_pass(FnPass::new("id", 1, |i: &[Value]| Ok(vec![i[0].clone()])));
+        g.connect(split, 1, neg, 0).unwrap();
+        let out = g.execute().unwrap();
+        assert_eq!(out.of(neg)[0].as_num(), Some(-5.0));
+    }
+
+    #[test]
+    fn port_conflict_rejected() {
+        let mut g = PerFlowGraph::new();
+        let a = g.add_source(1.0);
+        let b = g.add_source(2.0);
+        let sum = g.add_pass(add_pass());
+        g.connect(a, 0, sum, 0).unwrap();
+        assert!(matches!(
+            g.connect(b, 0, sum, 0),
+            Err(PerFlowError::PortConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = PerFlowGraph::new();
+        let id1 = g.add_pass(FnPass::new("id1", 1, |i: &[Value]| Ok(vec![i[0].clone()])));
+        let id2 = g.add_pass(FnPass::new("id2", 1, |i: &[Value]| Ok(vec![i[0].clone()])));
+        g.pipe(id1, id2).unwrap();
+        g.pipe(id2, id1).unwrap();
+        assert!(matches!(g.execute(), Err(PerFlowError::CyclicGraph)));
+    }
+
+    #[test]
+    fn bad_node_rejected() {
+        let mut g = PerFlowGraph::new();
+        let a = g.add_source(1.0);
+        assert!(matches!(
+            g.connect(a, 0, NodeId(99), 0),
+            Err(PerFlowError::BadNode { node: 99 })
+        ));
+    }
+
+    #[test]
+    fn missing_arity_input_rejected() {
+        let mut g = PerFlowGraph::new();
+        let a = g.add_source(1.0);
+        let sum = g.add_pass(add_pass()); // needs 2 inputs
+        g.connect(a, 0, sum, 0).unwrap();
+        assert!(matches!(
+            g.execute(),
+            Err(PerFlowError::MissingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn dot_renders_passes_and_wires() {
+        let mut g = PerFlowGraph::new();
+        let a = g.add_source(1.0);
+        let b = g.add_source(2.0);
+        let sum = g.add_pass(add_pass());
+        g.connect(a, 0, sum, 0).unwrap();
+        g.connect(b, 0, sum, 1).unwrap();
+        let dot = g.to_dot("fig");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("add"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("0→1")); // non-default port labeled
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn gap_in_ports_rejected() {
+        let mut g = PerFlowGraph::new();
+        let a = g.add_source(1.0);
+        let sum = g.add_pass(add_pass());
+        g.connect(a, 0, sum, 1).unwrap(); // port 0 never wired
+        assert!(matches!(
+            g.execute(),
+            Err(PerFlowError::MissingInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+//! Framework errors.
+
+/// Errors raised by passes and the dataflow executor.
+#[derive(Debug, Clone)]
+pub enum PerFlowError {
+    /// Two sets from different graphs were combined.
+    GraphMismatch,
+    /// A pass received a value of the wrong type.
+    WrongValueType {
+        /// Pass that rejected the input.
+        pass: String,
+        /// Input port.
+        port: usize,
+        /// What the pass expected.
+        expected: &'static str,
+    },
+    /// A pass received fewer inputs than it declares.
+    MissingInput {
+        /// Pass with the missing input.
+        pass: String,
+        /// Missing port index.
+        port: usize,
+    },
+    /// The PerFlowGraph contains a cycle.
+    CyclicGraph,
+    /// An input port received more than one incoming edge.
+    PortConflict {
+        /// Node whose port is multiply connected.
+        node: usize,
+        /// The port.
+        port: usize,
+    },
+    /// A referenced node id does not exist.
+    BadNode {
+        /// The offending id.
+        node: usize,
+    },
+    /// The simulated run failed.
+    Sim(simrt::SimError),
+    /// Graph-difference failure (skeleton mismatch).
+    Diff(String),
+    /// Analysis-specific failure with a message.
+    Analysis(String),
+}
+
+impl std::fmt::Display for PerFlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerFlowError::GraphMismatch => write!(f, "sets belong to different graphs"),
+            PerFlowError::WrongValueType {
+                pass,
+                port,
+                expected,
+            } => write!(f, "pass {pass}: input {port} must be {expected}"),
+            PerFlowError::MissingInput { pass, port } => {
+                write!(f, "pass {pass}: missing input on port {port}")
+            }
+            PerFlowError::CyclicGraph => write!(f, "PerFlowGraph contains a cycle"),
+            PerFlowError::PortConflict { node, port } => {
+                write!(f, "node {node} port {port} has multiple producers")
+            }
+            PerFlowError::BadNode { node } => write!(f, "unknown node id {node}"),
+            PerFlowError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PerFlowError::Diff(m) => write!(f, "graph difference failed: {m}"),
+            PerFlowError::Analysis(m) => write!(f, "analysis failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PerFlowError {}
+
+impl From<simrt::SimError> for PerFlowError {
+    fn from(e: simrt::SimError) -> Self {
+        PerFlowError::Sim(e)
+    }
+}

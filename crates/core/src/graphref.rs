@@ -1,0 +1,128 @@
+//! Shared handles to analyzed runs and their PAG views.
+//!
+//! A PAG is "an environment of all passes in a PerFlowGraph" (§2.1): many
+//! sets reference the same graph concurrently. [`RunBundle`] owns one
+//! profiled run and lazily materializes its parallel view; [`GraphRef`]
+//! is the cheap shared reference sets carry.
+
+use std::sync::{Arc, OnceLock};
+
+use collect::{build_parallel_view, ProfiledRun};
+use pag::{Pag, VertexId};
+use simrt::RunData;
+
+use crate::set::VertexSet;
+
+/// One profiled program run: the top-down PAG plus the lazily-built
+/// parallel view.
+#[derive(Debug)]
+pub struct RunBundle {
+    run: ProfiledRun,
+    parallel: OnceLock<Pag>,
+}
+
+/// Shared handle to a [`RunBundle`].
+pub type RunHandle = Arc<RunBundle>;
+
+impl RunBundle {
+    /// Wrap a profiled run.
+    pub fn new(run: ProfiledRun) -> RunHandle {
+        Arc::new(RunBundle {
+            run,
+            parallel: OnceLock::new(),
+        })
+    }
+
+    /// The profiled run (top-down PAG, raw run data, context maps).
+    pub fn profiled(&self) -> &ProfiledRun {
+        &self.run
+    }
+
+    /// The top-down view.
+    pub fn topdown(&self) -> &Pag {
+        &self.run.pag
+    }
+
+    /// The parallel view (built on first use).
+    pub fn parallel(&self) -> &Pag {
+        self.parallel.get_or_init(|| build_parallel_view(&self.run))
+    }
+
+    /// True if the parallel view has been materialized.
+    pub fn parallel_built(&self) -> bool {
+        self.parallel.get().is_some()
+    }
+
+    /// Raw run data.
+    pub fn data(&self) -> &RunData {
+        &self.run.data
+    }
+
+    /// Root vertex of the top-down view.
+    pub fn root(&self) -> VertexId {
+        self.run.root
+    }
+}
+
+/// A reference to the graph a set lives on.
+#[derive(Debug, Clone)]
+pub enum GraphRef {
+    /// The top-down view of a run.
+    TopDown(RunHandle),
+    /// The parallel view of a run.
+    Parallel(RunHandle),
+    /// A standalone graph (e.g. a difference graph).
+    Detached(Arc<Pag>),
+}
+
+impl GraphRef {
+    /// Access the underlying PAG.
+    pub fn pag(&self) -> &Pag {
+        match self {
+            GraphRef::TopDown(b) => b.topdown(),
+            GraphRef::Parallel(b) => b.parallel(),
+            GraphRef::Detached(p) => p,
+        }
+    }
+
+    /// The run bundle, if this graph belongs to one.
+    pub fn bundle(&self) -> Option<&RunHandle> {
+        match self {
+            GraphRef::TopDown(b) | GraphRef::Parallel(b) => Some(b),
+            GraphRef::Detached(_) => None,
+        }
+    }
+
+    /// Two refs denote the same graph instance.
+    pub fn same_graph(&self, other: &GraphRef) -> bool {
+        match (self, other) {
+            (GraphRef::TopDown(a), GraphRef::TopDown(b)) => Arc::ptr_eq(a, b),
+            (GraphRef::Parallel(a), GraphRef::Parallel(b)) => Arc::ptr_eq(a, b),
+            (GraphRef::Detached(a), GraphRef::Detached(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// A set of all vertices of this graph.
+    pub fn all_vertices(&self) -> VertexSet {
+        let ids = self.pag().vertex_ids().collect();
+        VertexSet::new(self.clone(), ids)
+    }
+}
+
+/// Extension methods on run handles for ergonomic set creation.
+pub trait RunHandleExt {
+    /// All vertices of the top-down view.
+    fn vertices(&self) -> VertexSet;
+    /// All vertices of the parallel view.
+    fn parallel_vertices(&self) -> VertexSet;
+}
+
+impl RunHandleExt for RunHandle {
+    fn vertices(&self) -> VertexSet {
+        GraphRef::TopDown(Arc::clone(self)).all_vertices()
+    }
+    fn parallel_vertices(&self) -> VertexSet {
+        GraphRef::Parallel(Arc::clone(self)).all_vertices()
+    }
+}

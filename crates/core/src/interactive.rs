@@ -1,0 +1,335 @@
+//! Interactive analysis mode (§4.5).
+//!
+//! "For scenarios in which developers do not know what analysis to
+//! apply, PerFlow supports an interactive mode. It is advisable to first
+//! use a general built-in analysis pass, such as hotspot detection. The
+//! output of the previous pass will provide some insights to help
+//! determine or design the next passes."
+//!
+//! [`InteractiveSession`] keeps a *current set*, applies built-in passes
+//! step by step, records the history (so the final PerFlowGraph can be
+//! reconstructed from an exploratory session), supports undo, and offers
+//! heuristic [`InteractiveSession::suggest`]ions for the next pass based
+//! on what the current set contains.
+
+use pag::{keys, CallKind, VertexLabel};
+
+use crate::graphref::{GraphRef, RunHandle, RunHandleExt};
+use crate::passes;
+use crate::report::Report;
+use crate::set::VertexSet;
+
+/// One recorded step of an interactive session.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Pass applied (with its parameters rendered).
+    pub pass: String,
+    /// Set size before.
+    pub input_len: usize,
+    /// Set size after.
+    pub output_len: usize,
+}
+
+/// A suggested next pass, with the heuristic's rationale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Suggestion {
+    /// Start (or restart) with hotspot detection.
+    Hotspot,
+    /// The set is communication-heavy: check cross-process balance.
+    Imbalance,
+    /// Imbalanced communication found: break it down / find causes.
+    Breakdown,
+    /// Move to the parallel view and run causal analysis.
+    Causal,
+    /// Lock sites dominate: search for contention patterns.
+    Contention,
+    /// The set is empty: relax thresholds or widen the filter.
+    Widen,
+}
+
+impl Suggestion {
+    /// Human-readable rationale.
+    pub fn rationale(&self) -> &'static str {
+        match self {
+            Suggestion::Hotspot => "no analysis applied yet — find where time goes first",
+            Suggestion::Imbalance => {
+                "the set is communication-heavy — check whether processes are balanced"
+            }
+            Suggestion::Breakdown => {
+                "imbalanced communication detected — break it down to find what causes the waits"
+            }
+            Suggestion::Causal => {
+                "suspects identified — switch to the parallel view and trace causality"
+            }
+            Suggestion::Contention => {
+                "lock/allocator sites dominate — search for contention patterns"
+            }
+            Suggestion::Widen => "the current set is empty — relax thresholds or widen the filter",
+        }
+    }
+}
+
+/// An interactive analysis session over one profiled run.
+pub struct InteractiveSession {
+    run: RunHandle,
+    current: VertexSet,
+    history: Vec<StepRecord>,
+    undo_stack: Vec<VertexSet>,
+}
+
+impl InteractiveSession {
+    /// Start a session on the run's top-down view (all vertices).
+    pub fn new(run: &RunHandle) -> Self {
+        InteractiveSession {
+            run: std::sync::Arc::clone(run),
+            current: run.vertices(),
+            history: Vec::new(),
+            undo_stack: Vec::new(),
+        }
+    }
+
+    /// The current working set.
+    pub fn current(&self) -> &VertexSet {
+        &self.current
+    }
+
+    /// Recorded steps so far.
+    pub fn history(&self) -> &[StepRecord] {
+        &self.history
+    }
+
+    fn step(&mut self, pass: String, next: VertexSet) {
+        self.history.push(StepRecord {
+            pass,
+            input_len: self.current.len(),
+            output_len: next.len(),
+        });
+        self.undo_stack.push(std::mem::replace(&mut self.current, next));
+    }
+
+    /// Undo the last step; true if something was undone.
+    pub fn undo(&mut self) -> bool {
+        match self.undo_stack.pop() {
+            Some(prev) => {
+                self.current = prev;
+                self.history.pop();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Apply a name filter.
+    pub fn filter(&mut self, pattern: &str) -> &VertexSet {
+        let next = self.current.filter_name(pattern);
+        self.step(format!("filter({pattern})"), next);
+        &self.current
+    }
+
+    /// Apply hotspot detection.
+    pub fn hotspot(&mut self, n: usize) -> &VertexSet {
+        let next = passes::hotspot(&self.current, keys::TIME, n);
+        self.step(format!("hotspot_detection(n={n})"), next);
+        &self.current
+    }
+
+    /// Apply imbalance analysis.
+    pub fn imbalance(&mut self, threshold: f64) -> &VertexSet {
+        let next = passes::imbalance(&self.current, threshold);
+        self.step(format!("imbalance_analysis(threshold={threshold})"), next);
+        &self.current
+    }
+
+    /// Breakdown analysis: replaces the set with the cause vertices and
+    /// returns the explanation report.
+    pub fn breakdown(&mut self, threshold: f64) -> Report {
+        let (causes, report, _) = passes::breakdown(&self.current, threshold);
+        self.step(format!("breakdown_analysis(threshold={threshold})"), causes);
+        report
+    }
+
+    /// Project the current set onto the parallel view (all flow replicas
+    /// of the current top-down vertices).
+    pub fn to_parallel(&mut self) -> &VertexSet {
+        let pv = GraphRef::Parallel(std::sync::Arc::clone(&self.run));
+        let ids: std::collections::HashSet<i64> =
+            self.current.ids.iter().map(|v| v.0 as i64).collect();
+        let next = pv.all_vertices().retain(|v| {
+            pv.pag()
+                .vprop(v, keys::TOPDOWN_VERTEX)
+                .and_then(|p| p.as_i64())
+                .map(|td| ids.contains(&td))
+                .unwrap_or(false)
+        });
+        self.step("to_parallel_view".to_string(), next);
+        &self.current
+    }
+
+    /// Causal analysis on the current (parallel-view) set.
+    pub fn causal(&mut self) -> &VertexSet {
+        let (causes, _) = passes::causal(&self.current, &passes::CausalConfig::default());
+        self.step("causal_analysis".to_string(), causes);
+        &self.current
+    }
+
+    /// Contention detection around the current (parallel-view) set.
+    pub fn contention(&mut self) -> &VertexSet {
+        let (v, _, _) = passes::contention(&self.current, None, 16);
+        self.step("contention_detection".to_string(), v);
+        &self.current
+    }
+
+    /// Heuristic next-pass suggestion based on the current set.
+    pub fn suggest(&self) -> Suggestion {
+        if self.history.is_empty() {
+            return Suggestion::Hotspot;
+        }
+        if self.current.is_empty() {
+            return Suggestion::Widen;
+        }
+        let pag = self.current.graph.pag();
+        let n = self.current.len() as f64;
+        let comm = self
+            .current
+            .ids
+            .iter()
+            .filter(|&&v| pag.vertex(v).label.is_comm())
+            .count() as f64;
+        let locks = self
+            .current
+            .ids
+            .iter()
+            .filter(|&&v| pag.vertex(v).label == VertexLabel::Call(CallKind::Lock))
+            .count() as f64;
+        let already_imbalance = self
+            .history
+            .iter()
+            .any(|s| s.pass.starts_with("imbalance"));
+        let on_parallel = matches!(self.current.graph, GraphRef::Parallel(_));
+        if locks / n > 0.3 {
+            Suggestion::Contention
+        } else if on_parallel {
+            Suggestion::Causal
+        } else if comm / n > 0.5 && !already_imbalance {
+            Suggestion::Imbalance
+        } else if comm / n > 0.5 {
+            Suggestion::Breakdown
+        } else {
+            Suggestion::Hotspot
+        }
+    }
+
+    /// Render the session as a report: history + current set.
+    pub fn report(&self, attrs: &[&str]) -> Report {
+        let mut r = passes::report_pass::report_sets("interactive session", &[&self.current], attrs);
+        for (i, s) in self.history.iter().enumerate() {
+            r.note(format!(
+                "step {}: {} ({} → {} vertices)",
+                i + 1,
+                s.pass,
+                s.input_len,
+                s.output_len
+            ));
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::PerFlow;
+    use progmodel::{c, nranks, rank, ProgramBuilder};
+    use simrt::RunConfig;
+
+    fn run() -> RunHandle {
+        let mut pb = ProgramBuilder::new("inter");
+        let main = pb.declare("main", "i.c");
+        pb.define(main, |f| {
+            f.loop_("it", c(800.0), |b| {
+                b.compute(
+                    "kernel",
+                    rank().lt(nranks() / c(4.0)).select(c(500.0), c(150.0)),
+                );
+                b.allreduce(c(64.0));
+            });
+        });
+        let prog = pb.build(main);
+        PerFlow::new().run(&prog, &RunConfig::new(8)).unwrap()
+    }
+
+    #[test]
+    fn guided_session_reaches_the_root_cause() {
+        let run = run();
+        let mut s = InteractiveSession::new(&run);
+        // Fresh session: suggests hotspot.
+        assert_eq!(s.suggest(), Suggestion::Hotspot);
+        s.filter("MPI_*");
+        s.hotspot(5);
+        // Comm-heavy set → imbalance next.
+        assert_eq!(s.suggest(), Suggestion::Imbalance);
+        s.imbalance(0.2);
+        assert!(!s.current().is_empty(), "allreduce waits are imbalanced");
+        // Comm still, imbalance done → breakdown next.
+        assert_eq!(s.suggest(), Suggestion::Breakdown);
+        let report = s.breakdown(0.2);
+        assert!(report.render().contains("load-imbalance-before-comm"));
+        // The cause set now holds the kernel's loop context.
+        let names: Vec<&str> = s
+            .current()
+            .ids
+            .iter()
+            .map(|&v| s.current().graph.pag().vertex_name(v))
+            .collect();
+        assert!(
+            names.iter().any(|n| *n == "kernel" || *n == "it"),
+            "cause set {names:?}"
+        );
+        assert_eq!(s.history().len(), 4);
+    }
+
+    #[test]
+    fn parallel_projection_then_causal_suggested() {
+        let run = run();
+        let mut s = InteractiveSession::new(&run);
+        s.filter("MPI_*");
+        s.to_parallel();
+        assert_eq!(s.current().len(), 8, "one replica per rank");
+        assert_eq!(s.suggest(), Suggestion::Causal);
+        s.causal();
+        assert!(!s.current().is_empty());
+    }
+
+    #[test]
+    fn undo_restores_previous_set() {
+        let run = run();
+        let mut s = InteractiveSession::new(&run);
+        let before = s.current().len();
+        s.filter("MPI_*");
+        assert_ne!(s.current().len(), before);
+        assert!(s.undo());
+        assert_eq!(s.current().len(), before);
+        assert!(s.history().is_empty());
+        assert!(!s.undo());
+    }
+
+    #[test]
+    fn empty_set_suggests_widening() {
+        let run = run();
+        let mut s = InteractiveSession::new(&run);
+        s.filter("does_not_exist_*");
+        assert_eq!(s.suggest(), Suggestion::Widen);
+        assert!(!s.suggest().rationale().is_empty());
+    }
+
+    #[test]
+    fn session_report_lists_history() {
+        let run = run();
+        let mut s = InteractiveSession::new(&run);
+        s.filter("MPI_*");
+        s.hotspot(3);
+        let text = s.report(&["name", "time"]).render();
+        assert!(text.contains("step 1: filter(MPI_*)"));
+        assert!(text.contains("step 2: hotspot_detection(n=3)"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Paradigms as explicit [`PerFlowGraph`]s.
+//!
+//! §4.4: "a performance analysis paradigm is a specific PerFlowGraph for
+//! an analysis task". The functions here wire the published dataflow
+//! graphs — Fig. 2 (communication analysis), Fig. 8 (scalability),
+//! Fig. 11 (LAMMPS causal loop body) and Fig. 14 (Vite diagnosis) — out
+//! of the built-in pass library, ready to execute or to render with
+//! [`PerFlowGraph::to_dot`].
+
+use crate::dataflow::{NodeId, PerFlowGraph};
+use crate::error::PerFlowError;
+use crate::passes::{
+    BacktrackingPass, BreakdownPass, CausalPass, ContentionPass, DifferentialPass, FilterPass,
+    HotspotPass, ImbalancePass, ReportPass, UnionPass,
+};
+use crate::set::VertexSet;
+
+/// Key nodes of a constructed paradigm graph.
+#[derive(Debug, Clone, Copy)]
+pub struct ParadigmGraph {
+    /// The terminal report node.
+    pub report: NodeId,
+}
+
+/// Fig. 2 — the communication-analysis PerFlowGraph of §2.2 / Listing 1:
+/// `run → filter(MPI_*) → hotspot → imbalance → breakdown → report`.
+pub fn comm_analysis_graph(
+    input: VertexSet,
+) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
+    let mut g = PerFlowGraph::new();
+    let src = g.add_source(input);
+    let filt = g.add_pass(FilterPass::name("MPI_*"));
+    let hot = g.add_pass(HotspotPass::by_time(10));
+    let imb = g.add_pass(ImbalancePass::default());
+    let bd = g.add_pass(BreakdownPass::default());
+    let report = g.add_pass(ReportPass::new(
+        "communication analysis",
+        &["name", "comm-info", "debug-info", "time"],
+        2,
+    ));
+    g.pipe(src, filt)?;
+    g.pipe(filt, hot)?;
+    g.pipe(hot, imb)?;
+    g.pipe(imb, bd)?;
+    g.connect(imb, 0, report, 0)?;
+    g.connect(bd, 0, report, 1)?;
+    Ok((g, ParadigmGraph { report }))
+}
+
+/// Fig. 8 — the scalability-analysis PerFlowGraph of Listing 7:
+/// `{PAG1, PAG2} → differential → {hotspot, imbalance} → union →
+/// backtracking → report`.
+///
+/// `small`/`large` are the full vertex sets of the two runs; the
+/// backtracking stage operates on whatever flows out of the union (for
+/// the full parallel-view treatment use
+/// [`super::scalability_analysis`], which adds the flow projection).
+pub fn scalability_graph(
+    large: VertexSet,
+    small: VertexSet,
+) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
+    let mut g = PerFlowGraph::new();
+    let src_large = g.add_source(large);
+    let src_small = g.add_source(small);
+    let diff = g.add_pass(DifferentialPass::default());
+    let hot = g.add_pass(HotspotPass {
+        metric: "score".into(),
+        n: 10,
+    });
+    let imb = g.add_pass(ImbalancePass::default());
+    let union = g.add_pass(UnionPass::union());
+    let bt = g.add_pass(BacktrackingPass::default());
+    let report = g.add_pass(ReportPass::new(
+        "scalability analysis",
+        &["name", "time", "debug-info", "score"],
+        1,
+    ));
+    g.connect(src_large, 0, diff, 0)?;
+    g.connect(src_small, 0, diff, 1)?;
+    g.pipe(diff, hot)?;
+    g.pipe(diff, imb)?;
+    g.connect(hot, 0, union, 0)?;
+    g.connect(imb, 0, union, 1)?;
+    g.pipe(union, bt)?;
+    g.pipe(bt, report)?;
+    Ok((g, ParadigmGraph { report }))
+}
+
+/// Fig. 11 — one iteration of the LAMMPS analysis loop:
+/// `run → hotspot → filter(MPI_*) → imbalance → causal → report`.
+pub fn causal_loop_graph(
+    input: VertexSet,
+) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
+    let mut g = PerFlowGraph::new();
+    let src = g.add_source(input);
+    let hot = g.add_pass(HotspotPass::by_time(20));
+    let filt = g.add_pass(FilterPass::name("MPI_*"));
+    let imb = g.add_pass(ImbalancePass { threshold: 0.1 });
+    let causal = g.add_pass(CausalPass::default());
+    let report = g.add_pass(ReportPass::new(
+        "causal analysis",
+        &["name", "debug-info", "proc", "time"],
+        1,
+    ));
+    g.pipe(src, hot)?;
+    g.pipe(hot, filt)?;
+    g.pipe(filt, imb)?;
+    g.pipe(imb, causal)?;
+    g.pipe(causal, report)?;
+    Ok((g, ParadigmGraph { report }))
+}
+
+/// Fig. 14 — the Vite comprehensive-diagnosis graph with branches:
+/// hotspot and differential analyses feed causal analysis and contention
+/// detection, all merged into one report.
+pub fn diagnosis_graph(
+    slow: VertexSet,
+    fast: VertexSet,
+    parallel_suspects: VertexSet,
+) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
+    let mut g = PerFlowGraph::new();
+    let src_slow = g.add_source(slow);
+    let src_fast = g.add_source(fast);
+    let src_parallel = g.add_source(parallel_suspects);
+    // Branch A: hotspot on the slow run.
+    let hot = g.add_pass(HotspotPass::by_time(10));
+    g.pipe(src_slow, hot)?;
+    // Branch B: differential slow - fast.
+    let diff = g.add_pass(DifferentialPass::default());
+    g.connect(src_slow, 0, diff, 0)?;
+    g.connect(src_fast, 0, diff, 1)?;
+    // Parallel-view branches: causal + contention over the suspects.
+    let causal = g.add_pass(CausalPass::default());
+    let contention = g.add_pass(ContentionPass::default());
+    g.pipe(src_parallel, causal)?;
+    g.pipe(src_parallel, contention)?;
+    let report = g.add_pass(ReportPass::new(
+        "comprehensive diagnosis",
+        &["name", "debug-info", "proc", "thread", "time"],
+        2,
+    ));
+    g.connect(causal, 0, report, 0)?;
+    g.connect(contention, 0, report, 1)?;
+    Ok((g, ParadigmGraph { report }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::PerFlow;
+    use crate::graphref::{GraphRef, RunHandleExt};
+    use progmodel::{c, nranks, rank, ProgramBuilder};
+    use simrt::RunConfig;
+
+    fn runs() -> (crate::graphref::RunHandle, crate::graphref::RunHandle) {
+        let mut pb = ProgramBuilder::new("pg");
+        let main = pb.declare("main", "p.c");
+        pb.define(main, |f| {
+            f.loop_("it", c(400.0), |b| {
+                b.compute("kern", (rank() + 1.0) * c(180.0));
+                b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(512.0), 0);
+                b.isend((rank() + 1.0).rem(nranks()), c(512.0), 0);
+                b.waitall();
+                b.allreduce(c(16.0));
+            });
+        });
+        let prog = pb.build(main);
+        let pflow = PerFlow::new();
+        let small = pflow.run(&prog, &RunConfig::new(2)).unwrap();
+        let large = pflow.run(&prog, &RunConfig::new(8)).unwrap();
+        (small, large)
+    }
+
+    #[test]
+    fn comm_graph_executes_and_reports() {
+        let (_, large) = runs();
+        let (g, nodes) = comm_analysis_graph(large.vertices()).unwrap();
+        let out = g.execute().unwrap();
+        let report = out.report(nodes.report).unwrap();
+        assert!(report.render().contains("MPI_"));
+        // Fig.-2 shape: 6 nodes.
+        assert_eq!(g.len(), 6);
+        assert!(g.to_dot("fig2").contains("breakdown_analysis"));
+    }
+
+    #[test]
+    fn scalability_graph_matches_listing7_shape() {
+        let (small, large) = runs();
+        let (g, nodes) = scalability_graph(large.vertices(), small.vertices()).unwrap();
+        let out = g.execute().unwrap();
+        assert!(out.report(nodes.report).is_some());
+        let dot = g.to_dot("fig8");
+        for pass in [
+            "differential_analysis",
+            "hotspot_detection",
+            "imbalance_analysis",
+            "union",
+            "backtracking_analysis",
+            "report",
+        ] {
+            assert!(dot.contains(pass), "missing {pass} in DOT");
+        }
+    }
+
+    #[test]
+    fn causal_loop_graph_runs_on_parallel_view() {
+        let (_, large) = runs();
+        let (g, nodes) = causal_loop_graph(large.parallel_vertices()).unwrap();
+        let out = g.execute().unwrap();
+        assert!(out.report(nodes.report).is_some());
+    }
+
+    #[test]
+    fn diagnosis_graph_has_parallel_branches() {
+        let (small, large) = runs();
+        let pv = GraphRef::Parallel(std::sync::Arc::clone(&large));
+        let suspects = pv.all_vertices().filter_name("MPI_*");
+        let (g, nodes) =
+            diagnosis_graph(large.vertices(), small.vertices(), suspects).unwrap();
+        let out = g.execute().unwrap();
+        assert!(out.report(nodes.report).is_some());
+        let dot = g.to_dot("fig14");
+        assert!(dot.contains("contention_detection"));
+        assert!(dot.contains("causal_analysis"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Performance-analysis paradigms (§4.4): pre-assembled PerFlowGraphs for
+//! common tasks.
+//!
+//! * [`mpi_profiler()`](mpi_profiler::mpi_profiler) — statistical MPI profile (inspired by mpiP);
+//! * [`critical_path_paradigm`] — critical-path extraction and
+//!   attribution (inspired by Böhme et al. / Schmitt et al.);
+//! * [`scalability_analysis`] — the ScalAna-style scaling-loss pipeline of
+//!   Fig. 8: differential → {hotspot, imbalance} → union → backtracking →
+//!   report;
+//! * [`iterative_causal`] — the LAMMPS-style loop of Fig. 11: imbalance →
+//!   causal analysis repeated to a fixpoint;
+//! * [`contention_diagnosis`] — the Vite-style branching graph of
+//!   Fig. 14: hotspot + differential branches, causal analysis and
+//!   contention detection.
+
+pub mod contention_diag;
+pub mod graphs;
+pub mod critpath;
+pub mod mpi_profiler;
+pub mod scalability;
+
+pub use contention_diag::{contention_diagnosis, iterative_causal, ContentionDiagnosis};
+pub use graphs::{causal_loop_graph, comm_analysis_graph, diagnosis_graph, scalability_graph, ParadigmGraph};
+pub use critpath::{critical_path_paradigm, path_breakdown, CriticalPathResult};
+pub use mpi_profiler::mpi_profiler;
+pub use scalability::{scalability_analysis, ScalabilityResult};

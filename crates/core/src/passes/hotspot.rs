@@ -1,0 +1,96 @@
+//! Hotspot detection (§4.3.2-A): "identifying the code snippets with the
+//! highest value of specific metrics". Listing 3 is literally
+//! `V.sort_by(m).top(n)` — so is this.
+
+use crate::error::PerFlowError;
+use crate::pass::{expect_vertices, Pass, PassCx};
+use crate::set::VertexSet;
+use crate::value::Value;
+
+/// The hotspot-detection analysis: sort by `metric` descending, keep the
+/// top `n`.
+pub fn hotspot(set: &VertexSet, metric: &str, n: usize) -> VertexSet {
+    set.sort_by(metric).top(n)
+}
+
+/// Pass wrapper for PerFlowGraphs.
+pub struct HotspotPass {
+    /// Sorting metric (vertex property name, or `"score"`).
+    pub metric: String,
+    /// Number of vertices to keep.
+    pub n: usize,
+}
+
+impl HotspotPass {
+    /// Hotspots by inclusive time.
+    pub fn by_time(n: usize) -> Self {
+        HotspotPass {
+            metric: pag::keys::TIME.to_string(),
+            n,
+        }
+    }
+}
+
+impl Pass for HotspotPass {
+    fn name(&self) -> &str {
+        "hotspot_detection"
+    }
+    fn arity(&self) -> usize {
+        1
+    }
+    fn run(&self, inputs: &[Value], _cx: &mut PassCx) -> Result<Vec<Value>, PerFlowError> {
+        let set = expect_vertices(self, inputs, 0)?;
+        Ok(vec![hotspot(set, &self.metric, self.n).into()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphref::GraphRef;
+    use pag::{keys, Pag, VertexLabel, ViewKind};
+    use std::sync::Arc;
+
+    fn set_with_times(times: &[f64]) -> VertexSet {
+        let mut g = Pag::new(ViewKind::TopDown, "h");
+        for (i, &t) in times.iter().enumerate() {
+            let v = g.add_vertex(VertexLabel::Compute, format!("k{i}").as_str());
+            g.set_vprop(v, keys::TIME, t);
+        }
+        GraphRef::Detached(Arc::new(g)).all_vertices()
+    }
+
+    #[test]
+    fn finds_top_n() {
+        let set = set_with_times(&[1.0, 9.0, 5.0, 7.0]);
+        let hot = hotspot(&set, keys::TIME, 2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(set.graph.pag().vertex_name(hot.ids[0]), "k1");
+        assert_eq!(set.graph.pag().vertex_name(hot.ids[1]), "k3");
+    }
+
+    #[test]
+    fn n_larger_than_set_keeps_all() {
+        let set = set_with_times(&[1.0, 2.0]);
+        assert_eq!(hotspot(&set, keys::TIME, 100).len(), 2);
+    }
+
+    #[test]
+    fn pass_wrapper_runs() {
+        let set = set_with_times(&[3.0, 1.0, 2.0]);
+        let pass = HotspotPass::by_time(1);
+        let out = pass
+            .run(&[set.clone().into()], &mut PassCx::new())
+            .unwrap();
+        let hot = out[0].as_vertices().unwrap();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(set.graph.pag().vertex_name(hot.ids[0]), "k0");
+    }
+
+    #[test]
+    fn pass_rejects_wrong_type() {
+        let pass = HotspotPass::by_time(1);
+        assert!(pass.run(&[Value::Num(1.0)], &mut PassCx::new()).is_err());
+        assert!(pass.run(&[], &mut PassCx::new()).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Imbalance analysis: detect vertices whose metric is unevenly
+//! distributed across processes (top-down view) or whose flow replicas
+//! diverge (parallel view — the black-boxed "imbalanced process vertices"
+//! of Figs. 10 and 12).
+
+use pag::{keys, PropValue, VertexStats};
+
+use crate::error::PerFlowError;
+use crate::graphref::GraphRef;
+use crate::pass::{expect_vertices, Pass, PassCx};
+use crate::set::VertexSet;
+use crate::value::Value;
+
+/// Detect imbalance.
+///
+/// * On a **top-down** (or detached) view: members whose per-process time
+///   vector has imbalance factor `max/mean - 1 ≥ threshold`. Score = the
+///   imbalance factor.
+/// * On a **parallel** view: members are flow vertices; they are grouped
+///   by their top-down original, and the replicas whose time exceeds
+///   `mean × (1 + threshold)` are returned (the lagging processes).
+///   Score = `time/mean - 1`.
+pub fn imbalance(set: &VertexSet, threshold: f64) -> VertexSet {
+    match &set.graph {
+        GraphRef::Parallel(_) => imbalance_parallel(set, threshold),
+        _ => imbalance_topdown(set, threshold),
+    }
+}
+
+fn imbalance_topdown(set: &VertexSet, threshold: f64) -> VertexSet {
+    let pag = set.graph.pag();
+    let mut out = VertexSet::new(set.graph.clone(), Vec::new());
+    for &v in &set.ids {
+        let Some(vec) = pag
+            .vprop(v, keys::TIME_PER_PROC)
+            .and_then(PropValue::as_f64_slice)
+        else {
+            continue;
+        };
+        let Some(stats) = VertexStats::from_slice(vec) else {
+            continue;
+        };
+        let imb = stats.imbalance();
+        if imb >= threshold {
+            out.ids.push(v);
+            out.scores.insert(v, imb);
+        }
+    }
+    out
+}
+
+fn imbalance_parallel(set: &VertexSet, threshold: f64) -> VertexSet {
+    let pag = set.graph.pag();
+    // Group member flow vertices by their top-down original.
+    let mut groups: std::collections::BTreeMap<i64, Vec<pag::VertexId>> = Default::default();
+    for &v in &set.ids {
+        let td = pag
+            .vprop(v, keys::TOPDOWN_VERTEX)
+            .and_then(PropValue::as_i64)
+            .unwrap_or(-1);
+        groups.entry(td).or_default().push(v);
+    }
+    let mut out = VertexSet::new(set.graph.clone(), Vec::new());
+    for (_, members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        let times: Vec<f64> = members.iter().map(|&v| pag.vertex_time(v)).collect();
+        let Some(stats) = VertexStats::from_slice(&times) else {
+            continue;
+        };
+        if stats.mean <= f64::EPSILON {
+            continue;
+        }
+        for (&v, &t) in members.iter().zip(&times) {
+            let dev = t / stats.mean - 1.0;
+            if dev >= threshold {
+                out.ids.push(v);
+                out.scores.insert(v, dev);
+            }
+        }
+    }
+    out
+}
+
+/// Pass wrapper for PerFlowGraphs.
+pub struct ImbalancePass {
+    /// Minimum imbalance factor to report.
+    pub threshold: f64,
+}
+
+impl Default for ImbalancePass {
+    fn default() -> Self {
+        ImbalancePass { threshold: 0.2 }
+    }
+}
+
+impl Pass for ImbalancePass {
+    fn name(&self) -> &str {
+        "imbalance_analysis"
+    }
+    fn arity(&self) -> usize {
+        1
+    }
+    fn run(&self, inputs: &[Value], _cx: &mut PassCx) -> Result<Vec<Value>, PerFlowError> {
+        let set = expect_vertices(self, inputs, 0)?;
+        Ok(vec![imbalance(set, self.threshold).into()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pag::{Pag, VertexLabel, ViewKind};
+    use std::sync::Arc;
+
+    fn topdown_set(vectors: &[&[f64]]) -> VertexSet {
+        let mut g = Pag::new(ViewKind::TopDown, "imb");
+        for (i, vec) in vectors.iter().enumerate() {
+            let v = g.add_vertex(VertexLabel::Compute, format!("k{i}").as_str());
+            g.set_vprop(v, keys::TIME_PER_PROC, vec.to_vec());
+        }
+        GraphRef::Detached(Arc::new(g)).all_vertices()
+    }
+
+    #[test]
+    fn detects_imbalanced_topdown_vertices() {
+        let set = topdown_set(&[&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0, 1.0, 5.0]]);
+        let imb = imbalance(&set, 0.2);
+        assert_eq!(imb.len(), 1);
+        assert_eq!(set.graph.pag().vertex_name(imb.ids[0]), "k1");
+        assert!(imb.score(imb.ids[0]) > 1.0);
+    }
+
+    #[test]
+    fn threshold_excludes_mild_imbalance() {
+        let set = topdown_set(&[&[1.0, 1.1, 1.0, 1.0]]);
+        assert!(imbalance(&set, 0.2).is_empty());
+        assert_eq!(imbalance(&set, 0.01).len(), 1);
+    }
+
+    #[test]
+    fn vertices_without_vectors_are_skipped() {
+        let mut g = Pag::new(ViewKind::TopDown, "novec");
+        g.add_vertex(VertexLabel::Compute, "k");
+        let set = GraphRef::Detached(Arc::new(g)).all_vertices();
+        assert!(imbalance(&set, 0.0).is_empty());
+    }
+}

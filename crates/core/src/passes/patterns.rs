@@ -1,0 +1,153 @@
+//! Named misbehaviour patterns for subgraph matching (§4.3.2-D).
+//!
+//! "We define a set of candidate subgraphs to represent resource
+//! contention patterns" — this module is that set. Each constructor
+//! returns a `(Pattern, anchor_index)` pair ready for
+//! [`contention()`](crate::passes::contention::contention) / [`graphalgo::match_subgraph`].
+
+use graphalgo::subgraph::{Pattern, PatternVertex};
+use pag::{CallKind, EdgeLabel, VertexLabel};
+
+/// The Listing-6 fan: a pivot that waited on one holder and then blocked
+/// two later requesters (`A → C → {D, E}` over inter-thread edges).
+/// Anchor: the pivot `C`.
+pub fn contention_fan() -> (Pattern, usize) {
+    crate::passes::default_contention_pattern()
+}
+
+/// A serialization chain of `len ≥ 2` lock sites: `v0 → v1 → … → v(len-1)`
+/// over inter-thread wait edges, every vertex a lock call — the signature
+/// of a convoy. Anchor: the head of the chain.
+pub fn lock_convoy(len: usize) -> (Pattern, usize) {
+    assert!(len >= 2, "a convoy needs at least two lock sites");
+    let mut p = Pattern::new();
+    let ids: Vec<usize> = (0..len)
+        .map(|_| p.add_vertex(PatternVertex::with_label(VertexLabel::Call(CallKind::Lock))))
+        .collect();
+    for w in ids.windows(2) {
+        p.add_edge(w[0], w[1], Some(EdgeLabel::InterThread));
+    }
+    (p, ids[0])
+}
+
+/// Unwanted synchronization: one late snippet delaying two *different*
+/// processes' waits (`C → {D, E}` over inter-process edges). Anchor: the
+/// late snippet `C`.
+pub fn late_broadcaster() -> (Pattern, usize) {
+    let mut p = Pattern::new();
+    let c = p.add_vertex(PatternVertex::any());
+    let d = p.add_vertex(PatternVertex::any());
+    let e = p.add_vertex(PatternVertex::any());
+    p.add_edge(c, d, Some(EdgeLabel::InterProcess(pag::CommKind::P2pAsync)));
+    p.add_edge(c, e, Some(EdgeLabel::InterProcess(pag::CommKind::P2pAsync)));
+    (p, c)
+}
+
+/// Allocator-shaped contention: a named variant of the fan restricted to
+/// allocator entry points (`allocate* / *alloc* / _M_*` naming), the
+/// exact shape of the Vite case study.
+pub fn allocator_contention() -> (Pattern, usize) {
+    let mut p = Pattern::new();
+    let alloc = |p: &mut Pattern| {
+        p.add_vertex(PatternVertex {
+            label: Some(VertexLabel::Call(CallKind::Lock)),
+            name: None,
+        })
+    };
+    let a = alloc(&mut p);
+    let c = alloc(&mut p);
+    let d = alloc(&mut p);
+    p.add_edge(a, c, Some(EdgeLabel::InterThread));
+    p.add_edge(c, d, Some(EdgeLabel::InterThread));
+    (p, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalgo::match_subgraph;
+    use pag::{CommKind, Pag, VertexId, ViewKind};
+
+    /// Host graph: lock chain t0→t1→t2→t3 (inter-thread) + a late compute
+    /// feeding two waits on other ranks (inter-process).
+    fn host() -> Pag {
+        let mut g = Pag::new(ViewKind::Parallel, "patterns");
+        let locks: Vec<VertexId> = (0..4)
+            .map(|i| {
+                g.add_vertex(
+                    VertexLabel::Call(CallKind::Lock),
+                    format!("allocate{i}").as_str(),
+                )
+            })
+            .collect();
+        for w in locks.windows(2) {
+            g.add_edge(w[0], w[1], EdgeLabel::InterThread);
+        }
+        // Fan: locks[1] also blocks an extra waiter.
+        let extra = g.add_vertex(VertexLabel::Call(CallKind::Lock), "allocate_x");
+        g.add_edge(locks[1], extra, EdgeLabel::InterThread);
+
+        let late = g.add_vertex(VertexLabel::Compute, "late_kernel");
+        let w1 = g.add_vertex(VertexLabel::Call(CallKind::Comm), "MPI_Wait");
+        let w2 = g.add_vertex(VertexLabel::Call(CallKind::Comm), "MPI_Waitall");
+        g.add_edge(late, w1, EdgeLabel::InterProcess(CommKind::P2pAsync));
+        g.add_edge(late, w2, EdgeLabel::InterProcess(CommKind::P2pAsync));
+        g
+    }
+
+    #[test]
+    fn convoy_found_along_the_chain() {
+        let g = host();
+        let (p, anchor) = lock_convoy(3);
+        let embs = match_subgraph(&g, &p, Some((anchor, VertexId(0))), 0);
+        assert!(!embs.is_empty());
+        // Chain of length 4 admits exactly one 3-chain from vertex 0... via
+        // the main chain, plus the branch through allocate_x at depth 2.
+        assert_eq!(embs.len(), 2);
+    }
+
+    #[test]
+    fn convoy_longer_than_chain_not_found() {
+        let g = host();
+        let (p, anchor) = lock_convoy(6);
+        assert!(match_subgraph(&g, &p, Some((anchor, VertexId(0))), 0).is_empty());
+    }
+
+    #[test]
+    fn fan_anchored_at_pivot() {
+        let g = host();
+        let (p, anchor) = contention_fan();
+        // locks[1] has in-edge from locks[0] and out-edges to locks[2] and
+        // the extra waiter → a fan embedding exists.
+        let embs = match_subgraph(&g, &p, Some((anchor, VertexId(1))), 0);
+        assert_eq!(embs.len(), 2); // D/E swap
+        // locks[2] has only one out-edge → no fan.
+        assert!(match_subgraph(&g, &p, Some((anchor, VertexId(2))), 0).is_empty());
+    }
+
+    #[test]
+    fn late_broadcaster_found_on_comm_edges() {
+        let g = host();
+        let (p, anchor) = late_broadcaster();
+        let late = VertexId(5);
+        let embs = match_subgraph(&g, &p, Some((anchor, late)), 0);
+        assert_eq!(embs.len(), 2); // D/E swap
+        // The lock chain must not match the inter-process pattern.
+        assert!(match_subgraph(&g, &p, Some((anchor, VertexId(1))), 0).is_empty());
+    }
+
+    #[test]
+    fn allocator_pattern_requires_lock_labels() {
+        let g = host();
+        let (p, anchor) = allocator_contention();
+        assert!(!match_subgraph(&g, &p, Some((anchor, VertexId(1))), 0).is_empty());
+        // Anchoring at the compute vertex fails the label constraint.
+        assert!(match_subgraph(&g, &p, Some((anchor, VertexId(5))), 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn convoy_of_one_rejected() {
+        lock_convoy(1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Sets — the data flowing along PerFlowGraph edges (§4.2).
+//!
+//! "The sets can be sets of PAG vertices V or sets of PAG edges E. […]
+//! The contents of sets are updated as they flow through vertices of
+//! PerFlowGraphs." A [`VertexSet`] additionally carries per-vertex
+//! *scores*: numeric annotations a pass attaches (imbalance factors,
+//! scaling losses) that downstream passes and the report module read —
+//! the Rust equivalent of the paper's passes mutating vertex attributes.
+
+use std::collections::BTreeMap;
+
+use pag::{EdgeId, PropValue, VertexId, VertexLabel};
+
+use crate::error::PerFlowError;
+use crate::graphref::GraphRef;
+
+/// A set of PAG vertices with optional per-vertex scores.
+#[derive(Debug, Clone)]
+pub struct VertexSet {
+    /// The graph the ids refer to.
+    pub graph: GraphRef,
+    /// Member vertex ids (order is meaningful after `sort_by`/`top`).
+    pub ids: Vec<VertexId>,
+    /// Per-vertex numeric annotations attached by passes.
+    pub scores: BTreeMap<VertexId, f64>,
+}
+
+impl VertexSet {
+    /// New set without scores.
+    pub fn new(graph: GraphRef, ids: Vec<VertexId>) -> Self {
+        VertexSet {
+            graph,
+            ids,
+            scores: BTreeMap::new(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.ids.contains(&v)
+    }
+
+    /// The score of a member (0.0 when unscored).
+    pub fn score(&self, v: VertexId) -> f64 {
+        self.scores.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Read a metric for a member: `"score"` reads the set's score
+    /// annotation, anything else reads the vertex property.
+    pub fn metric(&self, v: VertexId, metric: &str) -> f64 {
+        if metric == "score" {
+            self.score(v)
+        } else {
+            self.graph
+                .pag()
+                .vprop(v, metric)
+                .and_then(PropValue::as_f64)
+                .unwrap_or(0.0)
+        }
+    }
+
+    /// Sort members descending by a metric (ties by id, deterministic).
+    pub fn sort_by(&self, metric: &str) -> VertexSet {
+        let mut out = self.clone();
+        out.ids.sort_by(|&a, &b| {
+            self.metric(b, metric)
+                .partial_cmp(&self.metric(a, metric))
+                .expect("metric values must not be NaN")
+                .then(a.cmp(&b))
+        });
+        out
+    }
+
+    /// Keep the first `n` members (after a sort: the top n).
+    pub fn top(&self, n: usize) -> VertexSet {
+        let mut out = self.clone();
+        out.ids.truncate(n);
+        out.scores.retain(|k, _| out.ids.contains(k));
+        out
+    }
+
+    /// Members whose name matches a glob pattern.
+    pub fn filter_name(&self, pattern: &str) -> VertexSet {
+        self.retain(|v| pag::graph::glob_match(pattern, self.graph.pag().vertex_name(v)))
+    }
+
+    /// Members with a given label.
+    pub fn filter_label(&self, label: VertexLabel) -> VertexSet {
+        self.retain(|v| self.graph.pag().vertex(v).label == label)
+    }
+
+    /// Members whose metric is at least `min`.
+    pub fn filter_metric(&self, metric: &str, min: f64) -> VertexSet {
+        self.retain(|v| self.metric(v, metric) >= min)
+    }
+
+    /// Generic retain.
+    pub fn retain(&self, pred: impl Fn(VertexId) -> bool) -> VertexSet {
+        let ids: Vec<VertexId> = self.ids.iter().copied().filter(|&v| pred(v)).collect();
+        let scores = self
+            .scores
+            .iter()
+            .filter(|(k, _)| ids.contains(k))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        VertexSet {
+            graph: self.graph.clone(),
+            ids,
+            scores,
+        }
+    }
+
+    /// Set union (stable: self's order first). Errors when the sets live
+    /// on different graphs.
+    pub fn union(&self, other: &VertexSet) -> Result<VertexSet, PerFlowError> {
+        if !self.graph.same_graph(&other.graph) {
+            return Err(PerFlowError::GraphMismatch);
+        }
+        let mut out = self.clone();
+        for &v in &other.ids {
+            if !out.ids.contains(&v) {
+                out.ids.push(v);
+            }
+        }
+        for (&v, &s) in &other.scores {
+            out.scores.entry(v).or_insert(s);
+        }
+        Ok(out)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &VertexSet) -> Result<VertexSet, PerFlowError> {
+        if !self.graph.same_graph(&other.graph) {
+            return Err(PerFlowError::GraphMismatch);
+        }
+        Ok(self.retain(|v| other.ids.contains(&v)))
+    }
+
+    /// Set difference (members of self not in other).
+    pub fn difference(&self, other: &VertexSet) -> Result<VertexSet, PerFlowError> {
+        if !self.graph.same_graph(&other.graph) {
+            return Err(PerFlowError::GraphMismatch);
+        }
+        Ok(self.retain(|v| !other.ids.contains(&v)))
+    }
+
+    /// Attach a score to a member.
+    pub fn with_score(mut self, v: VertexId, score: f64) -> Self {
+        self.scores.insert(v, score);
+        self
+    }
+
+    /// Extract the member-induced subgraph as a new detached set — the
+    /// PAG-transforming low-level operation (§4.3.1): the result carries
+    /// copies of the members (with properties and scores) plus every edge
+    /// between them, cut loose from the original run.
+    pub fn extract(&self) -> VertexSet {
+        let (sub, map) = self.graph.pag().induced_subgraph(&self.ids);
+        let ids: Vec<VertexId> = self.ids.iter().filter_map(|v| map.get(v).copied()).collect();
+        let scores = self
+            .scores
+            .iter()
+            .filter_map(|(v, &s)| map.get(v).map(|&nv| (nv, s)))
+            .collect();
+        VertexSet {
+            graph: GraphRef::Detached(std::sync::Arc::new(sub)),
+            ids,
+            scores,
+        }
+    }
+}
+
+/// A set of PAG edges.
+#[derive(Debug, Clone)]
+pub struct EdgeSet {
+    /// The graph the ids refer to.
+    pub graph: GraphRef,
+    /// Member edge ids.
+    pub ids: Vec<EdgeId>,
+}
+
+impl EdgeSet {
+    /// New edge set.
+    pub fn new(graph: GraphRef, ids: Vec<EdgeId>) -> Self {
+        EdgeSet { graph, ids }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Union with another edge set on the same graph.
+    pub fn union(&self, other: &EdgeSet) -> Result<EdgeSet, PerFlowError> {
+        if !self.graph.same_graph(&other.graph) {
+            return Err(PerFlowError::GraphMismatch);
+        }
+        let mut out = self.clone();
+        for &e in &other.ids {
+            if !out.ids.contains(&e) {
+                out.ids.push(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The endpoint vertices of all member edges.
+    pub fn endpoints(&self) -> VertexSet {
+        let mut ids = Vec::new();
+        for &e in &self.ids {
+            let ed = self.graph.pag().edge(e);
+            for v in [ed.src, ed.dst] {
+                if !ids.contains(&v) {
+                    ids.push(v);
+                }
+            }
+        }
+        VertexSet::new(self.graph.clone(), ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pag::{keys, EdgeLabel, Pag, ViewKind};
+    use std::sync::Arc;
+
+    fn detached() -> GraphRef {
+        let mut g = Pag::new(ViewKind::TopDown, "t");
+        for (i, (name, t)) in [("main", 10.0), ("MPI_Send", 5.0), ("kernel", 8.0), ("MPI_Recv", 2.0)]
+            .iter()
+            .enumerate()
+        {
+            let v = g.add_vertex(
+                if name.starts_with("MPI") {
+                    VertexLabel::Call(pag::CallKind::Comm)
+                } else {
+                    VertexLabel::Compute
+                },
+                *name,
+            );
+            assert_eq!(v.0 as usize, i);
+            g.set_vprop(v, keys::TIME, *t);
+        }
+        g.add_edge(VertexId(0), VertexId(1), EdgeLabel::IntraProc);
+        g.add_edge(VertexId(1), VertexId(2), EdgeLabel::IntraProc);
+        GraphRef::Detached(Arc::new(g))
+    }
+
+    #[test]
+    fn sort_and_top() {
+        let g = detached();
+        let all = g.all_vertices();
+        let sorted = all.sort_by(keys::TIME);
+        let names: Vec<&str> = sorted
+            .ids
+            .iter()
+            .map(|&v| g.pag().vertex_name(v))
+            .collect();
+        assert_eq!(names, vec!["main", "kernel", "MPI_Send", "MPI_Recv"]);
+        assert_eq!(sorted.top(2).len(), 2);
+    }
+
+    #[test]
+    fn name_and_label_filters() {
+        let g = detached();
+        let all = g.all_vertices();
+        assert_eq!(all.filter_name("MPI_*").len(), 2);
+        assert_eq!(all.filter_label(VertexLabel::Compute).len(), 2);
+        assert_eq!(all.filter_metric(keys::TIME, 6.0).len(), 2);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let g = detached();
+        let all = g.all_vertices();
+        let mpi = all.filter_name("MPI_*");
+        let hot = all.filter_metric(keys::TIME, 5.0); // main, MPI_Send, kernel
+        let u = mpi.union(&hot).unwrap();
+        assert_eq!(u.len(), 4);
+        let i = mpi.intersect(&hot).unwrap();
+        assert_eq!(i.len(), 1);
+        assert_eq!(g.pag().vertex_name(i.ids[0]), "MPI_Send");
+        let d = hot.difference(&mpi).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn cross_graph_ops_rejected() {
+        let a = detached().all_vertices();
+        let b = detached().all_vertices(); // different Arc
+        assert!(matches!(a.union(&b), Err(PerFlowError::GraphMismatch)));
+        assert!(matches!(a.intersect(&b), Err(PerFlowError::GraphMismatch)));
+        assert!(matches!(a.difference(&b), Err(PerFlowError::GraphMismatch)));
+    }
+
+    #[test]
+    fn scores_flow_through_ops() {
+        let g = detached();
+        let set = g
+            .all_vertices()
+            .with_score(VertexId(1), 0.9)
+            .with_score(VertexId(2), 0.5);
+        assert_eq!(set.score(VertexId(1)), 0.9);
+        assert_eq!(set.score(VertexId(0)), 0.0);
+        let sorted = set.sort_by("score");
+        assert_eq!(sorted.ids[0], VertexId(1));
+        let top = sorted.top(1);
+        assert_eq!(top.scores.len(), 1);
+        let filtered = set.filter_metric("score", 0.6);
+        assert_eq!(filtered.len(), 1);
+    }
+
+    #[test]
+    fn extract_cuts_out_a_detached_subgraph() {
+        let g = detached();
+        let set = g
+            .all_vertices()
+            .filter_name("MPI_*")
+            .with_score(VertexId(1), 0.7);
+        let sub = set.extract();
+        assert_eq!(sub.len(), 2);
+        assert!(matches!(sub.graph, GraphRef::Detached(_)));
+        assert!(!sub.graph.same_graph(&set.graph));
+        // Properties and scores survive the cut.
+        let send = sub.graph.pag().find_by_name("MPI_Send")[0];
+        assert_eq!(sub.graph.pag().vertex_time(send), 5.0);
+        assert_eq!(sub.score(send), 0.7);
+        // Only internal edges survive (none between the two MPI calls).
+        assert_eq!(sub.graph.pag().num_edges(), 0);
+    }
+
+    #[test]
+    fn edge_set_endpoints() {
+        let g = detached();
+        let es = EdgeSet::new(g.clone(), vec![EdgeId(0), EdgeId(1)]);
+        let eps = es.endpoints();
+        assert_eq!(eps.len(), 3);
+    }
+
+    #[test]
+    fn same_graph_identity() {
+        let g = detached();
+        let a = g.all_vertices();
+        let b = g.all_vertices();
+        assert!(a.graph.same_graph(&b.graph));
+        assert!(a.union(&b).is_ok());
+    }
+}

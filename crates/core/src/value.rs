@@ -1,0 +1,83 @@
+//! Values flowing along PerFlowGraph edges.
+
+use crate::report::Report;
+use crate::set::{EdgeSet, VertexSet};
+
+/// A value on a PerFlowGraph edge: a vertex set, an edge set, a finished
+/// report, or a scalar (thresholds, counts).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A set of PAG vertices.
+    Vertices(VertexSet),
+    /// A set of PAG edges.
+    Edges(EdgeSet),
+    /// A rendered analysis report.
+    Report(Report),
+    /// A scalar parameter or result.
+    Num(f64),
+}
+
+impl Value {
+    /// Short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Vertices(_) => "Vertices",
+            Value::Edges(_) => "Edges",
+            Value::Report(_) => "Report",
+            Value::Num(_) => "Num",
+        }
+    }
+
+    /// Extract a vertex set.
+    pub fn as_vertices(&self) -> Option<&VertexSet> {
+        match self {
+            Value::Vertices(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract an edge set.
+    pub fn as_edges(&self) -> Option<&EdgeSet> {
+        match self {
+            Value::Edges(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Extract a report.
+    pub fn as_report(&self) -> Option<&Report> {
+        match self {
+            Value::Report(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Extract a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl From<VertexSet> for Value {
+    fn from(v: VertexSet) -> Self {
+        Value::Vertices(v)
+    }
+}
+impl From<EdgeSet> for Value {
+    fn from(e: EdgeSet) -> Self {
+        Value::Edges(e)
+    }
+}
+impl From<Report> for Value {
+    fn from(r: Report) -> Self {
+        Value::Report(r)
+    }
+}
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}

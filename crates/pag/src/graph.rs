@@ -1,0 +1,526 @@
+//! The Program Abstraction Graph data structure.
+
+use std::sync::Arc;
+
+use crate::ids::{EdgeId, VertexId};
+use crate::label::{EdgeLabel, VertexLabel};
+use crate::props::{keys, PropMap, PropValue};
+use crate::ViewKind;
+
+/// Data stored on one PAG vertex.
+#[derive(Debug, Clone)]
+pub struct VertexData {
+    /// The kind of code snippet this vertex stands for.
+    pub label: VertexLabel,
+    /// Snippet name (function name, `loop_1.1`, `MPI_Send`, …). Shared so
+    /// that parallel-view replicas do not duplicate the string.
+    pub name: Arc<str>,
+    /// Performance data and metadata.
+    pub props: PropMap,
+}
+
+/// Data stored on one PAG edge.
+#[derive(Debug, Clone)]
+pub struct EdgeData {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// The relationship this edge encodes.
+    pub label: EdgeLabel,
+    /// Performance data (wait time, bytes, …).
+    pub props: PropMap,
+}
+
+/// A Program Abstraction Graph: a directed property graph describing one
+/// program execution (§3.1).
+#[derive(Debug, Clone)]
+pub struct Pag {
+    view: ViewKind,
+    name: String,
+    num_procs: u32,
+    threads_per_proc: u32,
+    root: Option<VertexId>,
+    vertices: Vec<VertexData>,
+    edges: Vec<EdgeData>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl Pag {
+    /// Create an empty PAG of the given view kind.
+    pub fn new(view: ViewKind, name: impl Into<String>) -> Self {
+        Pag {
+            view,
+            name: name.into(),
+            num_procs: 1,
+            threads_per_proc: 1,
+            root: None,
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+        }
+    }
+
+    /// Pre-allocate space for `v` vertices and `e` edges.
+    pub fn with_capacity(view: ViewKind, name: impl Into<String>, v: usize, e: usize) -> Self {
+        let mut g = Pag::new(view, name);
+        g.vertices.reserve(v);
+        g.out_adj.reserve(v);
+        g.in_adj.reserve(v);
+        g.edges.reserve(e);
+        g
+    }
+
+    /// Which view this PAG represents.
+    pub fn view(&self) -> ViewKind {
+        self.view
+    }
+
+    /// Program / run identifier the PAG was built from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processes (ranks) in the run this PAG describes.
+    pub fn num_procs(&self) -> u32 {
+        self.num_procs
+    }
+
+    /// Set the number of processes of the described run.
+    pub fn set_num_procs(&mut self, n: u32) {
+        self.num_procs = n;
+    }
+
+    /// Threads per process in the run this PAG describes.
+    pub fn threads_per_proc(&self) -> u32 {
+        self.threads_per_proc
+    }
+
+    /// Set the number of threads per process of the described run.
+    pub fn set_threads_per_proc(&mut self, n: u32) {
+        self.threads_per_proc = n;
+    }
+
+    /// The designated root vertex (program entry), if set.
+    pub fn root(&self) -> Option<VertexId> {
+        self.root
+    }
+
+    /// Designate `v` as the root vertex.
+    pub fn set_root(&mut self, v: VertexId) {
+        debug_assert!(v.index() < self.vertices.len());
+        self.root = Some(v);
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a vertex; returns its id.
+    pub fn add_vertex(&mut self, label: VertexLabel, name: impl Into<Arc<str>>) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(VertexData {
+            label,
+            name: name.into(),
+            props: PropMap::new(),
+        });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Add an edge; returns its id.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, label: EdgeLabel) -> EdgeId {
+        debug_assert!(src.index() < self.vertices.len());
+        debug_assert!(dst.index() < self.vertices.len());
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData {
+            src,
+            dst,
+            label,
+            props: PropMap::new(),
+        });
+        self.out_adj[src.index()].push(id);
+        self.in_adj[dst.index()].push(id);
+        id
+    }
+
+    /// Immutable access to a vertex.
+    #[inline]
+    pub fn vertex(&self, v: VertexId) -> &VertexData {
+        &self.vertices[v.index()]
+    }
+
+    /// Mutable access to a vertex.
+    #[inline]
+    pub fn vertex_mut(&mut self, v: VertexId) -> &mut VertexData {
+        &mut self.vertices[v.index()]
+    }
+
+    /// Immutable access to an edge.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &EdgeData {
+        &self.edges[e.index()]
+    }
+
+    /// Mutable access to an edge.
+    #[inline]
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut EdgeData {
+        &mut self.edges[e.index()]
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterate over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Outgoing edges of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.out_adj[v.index()]
+    }
+
+    /// Incoming edges of `v`.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Successor vertices of `v` (one entry per out-edge).
+    pub fn out_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_adj[v.index()].iter().map(move |&e| self.edges[e.index()].dst)
+    }
+
+    /// Predecessor vertices of `v` (one entry per in-edge).
+    pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.in_adj[v.index()].iter().map(move |&e| self.edges[e.index()].src)
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Convenience: the `name` property if set, otherwise the vertex name.
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        &self.vertex(v).name
+    }
+
+    /// Convenience: inclusive time of a vertex (0.0 if not recorded).
+    pub fn vertex_time(&self, v: VertexId) -> f64 {
+        self.vertex(v).props.get_f64(keys::TIME)
+    }
+
+    /// All vertices whose name matches a glob pattern (`*` wildcard),
+    /// e.g. `MPI_*` selects communication calls.
+    pub fn find_by_name(&self, pattern: &str) -> Vec<VertexId> {
+        self.vertex_ids()
+            .filter(|&v| glob_match(pattern, &self.vertex(v).name))
+            .collect()
+    }
+
+    /// All vertices with a given label.
+    pub fn find_by_label(&self, label: VertexLabel) -> Vec<VertexId> {
+        self.vertex_ids().filter(|&v| self.vertex(v).label == label).collect()
+    }
+
+    /// Sum of inclusive `time` over vertices that carry it. On the top-down
+    /// view this over-counts nested snippets; use the root time for total
+    /// program time instead.
+    pub fn sum_time(&self) -> f64 {
+        self.vertices.iter().map(|v| v.props.get_f64(keys::TIME)).sum()
+    }
+
+    /// Total program time: the root vertex's inclusive time.
+    pub fn total_time(&self) -> f64 {
+        self.root.map(|r| self.vertex_time(r)).unwrap_or(0.0)
+    }
+
+    /// Set a property on a vertex (builder-style helper).
+    pub fn set_vprop(&mut self, v: VertexId, key: &str, value: impl Into<PropValue>) {
+        self.vertex_mut(v).props.set(key, value);
+    }
+
+    /// Read a property from a vertex.
+    pub fn vprop(&self, v: VertexId, key: &str) -> Option<&PropValue> {
+        self.vertex(v).props.get(key)
+    }
+
+    /// Extract the subgraph induced by `vertices`: the selected vertices
+    /// (with their labels and properties) plus every edge whose both
+    /// endpoints are selected. Returns the new PAG and the old→new vertex
+    /// id mapping. This is the PAG-transforming flavour of the low-level
+    /// graph-operation API (§4.3.1) — e.g. cutting a suspicious region
+    /// out of a parallel view for focused analysis or visualization.
+    pub fn induced_subgraph(
+        &self,
+        vertices: &[VertexId],
+    ) -> (Pag, std::collections::HashMap<VertexId, VertexId>) {
+        let mut out = Pag::with_capacity(
+            self.view,
+            format!("{}:sub", self.name),
+            vertices.len(),
+            vertices.len(),
+        );
+        out.set_num_procs(self.num_procs);
+        out.set_threads_per_proc(self.threads_per_proc);
+        let mut map = std::collections::HashMap::with_capacity(vertices.len());
+        for &v in vertices {
+            if map.contains_key(&v) {
+                continue;
+            }
+            let data = self.vertex(v);
+            let nv = out.add_vertex(data.label, data.name.clone());
+            out.vertex_mut(nv).props = data.props.clone();
+            map.insert(v, nv);
+        }
+        for e in self.edge_ids() {
+            let ed = self.edge(e);
+            if let (Some(&ns), Some(&nd)) = (map.get(&ed.src), map.get(&ed.dst)) {
+                let ne = out.add_edge(ns, nd, ed.label);
+                out.edge_mut(ne).props = ed.props.clone();
+            }
+        }
+        if let Some(r) = self.root {
+            if let Some(&nr) = map.get(&r) {
+                out.set_root(nr);
+            }
+        }
+        (out, map)
+    }
+
+    /// Check internal consistency: every edge endpoint in range, the
+    /// adjacency lists mirroring the edge table exactly, and the root (if
+    /// set) in range. Returns a list of human-readable problems (empty =
+    /// valid). Used after deserialization and in tests.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let nv = self.vertices.len();
+        for e in self.edge_ids() {
+            let ed = self.edge(e);
+            if ed.src.index() >= nv || ed.dst.index() >= nv {
+                problems.push(format!("edge {e} endpoint out of range"));
+                continue;
+            }
+            if !self.out_adj[ed.src.index()].contains(&e) {
+                problems.push(format!("edge {e} missing from out-adjacency of {}", ed.src));
+            }
+            if !self.in_adj[ed.dst.index()].contains(&e) {
+                problems.push(format!("edge {e} missing from in-adjacency of {}", ed.dst));
+            }
+        }
+        let adj_total: usize = self.out_adj.iter().map(Vec::len).sum();
+        if adj_total != self.edges.len() {
+            problems.push(format!(
+                "out-adjacency holds {adj_total} entries for {} edges",
+                self.edges.len()
+            ));
+        }
+        let in_total: usize = self.in_adj.iter().map(Vec::len).sum();
+        if in_total != self.edges.len() {
+            problems.push(format!(
+                "in-adjacency holds {in_total} entries for {} edges",
+                self.edges.len()
+            ));
+        }
+        if let Some(r) = self.root {
+            if r.index() >= nv {
+                problems.push(format!("root {r} out of range"));
+            }
+        }
+        problems
+    }
+
+    /// Approximate in-memory footprint in bytes (used for space-cost
+    /// reporting alongside the serialized size).
+    pub fn mem_footprint(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>();
+        bytes += self.vertices.capacity() * size_of::<VertexData>();
+        bytes += self.edges.capacity() * size_of::<EdgeData>();
+        for adj in [&self.out_adj, &self.in_adj] {
+            bytes += adj.capacity() * size_of::<Vec<EdgeId>>();
+            bytes += adj.iter().map(|v| v.capacity() * size_of::<EdgeId>()).sum::<usize>();
+        }
+        bytes
+    }
+}
+
+/// Simple glob matcher supporting `*` (any substring) used by name filters.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    // Dynamic-programming match over pattern segments split on '*'.
+    if !pattern.contains('*') {
+        return pattern == text;
+    }
+    let segments: Vec<&str> = pattern.split('*').collect();
+    let mut pos = 0usize;
+    for (i, seg) in segments.iter().enumerate() {
+        if seg.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !text.starts_with(seg) {
+                return false;
+            }
+            pos = seg.len();
+        } else if i == segments.len() - 1 {
+            let tail = &text[pos.min(text.len())..];
+            if !tail.ends_with(seg) {
+                return false;
+            }
+            // Ensure the final segment does not overlap an earlier match.
+            if text.len() < pos + seg.len() {
+                return false;
+            }
+            pos = text.len();
+        } else {
+            match text[pos.min(text.len())..].find(seg) {
+                Some(off) => pos = pos + off + seg.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{CallKind, CommKind};
+
+    fn tiny() -> Pag {
+        let mut g = Pag::new(ViewKind::TopDown, "tiny");
+        let main = g.add_vertex(VertexLabel::Function, "main");
+        let l = g.add_vertex(VertexLabel::Loop, "loop_1");
+        let c = g.add_vertex(VertexLabel::Call(CallKind::Comm), "MPI_Send");
+        g.add_edge(main, l, EdgeLabel::IntraProc);
+        g.add_edge(l, c, EdgeLabel::IntraProc);
+        g.set_root(main);
+        g
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let main = VertexId(0);
+        assert_eq!(g.out_degree(main), 1);
+        assert_eq!(g.in_degree(main), 0);
+        let succ: Vec<_> = g.out_neighbors(main).collect();
+        assert_eq!(succ, vec![VertexId(1)]);
+        let pred: Vec<_> = g.in_neighbors(VertexId(2)).collect();
+        assert_eq!(pred, vec![VertexId(1)]);
+        assert_eq!(g.vertex_name(VertexId(2)), "MPI_Send");
+    }
+
+    #[test]
+    fn props_roundtrip_through_graph() {
+        let mut g = tiny();
+        g.set_vprop(VertexId(0), keys::TIME, 12.5);
+        assert_eq!(g.vertex_time(VertexId(0)), 12.5);
+        assert_eq!(g.total_time(), 12.5);
+        assert!(g.vprop(VertexId(1), keys::TIME).is_none());
+    }
+
+    #[test]
+    fn find_by_name_globs() {
+        let g = tiny();
+        assert_eq!(g.find_by_name("MPI_*"), vec![VertexId(2)]);
+        assert_eq!(g.find_by_name("main"), vec![VertexId(0)]);
+        assert_eq!(g.find_by_name("loop*"), vec![VertexId(1)]);
+        assert!(g.find_by_name("nothing*").is_empty());
+    }
+
+    #[test]
+    fn find_by_label_works() {
+        let g = tiny();
+        assert_eq!(g.find_by_label(VertexLabel::Loop), vec![VertexId(1)]);
+        assert_eq!(
+            g.find_by_label(VertexLabel::Call(CallKind::Comm)),
+            vec![VertexId(2)]
+        );
+    }
+
+    #[test]
+    fn glob_edge_cases() {
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("MPI_*", "MPI_"));
+        assert!(!glob_match("MPI_*", "MP"));
+        assert!(glob_match("*_insert", "_M_realloc_insert"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b*c", "aXXcYYb"));
+        assert!(!glob_match("abc*abc", "abc")); // overlap must not match
+        assert!(glob_match("exact", "exact"));
+        assert!(!glob_match("exact", "exactly"));
+    }
+
+    #[test]
+    fn edge_labels_recorded() {
+        let mut g = tiny();
+        let e = g.add_edge(
+            VertexId(2),
+            VertexId(2),
+            EdgeLabel::InterProcess(CommKind::P2pAsync),
+        );
+        assert_eq!(g.edge(e).label, EdgeLabel::InterProcess(CommKind::P2pAsync));
+        g.edge_mut(e).props.set(keys::COMM_BYTES, 1024i64);
+        assert_eq!(g.edge(e).props.get(keys::COMM_BYTES).unwrap().as_i64(), Some(1024));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_and_props() {
+        let mut g = tiny();
+        g.set_vprop(VertexId(1), keys::TIME, 7.0);
+        let (sub, map) = g.induced_subgraph(&[VertexId(1), VertexId(2)]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.num_edges(), 1); // loop_1 → MPI_Send survives
+        let nl = map[&VertexId(1)];
+        assert_eq!(sub.vertex_name(nl), "loop_1");
+        assert_eq!(sub.vertex_time(nl), 7.0);
+        // Root (main) was not selected → absent.
+        assert_eq!(sub.root(), None);
+        assert!(sub.validate().is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_and_keeps_root() {
+        let g = tiny();
+        let (sub, map) = g.induced_subgraph(&[VertexId(0), VertexId(0), VertexId(1)]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.root(), Some(map[&VertexId(0)]));
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_graphs() {
+        assert!(tiny().validate().is_empty());
+        assert!(Pag::new(ViewKind::TopDown, "empty").validate().is_empty());
+    }
+
+    #[test]
+    fn mem_footprint_grows() {
+        let g0 = Pag::new(ViewKind::TopDown, "empty");
+        let g1 = tiny();
+        assert!(g1.mem_footprint() > g0.mem_footprint());
+    }
+}

@@ -1,0 +1,99 @@
+//! Strongly-typed identifiers for PAG entities.
+//!
+//! All ids are thin wrappers over `u32` so that vertex/edge tables stay
+//! dense and cache-friendly (a parallel-view PAG of a 128-rank run easily
+//! reaches millions of vertices, cf. Table 2 of the paper).
+
+/// Identifier of a vertex within one [`crate::Pag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an edge within one [`crate::Pag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// MPI-like process (rank) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+/// Thread identifier within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl VertexId {
+    /// Index into dense vertex storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Index into dense edge storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ProcId {
+    /// Index into per-process vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ThreadId {
+    /// Index into per-thread vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(VertexId(1) < VertexId(2));
+        assert_eq!(VertexId(7).index(), 7);
+        assert_eq!(EdgeId(3).index(), 3);
+        assert_eq!(ProcId(0).index(), 0);
+        assert_eq!(ThreadId(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(VertexId(4).to_string(), "v4");
+        assert_eq!(EdgeId(4).to_string(), "e4");
+        assert_eq!(ProcId(4).to_string(), "p4");
+        assert_eq!(ThreadId(4).to_string(), "t4");
+    }
+}

@@ -1,0 +1,455 @@
+//! Compact binary serialization of a PAG.
+//!
+//! The paper's "space cost" (Table 1) is the storage size of PAGs on disk.
+//! This module implements a self-describing length-prefixed binary format
+//! (magic `PAG1`) with no external dependencies. Strings are deduplicated
+//! through a string table so that parallel views — where every process
+//! replicates the same vertex names — stay compact.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::graph::{EdgeData, Pag, VertexData};
+use crate::ids::{EdgeId, VertexId};
+use crate::label::{CallKind, CommKind, EdgeLabel, VertexLabel};
+use crate::props::{PropMap, PropValue};
+use crate::ViewKind;
+
+const MAGIC: &[u8; 4] = b"PAG1";
+
+/// Errors produced while decoding a serialized PAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input does not start with the `PAG1` magic.
+    BadMagic,
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// An enum tag byte had no defined meaning.
+    BadTag(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A string-table or vertex index was out of range.
+    BadIndex,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic (not a PAG file)"),
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 string"),
+            DecodeError::BadIndex => write!(f, "index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------- encoding
+
+struct Encoder {
+    buf: Vec<u8>,
+    strings: Vec<Arc<str>>,
+    string_ids: HashMap<Arc<str>, u32>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Encoder {
+            buf: Vec::with_capacity(4096),
+            strings: Vec::new(),
+            string_ids: HashMap::new(),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn intern(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&id) = self.string_ids.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(Arc::clone(s));
+        self.string_ids.insert(Arc::clone(s), id);
+        id
+    }
+
+    fn str_ref(&mut self, s: &Arc<str>) {
+        let id = self.intern(s);
+        self.u32(id);
+    }
+
+    fn props(&mut self, props: &PropMap) {
+        self.u32(props.len() as u32);
+        // Collect first to avoid borrowing issues with interning.
+        let entries: Vec<(Arc<str>, PropValue)> = props
+            .iter()
+            .map(|(k, v)| (Arc::from(k), v.clone()))
+            .collect();
+        for (k, v) in entries {
+            self.str_ref(&k);
+            match v {
+                PropValue::Int(i) => {
+                    self.u8(0);
+                    self.u64(i as u64);
+                }
+                PropValue::Float(f) => {
+                    self.u8(1);
+                    self.f64(f);
+                }
+                PropValue::Str(s) => {
+                    self.u8(2);
+                    self.str_ref(&s);
+                }
+                PropValue::VecF64(xs) => {
+                    self.u8(3);
+                    self.u32(xs.len() as u32);
+                    for x in xs.iter() {
+                        self.f64(*x);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn vertex_label_tag(l: VertexLabel) -> u8 {
+    match l {
+        VertexLabel::Root => 0,
+        VertexLabel::Function => 1,
+        VertexLabel::Loop => 2,
+        VertexLabel::Branch => 3,
+        VertexLabel::Compute => 4,
+        VertexLabel::Instruction => 5,
+        VertexLabel::Call(CallKind::User) => 10,
+        VertexLabel::Call(CallKind::Comm) => 11,
+        VertexLabel::Call(CallKind::External) => 12,
+        VertexLabel::Call(CallKind::Recursive) => 13,
+        VertexLabel::Call(CallKind::Indirect) => 14,
+        VertexLabel::Call(CallKind::ThreadSpawn) => 15,
+        VertexLabel::Call(CallKind::Lock) => 16,
+    }
+}
+
+fn vertex_label_from_tag(t: u8) -> Result<VertexLabel, DecodeError> {
+    Ok(match t {
+        0 => VertexLabel::Root,
+        1 => VertexLabel::Function,
+        2 => VertexLabel::Loop,
+        3 => VertexLabel::Branch,
+        4 => VertexLabel::Compute,
+        5 => VertexLabel::Instruction,
+        10 => VertexLabel::Call(CallKind::User),
+        11 => VertexLabel::Call(CallKind::Comm),
+        12 => VertexLabel::Call(CallKind::External),
+        13 => VertexLabel::Call(CallKind::Recursive),
+        14 => VertexLabel::Call(CallKind::Indirect),
+        15 => VertexLabel::Call(CallKind::ThreadSpawn),
+        16 => VertexLabel::Call(CallKind::Lock),
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn edge_label_tag(l: EdgeLabel) -> u8 {
+    match l {
+        EdgeLabel::IntraProc => 0,
+        EdgeLabel::InterProc => 1,
+        EdgeLabel::InterThread => 2,
+        EdgeLabel::InterProcess(CommKind::P2pSync) => 3,
+        EdgeLabel::InterProcess(CommKind::P2pAsync) => 4,
+        EdgeLabel::InterProcess(CommKind::Collective) => 5,
+    }
+}
+
+fn edge_label_from_tag(t: u8) -> Result<EdgeLabel, DecodeError> {
+    Ok(match t {
+        0 => EdgeLabel::IntraProc,
+        1 => EdgeLabel::InterProc,
+        2 => EdgeLabel::InterThread,
+        3 => EdgeLabel::InterProcess(CommKind::P2pSync),
+        4 => EdgeLabel::InterProcess(CommKind::P2pAsync),
+        5 => EdgeLabel::InterProcess(CommKind::Collective),
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+/// Serialize a PAG into a byte buffer.
+pub fn encode(pag: &Pag) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    // Body (everything after header) is built first so the string table can
+    // be emitted up front.
+    enc.u8(match pag.view() {
+        ViewKind::TopDown => 0,
+        ViewKind::Parallel => 1,
+    });
+    let name: Arc<str> = Arc::from(pag.name());
+    enc.str_ref(&name);
+    enc.u32(pag.num_procs());
+    enc.u32(pag.threads_per_proc());
+    match pag.root() {
+        Some(r) => {
+            enc.u8(1);
+            enc.u32(r.0);
+        }
+        None => enc.u8(0),
+    }
+    enc.u32(pag.num_vertices() as u32);
+    for v in pag.vertex_ids() {
+        let data: &VertexData = pag.vertex(v);
+        enc.u8(vertex_label_tag(data.label));
+        let n = Arc::clone(&data.name);
+        enc.str_ref(&n);
+        enc.props(&data.props);
+    }
+    enc.u32(pag.num_edges() as u32);
+    for e in pag.edge_ids() {
+        let data: &EdgeData = pag.edge(e);
+        enc.u32(data.src.0);
+        enc.u32(data.dst.0);
+        enc.u8(edge_label_tag(data.label));
+        enc.props(&data.props);
+    }
+
+    // Assemble: magic + string table + body.
+    let mut out = Vec::with_capacity(enc.buf.len() + 1024);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(enc.strings.len() as u32).to_le_bytes());
+    for s in &enc.strings {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&enc.buf);
+    out
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    strings: Vec<Arc<str>>,
+}
+
+impl<'a> Decoder<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str_ref(&mut self) -> Result<Arc<str>, DecodeError> {
+        let id = self.u32()? as usize;
+        self.strings.get(id).cloned().ok_or(DecodeError::BadIndex)
+    }
+    fn props(&mut self) -> Result<PropMap, DecodeError> {
+        let n = self.u32()?;
+        let mut map = PropMap::new();
+        for _ in 0..n {
+            let key = self.str_ref()?;
+            let tag = self.u8()?;
+            let value = match tag {
+                0 => PropValue::Int(self.u64()? as i64),
+                1 => PropValue::Float(self.f64()?),
+                2 => PropValue::Str(self.str_ref()?),
+                3 => {
+                    let len = self.u32()? as usize;
+                    let mut xs = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        xs.push(self.f64()?);
+                    }
+                    PropValue::VecF64(Arc::from(xs.into_boxed_slice()))
+                }
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            map.set(&key, value);
+        }
+        Ok(map)
+    }
+}
+
+/// Deserialize a PAG from bytes produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Pag, DecodeError> {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut dec = Decoder {
+        buf: bytes,
+        pos: 4,
+        strings: Vec::new(),
+    };
+    let nstrings = dec.u32()?;
+    for _ in 0..nstrings {
+        let len = dec.u32()? as usize;
+        let raw = dec.take(len)?;
+        let s = std::str::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)?;
+        dec.strings.push(Arc::from(s));
+    }
+
+    let view = match dec.u8()? {
+        0 => ViewKind::TopDown,
+        1 => ViewKind::Parallel,
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    let name = dec.str_ref()?;
+    let num_procs = dec.u32()?;
+    let threads = dec.u32()?;
+    let root = match dec.u8()? {
+        0 => None,
+        1 => Some(VertexId(dec.u32()?)),
+        t => return Err(DecodeError::BadTag(t)),
+    };
+
+    let nv = dec.u32()? as usize;
+    let mut pag = Pag::with_capacity(view, name.as_ref(), nv, 0);
+    pag.set_num_procs(num_procs);
+    pag.set_threads_per_proc(threads);
+    for _ in 0..nv {
+        let label = vertex_label_from_tag(dec.u8()?)?;
+        let vname = dec.str_ref()?;
+        let v = pag.add_vertex(label, vname);
+        pag.vertex_mut(v).props = dec.props()?;
+    }
+    let ne = dec.u32()? as usize;
+    for _ in 0..ne {
+        let src = VertexId(dec.u32()?);
+        let dst = VertexId(dec.u32()?);
+        if src.index() >= nv || dst.index() >= nv {
+            return Err(DecodeError::BadIndex);
+        }
+        let label = edge_label_from_tag(dec.u8()?)?;
+        let e: EdgeId = pag.add_edge(src, dst, label);
+        pag.edge_mut(e).props = dec.props()?;
+    }
+    if let Some(r) = root {
+        if r.index() >= nv {
+            return Err(DecodeError::BadIndex);
+        }
+        pag.set_root(r);
+    }
+    Ok(pag)
+}
+
+/// Serialized size in bytes — the paper's "space cost" metric.
+pub fn space_cost(pag: &Pag) -> usize {
+    encode(pag).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::keys;
+
+    fn sample() -> Pag {
+        let mut g = Pag::new(ViewKind::Parallel, "ser-sample");
+        g.set_num_procs(4);
+        g.set_threads_per_proc(2);
+        let a = g.add_vertex(VertexLabel::Function, "main");
+        let b = g.add_vertex(VertexLabel::Call(CallKind::Comm), "MPI_Send");
+        let e = g.add_edge(a, b, EdgeLabel::InterProcess(CommKind::P2pSync));
+        g.set_root(a);
+        g.set_vprop(a, keys::TIME, 3.25);
+        g.set_vprop(a, keys::COUNT, 7i64);
+        g.set_vprop(b, keys::DEBUG_INFO, "main.c:42");
+        g.set_vprop(b, keys::TIME_PER_PROC, vec![1.0, 2.0, 3.0, 4.0]);
+        g.edge_mut(e).props.set(keys::COMM_BYTES, 4096i64);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let bytes = encode(&g);
+        let h = decode(&bytes).unwrap();
+        assert_eq!(h.view(), ViewKind::Parallel);
+        assert_eq!(h.name(), "ser-sample");
+        assert_eq!(h.num_procs(), 4);
+        assert_eq!(h.threads_per_proc(), 2);
+        assert_eq!(h.root(), Some(VertexId(0)));
+        assert_eq!(h.num_vertices(), 2);
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(h.vertex(VertexId(0)).label, VertexLabel::Function);
+        assert_eq!(h.vertex(VertexId(1)).label, VertexLabel::Call(CallKind::Comm));
+        assert_eq!(h.vertex_time(VertexId(0)), 3.25);
+        assert_eq!(h.vprop(VertexId(0), keys::COUNT).unwrap().as_i64(), Some(7));
+        assert_eq!(
+            h.vprop(VertexId(1), keys::DEBUG_INFO).unwrap().as_str(),
+            Some("main.c:42")
+        );
+        assert_eq!(
+            h.vprop(VertexId(1), keys::TIME_PER_PROC).unwrap().as_f64_slice(),
+            Some(&[1.0, 2.0, 3.0, 4.0][..])
+        );
+        let e = h.edge(EdgeId(0));
+        assert_eq!(e.label, EdgeLabel::InterProcess(CommKind::P2pSync));
+        assert_eq!(e.props.get(keys::COMM_BYTES).unwrap().as_i64(), Some(4096));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(decode(b"nope"), Err(DecodeError::BadMagic)));
+        assert!(matches!(decode(b""), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode(&sample());
+        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::BadIndex),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_dedup_keeps_replicas_compact() {
+        // Two graphs: one with 100 distinct names, one with 100 copies of
+        // the same name. The latter must serialize much smaller.
+        let mut distinct = Pag::new(ViewKind::TopDown, "d");
+        let mut repeated = Pag::new(ViewKind::TopDown, "r");
+        for i in 0..100 {
+            distinct.add_vertex(
+                VertexLabel::Compute,
+                format!("some_rather_long_vertex_name_{i}").as_str(),
+            );
+            repeated.add_vertex(VertexLabel::Compute, "some_rather_long_vertex_name_0");
+        }
+        assert!(space_cost(&repeated) < space_cost(&distinct) / 2);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Pag::new(ViewKind::TopDown, "empty");
+        let h = decode(&encode(&g)).unwrap();
+        assert_eq!(h.num_vertices(), 0);
+        assert_eq!(h.num_edges(), 0);
+        assert_eq!(h.root(), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! Static structure queries over a program model — the information
+//! Dyninst-style binary analysis provides (§3.2): the call graph, recursion
+//! detection, and the inventory of call sites whose targets cannot be
+//! resolved statically.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::program::{CallTarget, FuncId, Program, StmtKind};
+
+/// Static call graph: for each function, the statically-known callees.
+/// Indirect call sites contribute *all* candidates but are also reported
+/// separately so the dynamic phase can refine them.
+pub fn call_graph(p: &Program) -> HashMap<FuncId, Vec<FuncId>> {
+    let mut cg: HashMap<FuncId, Vec<FuncId>> = HashMap::new();
+    for f in &p.functions {
+        cg.entry(f.id).or_default();
+    }
+    p.visit_stmts(|func, stmt| {
+        if let StmtKind::Call { target } = &stmt.kind {
+            let entry = cg.entry(func.id).or_default();
+            match target {
+                CallTarget::Static(callee) => entry.push(*callee),
+                CallTarget::Indirect { candidates, .. } => entry.extend(candidates.iter().copied()),
+            }
+        }
+    });
+    for callees in cg.values_mut() {
+        callees.sort();
+        callees.dedup();
+    }
+    cg
+}
+
+/// Functions participating in call-graph cycles (directly or mutually
+/// recursive). Their call sites get the `Recursive` call kind in the PAG.
+pub fn recursive_functions(p: &Program) -> HashSet<FuncId> {
+    let cg = call_graph(p);
+    let mut recursive = HashSet::new();
+    // A function is recursive iff it can reach itself in the call graph.
+    for &start in cg.keys() {
+        let mut stack = vec![start];
+        let mut seen = HashSet::new();
+        while let Some(f) = stack.pop() {
+            for &callee in cg.get(&f).into_iter().flatten() {
+                if callee == start {
+                    recursive.insert(start);
+                    stack.clear();
+                    break;
+                }
+                if seen.insert(callee) {
+                    stack.push(callee);
+                }
+            }
+        }
+    }
+    recursive
+}
+
+/// Summary of what static analysis could and could not resolve.
+#[derive(Debug, Clone)]
+pub struct StaticSummary {
+    /// Number of functions.
+    pub functions: usize,
+    /// Number of statements.
+    pub statements: usize,
+    /// Direct call sites.
+    pub direct_calls: usize,
+    /// Indirect call sites (resolved only at runtime).
+    pub indirect_calls: usize,
+    /// Communication call sites.
+    pub comm_calls: usize,
+    /// Lock sites.
+    pub lock_sites: usize,
+    /// Thread regions.
+    pub thread_regions: usize,
+    /// Functions reachable from the entry via the static call graph.
+    pub reachable_functions: usize,
+}
+
+/// Compute the static summary of a program.
+pub fn static_summary(p: &Program) -> StaticSummary {
+    let mut s = StaticSummary {
+        functions: p.functions.len(),
+        statements: 0,
+        direct_calls: 0,
+        indirect_calls: 0,
+        comm_calls: 0,
+        lock_sites: 0,
+        thread_regions: 0,
+        reachable_functions: 0,
+    };
+    p.visit_stmts(|_, stmt| {
+        s.statements += 1;
+        match &stmt.kind {
+            StmtKind::Call {
+                target: CallTarget::Static(_),
+            } => s.direct_calls += 1,
+            StmtKind::Call {
+                target: CallTarget::Indirect { .. },
+            } => s.indirect_calls += 1,
+            StmtKind::Comm(_) => s.comm_calls += 1,
+            StmtKind::Lock { .. } => s.lock_sites += 1,
+            StmtKind::ThreadRegion { .. } => s.thread_regions += 1,
+            _ => {}
+        }
+    });
+    // Reachability from entry.
+    let cg = call_graph(p);
+    let mut seen = HashSet::new();
+    let mut stack = vec![p.entry];
+    seen.insert(p.entry);
+    while let Some(f) = stack.pop() {
+        for &callee in cg.get(&f).into_iter().flatten() {
+            if seen.insert(callee) {
+                stack.push(callee);
+            }
+        }
+    }
+    s.reachable_functions = seen.len();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::{c, rank};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new("s");
+        let main = pb.declare("main", "s.c");
+        let foo = pb.declare("foo", "s.c");
+        let bar = pb.declare("bar", "s.c");
+        let baz = pb.declare("baz", "s.c");
+        let dead = pb.declare("dead", "s.c");
+        pb.define(main, |f| {
+            f.call(foo);
+            f.call_indirect(vec![bar, baz], rank().rem(2.0));
+            f.allreduce(c(8.0));
+        });
+        pb.define(foo, |f| {
+            f.compute("k", c(1.0));
+            f.call(foo); // direct recursion
+        });
+        pb.define(bar, |f| f.call(baz));
+        pb.define(baz, |f| f.call(bar)); // mutual recursion
+        pb.define(dead, |f| f.compute("unused", c(1.0)));
+        pb.build(main)
+    }
+
+    #[test]
+    fn call_graph_includes_indirect_candidates() {
+        let p = sample();
+        let cg = call_graph(&p);
+        let main_callees = &cg[&p.entry];
+        assert_eq!(main_callees.len(), 3); // foo, bar, baz
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let p = sample();
+        let rec = recursive_functions(&p);
+        let names: HashSet<&str> = rec
+            .iter()
+            .map(|&f| p.function(f).name.as_ref())
+            .collect();
+        assert!(names.contains("foo"));
+        assert!(names.contains("bar"));
+        assert!(names.contains("baz"));
+        assert!(!names.contains("main"));
+        assert!(!names.contains("dead"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let p = sample();
+        let s = static_summary(&p);
+        assert_eq!(s.functions, 5);
+        assert_eq!(s.direct_calls, 4); // main->foo, foo->foo, bar->baz, baz->bar
+        assert_eq!(s.indirect_calls, 1);
+        assert_eq!(s.comm_calls, 1);
+        // dead is not reachable
+        assert_eq!(s.reachable_functions, 4);
+    }
+}

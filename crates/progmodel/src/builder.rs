@@ -1,0 +1,413 @@
+//! Fluent builder for program models.
+//!
+//! ```
+//! use progmodel::{ProgramBuilder, c, rank, nranks};
+//!
+//! let mut pb = ProgramBuilder::new("ping");
+//! let main = pb.declare("main", "ping.c");
+//! let work = pb.declare("work", "ping.c");
+//! pb.define(work, |f| {
+//!     f.compute("kernel", c(50.0) * (rank() + 1.0));
+//! });
+//! pb.define(main, |f| {
+//!     f.loop_("loop_1", c(10.0), |b| {
+//!         b.call(work);
+//!         b.allreduce(c(8.0));
+//!     });
+//! });
+//! let program = pb.build(main);
+//! assert_eq!(program.functions.len(), 2);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::expr::Expr;
+use crate::program::{
+    CallTarget, CommOp, FuncId, Function, LockId, PmuSpec, Program, Stmt, StmtId, StmtKind,
+};
+
+/// Shared statement/line counters for a program under construction.
+struct Counters {
+    next_stmt: u32,
+    next_line: u32,
+}
+
+/// Builds a [`Program`]: declare functions, define bodies, set metadata.
+pub struct ProgramBuilder {
+    name: String,
+    functions: Vec<Function>,
+    defined: Vec<bool>,
+    counters: Counters,
+    kloc: Option<f64>,
+    binary_bytes: Option<u64>,
+    params: HashMap<String, f64>,
+}
+
+impl ProgramBuilder {
+    /// Start a new program model.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            functions: Vec::new(),
+            defined: Vec::new(),
+            counters: Counters {
+                next_stmt: 0,
+                next_line: 1,
+            },
+            kloc: None,
+            binary_bytes: None,
+            params: HashMap::new(),
+        }
+    }
+
+    /// Declare a function (forward declaration; define later). Returns its
+    /// id so bodies can call it before it is defined.
+    pub fn declare(&mut self, name: &str, file: &str) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        let line = self.counters.next_line;
+        self.counters.next_line += 1;
+        self.functions.push(Function {
+            id,
+            name: Arc::from(name),
+            file: Arc::from(file),
+            line,
+            body: Vec::new(),
+        });
+        self.defined.push(false);
+        id
+    }
+
+    /// Define (or redefine) the body of a declared function.
+    pub fn define(&mut self, id: FuncId, build: impl FnOnce(&mut FuncBuilder<'_>)) {
+        let mut fb = FuncBuilder {
+            stmts: Vec::new(),
+            counters: &mut self.counters,
+        };
+        build(&mut fb);
+        self.functions[id.0 as usize].body = fb.stmts;
+        self.defined[id.0 as usize] = true;
+    }
+
+    /// Set a default scale parameter.
+    pub fn param(&mut self, name: &str, value: f64) -> &mut Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+
+    /// Override the reported source size (KLoC metadata).
+    pub fn kloc(&mut self, kloc: f64) -> &mut Self {
+        self.kloc = Some(kloc);
+        self
+    }
+
+    /// Override the reported binary size.
+    pub fn binary_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.binary_bytes = Some(bytes);
+        self
+    }
+
+    /// Finalize the program with `entry` as its entry function.
+    ///
+    /// # Panics
+    /// Panics if `entry` or any statically-called function was declared but
+    /// never defined (mirrors a link error for an undefined symbol).
+    pub fn build(self, entry: FuncId) -> Program {
+        for (i, f) in self.functions.iter().enumerate() {
+            assert!(
+                self.defined[i] || f.body.is_empty(),
+                "function {} declared but never defined",
+                f.name
+            );
+        }
+        assert!(
+            self.defined[entry.0 as usize],
+            "entry function must be defined"
+        );
+        let stmt_count = self.counters.next_stmt;
+        // Crude but stable size model: ~55 source lines / KLoC accounting
+        // and ~220 bytes of text per statement.
+        let kloc = self
+            .kloc
+            .unwrap_or(stmt_count as f64 * 0.055);
+        let binary_bytes = self
+            .binary_bytes
+            .unwrap_or(4096 + stmt_count as u64 * 220);
+        Program {
+            name: self.name,
+            functions: self.functions,
+            entry,
+            kloc,
+            binary_bytes,
+            default_params: self.params,
+            stmt_count,
+        }
+    }
+}
+
+/// Builds a statement list (function body, loop body, branch arm, …).
+pub struct FuncBuilder<'a> {
+    stmts: Vec<Stmt>,
+    counters: &'a mut Counters,
+}
+
+impl<'a> FuncBuilder<'a> {
+    fn push(&mut self, kind: StmtKind) {
+        let id = StmtId(self.counters.next_stmt);
+        self.counters.next_stmt += 1;
+        let line = self.counters.next_line;
+        self.counters.next_line += 1;
+        self.stmts.push(Stmt { id, line, kind });
+    }
+
+    fn nested(&mut self, build: impl FnOnce(&mut FuncBuilder<'_>)) -> Vec<Stmt> {
+        let mut fb = FuncBuilder {
+            stmts: Vec::new(),
+            counters: self.counters,
+        };
+        build(&mut fb);
+        fb.stmts
+    }
+
+    /// Straight-line compute kernel with default PMU behaviour.
+    pub fn compute(&mut self, name: &str, cost_us: Expr) {
+        self.compute_pmu(name, cost_us, PmuSpec::default());
+    }
+
+    /// Compute kernel with explicit PMU behaviour.
+    pub fn compute_pmu(&mut self, name: &str, cost_us: Expr, pmu: PmuSpec) {
+        self.push(StmtKind::Compute {
+            name: Arc::from(name),
+            cost_us,
+            pmu,
+        });
+    }
+
+    /// Counted loop.
+    pub fn loop_(&mut self, name: &str, trips: Expr, build: impl FnOnce(&mut FuncBuilder<'_>)) {
+        let body = self.nested(build);
+        self.push(StmtKind::Loop {
+            name: Arc::from(name),
+            trips,
+            body,
+        });
+    }
+
+    /// Two-armed branch (`cond != 0` takes the first arm).
+    pub fn branch(
+        &mut self,
+        name: &str,
+        cond: Expr,
+        then_build: impl FnOnce(&mut FuncBuilder<'_>),
+        else_build: impl FnOnce(&mut FuncBuilder<'_>),
+    ) {
+        let then_body = self.nested(then_build);
+        let else_body = self.nested(else_build);
+        self.push(StmtKind::Branch {
+            name: Arc::from(name),
+            cond,
+            then_body,
+            else_body,
+        });
+    }
+
+    /// Direct call.
+    pub fn call(&mut self, callee: FuncId) {
+        self.push(StmtKind::Call {
+            target: CallTarget::Static(callee),
+        });
+    }
+
+    /// Indirect call resolved at runtime: `selector` evaluates to an index
+    /// into `candidates`.
+    pub fn call_indirect(&mut self, candidates: Vec<FuncId>, selector: Expr) {
+        assert!(!candidates.is_empty());
+        self.push(StmtKind::Call {
+            target: CallTarget::Indirect {
+                candidates,
+                selector,
+            },
+        });
+    }
+
+    /// OpenMP-like fork-join region.
+    pub fn thread_region(&mut self, threads: Expr, build: impl FnOnce(&mut FuncBuilder<'_>)) {
+        let body = self.nested(build);
+        self.push(StmtKind::ThreadRegion { threads, body });
+    }
+
+    /// Critical section on an explicit lock.
+    pub fn lock(&mut self, name: &str, lock: LockId, hold_us: Expr) {
+        self.push(StmtKind::Lock {
+            name: Arc::from(name),
+            lock,
+            hold_us,
+        });
+    }
+
+    /// Memory allocation through the (serializing) process allocator —
+    /// the thread-unsafe `allocate`/`reallocate`/`deallocate` pattern of
+    /// the Vite case study.
+    pub fn alloc(&mut self, name: &str, hold_us: Expr) {
+        self.push(StmtKind::Lock {
+            name: Arc::from(name),
+            lock: Program::alloc_lock(),
+            hold_us,
+        });
+    }
+
+    // ------------------------------------------------------------- comms
+
+    /// Blocking send.
+    pub fn send(&mut self, peer: Expr, bytes: Expr, tag: u32) {
+        self.push(StmtKind::Comm(CommOp::Send { peer, bytes, tag }));
+    }
+
+    /// Blocking receive.
+    pub fn recv(&mut self, peer: Expr, bytes: Expr, tag: u32) {
+        self.push(StmtKind::Comm(CommOp::Recv { peer, bytes, tag }));
+    }
+
+    /// Non-blocking send.
+    pub fn isend(&mut self, peer: Expr, bytes: Expr, tag: u32) {
+        self.push(StmtKind::Comm(CommOp::Isend { peer, bytes, tag }));
+    }
+
+    /// Non-blocking receive.
+    pub fn irecv(&mut self, peer: Expr, bytes: Expr, tag: u32) {
+        self.push(StmtKind::Comm(CommOp::Irecv { peer, bytes, tag }));
+    }
+
+    /// `MPI_Sendrecv`-style exchange, desugared to
+    /// `Irecv(from) ; Send(to) ; Wait(irecv)` — the deadlock-free combined
+    /// exchange idiom.
+    pub fn sendrecv(&mut self, to: Expr, from: Expr, bytes: Expr, tag: u32) {
+        self.irecv(from, bytes.clone(), tag);
+        self.send(to, bytes, tag);
+        self.wait(0);
+    }
+
+    /// Wait for the most recent (`back = 0`) or an earlier outstanding
+    /// request.
+    pub fn wait(&mut self, back: u32) {
+        self.push(StmtKind::Comm(CommOp::Wait { back }));
+    }
+
+    /// Wait for all outstanding requests.
+    pub fn waitall(&mut self) {
+        self.push(StmtKind::Comm(CommOp::Waitall));
+    }
+
+    /// Barrier.
+    pub fn barrier(&mut self) {
+        self.push(StmtKind::Comm(CommOp::Barrier));
+    }
+
+    /// Broadcast from `root`.
+    pub fn bcast(&mut self, root: Expr, bytes: Expr) {
+        self.push(StmtKind::Comm(CommOp::Bcast { root, bytes }));
+    }
+
+    /// Reduce to `root`.
+    pub fn reduce(&mut self, root: Expr, bytes: Expr) {
+        self.push(StmtKind::Comm(CommOp::Reduce { root, bytes }));
+    }
+
+    /// Allreduce.
+    pub fn allreduce(&mut self, bytes: Expr) {
+        self.push(StmtKind::Comm(CommOp::Allreduce { bytes }));
+    }
+
+    /// All-to-all.
+    pub fn alltoall(&mut self, bytes: Expr) {
+        self.push(StmtKind::Comm(CommOp::Alltoall { bytes }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{c, rank};
+
+    #[test]
+    fn stmt_ids_are_unique_and_dense() {
+        let mut pb = ProgramBuilder::new("ids");
+        let main = pb.declare("main", "m.c");
+        pb.define(main, |f| {
+            f.compute("a", c(1.0));
+            f.loop_("l", c(2.0), |b| {
+                b.compute("b", c(1.0));
+                b.send(rank(), c(8.0), 0);
+            });
+            f.waitall();
+        });
+        let p = pb.build(main);
+        let mut ids = Vec::new();
+        p.visit_stmts(|_, s| ids.push(s.id.0));
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        assert_eq!(p.stmt_count as usize, ids.len());
+        assert_eq!(*sorted.last().unwrap() as usize, ids.len() - 1);
+    }
+
+    #[test]
+    fn lines_are_monotone_within_file() {
+        let mut pb = ProgramBuilder::new("lines");
+        let main = pb.declare("main", "m.c");
+        pb.define(main, |f| {
+            f.compute("a", c(1.0));
+            f.compute("b", c(1.0));
+        });
+        let p = pb.build(main);
+        let f = p.find_function("main").unwrap();
+        assert!(f.body[0].line < f.body[1].line);
+        assert!(f.line < f.body[0].line);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry function must be defined")]
+    fn undefined_entry_panics() {
+        let mut pb = ProgramBuilder::new("bad");
+        let main = pb.declare("main", "m.c");
+        pb.build(main);
+    }
+
+    #[test]
+    fn metadata_defaults_scale_with_size() {
+        let mut pb = ProgramBuilder::new("meta");
+        let main = pb.declare("main", "m.c");
+        pb.define(main, |f| {
+            for i in 0..100 {
+                f.compute(&format!("k{i}"), c(1.0));
+            }
+        });
+        let p = pb.build(main);
+        assert!(p.kloc > 1.0);
+        assert!(p.binary_bytes > 10_000);
+    }
+
+    #[test]
+    fn metadata_overrides_win() {
+        let mut pb = ProgramBuilder::new("meta2");
+        let main = pb.declare("main", "m.c");
+        pb.define(main, |f| f.compute("k", c(1.0)));
+        pb.kloc(704.8);
+        pb.binary_bytes(14_670_000);
+        pb.param("atoms", 6_912_000.0);
+        let p = pb.build(main);
+        assert_eq!(p.kloc, 704.8);
+        assert_eq!(p.binary_bytes, 14_670_000);
+        assert_eq!(p.default_params["atoms"], 6_912_000.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_indirect_candidates_panic() {
+        let mut pb = ProgramBuilder::new("ind");
+        let main = pb.declare("main", "m.c");
+        pb.define(main, |f| f.call_indirect(vec![], c(0.0)));
+        pb.build(main);
+    }
+}

@@ -1,0 +1,220 @@
+//! Pseudo-code pretty-printer for program models.
+//!
+//! Renders a [`Program`] as readable pseudo-code — handy for debugging
+//! workload models and for documenting what a synthetic program actually
+//! does (the model is the "source code" of this reproduction's binaries).
+
+use std::fmt::Write as _;
+
+use crate::expr::Expr;
+use crate::program::{CallTarget, CommOp, Program, Stmt, StmtKind};
+
+/// Render a whole program as pseudo-code.
+pub fn pretty(prog: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// program {} ({:.1} KLoC, {} B binary)",
+        prog.name, prog.kloc, prog.binary_bytes
+    );
+    for f in &prog.functions {
+        let entry = if f.id == prog.entry { " // entry" } else { "" };
+        let _ = writeln!(out, "fn {}() {{ // {}:{}{}", f.name, f.file, f.line, entry);
+        stmts(&mut out, &f.body, 1);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn stmts(out: &mut String, body: &[Stmt], depth: usize) {
+    for s in body {
+        indent(out, depth);
+        match &s.kind {
+            StmtKind::Compute { name, cost_us, .. } => {
+                let _ = writeln!(out, "compute {name} [{}us];", expr(cost_us));
+            }
+            StmtKind::Loop { name, trips, body } => {
+                let _ = writeln!(out, "for {name} in 0..{} {{", expr(trips));
+                stmts(out, body, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+            StmtKind::Branch {
+                name,
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let _ = writeln!(out, "if {name}: {} {{", expr(cond));
+                stmts(out, then_body, depth + 1);
+                if !else_body.is_empty() {
+                    indent(out, depth);
+                    out.push_str("} else {\n");
+                    stmts(out, else_body, depth + 1);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+            StmtKind::Call { target } => match target {
+                CallTarget::Static(f) => {
+                    let _ = writeln!(out, "call f{};", f.0);
+                }
+                CallTarget::Indirect {
+                    candidates,
+                    selector,
+                } => {
+                    let names: Vec<String> =
+                        candidates.iter().map(|f| format!("f{}", f.0)).collect();
+                    let _ = writeln!(
+                        out,
+                        "call_indirect [{}] selected_by {};",
+                        names.join(", "),
+                        expr(selector)
+                    );
+                }
+            },
+            StmtKind::Comm(op) => {
+                let _ = writeln!(out, "{};", comm(op));
+            }
+            StmtKind::ThreadRegion { threads, body } => {
+                let _ = writeln!(out, "parallel({} threads) {{", expr(threads));
+                stmts(out, body, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+            StmtKind::Lock { name, hold_us, .. } => {
+                let _ = writeln!(out, "lock {name} hold [{}us];", expr(hold_us));
+            }
+        }
+    }
+}
+
+fn comm(op: &CommOp) -> String {
+    match op {
+        CommOp::Send { peer, bytes, tag } => {
+            format!("MPI_Send(to={}, {}B, tag={tag})", expr(peer), expr(bytes))
+        }
+        CommOp::Recv { peer, bytes, tag } => {
+            format!("MPI_Recv(from={}, {}B, tag={tag})", expr(peer), expr(bytes))
+        }
+        CommOp::Isend { peer, bytes, tag } => {
+            format!("MPI_Isend(to={}, {}B, tag={tag})", expr(peer), expr(bytes))
+        }
+        CommOp::Irecv { peer, bytes, tag } => {
+            format!("MPI_Irecv(from={}, {}B, tag={tag})", expr(peer), expr(bytes))
+        }
+        CommOp::Wait { back } => format!("MPI_Wait(back={back})"),
+        CommOp::Waitall => "MPI_Waitall()".to_string(),
+        CommOp::Barrier => "MPI_Barrier()".to_string(),
+        CommOp::Bcast { root, bytes } => {
+            format!("MPI_Bcast(root={}, {}B)", expr(root), expr(bytes))
+        }
+        CommOp::Reduce { root, bytes } => {
+            format!("MPI_Reduce(root={}, {}B)", expr(root), expr(bytes))
+        }
+        CommOp::Allreduce { bytes } => format!("MPI_Allreduce({}B)", expr(bytes)),
+        CommOp::Alltoall { bytes } => format!("MPI_Alltoall({}B)", expr(bytes)),
+    }
+}
+
+/// Render an expression compactly.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Rank => "rank".into(),
+        Expr::NRanks => "P".into(),
+        Expr::Thread => "tid".into(),
+        Expr::NThreads => "T".into(),
+        Expr::Iter => "i".into(),
+        Expr::IterUp(n) => format!("i[-{n}]"),
+        Expr::Param(p) => format!("${p}"),
+        Expr::Add(a, b) => format!("({} + {})", expr(a), expr(b)),
+        Expr::Sub(a, b) => format!("({} - {})", expr(a), expr(b)),
+        Expr::Mul(a, b) => format!("({} * {})", expr(a), expr(b)),
+        Expr::Div(a, b) => format!("({} / {})", expr(a), expr(b)),
+        Expr::Rem(a, b) => format!("({} % {})", expr(a), expr(b)),
+        Expr::Min(a, b) => format!("min({}, {})", expr(a), expr(b)),
+        Expr::Max(a, b) => format!("max({}, {})", expr(a), expr(b)),
+        Expr::Floor(a) => format!("floor({})", expr(a)),
+        Expr::Sqrt(a) => format!("sqrt({})", expr(a)),
+        Expr::Log2(a) => format!("log2({})", expr(a)),
+        Expr::Lt(a, b) => format!("({} < {})", expr(a), expr(b)),
+        Expr::Eq(a, b) => format!("({} == {})", expr(a), expr(b)),
+        Expr::Select { cond, then, els } => {
+            format!("({} ? {} : {})", expr(cond), expr(then), expr(els))
+        }
+        Expr::Noise { amp, salt } => format!("noise(±{amp}, #{salt})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::{c, nranks, rank};
+
+    #[test]
+    fn renders_every_construct() {
+        let mut pb = ProgramBuilder::new("pretty");
+        let main = pb.declare("main", "p.c");
+        let helper = pb.declare("helper", "p.c");
+        pb.define(helper, |f| f.compute("k", c(5.0)));
+        pb.define(main, |f| {
+            f.loop_("it", c(3.0), |b| {
+                b.branch(
+                    "cond",
+                    rank().lt(2.0),
+                    |t| t.call(helper),
+                    |e| e.alloc("buf", c(1.0)),
+                );
+                b.irecv((rank() + 1.0).rem(nranks()), c(64.0), 5);
+                b.isend((rank() + 1.0).rem(nranks()), c(64.0), 5);
+                b.waitall();
+                b.allreduce(c(8.0));
+            });
+            f.thread_region(c(4.0), |t| t.compute("tw", c(2.0)));
+        });
+        let p = pb.build(main);
+        let text = pretty(&p);
+        for needle in [
+            "fn main()",
+            "fn helper()",
+            "for it in 0..3",
+            "if cond: (rank < 2)",
+            "call f1;",
+            "lock buf hold",
+            "MPI_Irecv",
+            "MPI_Isend",
+            "MPI_Waitall()",
+            "MPI_Allreduce(8B)",
+            "parallel(4 threads)",
+            "compute tw [2us];",
+            "// entry",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn expr_rendering() {
+        assert_eq!(expr(&(rank() + c(1.0))), "(rank + 1)");
+        assert_eq!(expr(&(c(3.0) * nranks()).sqrt()), "sqrt((3 * P))");
+        assert_eq!(
+            expr(&rank().eq(0.0).select(c(1.0), c(2.0))),
+            "((rank == 0) ? 1 : 2)"
+        );
+        assert_eq!(expr(&crate::expr::param("n")), "$n");
+    }
+}

@@ -1,0 +1,171 @@
+//! Calling context tree (CCT).
+//!
+//! The sampler reports *calling contexts* — the libunwind stack-walk
+//! equivalent. A context is a path of frames: function entries and
+//! structural statements (loops, branches, call sites, compute kernels,
+//! comm ops). Contexts are interned so a sample is a single `u32`;
+//! performance-data embedding (§3.3) later resolves a context to the PAG
+//! vertices along its path.
+
+use std::collections::HashMap;
+
+use progmodel::{FuncId, StmtId};
+
+/// Interned calling-context id. `CtxId(0)` is the root (program entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtxId(pub u32);
+
+/// One frame of a calling context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtxFrame {
+    /// A function body was entered.
+    Func(FuncId),
+    /// A structural statement (loop, branch, call site, compute, comm,
+    /// lock) was entered.
+    Stmt(StmtId),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: CtxId,
+    frame: CtxFrame,
+    depth: u32,
+}
+
+/// The calling context tree for one run.
+#[derive(Debug, Clone)]
+pub struct Cct {
+    nodes: Vec<Node>,
+    intern: HashMap<(CtxId, CtxFrame), CtxId>,
+}
+
+impl Cct {
+    /// New CCT rooted at the entry function.
+    pub fn new(entry: FuncId) -> Self {
+        Cct {
+            nodes: vec![Node {
+                parent: CtxId(0),
+                frame: CtxFrame::Func(entry),
+                depth: 0,
+            }],
+            intern: HashMap::new(),
+        }
+    }
+
+    /// The root context (program entry).
+    pub fn root(&self) -> CtxId {
+        CtxId(0)
+    }
+
+    /// Number of distinct contexts.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Intern (or find) the child of `parent` for `frame`.
+    pub fn child(&mut self, parent: CtxId, frame: CtxFrame) -> CtxId {
+        if let Some(&id) = self.intern.get(&(parent, frame)) {
+            return id;
+        }
+        let id = CtxId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            parent,
+            frame,
+            depth: self.nodes[parent.0 as usize].depth + 1,
+        });
+        self.intern.insert((parent, frame), id);
+        id
+    }
+
+    /// The frame of a context node.
+    pub fn frame(&self, ctx: CtxId) -> CtxFrame {
+        self.nodes[ctx.0 as usize].frame
+    }
+
+    /// The parent of a context node (root's parent is itself).
+    pub fn parent(&self, ctx: CtxId) -> CtxId {
+        self.nodes[ctx.0 as usize].parent
+    }
+
+    /// Depth of a context node (root = 0).
+    pub fn depth(&self, ctx: CtxId) -> u32 {
+        self.nodes[ctx.0 as usize].depth
+    }
+
+    /// Full path of frames from the root to `ctx` (root first).
+    pub fn path(&self, ctx: CtxId) -> Vec<CtxFrame> {
+        let mut frames = Vec::with_capacity(self.depth(ctx) as usize + 1);
+        let mut cur = ctx;
+        loop {
+            frames.push(self.frame(cur));
+            if cur == self.root() {
+                break;
+            }
+            cur = self.parent(cur);
+        }
+        frames.reverse();
+        frames
+    }
+
+    /// Iterate over a context's chain of ids from `ctx` up to the root.
+    pub fn ancestors(&self, ctx: CtxId) -> impl Iterator<Item = CtxId> + '_ {
+        let mut cur = Some(ctx);
+        std::iter::from_fn(move || {
+            let c = cur?;
+            cur = if c == self.root() {
+                None
+            } else {
+                Some(self.parent(c))
+            };
+            Some(c)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut cct = Cct::new(FuncId(0));
+        let a = cct.child(cct.root(), CtxFrame::Stmt(StmtId(1)));
+        let b = cct.child(cct.root(), CtxFrame::Stmt(StmtId(1)));
+        assert_eq!(a, b);
+        let c = cct.child(a, CtxFrame::Func(FuncId(2)));
+        assert_ne!(a, c);
+        assert_eq!(cct.len(), 3);
+    }
+
+    #[test]
+    fn paths_and_depths() {
+        let mut cct = Cct::new(FuncId(0));
+        let l = cct.child(cct.root(), CtxFrame::Stmt(StmtId(5)));
+        let f = cct.child(l, CtxFrame::Func(FuncId(1)));
+        let k = cct.child(f, CtxFrame::Stmt(StmtId(9)));
+        assert_eq!(cct.depth(k), 3);
+        assert_eq!(
+            cct.path(k),
+            vec![
+                CtxFrame::Func(FuncId(0)),
+                CtxFrame::Stmt(StmtId(5)),
+                CtxFrame::Func(FuncId(1)),
+                CtxFrame::Stmt(StmtId(9)),
+            ]
+        );
+        let up: Vec<CtxId> = cct.ancestors(k).collect();
+        assert_eq!(up, vec![k, f, l, cct.root()]);
+    }
+
+    #[test]
+    fn root_path_is_entry_only() {
+        let cct = Cct::new(FuncId(7));
+        assert_eq!(cct.path(cct.root()), vec![CtxFrame::Func(FuncId(7))]);
+        assert!(cct.is_empty());
+    }
+}

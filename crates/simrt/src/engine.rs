@@ -1,0 +1,1074 @@
+//! The discrete-event engine: per-rank interpreters plus a central
+//! communication matcher.
+//!
+//! Each rank interprets the program with an explicit frame stack and a
+//! virtual clock. Ranks run independently until they *block* — on a
+//! blocking receive, a rendezvous send, an `MPI_Wait(all)` whose request
+//! is unmatched, or a collective. A matching engine pairs point-to-point
+//! operations per `(src, dst, tag)` channel (eager below the threshold,
+//! rendezvous above) and completes collectives when every rank arrived,
+//! computing completion times from the network model. The scheduler
+//! alternates "run all runnable ranks" and "resolve blocked ranks" phases
+//! until every rank finishes; if neither phase makes progress the program
+//! has deadlocked and the engine reports which ranks block where.
+//!
+//! Everything observable — samples, comm/lock records, message edges,
+//! traces — flows through the [`Collector`].
+
+use std::collections::{HashMap, VecDeque};
+
+use progmodel::{
+    CallTarget, CommOp, EvalCtx, Program, Stmt, StmtId, StmtKind,
+};
+
+use crate::cct::{CtxFrame, CtxId};
+use crate::collector::Collector;
+use crate::config::RunConfig;
+use crate::net::collective_cost;
+use crate::record::{CommKindTag, CommRecord, MsgEdge, RunData};
+use crate::threads::run_thread_region;
+
+pub use crate::error::SimError;
+
+const MAX_CALL_DEPTH: usize = 256;
+
+/// Simulate one run of `prog` under `cfg`.
+pub fn simulate(prog: &Program, cfg: &RunConfig) -> Result<RunData, SimError> {
+    let mut params = prog.default_params.clone();
+    params.extend(cfg.params.iter().map(|(k, v)| (k.clone(), *v)));
+    let mut engine = Engine::new(prog, cfg, params);
+    engine.run()?;
+    let elapsed: Vec<f64> = engine.ranks.iter().map(|r| r.clock).collect();
+    Ok(engine.collector.finish(elapsed))
+}
+
+// ------------------------------------------------------------------ state
+
+/// A posted, not-yet-consumed request (Isend/Irecv).
+#[derive(Debug, Clone)]
+struct Req {
+    kind: CommKindTag,
+    peer: u32,
+    bytes: u64,
+    #[allow(dead_code)]
+    post: f64,
+    completion: Option<f64>,
+    /// Matched remote side (rank, stmt, ctx) once known.
+    matched: Option<(u32, StmtId, CtxId)>,
+    /// Still listed in `outstanding`.
+    live: bool,
+}
+
+#[derive(Debug)]
+enum FrameKind {
+    Body,
+    Loop { trips: u64, cur: u64 },
+}
+
+#[derive(Debug)]
+struct Frame<'p> {
+    stmts: &'p [Stmt],
+    idx: usize,
+    ctx: CtxId,
+    kind: FrameKind,
+}
+
+#[derive(Debug, Clone)]
+enum BlockInfo {
+    /// Blocking send or recv; the matcher fills `resume`.
+    P2p {
+        kind: CommKindTag,
+        ctx: CtxId,
+        stmt: StmtId,
+        peer: u32,
+        bytes: u64,
+        post: f64,
+        /// Remote (rank, stmt, ctx) filled by the matcher.
+        matched: Option<(u32, StmtId, CtxId)>,
+    },
+    /// Waiting for one request slot.
+    Wait {
+        slot: usize,
+        ctx: CtxId,
+        stmt: StmtId,
+        post: f64,
+    },
+    /// Waiting for all outstanding requests.
+    Waitall {
+        ctx: CtxId,
+        stmt: StmtId,
+        post: f64,
+    },
+    /// Waiting for a collective instance.
+    Coll {
+        inst: u64,
+        ctx: CtxId,
+        stmt: StmtId,
+        post: f64,
+        kind: CommKindTag,
+        bytes: u64,
+    },
+}
+
+impl BlockInfo {
+    fn stmt(&self) -> StmtId {
+        match self {
+            BlockInfo::P2p { stmt, .. }
+            | BlockInfo::Wait { stmt, .. }
+            | BlockInfo::Waitall { stmt, .. }
+            | BlockInfo::Coll { stmt, .. } => *stmt,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Blocked {
+    resume: Option<f64>,
+    info: BlockInfo,
+}
+
+struct RankState<'p> {
+    rank: u32,
+    clock: f64,
+    frames: Vec<Frame<'p>>,
+    iters: Vec<u64>,
+    reqs: Vec<Req>,
+    outstanding: Vec<usize>,
+    coll_seq: u64,
+    blocked: Option<Blocked>,
+    done: bool,
+    call_depth: usize,
+}
+
+#[derive(Debug, Clone)]
+struct SendInst {
+    rank: u32,
+    stmt: StmtId,
+    ctx: CtxId,
+    post: f64,
+    bytes: u64,
+    eager: bool,
+    /// Sender request slot (`None` for a blocking send).
+    req_slot: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct RecvInst {
+    rank: u32,
+    stmt: StmtId,
+    ctx: CtxId,
+    post: f64,
+    /// Receiver request slot (`None` for a blocking recv).
+    req_slot: Option<usize>,
+}
+
+#[derive(Default)]
+struct Channel {
+    sends: VecDeque<SendInst>,
+    recvs: VecDeque<RecvInst>,
+}
+
+struct CollInst {
+    kind: CommKindTag,
+    bytes: u64,
+    posts: Vec<(u32, f64, CtxId, StmtId)>,
+    completion: Option<f64>,
+}
+
+struct Engine<'p> {
+    prog: &'p Program,
+    cfg: &'p RunConfig,
+    params: HashMap<String, f64>,
+    ranks: Vec<RankState<'p>>,
+    channels: HashMap<(u32, u32, u32), Channel>,
+    collectives: HashMap<u64, CollInst>,
+    collector: Collector,
+}
+
+enum StepOutcome {
+    Progress,
+    Blocked,
+    Done,
+}
+
+impl<'p> Engine<'p> {
+    fn new(prog: &'p Program, cfg: &'p RunConfig, params: HashMap<String, f64>) -> Self {
+        let collector = Collector::new(
+            cfg.collection.clone(),
+            cfg.nranks,
+            cfg.nthreads,
+            prog.entry,
+        );
+        let root = collector.data.cct.root();
+        let ranks = (0..cfg.nranks)
+            .map(|rank| RankState {
+                rank,
+                clock: 0.0,
+                frames: vec![Frame {
+                    stmts: &prog.function(prog.entry).body,
+                    idx: 0,
+                    ctx: root,
+                    kind: FrameKind::Body,
+                }],
+                iters: Vec::new(),
+                reqs: Vec::new(),
+                outstanding: Vec::new(),
+                coll_seq: 0,
+                blocked: None,
+                done: false,
+                call_depth: 0,
+            })
+            .collect();
+        Engine {
+            prog,
+            cfg,
+            params,
+            ranks,
+            channels: HashMap::new(),
+            collectives: HashMap::new(),
+            collector,
+        }
+    }
+
+    fn run(&mut self) -> Result<(), SimError> {
+        loop {
+            let mut progressed = false;
+            for r in 0..self.ranks.len() {
+                if self.ranks[r].done || self.ranks[r].blocked.is_some() {
+                    continue;
+                }
+                progressed = true;
+                while let StepOutcome::Progress = self.step(r)? {}
+            }
+            let resolved = self.resolve_blocked();
+            if self.ranks.iter().all(|r| r.done) {
+                return Ok(());
+            }
+            if !progressed && !resolved {
+                let blocked = self
+                    .ranks
+                    .iter()
+                    .filter_map(|r| {
+                        r.blocked
+                            .as_ref()
+                            .map(|b| (r.rank, b.info.stmt()))
+                    })
+                    .collect();
+                return Err(SimError::Deadlock { blocked });
+            }
+        }
+    }
+
+    // --------------------------------------------------------- interpreter
+
+    fn eval_ctx<'a>(&'a self, r: usize) -> EvalCtx<'a> {
+        let rs = &self.ranks[r];
+        EvalCtx {
+            rank: rs.rank,
+            nranks: self.cfg.nranks,
+            thread: 0,
+            nthreads: self.cfg.nthreads,
+            iters: &rs.iters,
+            params: &self.params,
+            seed: self.cfg.seed,
+        }
+    }
+
+    /// Advance rank `r`'s clock by `dt`, attributing the interval to
+    /// `ctx`. Fired samples charge their handler cost to the clock — the
+    /// observer effect the Table-1 overhead experiment measures.
+    fn advance(&mut self, r: usize, dt: f64, ctx: CtxId) {
+        debug_assert!(dt >= 0.0);
+        let t0 = self.ranks[r].clock;
+        let t1 = t0 + dt;
+        let fired = self.collector.account(self.ranks[r].rank, 0, ctx, t0, t1);
+        self.ranks[r].clock = t1 + fired as f64 * self.collector.sample_cost_us();
+    }
+
+    /// Execute one step of rank `r`. Must only be called when unblocked.
+    fn step(&mut self, r: usize) -> Result<StepOutcome, SimError> {
+        // Handle frame exhaustion / loop iteration.
+        loop {
+            let frame = match self.ranks[r].frames.last() {
+                Some(f) => f,
+                None => {
+                    self.ranks[r].done = true;
+                    return Ok(StepOutcome::Done);
+                }
+            };
+            if frame.idx < frame.stmts.len() {
+                break;
+            }
+            let frame = self.ranks[r].frames.last_mut().unwrap();
+            match &mut frame.kind {
+                FrameKind::Loop { trips, cur } if *cur + 1 < *trips => {
+                    *cur += 1;
+                    frame.idx = 0;
+                    let cur = *cur;
+                    *self.ranks[r].iters.last_mut().unwrap() = cur;
+                }
+                FrameKind::Loop { .. } => {
+                    self.ranks[r].iters.pop();
+                    self.ranks[r].frames.pop();
+                }
+                FrameKind::Body => {
+                    self.ranks[r].frames.pop();
+                    if self.ranks[r].call_depth > 0 {
+                        self.ranks[r].call_depth -= 1;
+                    }
+                }
+            }
+            if self.ranks[r].frames.is_empty() {
+                self.ranks[r].done = true;
+                return Ok(StepOutcome::Done);
+            }
+        }
+
+        let frame = self.ranks[r].frames.last().unwrap();
+        let stmt: &'p Stmt = &frame.stmts[frame.idx];
+        let parent_ctx = frame.ctx;
+        let ctx = self
+            .collector
+            .data
+            .cct
+            .child(parent_ctx, CtxFrame::Stmt(stmt.id));
+
+        match &stmt.kind {
+            StmtKind::Compute { cost_us, pmu, .. } => {
+                let slow = self
+                    .cfg
+                    .rank_slowdown
+                    .get(&self.ranks[r].rank)
+                    .copied()
+                    .unwrap_or(1.0);
+                let dt = cost_us.eval(&self.eval_ctx(r)).max(0.0) * slow;
+                let t0 = self.ranks[r].clock;
+                self.advance(r, dt, ctx);
+                self.collector.pmu(ctx, dt, pmu);
+                self.collector
+                    .trace(self.ranks[r].rank, stmt.id, t0, t0 + dt);
+                self.ranks[r].clock += self.collector.trace_probe_cost_us();
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                Ok(StepOutcome::Progress)
+            }
+            StmtKind::Loop { trips, body, .. } => {
+                let n = trips.eval_u64(&self.eval_ctx(r));
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                if n > 0 {
+                    self.ranks[r].iters.push(0);
+                    self.ranks[r].frames.push(Frame {
+                        stmts: body,
+                        idx: 0,
+                        ctx,
+                        kind: FrameKind::Loop { trips: n, cur: 0 },
+                    });
+                }
+                Ok(StepOutcome::Progress)
+            }
+            StmtKind::Branch {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let taken = cond.eval(&self.eval_ctx(r)) != 0.0;
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                let body = if taken { then_body } else { else_body };
+                if !body.is_empty() {
+                    self.ranks[r].frames.push(Frame {
+                        stmts: body,
+                        idx: 0,
+                        ctx,
+                        kind: FrameKind::Body,
+                    });
+                }
+                Ok(StepOutcome::Progress)
+            }
+            StmtKind::Call { target } => {
+                if self.ranks[r].call_depth >= MAX_CALL_DEPTH {
+                    return Err(SimError::StackOverflow { stmt: stmt.id });
+                }
+                let fid = match target {
+                    CallTarget::Static(f) => *f,
+                    CallTarget::Indirect {
+                        candidates,
+                        selector,
+                    } => {
+                        let idx =
+                            selector.eval_u64(&self.eval_ctx(r)) as usize % candidates.len();
+                        let fid = candidates[idx];
+                        self.collector.indirect(stmt.id, fid);
+                        fid
+                    }
+                };
+                let fctx = self.collector.data.cct.child(ctx, CtxFrame::Func(fid));
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                self.ranks[r].call_depth += 1;
+                self.ranks[r].frames.push(Frame {
+                    stmts: &self.prog.function(fid).body,
+                    idx: 0,
+                    ctx: fctx,
+                    kind: FrameKind::Body,
+                });
+                Ok(StepOutcome::Progress)
+            }
+            StmtKind::ThreadRegion { threads, body } => {
+                let t = threads.eval_u64(&self.eval_ctx(r)).max(1) as u32;
+                let start = self.ranks[r].clock;
+                let iters = self.ranks[r].iters.clone();
+                let slow = self
+                    .cfg
+                    .rank_slowdown
+                    .get(&self.ranks[r].rank)
+                    .copied()
+                    .unwrap_or(1.0);
+                let end = run_thread_region(
+                    self.prog,
+                    body,
+                    ctx,
+                    start,
+                    self.ranks[r].rank,
+                    self.cfg.nranks,
+                    t,
+                    &self.params,
+                    self.cfg.seed,
+                    &iters,
+                    slow,
+                    &mut self.collector,
+                )?;
+                self.ranks[r].clock = end;
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                Ok(StepOutcome::Progress)
+            }
+            StmtKind::Lock { lock, hold_us, .. } => {
+                // Rank-level lock: no intra-process contention (single
+                // thread), but still recorded for completeness.
+                let hold = hold_us.eval(&self.eval_ctx(r)).max(0.0);
+                let t0 = self.ranks[r].clock;
+                self.advance(r, hold, ctx);
+                self.collector.lock(crate::record::LockRecord {
+                    rank: self.ranks[r].rank,
+                    thread: 0,
+                    ctx,
+                    stmt: stmt.id,
+                    lock: lock.0,
+                    request: t0,
+                    acquire: t0,
+                    release: t0 + hold,
+                    blocked_by: None,
+                });
+                self.collector
+                    .trace(self.ranks[r].rank, stmt.id, t0, t0 + hold);
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                Ok(StepOutcome::Progress)
+            }
+            StmtKind::Comm(op) => self.step_comm(r, stmt, ctx, op),
+        }
+    }
+
+    // ------------------------------------------------------ communication
+
+    fn eval_peer(&self, r: usize, e: &progmodel::Expr, stmt: StmtId) -> Result<u32, SimError> {
+        let v = e.eval(&self.eval_ctx(r)).round() as i64;
+        if v < 0 || v >= self.cfg.nranks as i64 {
+            return Err(SimError::BadPeer {
+                stmt,
+                peer: v,
+                nranks: self.cfg.nranks,
+            });
+        }
+        Ok(v as u32)
+    }
+
+    fn step_comm(
+        &mut self,
+        r: usize,
+        stmt: &'p Stmt,
+        ctx: CtxId,
+        op: &'p CommOp,
+    ) -> Result<StepOutcome, SimError> {
+        let rank = self.ranks[r].rank;
+        // PMPI wrapper / trace-event cost of intercepting this call.
+        self.ranks[r].clock += self.collector.comm_call_cost_us();
+        let net = &self.cfg.network;
+        let overhead = net.op_overhead_us;
+        match op {
+            CommOp::Isend { peer, bytes, tag } => {
+                let peer = self.eval_peer(r, peer, stmt.id)?;
+                let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                let post = self.ranks[r].clock;
+                let eager = bytes <= net.eager_threshold;
+                let slot = self.push_req(r, CommKindTag::Isend, peer, bytes, post);
+                if eager {
+                    self.ranks[r].reqs[slot].completion = Some(post + overhead);
+                }
+                self.channels
+                    .entry((rank, peer, *tag))
+                    .or_default()
+                    .sends
+                    .push_back(SendInst {
+                        rank,
+                        stmt: stmt.id,
+                        ctx,
+                        post,
+                        bytes,
+                        eager,
+                        req_slot: Some(slot),
+                    });
+                self.advance(r, overhead, ctx);
+                self.collector.comm(CommRecord {
+                    rank,
+                    ctx,
+                    stmt: stmt.id,
+                    kind: CommKindTag::Isend,
+                    peer,
+                    bytes,
+                    post,
+                    complete: post + overhead,
+                    wait: 0.0,
+                });
+                self.collector.trace(rank, stmt.id, post, post + overhead);
+                self.try_match((rank, peer, *tag));
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                Ok(StepOutcome::Progress)
+            }
+            CommOp::Irecv { peer, bytes, tag } => {
+                let peer = self.eval_peer(r, peer, stmt.id)?;
+                let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                let post = self.ranks[r].clock;
+                let slot = self.push_req(r, CommKindTag::Irecv, peer, bytes, post);
+                self.channels
+                    .entry((peer, rank, *tag))
+                    .or_default()
+                    .recvs
+                    .push_back(RecvInst {
+                        rank,
+                        stmt: stmt.id,
+                        ctx,
+                        post,
+                        req_slot: Some(slot),
+                    });
+                self.advance(r, overhead, ctx);
+                self.collector.comm(CommRecord {
+                    rank,
+                    ctx,
+                    stmt: stmt.id,
+                    kind: CommKindTag::Irecv,
+                    peer,
+                    bytes,
+                    post,
+                    complete: post + overhead,
+                    wait: 0.0,
+                });
+                self.collector.trace(rank, stmt.id, post, post + overhead);
+                self.try_match((peer, rank, *tag));
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                Ok(StepOutcome::Progress)
+            }
+            CommOp::Send { peer, bytes, tag } => {
+                let peer = self.eval_peer(r, peer, stmt.id)?;
+                let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                let post = self.ranks[r].clock;
+                let eager = bytes <= net.eager_threshold;
+                self.channels
+                    .entry((rank, peer, *tag))
+                    .or_default()
+                    .sends
+                    .push_back(SendInst {
+                        rank,
+                        stmt: stmt.id,
+                        ctx,
+                        post,
+                        bytes,
+                        eager,
+                        req_slot: None,
+                    });
+                if eager {
+                    // Eager send completes locally; receiver matches later.
+                    self.advance(r, overhead, ctx);
+                    self.collector.comm(CommRecord {
+                        rank,
+                        ctx,
+                        stmt: stmt.id,
+                        kind: CommKindTag::Send,
+                        peer,
+                        bytes,
+                        post,
+                        complete: post + overhead,
+                        wait: 0.0,
+                    });
+                    self.collector.trace(rank, stmt.id, post, post + overhead);
+                    self.try_match((rank, peer, *tag));
+                    self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                    Ok(StepOutcome::Progress)
+                } else {
+                    self.ranks[r].blocked = Some(Blocked {
+                        resume: None,
+                        info: BlockInfo::P2p {
+                            kind: CommKindTag::Send,
+                            ctx,
+                            stmt: stmt.id,
+                            peer,
+                            bytes,
+                            post,
+                            matched: None,
+                        },
+                    });
+                    self.try_match((rank, peer, *tag));
+                    Ok(StepOutcome::Blocked)
+                }
+            }
+            CommOp::Recv { peer, bytes, tag } => {
+                let peer = self.eval_peer(r, peer, stmt.id)?;
+                let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                let post = self.ranks[r].clock;
+                self.channels
+                    .entry((peer, rank, *tag))
+                    .or_default()
+                    .recvs
+                    .push_back(RecvInst {
+                        rank,
+                        stmt: stmt.id,
+                        ctx,
+                        post,
+                        req_slot: None,
+                    });
+                self.ranks[r].blocked = Some(Blocked {
+                    resume: None,
+                    info: BlockInfo::P2p {
+                        kind: CommKindTag::Recv,
+                        ctx,
+                        stmt: stmt.id,
+                        peer,
+                        bytes,
+                        post,
+                        matched: None,
+                    },
+                });
+                self.try_match((peer, rank, *tag));
+                Ok(StepOutcome::Blocked)
+            }
+            CommOp::Wait { back } => {
+                let outstanding = self.ranks[r].outstanding.len();
+                let Some(i) = outstanding
+                    .checked_sub(1 + *back as usize)
+                else {
+                    return Err(SimError::BadWait {
+                        stmt: stmt.id,
+                        back: *back,
+                        outstanding,
+                    });
+                };
+                let slot = self.ranks[r].outstanding[i];
+                let post = self.ranks[r].clock;
+                self.ranks[r].blocked = Some(Blocked {
+                    resume: None,
+                    info: BlockInfo::Wait {
+                        slot,
+                        ctx,
+                        stmt: stmt.id,
+                        post,
+                    },
+                });
+                Ok(StepOutcome::Blocked)
+            }
+            CommOp::Waitall => {
+                let post = self.ranks[r].clock;
+                self.ranks[r].blocked = Some(Blocked {
+                    resume: None,
+                    info: BlockInfo::Waitall {
+                        ctx,
+                        stmt: stmt.id,
+                        post,
+                    },
+                });
+                Ok(StepOutcome::Blocked)
+            }
+            CommOp::Barrier
+            | CommOp::Bcast { .. }
+            | CommOp::Reduce { .. }
+            | CommOp::Allreduce { .. }
+            | CommOp::Alltoall { .. } => {
+                let (kind, bytes) = match op {
+                    CommOp::Barrier => (CommKindTag::Barrier, 0),
+                    CommOp::Bcast { bytes, .. } => {
+                        (CommKindTag::Bcast, bytes.eval_u64(&self.eval_ctx(r)))
+                    }
+                    CommOp::Reduce { bytes, .. } => {
+                        (CommKindTag::Reduce, bytes.eval_u64(&self.eval_ctx(r)))
+                    }
+                    CommOp::Allreduce { bytes } => {
+                        (CommKindTag::Allreduce, bytes.eval_u64(&self.eval_ctx(r)))
+                    }
+                    CommOp::Alltoall { bytes } => {
+                        (CommKindTag::Alltoall, bytes.eval_u64(&self.eval_ctx(r)))
+                    }
+                    _ => unreachable!(),
+                };
+                let inst = self.ranks[r].coll_seq;
+                self.ranks[r].coll_seq += 1;
+                let post = self.ranks[r].clock;
+                let entry = self.collectives.entry(inst).or_insert_with(|| CollInst {
+                    kind,
+                    bytes: 0,
+                    posts: Vec::new(),
+                    completion: None,
+                });
+                debug_assert_eq!(
+                    entry.kind, kind,
+                    "ranks disagree on collective {inst}: {:?} vs {kind:?}",
+                    entry.kind
+                );
+                entry.bytes = entry.bytes.max(bytes);
+                entry.posts.push((rank, post, ctx, stmt.id));
+                if entry.posts.len() as u32 == self.cfg.nranks {
+                    let max_post = entry
+                        .posts
+                        .iter()
+                        .map(|&(_, p, _, _)| p)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    entry.completion =
+                        Some(max_post + collective_cost(net, kind, entry.bytes, self.cfg.nranks));
+                }
+                self.ranks[r].blocked = Some(Blocked {
+                    resume: None,
+                    info: BlockInfo::Coll {
+                        inst,
+                        ctx,
+                        stmt: stmt.id,
+                        post,
+                        kind,
+                        bytes,
+                    },
+                });
+                Ok(StepOutcome::Blocked)
+            }
+        }
+    }
+
+    fn push_req(&mut self, r: usize, kind: CommKindTag, peer: u32, bytes: u64, post: f64) -> usize {
+        let slot = self.ranks[r].reqs.len();
+        self.ranks[r].reqs.push(Req {
+            kind,
+            peer,
+            bytes,
+            post,
+            completion: None,
+            matched: None,
+            live: true,
+        });
+        self.ranks[r].outstanding.push(slot);
+        slot
+    }
+
+    /// Match pending sends/recvs on one channel, computing completions.
+    fn try_match(&mut self, key: (u32, u32, u32)) {
+        loop {
+            let Some(chan) = self.channels.get_mut(&key) else {
+                return;
+            };
+            if chan.sends.is_empty() || chan.recvs.is_empty() {
+                return;
+            }
+            let send = chan.sends.pop_front().unwrap();
+            let recv = chan.recvs.pop_front().unwrap();
+            let net = &self.cfg.network;
+            let transfer = net.transfer_us(send.bytes);
+            let (send_complete, xfer_end) = if send.eager {
+                (
+                    send.post + net.op_overhead_us,
+                    send.post + net.op_overhead_us + transfer,
+                )
+            } else {
+                let end = send.post.max(recv.post) + transfer;
+                (end, end)
+            };
+            let recv_complete = recv.post.max(xfer_end);
+
+            // Sender side.
+            match send.req_slot {
+                Some(slot) => {
+                    let req = &mut self.ranks[send.rank as usize].reqs[slot];
+                    req.completion = Some(send_complete);
+                    req.matched = Some((recv.rank, recv.stmt, recv.ctx));
+                }
+                None if send.eager => {
+                    // Eager blocking send: completed locally at post time;
+                    // nothing to resolve on the sender side.
+                }
+                None => {
+                    // Blocking rendezvous send: unblock.
+                    let rs = &mut self.ranks[send.rank as usize];
+                    if let Some(b) = rs.blocked.as_mut() {
+                        debug_assert!(
+                            matches!(
+                                b.info,
+                                BlockInfo::P2p {
+                                    kind: CommKindTag::Send,
+                                    ..
+                                }
+                            ),
+                            "rendezvous sender must be blocked on its send"
+                        );
+                        b.resume = Some(send_complete);
+                        if let BlockInfo::P2p { matched, .. } = &mut b.info {
+                            *matched = Some((recv.rank, recv.stmt, recv.ctx));
+                        }
+                    }
+                    // Late receiver delayed the sender: dependence edge
+                    // receiver → sender.
+                    if recv.post > send.post {
+                        self.collector.msg_edge(MsgEdge {
+                            src_rank: recv.rank,
+                            src_stmt: recv.stmt,
+                            src_ctx: recv.ctx,
+                            dst_rank: send.rank,
+                            dst_stmt: send.stmt,
+                            dst_ctx: send.ctx,
+                            bytes: send.bytes,
+                            kind: CommKindTag::Send,
+                            wait: recv.post - send.post,
+                        });
+                    }
+                }
+            }
+            // Receiver side.
+            match recv.req_slot {
+                Some(slot) => {
+                    let req = &mut self.ranks[recv.rank as usize].reqs[slot];
+                    req.completion = Some(recv_complete);
+                    req.matched = Some((send.rank, send.stmt, send.ctx));
+                }
+                None => {
+                    let rs = &mut self.ranks[recv.rank as usize];
+                    if let Some(b) = rs.blocked.as_mut() {
+                        b.resume = Some(recv_complete);
+                        if let BlockInfo::P2p { matched, .. } = &mut b.info {
+                            *matched = Some((send.rank, send.stmt, send.ctx));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- resolution
+
+    /// Resolve blocked ranks whose completion is now computable. Returns
+    /// whether any rank was unblocked.
+    fn resolve_blocked(&mut self) -> bool {
+        let mut any = false;
+        for r in 0..self.ranks.len() {
+            let Some(blocked) = self.ranks[r].blocked.take() else {
+                continue;
+            };
+            match self.try_finish(r, &blocked) {
+                true => {
+                    any = true;
+                }
+                false => {
+                    self.ranks[r].blocked = Some(blocked);
+                }
+            }
+        }
+        any
+    }
+
+    /// Attempt to complete a blocked operation; true if the rank resumed.
+    fn try_finish(&mut self, r: usize, blocked: &Blocked) -> bool {
+        let rank = self.ranks[r].rank;
+        match &blocked.info {
+            BlockInfo::P2p {
+                kind,
+                ctx,
+                stmt,
+                peer,
+                bytes,
+                post,
+                matched,
+            } => {
+                let Some(resume) = blocked.resume else {
+                    return false;
+                };
+                let wait = (resume - post).max(0.0);
+                let fired = self.collector.account(rank, 0, *ctx, *post, resume);
+                let resume = resume + fired as f64 * self.collector.sample_cost_us();
+                self.collector.comm(CommRecord {
+                    rank,
+                    ctx: *ctx,
+                    stmt: *stmt,
+                    kind: *kind,
+                    peer: *peer,
+                    bytes: *bytes,
+                    post: *post,
+                    complete: resume,
+                    wait,
+                });
+                self.collector.trace(rank, *stmt, *post, resume);
+                if *kind == CommKindTag::Recv && wait > 0.0 {
+                    if let Some((src_rank, src_stmt, src_ctx)) = matched {
+                        self.collector.msg_edge(MsgEdge {
+                            src_rank: *src_rank,
+                            src_stmt: *src_stmt,
+                            src_ctx: *src_ctx,
+                            dst_rank: rank,
+                            dst_stmt: *stmt,
+                            dst_ctx: *ctx,
+                            bytes: *bytes,
+                            kind: CommKindTag::Recv,
+                            wait,
+                        });
+                    }
+                }
+                self.ranks[r].clock = resume.max(self.ranks[r].clock);
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                self.ranks[r].blocked = None;
+                true
+            }
+            BlockInfo::Wait {
+                slot,
+                ctx,
+                stmt,
+                post,
+            } => {
+                let Some(completion) = self.ranks[r].reqs[*slot].completion else {
+                    return false;
+                };
+                let resume = completion.max(*post);
+                self.finish_requests(r, &[*slot], *ctx, *stmt, *post, resume, CommKindTag::Wait);
+                true
+            }
+            BlockInfo::Waitall { ctx, stmt, post } => {
+                let slots: Vec<usize> = self.ranks[r].outstanding.clone();
+                let mut resume = *post;
+                for &s in &slots {
+                    match self.ranks[r].reqs[s].completion {
+                        Some(c) => resume = resume.max(c),
+                        None => return false,
+                    }
+                }
+                self.finish_requests(r, &slots, *ctx, *stmt, *post, resume, CommKindTag::Waitall);
+                true
+            }
+            BlockInfo::Coll {
+                inst,
+                ctx,
+                stmt,
+                post,
+                kind,
+                bytes,
+            } => {
+                let Some(completion) = self.collectives.get(inst).and_then(|c| c.completion)
+                else {
+                    return false;
+                };
+                let resume = completion.max(*post);
+                let wait = resume - post;
+                let fired = self.collector.account(rank, 0, *ctx, *post, resume);
+                let resume = resume + fired as f64 * self.collector.sample_cost_us();
+                self.collector.comm(CommRecord {
+                    rank,
+                    ctx: *ctx,
+                    stmt: *stmt,
+                    kind: *kind,
+                    peer: u32::MAX,
+                    bytes: *bytes,
+                    post: *post,
+                    complete: resume,
+                    wait,
+                });
+                self.collector.trace(rank, *stmt, *post, resume);
+                // Dependence edge from the last arriver to this rank.
+                if let Some(ci) = self.collectives.get(inst) {
+                    if let Some(&(late_rank, late_post, late_ctx, late_stmt)) = ci
+                        .posts
+                        .iter()
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                    {
+                        if late_rank != rank && wait > 0.0 && late_post > *post {
+                            self.collector.msg_edge(MsgEdge {
+                                src_rank: late_rank,
+                                src_stmt: late_stmt,
+                                src_ctx: late_ctx,
+                                dst_rank: rank,
+                                dst_stmt: *stmt,
+                                dst_ctx: *ctx,
+                                bytes: *bytes,
+                                kind: *kind,
+                                wait,
+                            });
+                        }
+                    }
+                }
+                self.ranks[r].clock = resume;
+                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                self.ranks[r].blocked = None;
+                true
+            }
+        }
+    }
+
+    /// Complete a Wait/Waitall: retire request slots, record, resume.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_requests(
+        &mut self,
+        r: usize,
+        slots: &[usize],
+        ctx: CtxId,
+        stmt: StmtId,
+        post: f64,
+        resume: f64,
+        kind: CommKindTag,
+    ) {
+        let rank = self.ranks[r].rank;
+        let wait = (resume - post).max(0.0);
+        let fired = self.collector.account(rank, 0, ctx, post, resume);
+        let resume = resume + fired as f64 * self.collector.sample_cost_us();
+        // A single-request wait reports its request's peer; Waitall has no
+        // single peer.
+        let peer = if slots.len() == 1 {
+            self.ranks[r].reqs[slots[0]].peer
+        } else {
+            u32::MAX
+        };
+        let mut bytes_total = 0;
+        for &s in slots {
+            let req = self.ranks[r].reqs[s].clone();
+            bytes_total += req.bytes;
+            self.ranks[r].reqs[s].live = false;
+            // A matched remote operation that delayed this wait produces a
+            // dependence edge onto the wait statement.
+            if let (Some((src_rank, src_stmt, src_ctx)), Some(c)) = (req.matched, req.completion) {
+                if req.kind == CommKindTag::Irecv && c > post {
+                    self.collector.msg_edge(MsgEdge {
+                        src_rank,
+                        src_stmt,
+                        src_ctx,
+                        dst_rank: rank,
+                        dst_stmt: stmt,
+                        dst_ctx: ctx,
+                        bytes: req.bytes,
+                        kind,
+                        wait: c - post,
+                    });
+                }
+            }
+        }
+        self.ranks[r].outstanding.retain(|s| !slots.contains(s));
+        self.collector.comm(CommRecord {
+            rank,
+            ctx,
+            stmt,
+            kind,
+            peer,
+            bytes: bytes_total,
+            post,
+            complete: resume,
+            wait,
+        });
+        self.collector.trace(rank, stmt, post, resume);
+        self.ranks[r].clock = resume;
+        self.ranks[r].frames.last_mut().unwrap().idx += 1;
+        self.ranks[r].blocked = None;
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulation errors.
+
+use progmodel::StmtId;
+
+/// Errors the simulator can report. Programs that deadlock or misuse the
+/// runtime produce errors rather than hangs — the simulator is also the
+/// failure-injection substrate for the test suite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No rank can make progress and at least one is blocked: the
+    /// communication pattern deadlocks.
+    Deadlock {
+        /// Ranks that are blocked, with the statement they block on.
+        blocked: Vec<(u32, StmtId)>,
+    },
+    /// A communication operation appeared inside a thread region (the
+    /// model is MPI "funneled": only the main thread communicates).
+    CommInThreadRegion {
+        /// The offending statement.
+        stmt: StmtId,
+    },
+    /// Thread regions cannot nest.
+    NestedThreadRegion {
+        /// The offending statement.
+        stmt: StmtId,
+    },
+    /// `MPI_Wait` referenced a request slot that does not exist.
+    BadWait {
+        /// The offending statement.
+        stmt: StmtId,
+        /// Requested back-index.
+        back: u32,
+        /// Number of outstanding requests.
+        outstanding: usize,
+    },
+    /// Call recursion exceeded the stack-depth guard.
+    StackOverflow {
+        /// The offending statement.
+        stmt: StmtId,
+    },
+    /// A peer expression evaluated outside `0..nranks`.
+    BadPeer {
+        /// The offending statement.
+        stmt: StmtId,
+        /// Evaluated peer.
+        peer: i64,
+        /// Number of ranks.
+        nranks: u32,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} rank(s) blocked", blocked.len())
+            }
+            SimError::CommInThreadRegion { stmt } => {
+                write!(f, "communication inside thread region at stmt {}", stmt.0)
+            }
+            SimError::NestedThreadRegion { stmt } => {
+                write!(f, "nested thread region at stmt {}", stmt.0)
+            }
+            SimError::BadWait {
+                stmt,
+                back,
+                outstanding,
+            } => write!(
+                f,
+                "MPI_Wait(back={back}) at stmt {} with only {outstanding} outstanding",
+                stmt.0
+            ),
+            SimError::StackOverflow { stmt } => {
+                write!(f, "call depth exceeded at stmt {}", stmt.0)
+            }
+            SimError::BadPeer { stmt, peer, nranks } => {
+                write!(f, "peer {peer} out of range 0..{nranks} at stmt {}", stmt.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

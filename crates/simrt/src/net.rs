@@ -1,0 +1,74 @@
+//! Collective cost models.
+//!
+//! Log-tree models in the LogP tradition: a collective over `p` ranks costs
+//! `O(log p)` latency terms plus a bandwidth term. The constants are not
+//! calibrated to any specific fabric — the analyses only need collectives
+//! to (a) serialize on their slowest participant and (b) grow with scale,
+//! which these shapes provide.
+
+use crate::config::NetworkModel;
+use crate::record::CommKindTag;
+
+/// Cost in µs of the collective itself, once all participants arrived.
+pub fn collective_cost(net: &NetworkModel, kind: CommKindTag, bytes: u64, nranks: u32) -> f64 {
+    let p = nranks.max(1) as f64;
+    let logp = p.log2().ceil().max(1.0);
+    let bw = bytes as f64 / net.bw_bytes_per_us;
+    match kind {
+        CommKindTag::Barrier => net.latency_us * logp,
+        CommKindTag::Bcast | CommKindTag::Reduce => net.latency_us * logp + bw * logp.min(2.0),
+        // Ring/recursive-doubling allreduce: 2 log p latency, 2x bandwidth.
+        CommKindTag::Allreduce => 2.0 * net.latency_us * logp + 2.0 * bw,
+        // Pairwise exchange: p-1 rounds.
+        CommKindTag::Alltoall => (p - 1.0) * (net.latency_us + bw),
+        // Point-to-point kinds never reach here.
+        _ => net.transfer_us(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectives_grow_with_scale() {
+        let net = NetworkModel::default();
+        for kind in [
+            CommKindTag::Barrier,
+            CommKindTag::Bcast,
+            CommKindTag::Reduce,
+            CommKindTag::Allreduce,
+            CommKindTag::Alltoall,
+        ] {
+            let small = collective_cost(&net, kind, 1024, 4);
+            let large = collective_cost(&net, kind, 1024, 1024);
+            assert!(large > small, "{kind:?} did not grow with scale");
+        }
+    }
+
+    #[test]
+    fn costs_grow_with_bytes() {
+        let net = NetworkModel::default();
+        for kind in [CommKindTag::Bcast, CommKindTag::Allreduce, CommKindTag::Alltoall] {
+            assert!(
+                collective_cost(&net, kind, 1 << 20, 64) > collective_cost(&net, kind, 64, 64)
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_is_bytes_independent() {
+        let net = NetworkModel::default();
+        assert_eq!(
+            collective_cost(&net, CommKindTag::Barrier, 0, 64),
+            collective_cost(&net, CommKindTag::Barrier, 1 << 20, 64)
+        );
+    }
+
+    #[test]
+    fn single_rank_collective_is_cheap() {
+        let net = NetworkModel::default();
+        let c = collective_cost(&net, CommKindTag::Allreduce, 8, 1);
+        assert!(c < 10.0 * net.latency_us);
+    }
+}

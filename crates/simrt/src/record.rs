@@ -1,0 +1,378 @@
+//! Run outputs: samples, PMU estimates, communication/lock records,
+//! message edges and the optional full trace.
+
+use std::collections::HashMap;
+
+use progmodel::{FuncId, StmtId};
+
+use crate::cct::{Cct, CtxId};
+
+/// Communication operation categories as recorded (collapsed from
+/// [`progmodel::CommOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommKindTag {
+    /// Blocking send.
+    Send,
+    /// Blocking receive.
+    Recv,
+    /// Non-blocking send post.
+    Isend,
+    /// Non-blocking receive post.
+    Irecv,
+    /// `MPI_Wait`.
+    Wait,
+    /// `MPI_Waitall`.
+    Waitall,
+    /// Barrier.
+    Barrier,
+    /// Broadcast.
+    Bcast,
+    /// Reduce.
+    Reduce,
+    /// Allreduce.
+    Allreduce,
+    /// All-to-all.
+    Alltoall,
+}
+
+impl CommKindTag {
+    /// MPI-style display name.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            CommKindTag::Send => "MPI_Send",
+            CommKindTag::Recv => "MPI_Recv",
+            CommKindTag::Isend => "MPI_Isend",
+            CommKindTag::Irecv => "MPI_Irecv",
+            CommKindTag::Wait => "MPI_Wait",
+            CommKindTag::Waitall => "MPI_Waitall",
+            CommKindTag::Barrier => "MPI_Barrier",
+            CommKindTag::Bcast => "MPI_Bcast",
+            CommKindTag::Reduce => "MPI_Reduce",
+            CommKindTag::Allreduce => "MPI_Allreduce",
+            CommKindTag::Alltoall => "MPI_Alltoall",
+        }
+    }
+
+    /// True for collective operations.
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            CommKindTag::Barrier
+                | CommKindTag::Bcast
+                | CommKindTag::Reduce
+                | CommKindTag::Allreduce
+                | CommKindTag::Alltoall
+        )
+    }
+}
+
+/// One completed communication operation instance.
+#[derive(Debug, Clone)]
+pub struct CommRecord {
+    /// Executing rank.
+    pub rank: u32,
+    /// Calling context of the operation.
+    pub ctx: CtxId,
+    /// The comm statement.
+    pub stmt: StmtId,
+    /// Operation category.
+    pub kind: CommKindTag,
+    /// Peer rank (`u32::MAX` for collectives / waits).
+    pub peer: u32,
+    /// Message bytes (0 for waits/barrier).
+    pub bytes: u64,
+    /// Virtual time the operation was posted.
+    pub post: f64,
+    /// Virtual time the operation completed.
+    pub complete: f64,
+    /// Time spent blocked inside the operation.
+    pub wait: f64,
+}
+
+/// A matched message / dependence edge between two ranks — the raw
+/// material for inter-process PAG edges.
+#[derive(Debug, Clone)]
+pub struct MsgEdge {
+    /// Sending / causing rank.
+    pub src_rank: u32,
+    /// Statement on the source side.
+    pub src_stmt: StmtId,
+    /// Calling context on the source side.
+    pub src_ctx: CtxId,
+    /// Receiving / affected rank.
+    pub dst_rank: u32,
+    /// Statement on the destination side.
+    pub dst_stmt: StmtId,
+    /// Calling context on the destination side.
+    pub dst_ctx: CtxId,
+    /// Payload size.
+    pub bytes: u64,
+    /// Operation category on the destination side.
+    pub kind: CommKindTag,
+    /// Wait time this dependence induced on the destination.
+    pub wait: f64,
+}
+
+/// One lock acquisition instance.
+#[derive(Debug, Clone)]
+pub struct LockRecord {
+    /// Executing rank.
+    pub rank: u32,
+    /// Executing thread.
+    pub thread: u32,
+    /// Calling context of the lock site.
+    pub ctx: CtxId,
+    /// The lock statement.
+    pub stmt: StmtId,
+    /// Lock object id.
+    pub lock: u32,
+    /// Virtual time the acquisition was requested.
+    pub request: f64,
+    /// Virtual time the lock was granted.
+    pub acquire: f64,
+    /// Virtual time the lock was released.
+    pub release: f64,
+    /// The thread that held the lock while this one waited (if it
+    /// waited): (thread, statement, context).
+    pub blocked_by: Option<(u32, StmtId, CtxId)>,
+}
+
+impl LockRecord {
+    /// Wait time before acquisition.
+    pub fn wait(&self) -> f64 {
+        self.acquire - self.request
+    }
+}
+
+/// Aggregated PMU estimate of one calling context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PmuAgg {
+    /// Instructions retired.
+    pub instructions: f64,
+    /// Cycle estimate.
+    pub cycles: f64,
+    /// Cache misses.
+    pub cache_misses: f64,
+}
+
+/// A Scalasca-style trace event (enter/exit of one statement instance).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Executing rank.
+    pub rank: u32,
+    /// The statement.
+    pub stmt: StmtId,
+    /// Enter time.
+    pub enter: f64,
+    /// Exit time.
+    pub exit: f64,
+}
+
+/// Estimated on-disk size of one encoded trace event (rank + stmt + two
+/// timestamps, as a tracing tool would write).
+pub const TRACE_EVENT_BYTES: u64 = 24;
+
+/// Trace storage with a cap: events beyond the cap are counted but not
+/// stored, so overhead experiments can extrapolate cost without exhausting
+/// memory.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Stored events (up to the configured cap).
+    pub events: Vec<TraceEvent>,
+    /// Total events generated (stored + dropped).
+    pub total_events: u64,
+    /// Estimated serialized size of the full trace in bytes.
+    pub est_bytes: u64,
+}
+
+impl TraceData {
+    /// Record one event under the given storage cap.
+    pub fn push(&mut self, ev: TraceEvent, cap: usize) {
+        self.total_events += 1;
+        self.est_bytes += TRACE_EVENT_BYTES;
+        if self.events.len() < cap {
+            self.events.push(ev);
+        }
+    }
+}
+
+/// Everything a simulated run produces.
+#[derive(Debug)]
+pub struct RunData {
+    /// Number of ranks.
+    pub nranks: u32,
+    /// Threads per process the run was configured with.
+    pub nthreads: u32,
+    /// Per-rank completion time (µs).
+    pub elapsed: Vec<f64>,
+    /// Run makespan: `max(elapsed)`.
+    pub total_time: f64,
+    /// Sampling period used (µs), if sampling was on.
+    pub sample_period_us: Option<f64>,
+    /// Sample counts keyed by (context, rank, thread).
+    pub samples: HashMap<(CtxId, u32, u32), u64>,
+    /// PMU estimates per context (aggregated over ranks).
+    pub pmu: HashMap<CtxId, PmuAgg>,
+    /// Per-instance communication records.
+    pub comm_records: Vec<CommRecord>,
+    /// Matched message / dependence edges.
+    pub msg_edges: Vec<MsgEdge>,
+    /// Per-instance lock records.
+    pub lock_records: Vec<LockRecord>,
+    /// Call targets observed at indirect call sites.
+    pub indirect_targets: HashMap<StmtId, Vec<FuncId>>,
+    /// The calling context tree.
+    pub cct: Cct,
+    /// Optional full trace.
+    pub trace: TraceData,
+}
+
+/// Aggregate statistics of one run, per operation kind.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Makespan (µs).
+    pub makespan_us: f64,
+    /// Aggregate elapsed time across ranks (rank-µs).
+    pub aggregate_us: f64,
+    /// Aggregate time inside communication operations.
+    pub comm_us: f64,
+    /// Aggregate wait time inside communication operations.
+    pub comm_wait_us: f64,
+    /// Aggregate wait time at locks.
+    pub lock_wait_us: f64,
+    /// Per-kind (count, total op time µs, total wait µs), sorted by time.
+    pub per_kind: Vec<(CommKindTag, u64, f64, f64)>,
+    /// Parallel efficiency proxy: 1 − (comm waits + lock waits) / aggregate.
+    pub efficiency: f64,
+}
+
+impl RunSummary {
+    /// Render a compact text summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "makespan {:.2} ms | aggregate {:.2} rank-ms | comm {:.1}% (wait {:.1}%) | lock wait {:.1}% | efficiency {:.1}%\n",
+            self.makespan_us / 1e3,
+            self.aggregate_us / 1e3,
+            100.0 * self.comm_us / self.aggregate_us.max(1e-12),
+            100.0 * self.comm_wait_us / self.aggregate_us.max(1e-12),
+            100.0 * self.lock_wait_us / self.aggregate_us.max(1e-12),
+            100.0 * self.efficiency,
+        );
+        for (kind, count, time, wait) in &self.per_kind {
+            out.push_str(&format!(
+                "  {:<14} ×{:<8} {:>10.2} ms (wait {:>10.2} ms)\n",
+                kind.mpi_name(),
+                count,
+                time / 1e3,
+                wait / 1e3
+            ));
+        }
+        out
+    }
+}
+
+impl RunData {
+    /// Aggregate the run into a [`RunSummary`].
+    pub fn summary(&self) -> RunSummary {
+        let aggregate_us: f64 = self.elapsed.iter().sum();
+        let mut per: HashMap<CommKindTag, (u64, f64, f64)> = HashMap::new();
+        let mut comm_us = 0.0;
+        let mut comm_wait_us = 0.0;
+        for r in &self.comm_records {
+            let t = r.complete - r.post;
+            comm_us += t;
+            comm_wait_us += r.wait;
+            let e = per.entry(r.kind).or_insert((0, 0.0, 0.0));
+            e.0 += 1;
+            e.1 += t;
+            e.2 += r.wait;
+        }
+        let lock_wait_us: f64 = self
+            .lock_records
+            .iter()
+            .map(LockRecord::wait)
+            .sum::<f64>()
+            .max(0.0);
+        let mut per_kind: Vec<(CommKindTag, u64, f64, f64)> = per
+            .into_iter()
+            .map(|(k, (c, t, w))| (k, c, t, w))
+            .collect();
+        per_kind.sort_by(|a, b| b.2.total_cmp(&a.2));
+        RunSummary {
+            makespan_us: self.total_time,
+            aggregate_us,
+            comm_us,
+            comm_wait_us,
+            lock_wait_us,
+            per_kind,
+            efficiency: 1.0 - (comm_wait_us + lock_wait_us) / aggregate_us.max(1e-12),
+        }
+    }
+
+    /// Total sampled time attributed to a context (all ranks/threads), in
+    /// µs. Zero if sampling was off.
+    pub fn sampled_time(&self, ctx: CtxId) -> f64 {
+        let period = match self.sample_period_us {
+            Some(p) => p,
+            None => return 0.0,
+        };
+        self.samples
+            .iter()
+            .filter(|((c, _, _), _)| *c == ctx)
+            .map(|(_, &n)| n as f64 * period)
+            .sum()
+    }
+
+    /// Aggregate communication time (sum of `complete - post` over all
+    /// comm records).
+    pub fn total_comm_time(&self) -> f64 {
+        self.comm_records.iter().map(|r| r.complete - r.post).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cap_counts_but_drops() {
+        let mut t = TraceData::default();
+        for i in 0..10 {
+            t.push(
+                TraceEvent {
+                    rank: 0,
+                    stmt: StmtId(i),
+                    enter: 0.0,
+                    exit: 1.0,
+                },
+                4,
+            );
+        }
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.total_events, 10);
+        assert_eq!(t.est_bytes, 10 * TRACE_EVENT_BYTES);
+    }
+
+    #[test]
+    fn kind_tags() {
+        assert_eq!(CommKindTag::Allreduce.mpi_name(), "MPI_Allreduce");
+        assert!(CommKindTag::Barrier.is_collective());
+        assert!(!CommKindTag::Isend.is_collective());
+    }
+
+    #[test]
+    fn lock_wait() {
+        let r = LockRecord {
+            rank: 0,
+            thread: 1,
+            ctx: CtxId(0),
+            stmt: StmtId(0),
+            lock: 0,
+            request: 10.0,
+            acquire: 15.0,
+            release: 18.0,
+            blocked_by: Some((0, StmtId(0), CtxId(0))),
+        };
+        assert_eq!(r.wait(), 5.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! LAMMPS-like molecular dynamics (case study B, §5.4).
+//!
+//! Skeleton of the buggy path: every timestep computes pair forces in
+//! `PairLJCut::compute` (`loop_1` / `loop_1.1`, pair_lj_cut.cpp:102-137)
+//! and then exchanges ghost-atom forces in `CommBrick::reverse_comm`
+//! (comm_brick.cpp:544/547) with *blocking* `MPI_Send` + `MPI_Wait` per
+//! swap.
+//!
+//! **Planted bug:** a dense spatial region makes processes 0-2 run
+//! `loop_1.1` far longer than the rest. Because the reverse communication
+//! is blocking, their lateness propagates into every neighbour's
+//! `MPI_Send`/`MPI_Wait` — the secondary bugs the paper's causal analysis
+//! traces back to `loop_1.1`.
+//!
+//! [`lammps_balanced`] models the paper's `balance` fix (periodic domain
+//! rebalancing): the force loop evens out, throughput improves by a
+//! double-digit percentage (paper: +13.77%).
+
+use progmodel::{c, nranks, noise, param, rank, Program, ProgramBuilder};
+
+fn build(balanced: bool) -> Program {
+    let mut pb = ProgramBuilder::new(if balanced { "LMP-balanced" } else { "LMP" });
+    pb.param("class_scale", 3.0);
+    let main = pb.declare("main", "lammps.cpp");
+    let pair = pb.declare("PairLJCut::compute", "pair_lj_cut.cpp");
+    let reverse = pb.declare("CommBrick::reverse_comm", "comm_brick.cpp");
+    let forward = pb.declare("CommBrick::forward_comm", "comm_brick.cpp");
+    let neigh = pb.declare("Neighbor::build", "neighbor.cpp");
+
+    pb.define(pair, |f| {
+        f.loop_("loop_1", c(8.0), |outer| {
+            outer.loop_("loop_1.1", c(5.0), |b| {
+                let cost = if balanced {
+                    // `balance` evens the atom counts: mean of the buggy
+                    // distribution (work is conserved, not destroyed).
+                    c(300.0)
+                } else {
+                    // Dense region on ranks 0..2.
+                    rank().lt(3.0).select(c(400.0), c(240.0))
+                };
+                b.compute(
+                    "lj_inner",
+                    cost * param("class_scale") * noise(0.05, 301) / nranks().log2().max(c(1.0)),
+                );
+            });
+        });
+    });
+
+    // reverse_comm: per swap, blocking send to the neighbour + wait on
+    // the posted irecv (Listing 9's Irecv/Send/Wait triple).
+    pb.define(reverse, |f| {
+        f.loop_("swap", c(3.0), |b| {
+            b.irecv((rank() + 1.0).rem(nranks()), c(60_000.0), 7);
+            b.send((rank() + nranks() - 1.0).rem(nranks()), c(60_000.0), 7);
+            b.wait(0);
+        });
+    });
+
+    pb.define(forward, |f| {
+        f.loop_("fswap", c(2.0), |b| {
+            b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(30_000.0), 8);
+            b.isend((rank() + 1.0).rem(nranks()), c(30_000.0), 8);
+            b.waitall();
+        });
+    });
+
+    pb.define(neigh, |f| {
+        for i in 0..6 {
+            f.compute(
+                &format!("bin_atoms_{i}"),
+                c(600.0) * param("class_scale") / nranks() * noise(0.03, 400 + i as u64),
+            );
+        }
+    });
+
+    let integrate = pb.declare("Verlet::integrate", "verlet.cpp");
+    pb.define(integrate, |f| {
+        for i in 0..4 {
+            f.compute(
+                &format!("final_integrate_{i}"),
+                c(1_200.0) * param("class_scale") * noise(0.03, 450 + i as u64)
+                    / nranks().log2().max(c(1.0)),
+            );
+        }
+    });
+
+    // The package's style inventory: pair styles, fixes and computes
+    // that exist in the binary (and therefore in the static PAG) but run
+    // rarely or cheaply in this input deck — this is what makes the
+    // LAMMPS binary an order of magnitude bigger than ZeusMP's.
+    let mut styles = Vec::new();
+    for sname in [
+        "PairEAM::compute", "PairTersoff::compute", "PairMorse::compute",
+        "PairBuck::compute", "PairYukawa::compute", "PairSW::compute",
+        "FixNVE::initial_integrate", "FixNVT::initial_integrate",
+        "FixNPT::initial_integrate", "FixLangevin::post_force",
+        "FixSpring::post_force", "FixWall::post_force",
+        "ComputeTemp::compute_scalar", "ComputePressure::compute_scalar",
+        "ComputePE::compute_scalar", "ComputeRDF::compute_array",
+        "ComputeMSD::compute_vector", "ComputeStress::compute_array",
+        "BondHarmonic::compute", "AngleHarmonic::compute",
+        "DihedralOPLS::compute", "ImproperHarmonic::compute",
+        "KSpacePPPM::compute", "Output::write_dump",
+    ] {
+        let file = "styles.cpp";
+        let fid = pb.declare(sname, file);
+        pb.define(fid, move |f| {
+            for i in 0..35 {
+                f.compute(&format!("{}_{i}", sname.split(':').next().unwrap()), c(0.4));
+            }
+        });
+        styles.push(fid);
+    }
+    let setup = pb.declare("LAMMPS::setup", "lammps.cpp");
+    pb.define(setup, |f| {
+        for &st in &styles {
+            f.call(st);
+        }
+    });
+
+    pb.define(main, |f| {
+        f.call(setup);
+        f.loop_("timestep", c(12.0), |b| {
+            b.branch(
+                "reneighbor",
+                iter_is_multiple_of(4),
+                |t| t.call(neigh),
+                |_| {},
+            );
+            b.call(forward);
+            b.call(pair);
+            b.call(reverse);
+            b.call(integrate);
+            // Thermo output only every few steps (the usual thermo
+            // interval), so the allreduce does not dwarf the p2p path.
+            b.branch(
+                "thermo",
+                iter_is_multiple_of(3),
+                |t| t.allreduce(c(48.0)),
+                |_| {},
+            );
+        });
+    });
+    pb.kloc(704.8);
+    pb.binary_bytes(14_670_000);
+    pb.build(main)
+}
+
+/// `iter % n == 0` as an expression.
+fn iter_is_multiple_of(n: u32) -> progmodel::Expr {
+    progmodel::iter().rem(n as f64).lt(0.5)
+}
+
+/// The buggy LAMMPS-like model (spatial imbalance on ranks 0-2).
+pub fn lammps() -> Program {
+    build(false)
+}
+
+/// The balanced variant (the paper's `balance` command fix).
+pub fn lammps_balanced() -> Program {
+    build(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrt::{simulate, CommKindTag, RunConfig};
+
+    #[test]
+    fn send_and_wait_carry_secondary_waits() {
+        let data = simulate(&lammps(), &RunConfig::new(8)).unwrap();
+        // MPI_Send (rendezvous; 50 kB > eager) and MPI_Wait of
+        // non-overloaded ranks wait on the slow ranks.
+        let send_wait: f64 = data
+            .comm_records
+            .iter()
+            .filter(|r| r.kind == CommKindTag::Send && r.rank >= 3)
+            .map(|r| r.wait)
+            .sum();
+        assert!(send_wait > 0.0, "sends should inherit waits");
+        let total: f64 = data.elapsed.iter().sum();
+        let comm: f64 = data.total_comm_time();
+        let share = comm / total;
+        // The paper observed ~29% communication share.
+        assert!(share > 0.1, "comm share too small: {share}");
+    }
+
+    #[test]
+    fn balance_fix_improves_throughput() {
+        let t_bug = simulate(&lammps(), &RunConfig::new(8)).unwrap().total_time;
+        let t_fix = simulate(&lammps_balanced(), &RunConfig::new(8))
+            .unwrap()
+            .total_time;
+        let gain = (t_bug - t_fix) / t_bug;
+        assert!(
+            gain > 0.05 && gain < 0.5,
+            "balance gain should be double-digit percent, got {gain}"
+        );
+    }
+
+    #[test]
+    fn fast_neighbours_of_slow_ranks_wait_in_sends() {
+        let data = simulate(&lammps(), &RunConfig::new(8)).unwrap();
+        let send_wait_of = |rank: u32| {
+            data.comm_records
+                .iter()
+                .filter(|r| r.kind == CommKindTag::Send && r.rank == rank)
+                .map(|r| r.wait)
+                .sum::<f64>()
+        };
+        // Rank 3 sends to overloaded rank 2, whose recv posts late; rank 1
+        // is itself slow, so by the time it sends, rank 0's recv is ready.
+        assert!(
+            send_wait_of(3) > send_wait_of(1),
+            "send waits: rank3={} rank1={}",
+            send_wait_of(3),
+            send_wait_of(1)
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # Workload models
+//!
+//! Synthetic program models with the computation/communication skeletons
+//! of the paper's evaluated programs (§5.1): the NPB kernels BT, CG, EP,
+//! FT, IS, LU, MG, SP, plus the three case-study applications —
+//! ZeusMP-like (astrophysics stencil with a boundary-loop imbalance that
+//! hurts scalability), LAMMPS-like (molecular dynamics with spatial load
+//! imbalance propagating through blocking reverse communication) and
+//! Vite-like (multithreaded Louvain with thread-unsafe allocation
+//! contention).
+//!
+//! Per DESIGN.md §2, these skeletons plant the *same bug structure at the
+//! same code positions* as the real applications, so PerFlow's paradigms
+//! must find them the same way the paper reports. Source-size and
+//! binary-size metadata (Table 2's `Code` and `Binary` columns) are set
+//! to the paper's reported values; graph sizes emerge from the model
+//! structure.
+
+pub mod lammps;
+pub mod npb;
+pub mod vite;
+pub mod zeusmp;
+
+pub use lammps::{lammps, lammps_balanced};
+pub use npb::{bt, cg, ep, ft, is, lu, mg, npb_class_factor, sp};
+pub use vite::{vite, vite_optimized};
+pub use zeusmp::{zeusmp, zeusmp_fixed};
+
+use progmodel::Program;
+
+/// The Table 1/2 program list, in the paper's column order.
+pub fn all_programs() -> Vec<Program> {
+    vec![
+        bt(),
+        cg(),
+        ep(),
+        ft(),
+        mg(),
+        sp(),
+        lu(),
+        is(),
+        zeusmp(),
+        lammps(),
+        vite(),
+    ]
+}
+
+/// Short display names matching the paper's tables.
+pub const PROGRAM_NAMES: &[&str] = &[
+    "BT", "CG", "EP", "FT", "MG", "SP", "LU", "IS", "ZMP", "LMP", "Vite",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrt::{simulate, RunConfig};
+
+    #[test]
+    fn every_program_builds_and_runs() {
+        for (prog, name) in all_programs().iter().zip(PROGRAM_NAMES) {
+            let cfg = RunConfig::new(4).with_threads(2);
+            let data = simulate(prog, &cfg)
+                .unwrap_or_else(|e| panic!("{name} failed to simulate: {e}"));
+            assert!(data.total_time > 0.0, "{name} produced no time");
+            assert!(!data.samples.is_empty(), "{name} produced no samples");
+        }
+    }
+
+    #[test]
+    fn registry_matches_names() {
+        assert_eq!(all_programs().len(), PROGRAM_NAMES.len());
+    }
+}

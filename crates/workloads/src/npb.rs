@@ -1,0 +1,400 @@
+//! NPB-like kernel models (BT, CG, EP, FT, IS, LU, MG, SP).
+//!
+//! Each model reproduces the kernel's characteristic communication
+//! pattern and a structure of roughly the paper's relative richness
+//! (Table 2 orders top-down PAG sizes MG > BT > FT > SP > LU > IS ≈ CG >
+//! EP). Costs are in simulated µs and scale with the `class` parameter
+//! and rank count so strong-scaling studies behave sensibly.
+
+use progmodel::{c, nranks, noise, param, rank, Expr, FuncBuilder, Program, ProgramBuilder};
+
+/// Emit `n` straight-line compute kernels (the stand-in for large
+/// unrolled Fortran routines; gives functions realistic vertex counts).
+fn straightline(f: &mut FuncBuilder<'_>, prefix: &str, n: usize, each_cost: Expr) {
+    for i in 0..n {
+        f.compute(&format!("{prefix}_{i}"), each_cost.clone() * noise(0.03, i as u64));
+    }
+}
+
+/// Per-rank share of an N^3 problem, as a cost expression.
+fn share(total_us: f64) -> Expr {
+    c(total_us) * param("class_scale") / nranks()
+}
+
+/// Multiplier for the NPB problem classes, relative to each model's
+/// built-in default (CLASS C, the paper's setting). Override a run with
+/// `RunConfig::with_param("class_scale", base * npb_class_factor('B'))`.
+pub fn npb_class_factor(class: char) -> f64 {
+    match class.to_ascii_uppercase() {
+        'S' => 0.01,
+        'W' => 0.05,
+        'A' => 0.25,
+        'B' => 0.5,
+        'C' => 1.0,
+        'D' => 8.0,
+        _ => 1.0,
+    }
+}
+
+/// BT: block tridiagonal ADI solver. Three directional sweeps per step,
+/// each with face exchanges (isend/irecv/waitall per dimension).
+pub fn bt() -> Program {
+    let mut pb = ProgramBuilder::new("BT");
+    pb.param("class_scale", 30.0);
+    let main = pb.declare("main", "bt.f");
+    let adi = pb.declare("adi", "bt.f");
+    let mut solves = Vec::new();
+    for dim in ["x", "y", "z"] {
+        let fid = pb.declare(&format!("{dim}_solve"), "bt.f");
+        pb.define(fid, |f| {
+            f.loop_(&format!("loop_{dim}_cells"), c(6.0), |b| {
+                straightline(b, &format!("{dim}_backsub"), 24, share(20.0));
+                b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(16_384.0), 1);
+                b.isend((rank() + 1.0).rem(nranks()), c(16_384.0), 1);
+                b.waitall();
+            });
+        });
+        solves.push(fid);
+    }
+    let rhs = pb.declare("compute_rhs", "bt.f");
+    pb.define(rhs, |f| {
+        f.loop_("loop_rhs", c(5.0), |b| {
+            straightline(b, "rhs_kernel", 30, share(15.0));
+        });
+    });
+    pb.define(adi, |f| {
+        f.call(rhs);
+        for &s in &solves {
+            f.call(s);
+        }
+        straightline(f, "add", 8, share(10.0));
+    });
+    pb.define(main, |f| {
+        f.loop_("timestep", c(12.0), |b| {
+            b.call(adi);
+        });
+        f.allreduce(c(40.0));
+    });
+    pb.kloc(11.3);
+    pb.binary_bytes(490_000);
+    pb.build(main)
+}
+
+/// CG: conjugate gradient. The collective reduce is implemented with
+/// three point-to-point phases (the paper calls this pattern out as the
+/// reason CG has the largest dynamic overhead).
+pub fn cg() -> Program {
+    let mut pb = ProgramBuilder::new("CG");
+    pb.param("class_scale", 60.0);
+    let main = pb.declare("main", "cg.f");
+    let matvec = pb.declare("sparse_matvec", "cg.f");
+    let p2p_reduce = pb.declare("p2p_reduce", "cg.f");
+    pb.define(matvec, |f| {
+        straightline(f, "spmv", 10, share(120.0));
+    });
+    pb.define(p2p_reduce, |f| {
+        // Three p2p exchange phases emulating a reduce.
+        for phase in 0..3u32 {
+            f.loop_(&format!("reduce_phase_{phase}"), c(1.0), |b| {
+                b.irecv(rank() + (rank().rem(2.0).eq(0.0).select(c(1.0), c(-1.0))), c(8.0), 10 + phase);
+                b.isend(rank() + (rank().rem(2.0).eq(0.0).select(c(1.0), c(-1.0))), c(8.0), 10 + phase);
+                b.waitall();
+            });
+        }
+    });
+    pb.define(main, |f| {
+        f.loop_("cg_iter", c(25.0), |b| {
+            b.call(matvec);
+            b.call(p2p_reduce);
+            straightline(b, "axpy", 4, share(20.0));
+        });
+    });
+    pb.kloc(2.0);
+    pb.binary_bytes(97_000);
+    pb.build(main)
+}
+
+/// EP: embarrassingly parallel random-number kernel; communication is a
+/// handful of final allreduces.
+pub fn ep() -> Program {
+    let mut pb = ProgramBuilder::new("EP");
+    pb.param("class_scale", 80.0);
+    let main = pb.declare("main", "ep.f");
+    pb.define(main, |f| {
+        f.loop_("batch", c(8.0), |b| {
+            straightline(b, "gaussian_pairs", 6, share(500.0));
+        });
+        for _ in 0..3 {
+            f.allreduce(c(16.0));
+        }
+    });
+    pb.kloc(0.6);
+    pb.binary_bytes(60_000);
+    pb.build(main)
+}
+
+/// FT: 3-D FFT; each iteration performs local FFTs plus an all-to-all
+/// transpose.
+pub fn ft() -> Program {
+    let mut pb = ProgramBuilder::new("FT");
+    pb.param("class_scale", 30.0);
+    let main = pb.declare("main", "ft.f");
+    let fft3d = pb.declare("fft3d", "ft.f");
+    pb.define(fft3d, |f| {
+        for dim in 0..3u32 {
+            f.loop_(&format!("fft_dim_{dim}"), c(4.0), |b| {
+                straightline(b, &format!("cfftz_{dim}"), 32, share(16.0));
+            });
+        }
+        f.alltoall(c(65_536.0) / nranks());
+    });
+    pb.define(main, |f| {
+        f.loop_("ft_iter", c(10.0), |b| {
+            b.call(fft3d);
+            straightline(b, "evolve", 18, share(9.0));
+        });
+        f.reduce(c(0.0), c(16.0));
+    });
+    pb.kloc(2.5);
+    pb.binary_bytes(222_000);
+    pb.build(main)
+}
+
+/// IS: integer bucket sort; key exchange is alltoall + allreduce.
+pub fn is() -> Program {
+    let mut pb = ProgramBuilder::new("IS");
+    pb.param("class_scale", 300.0);
+    let main = pb.declare("main", "is.c");
+    pb.define(main, |f| {
+        f.loop_("is_iter", c(10.0), |b| {
+            straightline(b, "bucket_count", 5, share(80.0));
+            b.allreduce(c(1024.0));
+            b.alltoall(c(32_768.0) / nranks());
+            straightline(b, "local_rank", 4, share(60.0));
+        });
+    });
+    pb.kloc(1.3);
+    pb.binary_bytes(37_000);
+    pb.build(main)
+}
+
+/// LU: SSOR with wavefront pipelining — many small blocking exchanges.
+pub fn lu() -> Program {
+    let mut pb = ProgramBuilder::new("LU");
+    pb.param("class_scale", 50.0);
+    let main = pb.declare("main", "lu.f");
+    let blts = pb.declare("blts", "lu.f");
+    let buts = pb.declare("buts", "lu.f");
+    for (fid, dir) in [(blts, "lower"), (buts, "upper")] {
+        pb.define(fid, move |f| {
+            f.loop_(&format!("wavefront_{dir}"), c(8.0), |b| {
+                b.branch(
+                    &format!("has_pred_{dir}"),
+                    rank().lt(1.0).select(c(0.0), c(1.0)),
+                    |t| t.recv(rank() - c(1.0), c(2_048.0), 5),
+                    |_| {},
+                );
+                straightline(b, &format!("{dir}_sweep"), 14, share(30.0));
+                b.branch(
+                    &format!("has_succ_{dir}"),
+                    (rank() + 1.0).lt(nranks()),
+                    |t| t.send(rank() + c(1.0), c(2_048.0), 5),
+                    |_| {},
+                );
+            });
+        });
+    }
+    pb.define(main, |f| {
+        f.loop_("ssor_iter", c(6.0), |b| {
+            b.call(blts);
+            b.call(buts);
+            straightline(b, "rhs_update", 10, share(20.0));
+        });
+        f.allreduce(c(40.0));
+    });
+    pb.kloc(7.7);
+    pb.binary_bytes(325_000);
+    pb.build(main)
+}
+
+/// MG: multigrid V-cycle — halo exchanges at every level, coarser levels
+/// exchanging less data; the deepest structure of the NPB set.
+pub fn mg() -> Program {
+    let mut pb = ProgramBuilder::new("MG");
+    pb.param("class_scale", 100.0);
+    let main = pb.declare("main", "mg.f");
+    let mut levels = Vec::new();
+    for level in 0..5u32 {
+        let fid = pb.declare(&format!("level_{level}"), "mg.f");
+        let bytes = 8192.0 / (1 << level) as f64;
+        pb.define(fid, move |f| {
+            f.loop_(&format!("smooth_l{level}"), c(2.0), |b| {
+                straightline(
+                    b,
+                    &format!("resid_l{level}"),
+                    22,
+                    share(18.0 / (1 << level) as f64),
+                );
+                b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(bytes), 20 + level);
+                b.isend((rank() + 1.0).rem(nranks()), c(bytes), 20 + level);
+                b.waitall();
+            });
+            straightline(f, &format!("interp_l{level}"), 16, share(8.0));
+        });
+        levels.push(fid);
+    }
+    pb.define(main, |f| {
+        f.loop_("vcycle", c(8.0), |b| {
+            for &l in &levels {
+                b.call(l);
+            }
+            b.allreduce(c(8.0));
+        });
+    });
+    pb.kloc(2.8);
+    pb.binary_bytes(270_000);
+    pb.build(main)
+}
+
+/// SP: scalar pentadiagonal ADI; structurally like BT with slimmer
+/// sweeps.
+pub fn sp() -> Program {
+    let mut pb = ProgramBuilder::new("SP");
+    pb.param("class_scale", 40.0);
+    let main = pb.declare("main", "sp.f");
+    let mut solves = Vec::new();
+    for dim in ["x", "y", "z"] {
+        let fid = pb.declare(&format!("{dim}_solve"), "sp.f");
+        pb.define(fid, |f| {
+            f.loop_(&format!("loop_{dim}_lines"), c(5.0), |b| {
+                straightline(b, &format!("{dim}_thomas"), 18, share(16.0));
+                b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(8_192.0), 2);
+                b.isend((rank() + 1.0).rem(nranks()), c(8_192.0), 2);
+                b.waitall();
+            });
+        });
+        solves.push(fid);
+    }
+    pb.define(main, |f| {
+        f.loop_("timestep", c(12.0), |b| {
+            straightline(b, "rhs", 20, share(12.0));
+            for &s in &solves {
+                b.call(s);
+            }
+        });
+        f.allreduce(c(40.0));
+    });
+    pb.kloc(6.3);
+    pb.binary_bytes(357_000);
+    pb.build(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrt::{simulate, CommKindTag, RunConfig};
+
+    #[test]
+    fn structural_richness_ordering_follows_paper() {
+        // Table 2 orders top-down |V|: MG > BT > FT > SP > LU > IS/CG > EP.
+        let count = |p: &Program| {
+            let mut n = 0;
+            p.visit_stmts(|_, _| n += 1);
+            n
+        };
+        let (vmg, vbt, vft, vsp, vlu, vis, vcg, vep) = (
+            count(&mg()),
+            count(&bt()),
+            count(&ft()),
+            count(&sp()),
+            count(&lu()),
+            count(&is()),
+            count(&cg()),
+            count(&ep()),
+        );
+        assert!(vmg > vbt, "MG {vmg} vs BT {vbt}");
+        assert!(vbt > vft, "BT {vbt} vs FT {vft}");
+        assert!(vft > vsp, "FT {vft} vs SP {vsp}");
+        assert!(vsp > vlu, "SP {vsp} vs LU {vlu}");
+        assert!(vlu > vis, "LU {vlu} vs IS {vis}");
+        assert!(vis >= vcg || vcg >= vis, "IS/CG comparable");
+        assert!(vep < vcg, "EP smallest");
+    }
+
+    #[test]
+    fn cg_uses_p2p_not_collectives_for_reduce() {
+        let data = simulate(&cg(), &RunConfig::new(4)).unwrap();
+        let p2p = data
+            .comm_records
+            .iter()
+            .filter(|r| matches!(r.kind, CommKindTag::Isend | CommKindTag::Irecv))
+            .count();
+        let coll = data
+            .comm_records
+            .iter()
+            .filter(|r| r.kind.is_collective())
+            .count();
+        assert!(p2p > 0);
+        assert_eq!(coll, 0, "CG's reduce must be pure p2p");
+    }
+
+    #[test]
+    fn ft_and_is_use_alltoall() {
+        for prog in [ft(), is()] {
+            let data = simulate(&prog, &RunConfig::new(4)).unwrap();
+            assert!(
+                data.comm_records
+                    .iter()
+                    .any(|r| r.kind == CommKindTag::Alltoall),
+                "{} lacks alltoall",
+                prog.name
+            );
+        }
+    }
+
+    #[test]
+    fn lu_wavefront_pipelines() {
+        let data = simulate(&lu(), &RunConfig::new(4)).unwrap();
+        // Rank 0 leads the pipeline, so it reaches the final allreduce
+        // first and waits longest; the last rank waits least.
+        let ar_wait = |rank: u32| {
+            data.comm_records
+                .iter()
+                .filter(|r| r.kind == CommKindTag::Allreduce && r.rank == rank)
+                .map(|r| r.wait)
+                .sum::<f64>()
+        };
+        assert!(
+            ar_wait(0) > ar_wait(3),
+            "rank0 wait {} vs rank3 wait {}",
+            ar_wait(0),
+            ar_wait(3)
+        );
+        // Blocking sends/recvs present.
+        assert!(data
+            .comm_records
+            .iter()
+            .any(|r| r.kind == CommKindTag::Recv));
+    }
+
+    #[test]
+    fn ep_is_compute_dominated() {
+        let data = simulate(&ep(), &RunConfig::new(4)).unwrap();
+        let comm: f64 = data.comm_records.iter().map(|r| r.complete - r.post).sum();
+        let total: f64 = data.elapsed.iter().sum();
+        assert!(comm / total < 0.05, "EP comm share {}", comm / total);
+    }
+
+    #[test]
+    fn strong_scaling_reduces_time() {
+        for prog in [bt(), mg(), sp()] {
+            let t4 = simulate(&prog, &RunConfig::new(4)).unwrap().total_time;
+            let t16 = simulate(&prog, &RunConfig::new(16)).unwrap().total_time;
+            assert!(
+                t16 < t4,
+                "{}: 16 ranks ({t16}) not faster than 4 ({t4})",
+                prog.name
+            );
+        }
+    }
+}

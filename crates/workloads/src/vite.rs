@@ -1,0 +1,159 @@
+//! Vite-like distributed Louvain community detection (case study C, §5.5).
+//!
+//! Skeleton of the buggy path: `distExecuteLouvainIteration` runs a
+//! per-thread vertex loop whose `unordered_map` updates call
+//! `_M_realloc_insert` / `_M_emplace`, which in turn hit the *process
+//! allocator* (`allocate` / `reallocate` / `deallocate`). Memory
+//! allocation is thread-unsafe — an implicit lock serializes it — so
+//! adding threads adds contention instead of speed: the paper measures 8
+//! threads running *slower* than 2 (speedup 0.56×).
+//!
+//! **Planted bug:** every hash-map update performs allocator lock
+//! acquisitions. With `T` threads the lock queue grows, and the region's
+//! runtime is dominated by serialized hold time.
+//!
+//! [`vite_optimized`] models the paper's two fixes (static thread-local
+//! buffers + a vector-based hashmap for tiny objects): allocator traffic
+//! drops by ~16× and the remaining allocations are short, restoring
+//! multi-threaded scaling (paper: 25.29× at 8 threads).
+
+use progmodel::{c, nranks, nthreads, noise, param, Program, ProgramBuilder};
+
+fn build(optimized: bool) -> Program {
+    let mut pb = ProgramBuilder::new(if optimized { "Vite-opt" } else { "Vite" });
+    pb.param("class_scale", 10.0);
+    let main = pb.declare("main", "vite.cpp");
+    let louvain = pb.declare("distExecuteLouvainIteration", "louvain.cpp");
+
+    pb.define(louvain, |f| {
+        f.thread_region(nthreads(), |t| {
+            t.loop_("vertex_loop", c(12.0), |l| {
+                // Scan the neighbourhood: parallel-friendly compute.
+                l.compute(
+                    "scan_neighbors",
+                    c(180.0) * param("class_scale") * noise(0.08, 501) / nthreads(),
+                );
+                if optimized {
+                    // Thread-local buffers: one short-lived allocation per
+                    // whole loop body, vector-based map needs no rehash.
+                    l.alloc("tl_buffer_touch", c(1.5) * param("class_scale"));
+                } else {
+                    // unordered_map growth: realloc-insert + emplace, each
+                    // entering the allocator's critical section.
+                    l.loop_("hash_updates", c(4.0), |h| {
+                        h.alloc("_M_realloc_insert", c(14.0) * param("class_scale"));
+                        h.alloc("_M_emplace", c(9.0) * param("class_scale"));
+                    });
+                }
+            });
+        });
+    });
+
+    // The remaining pipeline: graph loading, ghost exchange, community
+    // rebuild — structurally present, cheap in this input.
+    let mut phases = Vec::new();
+    for pname in [
+        "loadDistGraph", "exchangeGhosts", "fillRemoteCommunities",
+        "updateRemoteCommunities", "distbuildNextLevelGraph", "distComputeModularity",
+    ] {
+        let fid = pb.declare(pname, "vite.cpp");
+        pb.define(fid, move |f| {
+            for i in 0..38 {
+                f.compute(&format!("{pname}_{i}"), c(0.5));
+            }
+        });
+        phases.push(fid);
+    }
+    let setup = pb.declare("setup", "vite.cpp");
+    pb.define(setup, |f| {
+        for &ph in &phases {
+            f.call(ph);
+        }
+    });
+
+    pb.define(main, |f| {
+        f.call(setup);
+        f.loop_("louvain_phase", c(6.0), |b| {
+            b.call(louvain);
+            b.allreduce(c(128.0)); // modularity reduction
+            b.alltoall(c(8_192.0) / nranks()); // community migration
+        });
+    });
+    pb.kloc(15.9);
+    pb.binary_bytes(2_800_000);
+    pb.build(main)
+}
+
+/// The buggy Vite-like model (allocator contention).
+pub fn vite() -> Program {
+    build(false)
+}
+
+/// The optimized variant (thread-local buffers + vector-based hashmap).
+pub fn vite_optimized() -> Program {
+    build(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrt::{simulate, RunConfig};
+
+    fn time_with_threads(prog: &Program, threads: u32) -> f64 {
+        simulate(prog, &RunConfig::new(2).with_threads(threads))
+            .unwrap()
+            .total_time
+    }
+
+    #[test]
+    fn buggy_version_degrades_with_threads() {
+        let prog = vite();
+        let t2 = time_with_threads(&prog, 2);
+        let t8 = time_with_threads(&prog, 8);
+        // Fig. 13: 8 threads no faster (even slower) than 2.
+        assert!(
+            t8 > 0.9 * t2,
+            "buggy Vite should not scale: t2={t2} t8={t8}"
+        );
+    }
+
+    #[test]
+    fn optimized_version_scales_and_wins_big() {
+        let opt = vite_optimized();
+        let t2 = time_with_threads(&opt, 2);
+        let t8 = time_with_threads(&opt, 8);
+        assert!(t8 < t2, "optimized Vite must scale: t2={t2} t8={t8}");
+        // Head-to-head at 8 threads: order-of-magnitude improvement.
+        let buggy_t8 = time_with_threads(&vite(), 8);
+        let factor = buggy_t8 / t8;
+        assert!(factor > 4.0, "optimization factor only {factor}");
+    }
+
+    #[test]
+    fn contention_shows_in_lock_records() {
+        let data = simulate(&vite(), &RunConfig::new(1).with_threads(8)).unwrap();
+        let total_wait: f64 = data.lock_records.iter().map(|l| l.wait()).sum();
+        let blocked = data
+            .lock_records
+            .iter()
+            .filter(|l| l.blocked_by.is_some())
+            .count();
+        assert!(total_wait > 0.0);
+        assert!(
+            blocked as f64 / data.lock_records.len() as f64 > 0.5,
+            "most acquisitions should contend"
+        );
+    }
+
+    #[test]
+    fn optimized_version_allocates_less() {
+        let buggy = simulate(&vite(), &RunConfig::new(1).with_threads(4)).unwrap();
+        let opt = simulate(&vite_optimized(), &RunConfig::new(1).with_threads(4)).unwrap();
+        assert!(
+            opt.lock_records.len() * 4 < buggy.lock_records.len(),
+            "optimization must slash allocator traffic: {} vs {}",
+            opt.lock_records.len(),
+            buggy.lock_records.len()
+        );
+    }
+}

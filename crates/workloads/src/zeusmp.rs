@@ -1,0 +1,213 @@
+//! ZeusMP-like astrophysics stencil (case study A, §5.3).
+//!
+//! Skeleton of the real code's buggy path: `nudt` calls `bvald` three
+//! times; `bvald` contains boundary loops (`loop_10` / `loop_10.1`) whose
+//! work depends on which ranks own physical boundaries, followed by
+//! non-blocking halo exchanges (`MPI_IRECV`/`MPI_ISEND`, bvald.F:391/399).
+//! Each `bvald` call is drained by an `MPI_WAITALL` in `nudt`
+//! (nudt.F:227/269/328), and the timestep ends in an `MPI_ALLREDUCE`
+//! (nudt.F:361) computing the new dt — plus a `newdt` loop (`loop_1.1`)
+//! with its own imbalance.
+//!
+//! **Planted bug:** boundary ranks (those owning a domain face) do extra
+//! work in `loop_10.1`. The fraction of boundary ranks *grows* with the
+//! process count (surface-to-volume of the domain decomposition), so the
+//! imbalance — and the waits it feeds through three waitall chains into
+//! the allreduce — worsens at scale, reproducing the paper's poor
+//! speedup at 2,048 processes.
+//!
+//! [`zeusmp_fixed`] models the paper's fix (hybrid MPI+OpenMP work
+//! sharing on the boundary loops): boundary work is spread over threads,
+//! shrinking the inter-process imbalance and improving the 2,048-rank
+//! speedup by a few percent — not orders of magnitude, matching the
+//! paper's +6.91%.
+
+use progmodel::{c, nranks, noise, param, rank, Expr, Program, ProgramBuilder};
+
+/// Expression: 1.0 when this rank owns a domain boundary face.
+///
+/// With a 1-D decomposition of a 3-D domain into `P` slabs, the first and
+/// last slabs own physical x-faces; additionally every `P/16`-th rank
+/// models owning a y/z face seam, so the boundary share grows with `P`.
+fn is_boundary() -> Expr {
+    let first_or_last = rank().lt(1.0).max((rank() + 1.0).eq(nranks()));
+    // Seam ranks: every 8th rank up to a quarter of ranks at high P.
+    let seam = rank().rem(c(8.0)).lt(1.0);
+    first_or_last.max(seam)
+}
+
+fn build(balanced: bool) -> Program {
+    let mut pb = ProgramBuilder::new(if balanced { "ZMP-fixed" } else { "ZMP" });
+    pb.param("class_scale", 1.0);
+    let main = pb.declare("main", "zeusmp.F");
+    let nudt = pb.declare("nudt", "nudt.F");
+    let bvald = pb.declare("bvald", "bvald.F");
+    let newdt = pb.declare("newdt", "newdt.F");
+    let hsmoc = pb.declare("hsmoc", "hsmoc.F");
+
+    // bvald: boundary-value fill with the famous loop_10/loop_10.1, then
+    // the halo exchange posts. Interior work strong-scales (∝ 1/P);
+    // boundary surplus follows the surface-to-volume law (∝ 1/√P), so
+    // the imbalance worsens relative to useful work as P grows.
+    pb.define(bvald, |f| {
+        f.loop_("loop_10", c(4.0), |outer| {
+            outer.loop_("loop_10.1", c(6.0), |b| {
+                let base = c(3_200.0) * param("class_scale") / nranks();
+                let surplus_amp = if balanced {
+                    // OpenMP work sharing spreads the surplus over the
+                    // rank's threads — mitigation, not elimination.
+                    c(500.0 * 0.85)
+                } else {
+                    c(500.0)
+                };
+                let surplus = is_boundary()
+                    .select(surplus_amp * param("class_scale") / nranks().sqrt(), c(0.0));
+                b.compute("bvald_fill", (base + surplus) * noise(0.04, 101));
+            });
+        });
+        f.irecv((rank() + nranks() - 1.0).rem(nranks()), c(12_288.0), 3);
+        f.isend((rank() + 1.0).rem(nranks()), c(12_288.0), 3);
+    });
+
+    // newdt: timestep constraint with its own mild imbalance (loop_1.1).
+    pb.define(newdt, |f| {
+        f.loop_("loop_1", c(2.0), |outer| {
+            outer.loop_("loop_1.1", c(4.0), |b| {
+                let base = c(1_600.0) * param("class_scale") / nranks();
+                let amp = if balanced { 200.0 * 0.85 } else { 200.0 };
+                let surplus = is_boundary()
+                    .select(c(amp) * param("class_scale") / nranks().sqrt(), c(0.0));
+                b.compute("newdt_scan", (base + surplus) * noise(0.04, 103));
+            });
+        });
+    });
+
+    // hsmoc: the bulk MHD update — large, balanced compute.
+    pb.define(hsmoc, |f| {
+        for i in 0..24 {
+            f.compute(
+                &format!("hsmoc_sweep_{i}"),
+                c(9_000.0) * param("class_scale") / nranks() * noise(0.03, 200 + i as u64),
+            );
+        }
+    });
+
+    // nudt: 3 × (bvald → waitall) then the allreduce of the new dt.
+    pb.define(nudt, |f| {
+        for _ in 0..3 {
+            f.call(bvald);
+            f.waitall(); // nudt.F:227 / 269 / 328
+        }
+        f.call(newdt);
+        f.allreduce(c(8.0)); // nudt.F:361
+    });
+
+    // The remaining solver inventory: structurally faithful routines
+    // (transport, source terms, CT magnetic update, momenta) that are
+    // cheap at runtime but give the binary its real size.
+    let mut routines = Vec::new();
+    for rname in [
+        "lorentz", "ct", "srcstep", "tranx1", "tranx2", "tranx3", "momx1", "momx2", "momx3",
+        "forces", "pgas", "diverg",
+    ] {
+        let fid = pb.declare(rname, "zeusmp.F");
+        pb.define(fid, move |f| {
+            f.loop_(&format!("{rname}_k"), c(2.0), |b| {
+                for i in 0..24 {
+                    b.compute(
+                        &format!("{rname}_sweep_{i}"),
+                        c(60.0) * param("class_scale") / nranks(),
+                    );
+                }
+            });
+        });
+        routines.push(fid);
+    }
+
+    pb.define(main, |f| {
+        f.loop_("timestep", c(10.0), |b| {
+            b.call(hsmoc);
+            for &r in &routines {
+                b.call(r);
+            }
+            b.call(nudt);
+        });
+    });
+    pb.kloc(44.1);
+    pb.binary_bytes(2_200_000);
+    pb.build(main)
+}
+
+/// The buggy ZeusMP-like model (imbalanced boundary loops).
+pub fn zeusmp() -> Program {
+    build(false)
+}
+
+/// The fixed model: hybrid MPI+OpenMP work sharing on the boundary loops.
+pub fn zeusmp_fixed() -> Program {
+    build(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrt::{simulate, CommKindTag, RunConfig};
+
+    #[test]
+    fn scales_poorly_when_buggy() {
+        let prog = zeusmp();
+        let t4 = simulate(&prog, &RunConfig::new(4)).unwrap().total_time;
+        let t32 = simulate(&prog, &RunConfig::new(32)).unwrap().total_time;
+        let speedup = t4 / t32;
+        // Clearly below the ideal 8× (the surface-to-volume surplus).
+        assert!(speedup < 7.2, "speedup {speedup} unexpectedly good");
+        assert!(speedup > 1.0, "must still speed up somewhat: {speedup}");
+    }
+
+    #[test]
+    fn fix_improves_large_scale_performance() {
+        let t_bug = simulate(&zeusmp(), &RunConfig::new(32)).unwrap().total_time;
+        let t_fix = simulate(&zeusmp_fixed(), &RunConfig::new(32))
+            .unwrap()
+            .total_time;
+        let gain = (t_bug - t_fix) / t_bug;
+        assert!(gain > 0.0, "fix must help at scale (gain {gain})");
+        assert!(gain < 0.5, "fix should be moderate, not magical (gain {gain})");
+    }
+
+    #[test]
+    fn waitall_waits_grow_with_scale() {
+        let prog = zeusmp();
+        let wait_share = |nranks: u32| {
+            let data = simulate(&prog, &RunConfig::new(nranks)).unwrap();
+            let waits: f64 = data
+                .comm_records
+                .iter()
+                .filter(|r| r.kind == CommKindTag::Waitall)
+                .map(|r| r.wait)
+                .sum();
+            waits / data.elapsed.iter().sum::<f64>()
+        };
+        let s4 = wait_share(4);
+        let s32 = wait_share(32);
+        assert!(
+            s32 > s4,
+            "waitall share must grow with scale: {s4} → {s32}"
+        );
+    }
+
+    #[test]
+    fn boundary_ranks_are_the_stragglers() {
+        let data = simulate(&zeusmp(), &RunConfig::new(16)).unwrap();
+        // Rank 0 and 15 (faces) and 8 (seam) do more total work: they wait
+        // *less* in the allreduce than interior ranks.
+        let wait_of = |rank: u32| {
+            data.comm_records
+                .iter()
+                .filter(|r| r.kind == CommKindTag::Allreduce && r.rank == rank)
+                .map(|r| r.wait)
+                .sum::<f64>()
+        };
+        assert!(wait_of(3) > wait_of(0), "interior rank should wait more");
+    }
+}

@@ -1,0 +1,146 @@
+//! `perflow-cli` — run any bundled workload under any built-in paradigm
+//! from the command line.
+//!
+//! ```sh
+//! cargo run --release --bin perflow-cli -- list
+//! cargo run --release --bin perflow-cli -- zeusmp --paradigm scalability --ranks 64
+//! cargo run --release --bin perflow-cli -- vite --paradigm contention --threads 8
+//! cargo run --release --bin perflow-cli -- cg --paradigm mpip --ranks 16
+//! cargo run --release --bin perflow-cli -- lammps --paradigm causal --ranks 32
+//! cargo run --release --bin perflow-cli -- bt --paradigm critical-path --dot
+//! ```
+
+use perflow::paradigms::{
+    contention_diagnosis, critical_path_paradigm, iterative_causal, mpi_profiler,
+    scalability_analysis,
+};
+use perflow::{PerFlow, Report, RunHandleExt};
+use simrt::RunConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perflow-cli <workload|list> [--paradigm mpip|hotspot|scalability|critical-path|causal|contention]\n\
+         \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]"
+    );
+    std::process::exit(2)
+}
+
+fn workload(name: &str) -> Option<progmodel::Program> {
+    Some(match name {
+        "bt" => workloads::bt(),
+        "cg" => workloads::cg(),
+        "ep" => workloads::ep(),
+        "ft" => workloads::ft(),
+        "is" => workloads::is(),
+        "lu" => workloads::lu(),
+        "mg" => workloads::mg(),
+        "sp" => workloads::sp(),
+        "zeusmp" | "zmp" => workloads::zeusmp(),
+        "zeusmp-fixed" => workloads::zeusmp_fixed(),
+        "lammps" | "lmp" => workloads::lammps(),
+        "lammps-balanced" => workloads::lammps_balanced(),
+        "vite" => workloads::vite(),
+        "vite-optimized" => workloads::vite_optimized(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(target) = args.first() else { usage() };
+    if target == "list" {
+        println!("workloads:");
+        for n in [
+            "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "zeusmp", "zeusmp-fixed", "lammps",
+            "lammps-balanced", "vite", "vite-optimized",
+        ] {
+            println!("  {n}");
+        }
+        println!("paradigms: mpip hotspot scalability critical-path causal contention");
+        return;
+    }
+    let Some(prog) = workload(target) else {
+        eprintln!("unknown workload `{target}` (try `list`)");
+        std::process::exit(2);
+    };
+
+    // Flag parsing.
+    let mut paradigm = "hotspot".to_string();
+    let mut ranks = 16u32;
+    let mut small_ranks = 4u32;
+    let mut threads = 1u32;
+    let mut seed = 0x5EEDu64;
+    let mut dot = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2)
+            }).clone()
+        };
+        match flag.as_str() {
+            "--paradigm" => paradigm = val("--paradigm"),
+            "--ranks" => ranks = val("--ranks").parse().unwrap_or_else(|_| usage()),
+            "--small-ranks" => small_ranks = val("--small-ranks").parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--dot" => dot = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let pflow = PerFlow::new();
+    let cfg = RunConfig::new(ranks).with_threads(threads).with_seed(seed);
+    let run = pflow.run(&prog, &cfg).unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{}: {} ranks × {} threads, top-down PAG {} vertices",
+        prog.name,
+        ranks,
+        threads,
+        run.topdown().num_vertices()
+    );
+    print!("{}", run.data().summary().render());
+
+    let report: Report = match paradigm.as_str() {
+        "mpip" => mpi_profiler(&run),
+        "hotspot" => {
+            let hot = pflow.hotspot_detection(&run.vertices(), 15);
+            pflow.report(&[&hot], &["name", "label", "debug-info", "time"])
+        }
+        "scalability" => {
+            let small = pflow
+                .run(&prog, &RunConfig::new(small_ranks).with_seed(seed))
+                .expect("small run failed");
+            scalability_analysis(&small, &run, 10, 0.2)
+                .expect("paradigm failed")
+                .report
+        }
+        "critical-path" => critical_path_paradigm(&run, 10).expect("paradigm failed").report,
+        "causal" => iterative_causal(&run, "MPI_*", 8, 5).expect("paradigm failed").1,
+        "contention" => {
+            let fast = pflow
+                .run(&prog, &RunConfig::new(ranks).with_threads(2).with_seed(seed))
+                .expect("reference run failed");
+            contention_diagnosis(&fast, &run, 10)
+                .expect("paradigm failed")
+                .report
+        }
+        other => {
+            eprintln!("unknown paradigm {other}");
+            usage()
+        }
+    };
+    println!("\n{}", report.render());
+
+    if dot {
+        let hot = pflow.hotspot_detection(&run.vertices(), 25);
+        println!("{}", Report::set_to_dot(&hot));
+    }
+}

@@ -1,0 +1,52 @@
+//! The scalability-analysis paradigm (Fig. 8 / Listing 7) applied to the
+//! ZeusMP-like workload — the paper's case study A in miniature.
+//!
+//! Runs the program at a small and a large process count, then performs
+//! differential → {hotspot, imbalance} → union → backtracking → report,
+//! exactly as `scalability_analysis_paradigm(pag_p4, pag_p64)` does in
+//! Listing 7.
+//!
+//! ```sh
+//! cargo run --release --bin scalability
+//! ```
+
+use perflow::paradigms::scalability_analysis;
+use perflow::PerFlow;
+use simrt::RunConfig;
+
+fn main() {
+    let prog = workloads::zeusmp();
+    let pflow = PerFlow::new();
+
+    // pag_p4  = pflow.run(cmd = "mpirun -np 4 ./a.out")
+    // pag_p64 = pflow.run(cmd = "mpirun -np 64 ./a.out")
+    let small = pflow.run(&prog, &RunConfig::new(4)).expect("small run");
+    let large = pflow.run(&prog, &RunConfig::new(64)).expect("large run");
+
+    let ideal = 64.0 / 4.0;
+    let speedup = small.data().total_time / large.data().total_time;
+    println!(
+        "ZeusMP-like scaling 4 → 64 ranks: speedup {speedup:.2}× (ideal {ideal:.0}×)\n"
+    );
+
+    let result =
+        scalability_analysis(&small, &large, 10, 0.2).expect("paradigm failed");
+
+    println!("{}", result.report.render());
+
+    println!("-- differential analysis (top scaling losses) --");
+    let diff_pag = result.diff.graph.pag();
+    for &v in result.diff.ids.iter().take(8) {
+        println!(
+            "  {:<28} loss {:>12.1} us",
+            diff_pag.vertex_name(v),
+            result.diff.score(v)
+        );
+    }
+
+    println!(
+        "\nbacktracking walked {} vertices and {} edges on the parallel view",
+        result.backtrack_vertices.len(),
+        result.backtrack_edges.len()
+    );
+}

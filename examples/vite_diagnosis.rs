@@ -1,0 +1,51 @@
+//! The Vite case study (§5.5, Figs. 13-16): diagnose why the Louvain
+//! code gets *slower* as threads are added, using the branching
+//! diagnosis PerFlowGraph of Fig. 14 (hotspot + differential branches,
+//! causal analysis, contention detection).
+//!
+//! ```sh
+//! cargo run --release --bin vite_diagnosis
+//! ```
+
+use perflow::paradigms::contention_diagnosis;
+use perflow::PerFlow;
+use simrt::RunConfig;
+
+fn main() {
+    let pflow = PerFlow::new();
+    let buggy = workloads::vite();
+
+    // Fig. 13, red line: execution time vs threads for the original code.
+    println!("threads  original(ms)  optimized(ms)");
+    let optimized = workloads::vite_optimized();
+    for t in [2u32, 4, 6, 8] {
+        let tb = pflow
+            .run(&buggy, &RunConfig::new(8).with_threads(t))
+            .unwrap()
+            .data()
+            .total_time;
+        let to = pflow
+            .run(&optimized, &RunConfig::new(8).with_threads(t))
+            .unwrap()
+            .data()
+            .total_time;
+        println!("{t:<8} {:<13.1} {:<13.1}", tb / 1e3, to / 1e3);
+    }
+
+    // Diagnosis: run with 2 and 8 threads, diff + hotspot + causal +
+    // contention detection.
+    let fast = pflow
+        .run(&buggy, &RunConfig::new(8).with_threads(2))
+        .unwrap();
+    let slow = pflow
+        .run(&buggy, &RunConfig::new(8).with_threads(8))
+        .unwrap();
+    let diagnosis = contention_diagnosis(&fast, &slow, 10).expect("diagnosis failed");
+    println!("\n{}", diagnosis.report.render());
+
+    println!(
+        "contention embeddings: {} vertices, {} inter-thread edges",
+        diagnosis.contention_vertices.len(),
+        diagnosis.contention_edges.len()
+    );
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration: program model → simulation → PAG construction
+//! → PerFlow analysis, across all crates.
+
+use perflow::{PerFlow, RunHandleExt};
+use progmodel::{c, nranks, rank, ProgramBuilder};
+use simrt::RunConfig;
+
+fn ring_program() -> progmodel::Program {
+    let mut pb = ProgramBuilder::new("e2e-ring");
+    let main = pb.declare("main", "ring.c");
+    let exchange = pb.declare("exchange", "ring.c");
+    pb.define(exchange, |f| {
+        f.irecv((rank() + nranks() - 1.0).rem(nranks()), c(4096.0), 0);
+        f.isend((rank() + 1.0).rem(nranks()), c(4096.0), 0);
+        f.waitall();
+    });
+    pb.define(main, |f| {
+        f.loop_("step", c(50.0), |b| {
+            b.compute("stencil", (rank() + 1.0) * c(300.0) * progmodel::noise(0.05, 5));
+            b.call(exchange);
+            b.allreduce(c(8.0));
+        });
+    });
+    pb.build(main)
+}
+
+#[test]
+fn full_pipeline_produces_consistent_views() {
+    let pflow = PerFlow::new();
+    let run = pflow.run(&ring_program(), &RunConfig::new(8)).unwrap();
+
+    let td = run.topdown();
+    // Top-down view is a tree.
+    assert_eq!(td.num_edges(), td.num_vertices() - 1);
+    assert_eq!(td.view(), pag::ViewKind::TopDown);
+
+    let pv = run.parallel();
+    // Both views are internally consistent.
+    assert!(td.validate().is_empty(), "{:?}", td.validate());
+    assert!(pv.validate().is_empty(), "{:?}", pv.validate());
+    // Parallel view: |V| = |V_td| × P (+ thread flows, none here).
+    assert_eq!(pv.num_vertices(), td.num_vertices() * 8);
+    // Flows are chains: (|V_td|-1) intra edges per rank, plus cross edges.
+    let intra = pv
+        .edge_ids()
+        .filter(|&e| pv.edge(e).label == pag::EdgeLabel::IntraProc)
+        .count();
+    assert_eq!(intra, (td.num_vertices() - 1) * 8);
+    assert!(pv.num_edges() > intra, "cross edges must exist");
+}
+
+#[test]
+fn sampled_times_are_close_to_exact_elapsed() {
+    let pflow = PerFlow::new();
+    let run = pflow.run(&ring_program(), &RunConfig::new(4)).unwrap();
+    // The root carries exact elapsed; the sum of sampled leaf self-times
+    // should approximate the aggregate elapsed within sampling error.
+    let total_exact: f64 = run.data().elapsed.iter().sum();
+    let total_sampled: f64 = run
+        .topdown()
+        .vertex_ids()
+        .map(|v| run.topdown().vertex(v).props.get_f64(pag::keys::SELF_TIME))
+        .sum();
+    let rel = (total_sampled - total_exact).abs() / total_exact;
+    assert!(rel < 0.05, "sampling error too large: {rel}");
+}
+
+#[test]
+fn serialization_roundtrips_profiled_pags() {
+    let pflow = PerFlow::new();
+    let run = pflow.run(&ring_program(), &RunConfig::new(4)).unwrap();
+    let bytes = pag::serialize::encode(run.topdown());
+    let back = pag::serialize::decode(&bytes).unwrap();
+    assert!(back.validate().is_empty());
+    assert_eq!(back.num_vertices(), run.topdown().num_vertices());
+    assert_eq!(back.num_edges(), run.topdown().num_edges());
+    // Spot-check a property-laden vertex.
+    let ar = back.find_by_name("MPI_Allreduce");
+    assert_eq!(ar.len(), 1);
+    assert!(back.vertex(ar[0]).props.get(pag::keys::COMM_INFO).is_some());
+
+    // The parallel view also roundtrips.
+    let pv_bytes = pag::serialize::encode(run.parallel());
+    let pv_back = pag::serialize::decode(&pv_bytes).unwrap();
+    assert_eq!(pv_back.num_vertices(), run.parallel().num_vertices());
+    assert_eq!(pv_back.view(), pag::ViewKind::Parallel);
+}
+
+#[test]
+fn dataflow_graph_equals_direct_api() {
+    use perflow::passes::{FilterPass, HotspotPass};
+    use perflow::PerFlowGraph;
+
+    let pflow = PerFlow::new();
+    let run = pflow.run(&ring_program(), &RunConfig::new(4)).unwrap();
+
+    // Direct API.
+    let direct = pflow.hotspot_detection(&pflow.filter(&run.vertices(), "MPI_*"), 3);
+
+    // Same analysis as a PerFlowGraph.
+    let mut g = PerFlowGraph::new();
+    let src = g.add_source(run.vertices());
+    let filt = g.add_pass(FilterPass::name("MPI_*"));
+    let hot = g.add_pass(HotspotPass::by_time(3));
+    g.pipe(src, filt).unwrap();
+    g.pipe(filt, hot).unwrap();
+    let out = g.execute().unwrap();
+    let via_graph = out.vertices(hot).unwrap();
+
+    assert_eq!(direct.ids, via_graph.ids);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let pflow = PerFlow::new();
+    let cfg = RunConfig::new(8).with_seed(1234);
+    let a = pflow.run(&ring_program(), &cfg).unwrap();
+    let b = pflow.run(&ring_program(), &cfg).unwrap();
+    assert_eq!(a.data().total_time, b.data().total_time);
+    assert_eq!(
+        pag::serialize::encode(a.topdown()),
+        pag::serialize::encode(b.topdown())
+    );
+}
+
+#[test]
+fn deadlocking_program_surfaces_error_through_api() {
+    let mut pb = ProgramBuilder::new("dl");
+    let main = pb.declare("main", "d.c");
+    pb.define(main, |f| {
+        f.recv((rank() + 1.0).rem(nranks()), c(8.0), 0);
+        f.send((rank() + 1.0).rem(nranks()), c(8.0), 0);
+    });
+    let prog = pb.build(main);
+    let pflow = PerFlow::new();
+    match pflow.run(&prog, &RunConfig::new(2)) {
+        Err(perflow::PerFlowError::Sim(simrt::SimError::Deadlock { .. })) => {}
+        other => panic!("expected deadlock error, got {other:?}"),
+    }
+}

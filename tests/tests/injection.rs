@@ -1,0 +1,127 @@
+//! Failure-injection integration tests: plant a fault with the
+//! simulator's injection hooks and verify PerFlow's analyses *find* it.
+
+use perflow::{InteractiveSession, PerFlow, RunHandleExt, Suggestion};
+use progmodel::{c, nranks, rank, ProgramBuilder};
+use simrt::RunConfig;
+
+/// A perfectly balanced program: any detected imbalance must come from
+/// the injected fault.
+fn balanced_prog() -> progmodel::Program {
+    let mut pb = ProgramBuilder::new("balanced");
+    let main = pb.declare("main", "b.c");
+    let halo = pb.declare("halo_exchange", "b.c");
+    pb.define(halo, |f| {
+        f.irecv((rank() + nranks() - 1.0).rem(nranks()), c(2048.0), 0);
+        f.isend((rank() + 1.0).rem(nranks()), c(2048.0), 0);
+        f.waitall();
+    });
+    pb.define(main, |f| {
+        f.loop_("step", c(100.0), |b| {
+            b.compute("stencil", c(400.0) * progmodel::noise(0.02, 17));
+            b.call(halo);
+            b.allreduce(c(8.0));
+        });
+    });
+    pb.build(main)
+}
+
+#[test]
+fn healthy_run_reports_no_imbalance() {
+    let pflow = PerFlow::new();
+    let run = pflow
+        .run(&balanced_prog(), &RunConfig::new(8))
+        .unwrap();
+    let imb = pflow.imbalance_analysis(&run.vertices(), 0.25);
+    // The stencil itself is balanced (±2 % noise) — only wait-dominated
+    // comm vertices may show up; the compute must not.
+    let names: Vec<&str> = imb
+        .ids
+        .iter()
+        .map(|&v| imb.graph.pag().vertex_name(v))
+        .collect();
+    assert!(
+        !names.contains(&"stencil"),
+        "balanced stencil flagged: {names:?}"
+    );
+}
+
+#[test]
+fn degraded_node_is_located_by_imbalance_analysis() {
+    let pflow = PerFlow::new();
+    let cfg = RunConfig::new(8).with_slow_rank(5, 2.5);
+    let run = pflow.run(&balanced_prog(), &cfg).unwrap();
+
+    // Top-down: the stencil kernel is now imbalanced.
+    let imb = pflow.imbalance_analysis(&run.vertices(), 0.25);
+    let names: Vec<&str> = imb
+        .ids
+        .iter()
+        .map(|&v| imb.graph.pag().vertex_name(v))
+        .collect();
+    assert!(names.contains(&"stencil"), "stencil not flagged: {names:?}");
+
+    // Parallel view: the lagging replica is on the injected rank.
+    let pv = run.parallel_vertices().filter_name("stencil");
+    let lagging = pflow.imbalance_analysis(&pv, 0.25);
+    assert_eq!(lagging.len(), 1);
+    let proc = lagging
+        .graph
+        .pag()
+        .vprop(lagging.ids[0], pag::keys::PROC)
+        .and_then(|p| p.as_i64());
+    assert_eq!(proc, Some(5), "wrong straggler located");
+}
+
+#[test]
+fn interactive_session_walks_to_the_injected_fault() {
+    let pflow = PerFlow::new();
+    let cfg = RunConfig::new(8).with_slow_rank(3, 3.0);
+    let run = pflow.run(&balanced_prog(), &cfg).unwrap();
+    let mut s = InteractiveSession::new(&run);
+    assert_eq!(s.suggest(), Suggestion::Hotspot);
+    s.hotspot(8);
+    s.imbalance(0.25);
+    assert!(!s.current().is_empty());
+    let report = s.report(&["name", "debug-info", "score"]);
+    assert!(report.render().contains("imbalance_analysis"));
+}
+
+#[test]
+fn breakdown_attributes_injected_fault_waits() {
+    let pflow = PerFlow::new();
+    let cfg = RunConfig::new(8).with_slow_rank(0, 4.0);
+    let run = pflow.run(&balanced_prog(), &cfg).unwrap();
+    let comm = pflow.filter(&run.vertices(), "MPI_Allreduce");
+    let (_causes, report) = pflow.breakdown_analysis(&comm);
+    // The allreduce waits trace back to imbalance before the comm.
+    assert!(
+        report.render().contains("load-imbalance-before-comm")
+            || report.render().contains("imbalanced-communication"),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn scalability_paradigm_is_robust_to_injected_noise() {
+    // The paradigm must not crash or mis-rank when one run carries an
+    // injected straggler: the injected kernel dominates the diff.
+    let pflow = PerFlow::new();
+    let prog = balanced_prog();
+    let small = pflow.run(&prog, &RunConfig::new(4)).unwrap();
+    let large = pflow
+        .run(&prog, &RunConfig::new(16).with_slow_rank(7, 3.0))
+        .unwrap();
+    let result = perflow::paradigms::scalability_analysis(&small, &large, 8, 0.25).unwrap();
+    let names: Vec<&str> = result
+        .root_causes
+        .ids
+        .iter()
+        .map(|&v| result.root_causes.graph.pag().vertex_name(v))
+        .collect();
+    assert!(
+        names.contains(&"stencil") || names.contains(&"step"),
+        "injected straggler kernel not among causes: {names:?}"
+    );
+}

@@ -1,0 +1,56 @@
+//! Workload-wide structural invariants: every bundled program honours
+//! the Table-2 invariants at any scale, and both PAG views validate.
+
+use perflow::{PerFlow, RunHandleExt};
+use simrt::RunConfig;
+
+#[test]
+fn every_workload_honours_table2_invariants() {
+    let pflow = PerFlow::new();
+    for (prog, name) in workloads::all_programs()
+        .iter()
+        .zip(workloads::PROGRAM_NAMES)
+    {
+        let run = pflow
+            .run(prog, &RunConfig::new(4).with_threads(2))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let td = run.topdown();
+        // Top-down view is a tree.
+        assert_eq!(td.num_edges(), td.num_vertices() - 1, "{name} not a tree");
+        assert!(td.validate().is_empty(), "{name}: {:?}", td.validate());
+        // Parallel view replicates ≥ |V_td| × P (thread flows add more).
+        let pv = run.parallel();
+        assert!(
+            pv.num_vertices() >= td.num_vertices() * 4,
+            "{name}: parallel {} < topdown {} × 4",
+            pv.num_vertices(),
+            td.num_vertices()
+        );
+        assert!(pv.validate().is_empty(), "{name}: {:?}", pv.validate());
+        // Root carries exact elapsed.
+        assert!(td.total_time() > 0.0, "{name} has no time");
+        // Serialization roundtrips both views.
+        let back = pag::serialize::decode(&pag::serialize::encode(td)).unwrap();
+        assert_eq!(back.num_vertices(), td.num_vertices(), "{name}");
+    }
+}
+
+#[test]
+fn every_workload_survives_hotspot_and_imbalance_passes() {
+    let pflow = PerFlow::new();
+    for (prog, name) in workloads::all_programs()
+        .iter()
+        .zip(workloads::PROGRAM_NAMES)
+    {
+        let run = pflow
+            .run(prog, &RunConfig::new(4).with_threads(2))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let hot = pflow.hotspot_detection(&run.vertices(), 10);
+        assert!(!hot.is_empty(), "{name}: no hotspots at all");
+        // Passes must not panic on any workload; results may be empty.
+        let _ = pflow.imbalance_analysis(&hot, 0.2);
+        let comm = pflow.filter(&run.vertices(), "MPI_*");
+        let (_, report) = pflow.breakdown_analysis(&comm);
+        assert!(!report.render().is_empty(), "{name}");
+    }
+}
