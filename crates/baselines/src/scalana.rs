@@ -49,7 +49,10 @@ impl ScalAnaReport {
                 c.loss_us, c.imbalance, c.name, c.site
             ));
         }
-        out.push_str(&format!("(walked {} dependence edges)\n", self.edges_walked));
+        out.push_str(&format!(
+            "(walked {} dependence edges)\n",
+            self.edges_walked
+        ));
         out
     }
 }
@@ -156,7 +159,7 @@ pub fn scalana_analyze(small: &ProfiledRun, large: &ProfiledRun, top_n: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use progmodel::{c, nranks, noise, rank, ProgramBuilder};
+    use progmodel::{c, noise, nranks, rank, ProgramBuilder};
     use simrt::RunConfig;
 
     fn prog() -> progmodel::Program {
@@ -167,11 +170,7 @@ mod tests {
                 b.loop_("loop_bound", c(6.0), |l| {
                     l.compute(
                         "bound_fill",
-                        rank()
-                            .rem(c(4.0))
-                            .lt(1.0)
-                            .select(c(400.0), c(150.0))
-                            * noise(0.05, 3),
+                        rank().rem(c(4.0)).lt(1.0).select(c(400.0), c(150.0)) * noise(0.05, 3),
                     );
                 });
                 b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(2048.0), 0);
@@ -192,7 +191,9 @@ mod tests {
         assert!(!report.causes.is_empty());
         let names: Vec<&str> = report.causes.iter().map(|c| c.name.as_str()).collect();
         assert!(
-            names.iter().any(|n| *n == "bound_fill" || *n == "loop_bound"),
+            names
+                .iter()
+                .any(|n| *n == "bound_fill" || *n == "loop_bound"),
             "causes {names:?}"
         );
         assert!(report.render().contains("scalana"));

@@ -92,9 +92,7 @@ pub fn scalasca_trace(prog: &Program, cfg: &RunConfig) -> Result<ScalascaReport,
             continue;
         }
         match rec.kind {
-            CommKindTag::Recv | CommKindTag::Wait | CommKindTag::Waitall => {
-                late_sender += rec.wait
-            }
+            CommKindTag::Recv | CommKindTag::Wait | CommKindTag::Waitall => late_sender += rec.wait,
             CommKindTag::Send => late_receiver += rec.wait,
             k if k.is_collective() => wait_coll += rec.wait,
             _ => {}

@@ -21,7 +21,11 @@ fn main() {
             .filter(|r| r.kind == CommKindTag::Send)
             .map(|r| r.wait)
             .sum();
-        let mode = if threshold >= 60_000 { "eager" } else { "rendezvous" };
+        let mode = if threshold >= 60_000 {
+            "eager"
+        } else {
+            "rendezvous"
+        };
         rows.push(vec![
             format!("{threshold}"),
             mode.to_string(),
@@ -31,7 +35,12 @@ fn main() {
     }
     print_table(
         &format!("ablation: eager threshold on LAMMPS ({ranks} ranks, 60 kB messages)"),
-        &["threshold(B)", "60kB msgs go", "send wait(ms)", "makespan(ms)"],
+        &[
+            "threshold(B)",
+            "60kB msgs go",
+            "send wait(ms)",
+            "makespan(ms)",
+        ],
         &rows,
     );
     println!("\nthe paper's MPI_Send secondary bug requires rendezvous semantics: with a large-enough eager threshold the sends stop blocking and the propagation channel disappears");

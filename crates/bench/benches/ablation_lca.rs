@@ -11,7 +11,12 @@ use bench::print_table;
 use pag::{EdgeLabel, Pag, VertexId, VertexLabel, ViewKind};
 
 fn layered(layers: usize, width: usize) -> Pag {
-    let mut g = Pag::with_capacity(ViewKind::Parallel, "dag", layers * width, layers * width * 2);
+    let mut g = Pag::with_capacity(
+        ViewKind::Parallel,
+        "dag",
+        layers * width,
+        layers * width * 2,
+    );
     for l in 0..layers {
         for w in 0..width {
             g.add_vertex(VertexLabel::Compute, format!("n{l}_{w}").as_str());
@@ -20,7 +25,11 @@ fn layered(layers: usize, width: usize) -> Pag {
     for l in 0..layers - 1 {
         for w in 0..width {
             let src = VertexId((l * width + w) as u32);
-            g.add_edge(src, VertexId(((l + 1) * width + w) as u32), EdgeLabel::IntraProc);
+            g.add_edge(
+                src,
+                VertexId(((l + 1) * width + w) as u32),
+                EdgeLabel::IntraProc,
+            );
             g.add_edge(
                 src,
                 VertexId(((l + 1) * width + (w + 1) % width) as u32),
@@ -65,7 +74,13 @@ fn main() {
     }
     print_table(
         "ablation: LCA bitset index vs per-query BFS",
-        &["|V|", "index mem (MB)", "index build (ms)", "index query (us)", "bfs query (us)"],
+        &[
+            "|V|",
+            "index mem (MB)",
+            "index build (ms)",
+            "index query (us)",
+            "bfs query (us)",
+        ],
         &rows,
     );
     println!("\nthe bitset index needs |V|^2/8 bytes — a 400k-vertex parallel view would need ~20 GB, hence the causal pass queries via backward BFS");

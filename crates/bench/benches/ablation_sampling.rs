@@ -52,7 +52,13 @@ fn main() {
     }
     print_table(
         &format!("ablation: sampling period on ZeusMP ({ranks} ranks)"),
-        &["period(us)", "rate(Hz)", "time error", "app overhead", "distinct samples"],
+        &[
+            "period(us)",
+            "rate(Hz)",
+            "time error",
+            "app overhead",
+            "distinct samples",
+        ],
         &rows,
     );
     println!("\npaper operates at 200 Hz (5000 us): past that point accuracy no longer improves meaningfully while perturbation keeps growing");

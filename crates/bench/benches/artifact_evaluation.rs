@@ -17,10 +17,7 @@ fn main() {
 
     // --- A.3.1 MPI profiler on NPB-CG, CLASS B, 8 processes -----------
     let cg = workloads::cg();
-    let cfg = RunConfig::new(8).with_param(
-        "class_scale",
-        60.0 * workloads::npb_class_factor('B'),
-    );
+    let cfg = RunConfig::new(8).with_param("class_scale", 60.0 * workloads::npb_class_factor('B'));
     let run = pflow.run(&cg, &cfg).expect("CG run failed");
     println!("### A.3.1 MPI profiler paradigm (NPB-CG, CLASS B, 8 procs)");
     println!("{}", mpi_profiler(&run).render());
@@ -55,7 +52,11 @@ fn main() {
         .into_iter()
         .map(|(name, w)| vec![name, format!("{:.1}", w / 1e3)])
         .collect();
-    print_table("critical-path contribution by snippet", &["snippet", "ms"], &rows);
+    print_table(
+        "critical-path contribution by snippet",
+        &["snippet", "ms"],
+        &rows,
+    );
     let top = &path_breakdown(&result)[0].0;
     println!(
         "\nshape check: the path is dominated by `{top}` — the skewed thread kernel (+ the allocator serialization it queues behind)"

@@ -42,7 +42,10 @@ fn main() {
             s.name,
             s.props.get_f64(pag::keys::PROC) as i64,
             ed.props.get_f64(pag::keys::WAIT_TIME) / 1e3,
-            ed.props.get(pag::keys::COUNT).and_then(|p| p.as_i64()).unwrap_or(0),
+            ed.props
+                .get(pag::keys::COUNT)
+                .and_then(|p| p.as_i64())
+                .unwrap_or(0),
         );
         shown += 1;
         if shown >= 10 {

@@ -36,19 +36,28 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!(
-            "Fig. 9: differential analysis on ZeusMP ({small_ranks} vs {large_ranks} ranks)"
-        ),
+        &format!("Fig. 9: differential analysis on ZeusMP ({small_ranks} vs {large_ranks} ranks)"),
         &["vertex", "label", "site", "loss(ms)"],
         &rows,
     );
 
     // Shape assertion for EXPERIMENTS.md.
-    let top_names: Vec<&str> = diff.ids.iter().take(12).map(|&v| pag.vertex_name(v)).collect();
-    let hits = ["MPI_Waitall", "MPI_Allreduce", "loop_10.1", "loop_10", "bvald_fill"]
+    let top_names: Vec<&str> = diff
+        .ids
         .iter()
-        .filter(|n| top_names.contains(n))
-        .count();
+        .take(12)
+        .map(|&v| pag.vertex_name(v))
+        .collect();
+    let hits = [
+        "MPI_Waitall",
+        "MPI_Allreduce",
+        "loop_10.1",
+        "loop_10",
+        "bvald_fill",
+    ]
+    .iter()
+    .filter(|n| top_names.contains(n))
+    .count();
     println!(
         "\nshape check: {hits}/5 expected loss vertices (waitall/allreduce/boundary loop) in top 12 — paper detects the same three kinds"
     );

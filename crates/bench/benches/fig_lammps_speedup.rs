@@ -35,7 +35,12 @@ fn main() {
     }
     print_table(
         "LAMMPS throughput, buggy vs balanced",
-        &["ranks", "timesteps/s (buggy)", "timesteps/s (balanced)", "gain"],
+        &[
+            "ranks",
+            "timesteps/s (buggy)",
+            "timesteps/s (balanced)",
+            "gain",
+        ],
         &rows,
     );
     println!(

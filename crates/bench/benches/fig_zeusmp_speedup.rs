@@ -52,7 +52,14 @@ fn main() {
     }
     print_table(
         &format!("ZeusMP speedup, buggy vs fixed (baseline {base_ranks} ranks)"),
-        &["ranks", "buggy(ms)", "speedup", "fixed(ms)", "speedup", "ideal"],
+        &[
+            "ranks",
+            "buggy(ms)",
+            "speedup",
+            "fixed(ms)",
+            "speedup",
+            "ideal",
+        ],
         &rows,
     );
     let gain = 100.0 * (last.0 / last.1 - 1.0);

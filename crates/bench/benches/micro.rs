@@ -32,9 +32,7 @@ fn layered_dag(layers: usize, width: usize) -> Pag {
 fn bench_pag(c: &mut Criterion) {
     let mut group = c.benchmark_group("pag");
     group.sample_size(20);
-    group.bench_function("build_10k_vertices", |b| {
-        b.iter(|| layered_dag(100, 100))
-    });
+    group.bench_function("build_10k_vertices", |b| b.iter(|| layered_dag(100, 100)));
     let g = layered_dag(100, 100);
     group.bench_function("serialize_10k", |b| b.iter(|| pag::serialize::encode(&g)));
     let bytes = pag::serialize::encode(&g);

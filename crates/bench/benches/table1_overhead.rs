@@ -41,7 +41,5 @@ fn main() {
         &["Program", "Static(Sec.)", "Dynamic(%)", "Space"],
         &rows,
     );
-    println!(
-        "\npaper (128 procs): static 0.03-5.34 s, dynamic 0.03-3.73 %, space 28K-22M"
-    );
+    println!("\npaper (128 procs): static 0.03-5.34 s, dynamic 0.03-3.73 %, space 28K-22M");
 }

@@ -57,7 +57,9 @@ pub fn collection_overhead(
     off_cfg.collection = CollectionConfig::off();
     let mut on_cfg = cfg.clone();
     on_cfg.collection = collection;
-    let t_off = simulate(prog, &off_cfg).expect("plain run failed").total_time;
+    let t_off = simulate(prog, &off_cfg)
+        .expect("plain run failed")
+        .total_time;
     let t_on = simulate(prog, &on_cfg)
         .expect("collected run failed")
         .total_time;

@@ -57,18 +57,25 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
     let mut vt_times: HashMap<(VertexId, u32, u32), f64> = HashMap::new();
 
     // 1. Samples → inclusive per-process time on every path vertex.
+    // Truncated contexts (injected unwinder faults) resolve to their
+    // nearest resolvable ancestor inside the resolver, so time is never
+    // silently discarded; out-of-range ranks (malformed data) are
+    // skipped rather than panicking.
+    let mut kept_leaf: HashMap<VertexId, u64> = HashMap::new();
     if let Some(period) = data.sample_period_us {
         for (&(ctx, rank, thread), &count) in &data.samples {
+            if rank as usize >= nranks {
+                continue;
+            }
             let dt = count as f64 * period;
             let path = resolver.resolve(&mut sp, &data.cct, ctx);
             for &v in &path {
-                per_proc
-                    .entry(v)
-                    .or_insert_with(|| vec![0.0; nranks])[rank as usize] += dt;
+                per_proc.entry(v).or_insert_with(|| vec![0.0; nranks])[rank as usize] += dt;
                 *vt_times.entry((v, rank, thread)).or_insert(0.0) += dt;
             }
             if let Some(&leaf) = path.last() {
                 *self_time.entry(leaf).or_insert(0.0) += dt;
+                *kept_leaf.entry(leaf).or_insert(0) += count;
             }
         }
     }
@@ -111,8 +118,13 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
         agg.bytes += rec.bytes;
         agg.wait += rec.wait;
         agg.op_time += rec.complete - rec.post;
-        agg.bytes_per_proc[rec.rank as usize] += rec.bytes as f64;
-        agg.wait_per_proc[rec.rank as usize] += rec.wait;
+        if let (Some(b), Some(w)) = (
+            agg.bytes_per_proc.get_mut(rec.rank as usize),
+            agg.wait_per_proc.get_mut(rec.rank as usize),
+        ) {
+            *b += rec.bytes as f64;
+            *w += rec.wait;
+        }
         agg.kinds.insert(rec.kind.mpi_name());
         if rec.peer != u32::MAX {
             agg.peers.insert(rec.peer);
@@ -151,7 +163,68 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
         props.add_f64(keys::WAIT_TIME, rec.wait());
     }
 
-    // 5. Write time vectors.
+    // 5. Degraded-data metadata: per-vertex dropped-sample counts and
+    // completeness, plus run-level completeness on the root. A healthy
+    // run writes nothing here, so downstream consumers can treat a
+    // missing COMPLETENESS as 1.0.
+    let dropped: Vec<(CtxId, u64)> = {
+        let mut by_ctx: HashMap<CtxId, u64> = HashMap::new();
+        for (&(ctx, rank, _), &n) in &data.dropped_samples {
+            if (rank as usize) < nranks {
+                *by_ctx.entry(ctx).or_insert(0) += n;
+            }
+        }
+        by_ctx.into_iter().collect()
+    };
+    let mut dropped_leaf: HashMap<VertexId, u64> = HashMap::new();
+    for (ctx, n) in dropped {
+        let leaf = resolver.resolve_leaf(&mut sp, &data.cct, ctx);
+        *dropped_leaf.entry(leaf).or_insert(0) += n;
+    }
+    for (&v, &lost) in &dropped_leaf {
+        let kept = kept_leaf.get(&v).copied().unwrap_or(0);
+        let props = &mut sp.pag.vertex_mut(v).props;
+        props.add_i64(keys::DROPPED_SAMPLES, lost as i64);
+        props.set(keys::COMPLETENESS, kept as f64 / (kept + lost) as f64);
+    }
+    if !data.is_complete() {
+        let per_proc_compl: Vec<f64> = (0..data.nranks)
+            .map(|r| data.rank_completeness(r))
+            .collect();
+        let total_lost: u64 = data.dropped_samples.values().sum();
+        let total_kept: u64 = data.samples.values().sum();
+        let status = data
+            .rank_status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_completed())
+            .map(|(r, s)| format!("rank {r} {s}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let props = &mut sp.pag.vertex_mut(sp.root).props;
+        props.set(
+            keys::COMPLETENESS,
+            if total_kept + total_lost == 0 {
+                1.0
+            } else {
+                total_kept as f64 / (total_kept + total_lost) as f64
+            },
+        );
+        props.set(keys::COMPLETENESS_PER_PROC, per_proc_compl);
+        if total_lost > 0 {
+            props.set(keys::DROPPED_SAMPLES, total_lost as i64);
+        }
+        props.set(
+            keys::RANK_STATUS,
+            if status.is_empty() {
+                "degraded collection".to_string()
+            } else {
+                status
+            },
+        );
+    }
+
+    // 6. Write time vectors.
     for (v, vec) in per_proc {
         let total: f64 = vec.iter().sum();
         let props = &mut sp.pag.vertex_mut(v).props;
@@ -292,7 +365,10 @@ mod tests {
         assert!(run.pag.vertex(kernel).props.get_f64(keys::PMU_INSTRUCTIONS) > 0.0);
         // Loop vertex has no direct PMU data.
         let loop_v = run.pag.find_by_name("loop_1")[0];
-        assert_eq!(run.pag.vertex(loop_v).props.get_f64(keys::PMU_INSTRUCTIONS), 0.0);
+        assert_eq!(
+            run.pag.vertex(loop_v).props.get_f64(keys::PMU_INSTRUCTIONS),
+            0.0
+        );
     }
 
     #[test]
@@ -324,7 +400,9 @@ mod tests {
             .collect();
         assert_eq!(threads_seen.len(), 3, "{threads_seen:?}");
         // The region vertex exists with ThreadSpawn label.
-        let regions = run.pag.find_by_label(VertexLabel::Call(pag::CallKind::ThreadSpawn));
+        let regions = run
+            .pag
+            .find_by_label(VertexLabel::Call(pag::CallKind::ThreadSpawn));
         assert_eq!(regions.len(), 1);
     }
 }

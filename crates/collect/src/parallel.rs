@@ -67,7 +67,12 @@ pub fn build_parallel_view(run: &ProfiledRun) -> Pag {
         // Thread flows for each region.
         for t in 1..nthreads {
             for (region, subtree) in &regions {
-                let spawn = flow_vertex[&(*region, rank, 0)];
+                // The region's main-flow vertex was added above; a miss
+                // means the region is unreachable from the root (degraded
+                // or malformed data) — skip rather than panic.
+                let Some(&spawn) = flow_vertex.get(&(*region, rank, 0)) else {
+                    continue;
+                };
                 let mut prev: Option<VertexId> = None;
                 for &v in subtree {
                     let nv = add_flow_vertex(&mut pv, run, v, rank, t);
@@ -175,11 +180,18 @@ fn add_flow_vertex(
     props.set(keys::PROC, rank as i64);
     props.set(keys::THREAD, thread as i64);
     props.set(keys::TOPDOWN_VERTEX, v.0 as i64);
-    let t = run
-        .vt_times
-        .get(&(v, rank, thread))
-        .copied()
-        .unwrap_or(0.0);
+    // A rank that crashed or hung still gets a flow (its data up to the
+    // fault is real), but every vertex of that flow is marked so analyses
+    // and reports can see the flow is partial rather than "fast".
+    let status = run.data.status_of(rank);
+    if !status.is_completed() {
+        props.set(keys::RANK_STATUS, status.to_string());
+        let compl = run.data.rank_completeness(rank);
+        if compl < 1.0 {
+            props.set(keys::COMPLETENESS, compl);
+        }
+    }
+    let t = run.vt_times.get(&(v, rank, thread)).copied().unwrap_or(0.0);
     if t > 0.0 {
         props.set(keys::TIME, t);
     }

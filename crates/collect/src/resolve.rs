@@ -85,6 +85,9 @@ impl<'p> ContextResolver<'p> {
 
     /// Resolve to the deepest vertex only.
     pub fn resolve_leaf(&mut self, sp: &mut StaticPag, cct: &Cct, ctx: CtxId) -> VertexId {
+        // Infallible: `resolve` unconditionally pushes the root vertex
+        // before walking the context, so the returned path is never empty
+        // even for a truncated or unresolvable context.
         *self
             .resolve(sp, cct, ctx)
             .last()

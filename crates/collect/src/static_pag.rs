@@ -61,7 +61,9 @@ impl<'p> Builder<'p> {
         stack: &mut Vec<FuncId>,
     ) -> VertexId {
         let func: &Function = self.prog.function(fid);
-        let v = self.pag.add_vertex(VertexLabel::Function, func.name.clone());
+        let v = self
+            .pag
+            .add_vertex(VertexLabel::Function, func.name.clone());
         self.pag
             .set_vprop(v, keys::DEBUG_INFO, format!("{}:{}", func.file, func.line));
         if let Some(p) = parent {
@@ -96,14 +98,16 @@ impl<'p> Builder<'p> {
                         };
                         (VertexLabel::Call(kind), callee_fn.name.clone())
                     }
-                    CallTarget::Indirect { .. } => {
-                        (VertexLabel::Call(CallKind::Indirect), "indirect_call".into())
-                    }
+                    CallTarget::Indirect { .. } => (
+                        VertexLabel::Call(CallKind::Indirect),
+                        "indirect_call".into(),
+                    ),
                 },
                 StmtKind::Comm(op) => (VertexLabel::Call(CallKind::Comm), comm_name(op).into()),
-                StmtKind::ThreadRegion { .. } => {
-                    (VertexLabel::Call(CallKind::ThreadSpawn), "parallel_region".into())
-                }
+                StmtKind::ThreadRegion { .. } => (
+                    VertexLabel::Call(CallKind::ThreadSpawn),
+                    "parallel_region".into(),
+                ),
                 StmtKind::Lock { name, .. } => (VertexLabel::Call(CallKind::Lock), name.clone()),
             };
             let v = self.pag.add_vertex(label, name);

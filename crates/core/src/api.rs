@@ -116,7 +116,10 @@ mod tests {
         let main = pb.declare("main", "api.c");
         pb.define(main, |f| {
             f.loop_("iter", c(2000.0), |b| {
-                b.compute("kernel", (rank() + 1.0) * c(120.0) * progmodel::noise(0.05, 9));
+                b.compute(
+                    "kernel",
+                    (rank() + 1.0) * c(120.0) * progmodel::noise(0.05, 9),
+                );
                 b.allreduce(c(64.0));
             });
         });

@@ -226,32 +226,30 @@ impl PerFlowGraph {
                 jobs.push((i, inputs));
             }
             // Run the level in parallel.
-            let results: Vec<(usize, NodeResult)> =
-                if jobs.len() == 1 {
-                    let (i, inputs) = jobs.pop().unwrap();
-                    let mut cx = PassCx::new();
-                    let r = self.nodes[i].pass.run(&inputs, &mut cx);
-                    vec![(i, r.map(|v| (v, cx.trail)))]
-                } else {
-                    crossbeam::thread::scope(|s| {
-                        let handles: Vec<_> = jobs
-                            .into_iter()
-                            .map(|(i, inputs)| {
-                                let pass = Arc::clone(&self.nodes[i].pass);
-                                s.spawn(move |_| {
-                                    let mut cx = PassCx::new();
-                                    let r = pass.run(&inputs, &mut cx);
-                                    (i, r.map(|v| (v, cx.trail)))
-                                })
+            let results: Vec<(usize, NodeResult)> = if jobs.len() == 1 {
+                let (i, inputs) = jobs.pop().unwrap();
+                let mut cx = PassCx::new();
+                let r = self.nodes[i].pass.run(&inputs, &mut cx);
+                vec![(i, r.map(|v| (v, cx.trail)))]
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = jobs
+                        .into_iter()
+                        .map(|(i, inputs)| {
+                            let pass = Arc::clone(&self.nodes[i].pass);
+                            s.spawn(move || {
+                                let mut cx = PassCx::new();
+                                let r = pass.run(&inputs, &mut cx);
+                                (i, r.map(|v| (v, cx.trail)))
                             })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("pass panicked"))
-                            .collect()
-                    })
-                    .expect("scope panicked")
-                };
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("pass panicked"))
+                        .collect()
+                })
+            };
             for (i, res) in results {
                 let (outs, t) = res?;
                 values.insert(NodeId(i), outs);

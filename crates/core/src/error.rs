@@ -41,6 +41,15 @@ pub enum PerFlowError {
     Diff(String),
     /// Analysis-specific failure with a message.
     Analysis(String),
+    /// The run's data is too degraded for the requested analysis (for
+    /// example every rank crashed, so there is nothing to attribute).
+    /// Partial-but-usable data does *not* raise this — passes down-weight
+    /// incomplete vertices and reports carry data-quality warnings
+    /// instead.
+    DegradedData {
+        /// What was missing and which analysis gave up.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PerFlowError {
@@ -63,6 +72,9 @@ impl std::fmt::Display for PerFlowError {
             PerFlowError::Sim(e) => write!(f, "simulation failed: {e}"),
             PerFlowError::Diff(m) => write!(f, "graph difference failed: {m}"),
             PerFlowError::Analysis(m) => write!(f, "analysis failed: {m}"),
+            PerFlowError::DegradedData { detail } => {
+                write!(f, "data too degraded to analyze: {detail}")
+            }
         }
     }
 }
@@ -72,5 +84,75 @@ impl std::error::Error for PerFlowError {}
 impl From<simrt::SimError> for PerFlowError {
     fn from(e: simrt::SimError) -> Self {
         PerFlowError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every variant renders a non-empty, variant-specific message that
+    /// mentions its payload — the Display impl is part of the API because
+    /// reports and CLI output surface these verbatim.
+    #[test]
+    fn display_round_trips_every_variant() {
+        let cases: Vec<(PerFlowError, &[&str])> = vec![
+            (PerFlowError::GraphMismatch, &["different graphs"]),
+            (
+                PerFlowError::WrongValueType {
+                    pass: "hotspot_detection".into(),
+                    port: 2,
+                    expected: "vertex set",
+                },
+                &["hotspot_detection", "2", "vertex set"],
+            ),
+            (
+                PerFlowError::MissingInput {
+                    pass: "imbalance_analysis".into(),
+                    port: 1,
+                },
+                &["imbalance_analysis", "port 1"],
+            ),
+            (PerFlowError::CyclicGraph, &["cycle"]),
+            (
+                PerFlowError::PortConflict { node: 3, port: 0 },
+                &["node 3", "port 0"],
+            ),
+            (PerFlowError::BadNode { node: 9 }, &["node id 9"]),
+            (
+                PerFlowError::Sim(simrt::SimError::Deadlock { blocked: vec![] }),
+                &["simulation failed", "deadlock"],
+            ),
+            (
+                PerFlowError::Diff("skeletons differ".into()),
+                &["graph difference", "skeletons differ"],
+            ),
+            (
+                PerFlowError::Analysis("no comm vertices".into()),
+                &["analysis failed", "no comm vertices"],
+            ),
+            (
+                PerFlowError::DegradedData {
+                    detail: "all 8 ranks crashed".into(),
+                },
+                &["degraded", "all 8 ranks crashed"],
+            ),
+        ];
+        let mut rendered: Vec<String> = Vec::new();
+        for (err, fragments) in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            for frag in fragments {
+                assert!(msg.contains(frag), "{msg:?} missing {frag:?}");
+            }
+            assert!(!rendered.contains(&msg), "duplicate message {msg:?}");
+            rendered.push(msg);
+        }
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: PerFlowError = simrt::SimError::Deadlock { blocked: vec![] }.into();
+        assert!(matches!(e, PerFlowError::Sim(_)));
     }
 }

@@ -104,7 +104,8 @@ impl InteractiveSession {
             input_len: self.current.len(),
             output_len: next.len(),
         });
-        self.undo_stack.push(std::mem::replace(&mut self.current, next));
+        self.undo_stack
+            .push(std::mem::replace(&mut self.current, next));
     }
 
     /// Undo the last step; true if something was undone.
@@ -201,10 +202,7 @@ impl InteractiveSession {
             .iter()
             .filter(|&&v| pag.vertex(v).label == VertexLabel::Call(CallKind::Lock))
             .count() as f64;
-        let already_imbalance = self
-            .history
-            .iter()
-            .any(|s| s.pass.starts_with("imbalance"));
+        let already_imbalance = self.history.iter().any(|s| s.pass.starts_with("imbalance"));
         let on_parallel = matches!(self.current.graph, GraphRef::Parallel(_));
         if locks / n > 0.3 {
             Suggestion::Contention
@@ -221,7 +219,8 @@ impl InteractiveSession {
 
     /// Render the session as a report: history + current set.
     pub fn report(&self, attrs: &[&str]) -> Report {
-        let mut r = passes::report_pass::report_sets("interactive session", &[&self.current], attrs);
+        let mut r =
+            passes::report_pass::report_sets("interactive session", &[&self.current], attrs);
         for (i, s) in self.history.iter().enumerate() {
             r.note(format!(
                 "step {}: {} ({} → {} vertices)",

@@ -43,9 +43,8 @@ pub fn contention_diagnosis(
 
     // Branch 2: differential analysis slow - fast → degraded vertices.
     let diff = differential(slow, fast, 1.0)?;
-    let degraded =
-        crate::passes::differential::map_to_run(&hotspot(&diff, "score", top_n), slow)
-            .filter_metric("score", 1e-9);
+    let degraded = crate::passes::differential::map_to_run(&hotspot(&diff, "score", top_n), slow)
+        .filter_metric("score", 1e-9);
 
     // Suspicious = hotspot ∩-ish degraded: prefer degraded, fall back to
     // hotspots.
@@ -116,7 +115,10 @@ pub fn contention_diagnosis(
             .collect();
         names.sort();
         names.dedup();
-        report.note(format!("resource contention detected in: {}", names.join(", ")));
+        report.note(format!(
+            "resource contention detected in: {}",
+            names.join(", ")
+        ));
     }
 
     Ok(ContentionDiagnosis {
@@ -139,11 +141,7 @@ pub fn iterative_causal(
     max_iter: usize,
 ) -> Result<(VertexSet, Report), PerFlowError> {
     // Hotspot detection → communication filter on the top-down view.
-    let comm_hot = hotspot(
-        &run.vertices().filter_name(comm_pattern),
-        keys::TIME,
-        top_n,
-    );
+    let comm_hot = hotspot(&run.vertices().filter_name(comm_pattern), keys::TIME, top_n);
 
     // Project onto the parallel view and find the imbalanced replicas.
     let pv = GraphRef::Parallel(std::sync::Arc::clone(run));
@@ -166,7 +164,10 @@ pub fn iterative_causal(
     let cfg = CausalConfig::default();
     for _ in 0..max_iter {
         let all_work = !current.is_empty()
-            && current.ids.iter().all(|&v| !pv.pag().vertex(v).label.is_comm());
+            && current
+                .ids
+                .iter()
+                .all(|&v| !pv.pag().vertex(v).label.is_comm());
         if all_work {
             break;
         }
@@ -256,8 +257,7 @@ mod tests {
                 b.loop_("loop_1.1", c(10.0), |l| {
                     l.compute(
                         "pair_force",
-                        rank().lt(3.0).select(c(300.0), c(100.0))
-                            * progmodel::noise(0.05, 31),
+                        rank().lt(3.0).select(c(300.0), c(100.0)) * progmodel::noise(0.05, 31),
                     );
                 });
                 b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(40_000.0), 0);
@@ -278,9 +278,7 @@ mod tests {
         let pag = causes.graph.pag();
         let names: Vec<&str> = causes.ids.iter().map(|&v| pag.vertex_name(v)).collect();
         assert!(
-            names
-                .iter()
-                .any(|n| *n == "pair_force" || *n == "loop_1.1"),
+            names.iter().any(|n| *n == "pair_force" || *n == "loop_1.1"),
             "causes were {names:?}"
         );
         assert!(report.render().contains("root causes"));

@@ -27,7 +27,10 @@ pub struct CriticalPathResult {
 }
 
 /// Run the critical-path paradigm on a profiled run.
-pub fn critical_path_paradigm(run: &RunHandle, top_n: usize) -> Result<CriticalPathResult, PerFlowError> {
+pub fn critical_path_paradigm(
+    run: &RunHandle,
+    top_n: usize,
+) -> Result<CriticalPathResult, PerFlowError> {
     let pv = run.parallel_vertices();
     let (path, edges, weight) = critical_path_analysis(&pv)?;
     let makespan = run.data().total_time.max(1e-12);

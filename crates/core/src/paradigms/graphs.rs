@@ -88,9 +88,7 @@ pub fn scalability_graph(
 
 /// Fig. 11 — one iteration of the LAMMPS analysis loop:
 /// `run → hotspot → filter(MPI_*) → imbalance → causal → report`.
-pub fn causal_loop_graph(
-    input: VertexSet,
-) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
+pub fn causal_loop_graph(input: VertexSet) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
     let mut g = PerFlowGraph::new();
     let src = g.add_source(input);
     let hot = g.add_pass(HotspotPass::by_time(20));
@@ -215,8 +213,7 @@ mod tests {
         let (small, large) = runs();
         let pv = GraphRef::Parallel(std::sync::Arc::clone(&large));
         let suspects = pv.all_vertices().filter_name("MPI_*");
-        let (g, nodes) =
-            diagnosis_graph(large.vertices(), small.vertices(), suspects).unwrap();
+        let (g, nodes) = diagnosis_graph(large.vertices(), small.vertices(), suspects).unwrap();
         let out = g.execute().unwrap();
         assert!(out.report(nodes.report).is_some());
         let dot = g.to_dot("fig14");

@@ -14,13 +14,15 @@
 //!   contention detection.
 
 pub mod contention_diag;
-pub mod graphs;
 pub mod critpath;
+pub mod graphs;
 pub mod mpi_profiler;
 pub mod scalability;
 
 pub use contention_diag::{contention_diagnosis, iterative_causal, ContentionDiagnosis};
-pub use graphs::{causal_loop_graph, comm_analysis_graph, diagnosis_graph, scalability_graph, ParadigmGraph};
 pub use critpath::{critical_path_paradigm, path_breakdown, CriticalPathResult};
+pub use graphs::{
+    causal_loop_graph, comm_analysis_graph, diagnosis_graph, scalability_graph, ParadigmGraph,
+};
 pub use mpi_profiler::mpi_profiler;
 pub use scalability::{scalability_analysis, ScalabilityResult};

@@ -14,14 +14,7 @@ pub fn mpi_profiler(run: &RunHandle) -> Report {
     let total: f64 = run.data().elapsed.iter().sum::<f64>().max(1e-12);
     let comm = run.vertices().filter_name("MPI_*").sort_by(keys::COMM_TIME);
     let mut report = Report::new("MPI profile (mpiP-style)").with_columns(&[
-        "call",
-        "site",
-        "time",
-        "app%",
-        "count",
-        "bytes",
-        "avg-msg",
-        "wait%",
+        "call", "site", "time", "app%", "count", "bytes", "avg-msg", "wait%",
     ]);
     let mut covered = 0.0;
     for &v in &comm.ids {

@@ -53,6 +53,21 @@ pub fn scalability_analysis(
     top_n: usize,
     imbalance_threshold: f64,
 ) -> Result<ScalabilityResult, PerFlowError> {
+    // 0. Data-quality gate: degraded runs are analyzed from whatever the
+    //    surviving ranks recorded, but a run where *no* rank completed
+    //    has nothing trustworthy to attribute.
+    for (tag, run) in [("small", small), ("large", large)] {
+        let data = run.data();
+        if !data.rank_status.is_empty() && data.rank_status.iter().all(|s| !s.is_completed()) {
+            return Err(PerFlowError::DegradedData {
+                detail: format!(
+                    "every rank of the {tag} run crashed or hung; \
+                     scalability analysis needs at least one completed rank"
+                ),
+            });
+        }
+    }
+
     // 1. Differential: aggregate-time growth = scaling loss.
     let diff = differential(large, small, 1.0)?;
 
@@ -69,8 +84,7 @@ pub fn scalability_analysis(
     // 5. Project onto the parallel view: the lagging flow replicas of the
     //    union vertices.
     let pv = GraphRef::Parallel(std::sync::Arc::clone(large));
-    let union_ids: std::collections::HashSet<i64> =
-        union.ids.iter().map(|v| v.0 as i64).collect();
+    let union_ids: std::collections::HashSet<i64> = union.ids.iter().map(|v| v.0 as i64).collect();
     let flows = pv.all_vertices().retain(|v| {
         pv.pag()
             .vprop(v, keys::TOPDOWN_VERTEX)
@@ -115,9 +129,7 @@ pub fn scalability_analysis(
     }
     let mut root_causes = crate::set::VertexSet::new(work.graph.clone(), dedup_ids);
     for &v in &root_causes.ids.clone() {
-        root_causes
-            .scores
-            .insert(v, pv.pag().vertex_time(v));
+        root_causes.scores.insert(v, pv.pag().vertex_time(v));
     }
 
     // 8. Report.
@@ -140,6 +152,34 @@ pub fn scalability_analysis(
         backtrack_vertices.len(),
         backtrack_edges.len(),
     ));
+    // Structured data-quality warnings: the analysis above already
+    // down-weighted incomplete vertices; here the report states what was
+    // missing so the reader can judge the conclusions.
+    for (tag, run) in [("run A", small), ("run B", large)] {
+        let data = run.data();
+        if data.is_complete() {
+            continue;
+        }
+        let mut parts: Vec<String> = data
+            .rank_status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_completed())
+            .map(|(r, s)| format!("rank {r} {s}"))
+            .collect();
+        let lost: u64 = data.dropped_samples.values().sum();
+        if lost > 0 {
+            parts.push(format!("{lost} samples lost"));
+        }
+        if data.pmu_corrupted > 0 {
+            parts.push(format!("{} PMU reads corrupted", data.pmu_corrupted));
+        }
+        report.note(format!(
+            "data quality: {tag} is degraded ({}); incomplete vertices were \
+             down-weighted",
+            parts.join("; ")
+        ));
+    }
 
     Ok(ScalabilityResult {
         diff,
@@ -157,7 +197,7 @@ pub fn scalability_analysis(
 mod tests {
     use super::*;
     use crate::api::PerFlow;
-    use progmodel::{c, nranks, noise, rank, ProgramBuilder};
+    use progmodel::{c, noise, nranks, rank, ProgramBuilder};
     use simrt::RunConfig;
 
     /// ZeusMP-in-miniature: an imbalanced boundary loop feeds
@@ -172,10 +212,7 @@ mod tests {
             f.loop_("loop_10.1", c(8.0), |b| {
                 b.compute(
                     "boundary_fill",
-                    rank()
-                        .lt(nranks() / c(4.0))
-                        .select(c(360.0), c(120.0))
-                        * noise(0.05, 11),
+                    rank().lt(nranks() / c(4.0)).select(c(360.0), c(120.0)) * noise(0.05, 11),
                 );
             });
             f.irecv((rank() + nranks() - 1.0).rem(nranks()), c(4096.0), 1);

@@ -87,10 +87,12 @@ fn pick_in_edge(pag: &pag::Pag, v: VertexId) -> Option<EdgeId> {
         return Some(e);
     }
     // 3. Intra-flow control flow.
-    in_edges
-        .iter()
-        .copied()
-        .find(|&e| matches!(pag.edge(e).label, EdgeLabel::IntraProc | EdgeLabel::InterProc))
+    in_edges.iter().copied().find(|&e| {
+        matches!(
+            pag.edge(e).label,
+            EdgeLabel::IntraProc | EdgeLabel::InterProc
+        )
+    })
 }
 
 /// Pass wrapper: bug set → (backtracked vertices, backtracked edges).

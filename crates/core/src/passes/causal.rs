@@ -93,9 +93,7 @@ pub fn causal(set: &VertexSet, cfg: &CausalConfig) -> (VertexSet, EdgeSet) {
 /// if none carries time, fall back to the nearest non-communication
 /// vertex, then to the ancestor itself.
 fn resolve_to_compute(pag: &pag::Pag, v: VertexId) -> VertexId {
-    let is_comm = |v: VertexId| {
-        matches!(pag.vertex(v).label, VertexLabel::Call(CallKind::Comm))
-    };
+    let is_comm = |v: VertexId| matches!(pag.vertex(v).label, VertexLabel::Call(CallKind::Comm));
     let is_work = |v: VertexId| {
         matches!(
             pag.vertex(v).label,
@@ -130,10 +128,7 @@ fn resolve_to_compute(pag: &pag::Pag, v: VertexId) -> VertexId {
             None => break,
         }
     }
-    best_work
-        .map(|(p, _)| p)
-        .or(first_noncomm)
-        .unwrap_or(v)
+    best_work.map(|(p, _)| p).or(first_noncomm).unwrap_or(v)
 }
 
 /// Pass wrapper: bug set → (cause set, propagation edges).

@@ -49,8 +49,7 @@ pub fn contention(
                 *vertices.scores.entry(gv).or_insert(0.0) += 1.0;
             }
             for pe in &pattern.edges {
-                if let Some(e) =
-                    find_edge(pag, emb.mapping[pe.src], emb.mapping[pe.dst], pe.label)
+                if let Some(e) = find_edge(pag, emb.mapping[pe.src], emb.mapping[pe.dst], pe.label)
                 {
                     if !edges.contains(&e) {
                         edges.push(e);

@@ -119,11 +119,19 @@ mod tests {
         let b = run_pag(&[9.0, 1.0, 1.0]);
         let d = diff_pags(&a, &b, 1.0).unwrap();
         // Differences: 1, 2, 6 → sorted k2, k1, k0.
-        let names: Vec<&str> = d.ids.iter().map(|&v| d.graph.pag().vertex_name(v)).collect();
+        let names: Vec<&str> = d
+            .ids
+            .iter()
+            .map(|&v| d.graph.pag().vertex_name(v))
+            .collect();
         assert_eq!(names, vec!["k2", "k1", "k0"]);
         assert_eq!(d.score(d.ids[0]), 6.0);
         assert_eq!(
-            d.graph.pag().vprop(d.ids[0], keys::DIFF_TIME).unwrap().as_f64(),
+            d.graph
+                .pag()
+                .vprop(d.ids[0], keys::DIFF_TIME)
+                .unwrap()
+                .as_f64(),
             Some(6.0)
         );
     }
@@ -143,9 +151,6 @@ mod tests {
     fn mismatched_skeletons_error() {
         let a = run_pag(&[1.0]);
         let b = run_pag(&[1.0, 2.0]);
-        assert!(matches!(
-            diff_pags(&a, &b, 1.0),
-            Err(PerFlowError::Diff(_))
-        ));
+        assert!(matches!(diff_pags(&a, &b, 1.0), Err(PerFlowError::Diff(_))));
     }
 }

@@ -1,16 +1,37 @@
 //! Hotspot detection (§4.3.2-A): "identifying the code snippets with the
 //! highest value of specific metrics". Listing 3 is literally
-//! `V.sort_by(m).top(n)` — so is this.
+//! `V.sort_by(m).top(n)` — so is this, plus a confidence weight: on
+//! degraded runs a vertex whose samples were partially lost carries a
+//! `completeness` property in `[0, 1]`, and its metric is multiplied by
+//! it so low-confidence vertices cannot displace well-measured ones.
+
+use pag::PropValue;
 
 use crate::error::PerFlowError;
 use crate::pass::{expect_vertices, Pass, PassCx};
 use crate::set::VertexSet;
 use crate::value::Value;
 
-/// The hotspot-detection analysis: sort by `metric` descending, keep the
-/// top `n`.
+/// The hotspot-detection analysis: sort by `metric` descending (each
+/// value down-weighted by the vertex's `completeness`, absent = 1.0),
+/// keep the top `n`. The result's scores hold the weighted metric.
 pub fn hotspot(set: &VertexSet, metric: &str, n: usize) -> VertexSet {
-    set.sort_by(metric).top(n)
+    let mut weighted = set.clone();
+    for &v in &set.ids {
+        weighted
+            .scores
+            .insert(v, set.metric(v, metric) * completeness(set, v));
+    }
+    weighted.sort_by("score").top(n)
+}
+
+/// The vertex's `completeness` property; 1.0 when absent (complete data).
+pub(crate) fn completeness(set: &VertexSet, v: pag::VertexId) -> f64 {
+    set.graph
+        .pag()
+        .vprop(v, pag::keys::COMPLETENESS)
+        .and_then(PropValue::as_f64)
+        .unwrap_or(1.0)
 }
 
 /// Pass wrapper for PerFlowGraphs.
@@ -79,12 +100,25 @@ mod tests {
     fn pass_wrapper_runs() {
         let set = set_with_times(&[3.0, 1.0, 2.0]);
         let pass = HotspotPass::by_time(1);
-        let out = pass
-            .run(&[set.clone().into()], &mut PassCx::new())
-            .unwrap();
+        let out = pass.run(&[set.clone().into()], &mut PassCx::new()).unwrap();
         let hot = out[0].as_vertices().unwrap();
         assert_eq!(hot.len(), 1);
         assert_eq!(set.graph.pag().vertex_name(hot.ids[0]), "k0");
+    }
+
+    #[test]
+    fn low_completeness_vertex_is_down_weighted() {
+        let mut g = Pag::new(ViewKind::TopDown, "h");
+        // k0: 10s but only 40% complete (effective 4.0); k1: 6s complete.
+        let a = g.add_vertex(VertexLabel::Compute, "k0");
+        g.set_vprop(a, keys::TIME, 10.0);
+        g.set_vprop(a, keys::COMPLETENESS, 0.4);
+        let b = g.add_vertex(VertexLabel::Compute, "k1");
+        g.set_vprop(b, keys::TIME, 6.0);
+        let set = GraphRef::Detached(Arc::new(g)).all_vertices();
+        let hot = hotspot(&set, keys::TIME, 2);
+        assert_eq!(set.graph.pag().vertex_name(hot.ids[0]), "k1");
+        assert!((hot.score(hot.ids[1]) - 4.0).abs() < 1e-9);
     }
 
     #[test]

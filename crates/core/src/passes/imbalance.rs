@@ -8,6 +8,7 @@ use pag::{keys, PropValue, VertexStats};
 use crate::error::PerFlowError;
 use crate::graphref::GraphRef;
 use crate::pass::{expect_vertices, Pass, PassCx};
+use crate::passes::hotspot::completeness;
 use crate::set::VertexSet;
 use crate::value::Value;
 
@@ -20,6 +21,10 @@ use crate::value::Value;
 ///   by their top-down original, and the replicas whose time exceeds
 ///   `mean × (1 + threshold)` are returned (the lagging processes).
 ///   Score = `time/mean - 1`.
+///
+/// On degraded runs every score is multiplied by the vertex's
+/// `completeness` (absent = 1.0) before the threshold test, so apparent
+/// imbalance that is really missing data does not clear the bar.
 pub fn imbalance(set: &VertexSet, threshold: f64) -> VertexSet {
     match &set.graph {
         GraphRef::Parallel(_) => imbalance_parallel(set, threshold),
@@ -40,7 +45,7 @@ fn imbalance_topdown(set: &VertexSet, threshold: f64) -> VertexSet {
         let Some(stats) = VertexStats::from_slice(vec) else {
             continue;
         };
-        let imb = stats.imbalance();
+        let imb = stats.imbalance() * completeness(set, v);
         if imb >= threshold {
             out.ids.push(v);
             out.scores.insert(v, imb);
@@ -73,7 +78,7 @@ fn imbalance_parallel(set: &VertexSet, threshold: f64) -> VertexSet {
             continue;
         }
         for (&v, &t) in members.iter().zip(&times) {
-            let dev = t / stats.mean - 1.0;
+            let dev = (t / stats.mean - 1.0) * completeness(set, v);
             if dev >= threshold {
                 out.ids.push(v);
                 out.scores.insert(v, dev);
@@ -137,6 +142,21 @@ mod tests {
         let set = topdown_set(&[&[1.0, 1.1, 1.0, 1.0]]);
         assert!(imbalance(&set, 0.2).is_empty());
         assert_eq!(imbalance(&set, 0.01).len(), 1);
+    }
+
+    #[test]
+    fn incomplete_vertex_needs_stronger_imbalance_to_report() {
+        // imbalance factor = max/mean - 1 = 5/2 - 1 = 1.5; at 40%
+        // completeness the weighted score is 0.6.
+        let mut g = Pag::new(ViewKind::TopDown, "imb");
+        let v = g.add_vertex(VertexLabel::Compute, "k");
+        g.set_vprop(v, keys::TIME_PER_PROC, vec![1.0, 1.0, 1.0, 5.0]);
+        g.set_vprop(v, keys::COMPLETENESS, 0.4);
+        let set = GraphRef::Detached(Arc::new(g)).all_vertices();
+        assert!(imbalance(&set, 1.0).is_empty(), "0.6 < 1.0 threshold");
+        let found = imbalance(&set, 0.5);
+        assert_eq!(found.len(), 1);
+        assert!((found.score(found.ids[0]) - 0.6).abs() < 1e-9);
     }
 
     #[test]

@@ -121,7 +121,7 @@ mod tests {
         // the extra waiter → a fan embedding exists.
         let embs = match_subgraph(&g, &p, Some((anchor, VertexId(1))), 0);
         assert_eq!(embs.len(), 2); // D/E swap
-        // locks[2] has only one out-edge → no fan.
+                                   // locks[2] has only one out-edge → no fan.
         assert!(match_subgraph(&g, &p, Some((anchor, VertexId(2))), 0).is_empty());
     }
 
@@ -132,7 +132,7 @@ mod tests {
         let late = VertexId(5);
         let embs = match_subgraph(&g, &p, Some((anchor, late)), 0);
         assert_eq!(embs.len(), 2); // D/E swap
-        // The lock chain must not match the inter-process pattern.
+                                   // The lock chain must not match the inter-process pattern.
         assert!(match_subgraph(&g, &p, Some((anchor, VertexId(1))), 0).is_empty());
     }
 

@@ -26,10 +26,7 @@ pub fn report_sets(title: &str, sets: &[&VertexSet], attrs: &[&str]) -> Report {
                     "label" => pag.vertex(v).label.name().to_string(),
                     "score" => format!("{:.4}", set.score(v)),
                     "time" => format_time_us(set.metric(v, pag::keys::TIME)),
-                    other => pag
-                        .vprop(v, other)
-                        .map(render_prop)
-                        .unwrap_or_default(),
+                    other => pag.vprop(v, other).map(render_prop).unwrap_or_default(),
                 })
                 .collect();
             report.push_row(row);
@@ -119,7 +116,11 @@ mod tests {
     #[test]
     fn renders_requested_attrs() {
         let s = set();
-        let r = report_sets("t", &[&s], &["name", "time", "debug-info", "score", "label"]);
+        let r = report_sets(
+            "t",
+            &[&s],
+            &["name", "time", "debug-info", "score", "label"],
+        );
         let text = r.render();
         assert!(text.contains("kern"));
         assert!(text.contains("1.500s"));

@@ -61,10 +61,7 @@ pub struct WaitStateRow {
 /// the wait fraction above which an operation counts as dependence-bound.
 /// Returns the dependence-bound subset (scored by wait share), a report,
 /// and the per-vertex rows.
-pub fn wait_states(
-    set: &VertexSet,
-    threshold: f64,
-) -> (VertexSet, Report, Vec<WaitStateRow>) {
+pub fn wait_states(set: &VertexSet, threshold: f64) -> (VertexSet, Report, Vec<WaitStateRow>) {
     let pag = set.graph.pag();
     let mut out = VertexSet::new(set.graph.clone(), Vec::new());
     let mut report = Report::new("wait-state classification").with_columns(&[
@@ -104,7 +101,11 @@ pub fn wait_states(
                 WaitClass::LateSender
             }
         };
-        let wait_fraction = if op_time > 0.0 { (wait / op_time).min(1.0) } else { 0.0 };
+        let wait_fraction = if op_time > 0.0 {
+            (wait / op_time).min(1.0)
+        } else {
+            0.0
+        };
         if !matches!(class, WaitClass::NotComm | WaitClass::TransferBound) {
             out.ids.push(v);
             out.scores.insert(v, wait_fraction);

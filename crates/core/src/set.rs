@@ -166,7 +166,11 @@ impl VertexSet {
     /// between them, cut loose from the original run.
     pub fn extract(&self) -> VertexSet {
         let (sub, map) = self.graph.pag().induced_subgraph(&self.ids);
-        let ids: Vec<VertexId> = self.ids.iter().filter_map(|v| map.get(v).copied()).collect();
+        let ids: Vec<VertexId> = self
+            .ids
+            .iter()
+            .filter_map(|v| map.get(v).copied())
+            .collect();
         let scores = self
             .scores
             .iter()
@@ -242,9 +246,14 @@ mod tests {
 
     fn detached() -> GraphRef {
         let mut g = Pag::new(ViewKind::TopDown, "t");
-        for (i, (name, t)) in [("main", 10.0), ("MPI_Send", 5.0), ("kernel", 8.0), ("MPI_Recv", 2.0)]
-            .iter()
-            .enumerate()
+        for (i, (name, t)) in [
+            ("main", 10.0),
+            ("MPI_Send", 5.0),
+            ("kernel", 8.0),
+            ("MPI_Recv", 2.0),
+        ]
+        .iter()
+        .enumerate()
         {
             let v = g.add_vertex(
                 if name.starts_with("MPI") {
@@ -267,11 +276,7 @@ mod tests {
         let g = detached();
         let all = g.all_vertices();
         let sorted = all.sort_by(keys::TIME);
-        let names: Vec<&str> = sorted
-            .ids
-            .iter()
-            .map(|&v| g.pag().vertex_name(v))
-            .collect();
+        let names: Vec<&str> = sorted.ids.iter().map(|&v| g.pag().vertex_name(v)).collect();
         assert_eq!(names, vec!["main", "kernel", "MPI_Send", "MPI_Recv"]);
         assert_eq!(sorted.top(2).len(), 2);
     }

@@ -188,7 +188,12 @@ mod tests {
         b.add_vertex(VertexLabel::Compute, "n0");
         b.add_vertex(VertexLabel::Compute, "DIFFERENT");
         let err = graph_difference(&a, &b, &[keys::TIME]).unwrap_err();
-        assert_eq!(err, DiffError::SkeletonMismatch { vertex: VertexId(1) });
+        assert_eq!(
+            err,
+            DiffError::SkeletonMismatch {
+                vertex: VertexId(1)
+            }
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub fn k_heaviest_paths(
         // accepted in-edges) — otherwise every suffix of the critical
         // path would crowd out genuinely distinct alternatives.
         let is_source = !g.in_edges(v).iter().any(|&e| follow(e));
-        let mut cands: Vec<Entry> = if is_source { vec![(wv, None)] } else { Vec::new() };
+        let mut cands: Vec<Entry> = if is_source {
+            vec![(wv, None)]
+        } else {
+            Vec::new()
+        };
         for &e in g.in_edges(v) {
             if !follow(e) {
                 continue;
@@ -131,7 +135,10 @@ mod tests {
         assert_eq!(paths.len(), 2);
         assert!((paths[0].weight - 12.0).abs() < 1e-12); // 0→2→3
         assert!((paths[1].weight - 4.0).abs() < 1e-12); // 0→1→3
-        assert_eq!(paths[1].vertices, vec![VertexId(0), VertexId(1), VertexId(3)]);
+        assert_eq!(
+            paths[1].vertices,
+            vec![VertexId(0), VertexId(1), VertexId(3)]
+        );
         // Weights are non-increasing.
         assert!(paths[0].weight >= paths[1].weight);
     }

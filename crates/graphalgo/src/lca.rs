@@ -202,9 +202,7 @@ pub fn lca_bfs(
             let key = dv + dw;
             match best {
                 None => best = Some((key, cand)),
-                Some((bk, bc)) if key < bk || (key == bk && cand < bc) => {
-                    best = Some((key, cand))
-                }
+                Some((bk, bc)) if key < bk || (key == bk && cand < bc) => best = Some((key, cand)),
                 _ => {}
             }
         }

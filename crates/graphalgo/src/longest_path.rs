@@ -99,10 +99,7 @@ mod tests {
         // 0 -> 1 -> 3 and 0 -> 2 -> 3; vertex 2 heavier than 1.
         let g = weighted(&[1.0, 2.0, 10.0, 1.0], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let cp = critical_path(&g, |_| true, |v| g.vertex_time(v)).unwrap();
-        assert_eq!(
-            cp.vertices,
-            vec![VertexId(0), VertexId(2), VertexId(3)]
-        );
+        assert_eq!(cp.vertices, vec![VertexId(0), VertexId(2), VertexId(3)]);
         assert_eq!(cp.edges.len(), 2);
         assert!((cp.weight - 12.0).abs() < 1e-12);
     }
@@ -140,7 +137,13 @@ mod tests {
         let cp2 = critical_path(
             &g,
             |e| g.edge(e).dst != VertexId(1),
-            |v| if v == VertexId(1) { 0.0 } else { g.vertex_time(v) },
+            |v| {
+                if v == VertexId(1) {
+                    0.0
+                } else {
+                    g.vertex_time(v)
+                }
+            },
         )
         .unwrap();
         assert_eq!(cp2.vertices, vec![VertexId(0), VertexId(2)]);

@@ -382,7 +382,11 @@ mod tests {
             g.add_edge(VertexId(base), VertexId(next), EdgeLabel::IntraProc);
         }
         let c = louvain(&g);
-        assert!(c.count >= k / 2 && c.count <= k, "found {} communities", c.count);
+        assert!(
+            c.count >= k / 2 && c.count <= k,
+            "found {} communities",
+            c.count
+        );
         assert!(c.modularity > 0.5);
     }
 }

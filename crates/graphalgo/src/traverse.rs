@@ -11,7 +11,11 @@ pub struct CycleError {
 
 impl std::fmt::Display for CycleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "graph contains a cycle (witness vertex {})", self.witness)
+        write!(
+            f,
+            "graph contains a cycle (witness vertex {})",
+            self.witness
+        )
     }
 }
 

@@ -44,7 +44,10 @@ pub fn to_dot(pag: &Pag, opts: &DotOptions) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", sanitize(pag.name()));
     let _ = writeln!(out, "  rankdir=TB;");
-    let _ = writeln!(out, "  node [shape=box, style=filled, fontname=\"Helvetica\"];");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, style=filled, fontname=\"Helvetica\"];"
+    );
 
     let max_time = if opts.heat_by_time {
         pag.vertex_ids()

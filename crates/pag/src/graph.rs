@@ -201,12 +201,16 @@ impl Pag {
 
     /// Successor vertices of `v` (one entry per out-edge).
     pub fn out_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.out_adj[v.index()].iter().map(move |&e| self.edges[e.index()].dst)
+        self.out_adj[v.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].dst)
     }
 
     /// Predecessor vertices of `v` (one entry per in-edge).
     pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.in_adj[v.index()].iter().map(move |&e| self.edges[e.index()].src)
+        self.in_adj[v.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].src)
     }
 
     /// Out-degree of `v`.
@@ -239,14 +243,19 @@ impl Pag {
 
     /// All vertices with a given label.
     pub fn find_by_label(&self, label: VertexLabel) -> Vec<VertexId> {
-        self.vertex_ids().filter(|&v| self.vertex(v).label == label).collect()
+        self.vertex_ids()
+            .filter(|&v| self.vertex(v).label == label)
+            .collect()
     }
 
     /// Sum of inclusive `time` over vertices that carry it. On the top-down
     /// view this over-counts nested snippets; use the root time for total
     /// program time instead.
     pub fn sum_time(&self) -> f64 {
-        self.vertices.iter().map(|v| v.props.get_f64(keys::TIME)).sum()
+        self.vertices
+            .iter()
+            .map(|v| v.props.get_f64(keys::TIME))
+            .sum()
     }
 
     /// Total program time: the root vertex's inclusive time.
@@ -358,7 +367,10 @@ impl Pag {
         bytes += self.edges.capacity() * size_of::<EdgeData>();
         for adj in [&self.out_adj, &self.in_adj] {
             bytes += adj.capacity() * size_of::<Vec<EdgeId>>();
-            bytes += adj.iter().map(|v| v.capacity() * size_of::<EdgeId>()).sum::<usize>();
+            bytes += adj
+                .iter()
+                .map(|v| v.capacity() * size_of::<EdgeId>())
+                .sum::<usize>();
         }
         bytes
     }
@@ -484,7 +496,10 @@ mod tests {
         );
         assert_eq!(g.edge(e).label, EdgeLabel::InterProcess(CommKind::P2pAsync));
         g.edge_mut(e).props.set(keys::COMM_BYTES, 1024i64);
-        assert_eq!(g.edge(e).props.get(keys::COMM_BYTES).unwrap().as_i64(), Some(1024));
+        assert_eq!(
+            g.edge(e).props.get(keys::COMM_BYTES).unwrap().as_i64(),
+            Some(1024)
+        );
     }
 
     #[test]

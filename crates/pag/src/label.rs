@@ -151,7 +151,10 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(VertexLabel::Loop.name(), "loop");
         assert_eq!(VertexLabel::Call(CallKind::Comm).name(), "comm-call");
-        assert_eq!(EdgeLabel::InterProcess(CommKind::P2pAsync).name(), "p2p-async");
+        assert_eq!(
+            EdgeLabel::InterProcess(CommKind::P2pAsync).name(),
+            "p2p-async"
+        );
         assert_eq!(EdgeLabel::IntraProc.name(), "intra-proc");
     }
 }

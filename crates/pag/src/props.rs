@@ -59,6 +59,18 @@ pub mod keys {
     pub const IMBALANCE: &str = "imbalance";
     /// Per-metric difference attached by the differential-analysis pass.
     pub const DIFF_TIME: &str = "diff-time";
+    /// Profiling samples lost at this vertex (degraded collection).
+    pub const DROPPED_SAMPLES: &str = "dropped-samples";
+    /// Fraction of fired samples actually recorded, in `[0, 1]`. Absent
+    /// means 1.0 (complete data) — analyses treat it as a confidence
+    /// weight.
+    pub const COMPLETENESS: &str = "completeness";
+    /// Per-process completeness vector (root vertex of a degraded run).
+    pub const COMPLETENESS_PER_PROC: &str = "completeness-per-proc";
+    /// Human-readable terminal rank status ("completed", "crashed@…µs",
+    /// "hung@…µs") on flow vertices of degraded ranks and, summarized,
+    /// on the top-down root.
+    pub const RANK_STATUS: &str = "rank-status";
 }
 
 /// A single property value.
@@ -293,6 +305,9 @@ mod tests {
         assert_eq!(PropValue::Int(5).to_string(), "5");
         assert_eq!(PropValue::from("hi").to_string(), "hi");
         assert!(PropValue::Float(0.5).to_string().starts_with("0.5"));
-        assert_eq!(PropValue::from(vec![1.0, 2.0]).to_string(), "[1.0000, 2.0000]");
+        assert_eq!(
+            PropValue::from(vec![1.0, 2.0]).to_string(),
+            "[1.0000, 2.0000]"
+        );
     }
 }

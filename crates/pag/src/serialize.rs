@@ -394,7 +394,10 @@ mod tests {
         assert_eq!(h.num_vertices(), 2);
         assert_eq!(h.num_edges(), 1);
         assert_eq!(h.vertex(VertexId(0)).label, VertexLabel::Function);
-        assert_eq!(h.vertex(VertexId(1)).label, VertexLabel::Call(CallKind::Comm));
+        assert_eq!(
+            h.vertex(VertexId(1)).label,
+            VertexLabel::Call(CallKind::Comm)
+        );
         assert_eq!(h.vertex_time(VertexId(0)), 3.25);
         assert_eq!(h.vprop(VertexId(0), keys::COUNT).unwrap().as_i64(), Some(7));
         assert_eq!(
@@ -402,7 +405,9 @@ mod tests {
             Some("main.c:42")
         );
         assert_eq!(
-            h.vprop(VertexId(1), keys::TIME_PER_PROC).unwrap().as_f64_slice(),
+            h.vprop(VertexId(1), keys::TIME_PER_PROC)
+                .unwrap()
+                .as_f64_slice(),
             Some(&[1.0, 2.0, 3.0, 4.0][..])
         );
         let e = h.edge(EdgeId(0));

@@ -160,10 +160,7 @@ mod tests {
     fn recursion_detected() {
         let p = sample();
         let rec = recursive_functions(&p);
-        let names: HashSet<&str> = rec
-            .iter()
-            .map(|&f| p.function(f).name.as_ref())
-            .collect();
+        let names: HashSet<&str> = rec.iter().map(|&f| p.function(f).name.as_ref()).collect();
         assert!(names.contains("foo"));
         assert!(names.contains("bar"));
         assert!(names.contains("baz"));

@@ -127,12 +127,8 @@ impl ProgramBuilder {
         let stmt_count = self.counters.next_stmt;
         // Crude but stable size model: ~55 source lines / KLoC accounting
         // and ~220 bytes of text per statement.
-        let kloc = self
-            .kloc
-            .unwrap_or(stmt_count as f64 * 0.055);
-        let binary_bytes = self
-            .binary_bytes
-            .unwrap_or(4096 + stmt_count as u64 * 220);
+        let kloc = self.kloc.unwrap_or(stmt_count as f64 * 0.055);
+        let binary_bytes = self.binary_bytes.unwrap_or(4096 + stmt_count as u64 * 220);
         Program {
             name: self.name,
             functions: self.functions,

@@ -413,7 +413,11 @@ mod tests {
                 values.insert(n.eval(&cx).to_bits());
             }
         }
-        assert!(values.len() > 48, "noise not varied: {} distinct", values.len());
+        assert!(
+            values.len() > 48,
+            "noise not varied: {} distinct",
+            values.len()
+        );
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod program;
 
 pub use analysis::{call_graph, recursive_functions, StaticSummary};
 pub use builder::{FuncBuilder, ProgramBuilder};
-pub use pretty::pretty;
 pub use expr::{c, iter, noise, nranks, nthreads, param, rank, thread, EvalCtx, Expr};
+pub use pretty::pretty;
 pub use program::{
     CallTarget, CommOp, FuncId, Function, LockId, PmuSpec, Program, Stmt, StmtId, StmtKind,
 };

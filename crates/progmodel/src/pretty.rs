@@ -107,7 +107,11 @@ fn comm(op: &CommOp) -> String {
             format!("MPI_Isend(to={}, {}B, tag={tag})", expr(peer), expr(bytes))
         }
         CommOp::Irecv { peer, bytes, tag } => {
-            format!("MPI_Irecv(from={}, {}B, tag={tag})", expr(peer), expr(bytes))
+            format!(
+                "MPI_Irecv(from={}, {}B, tag={tag})",
+                expr(peer),
+                expr(bytes)
+            )
         }
         CommOp::Wait { back } => format!("MPI_Wait(back={back})"),
         CommOp::Waitall => "MPI_Waitall()".to_string(),

@@ -354,9 +354,14 @@ mod tests {
             f.compute("a", c(1.0));
             f.loop_("l", c(3.0), |b| {
                 b.compute("inner", c(1.0));
-                b.branch("br", c(1.0), |t| t.compute("then", c(1.0)), |e| {
-                    e.compute("else", c(1.0));
-                });
+                b.branch(
+                    "br",
+                    c(1.0),
+                    |t| t.compute("then", c(1.0)),
+                    |e| {
+                        e.compute("else", c(1.0));
+                    },
+                );
             });
         });
         let p = pb.build(main);

@@ -1,0 +1,120 @@
+//! A small, dependency-free property-testing harness exposing the subset
+//! of the `proptest` crate API this workspace uses.
+//!
+//! The build environment is hermetic (no registry access), so the real
+//! `proptest` crate cannot be resolved. This crate keeps the test suites
+//! source-compatible: `proptest!` test blocks, `Strategy` combinators
+//! (`prop_map`, `prop_flat_map`, `prop_filter_map`), `Just`,
+//! `prop_oneof!`, numeric range strategies, tuple strategies, regex-lite
+//! string strategies, `prop::collection::vec`, `prop::option::of` and
+//! `any::<T>()`.
+//!
+//! Differences from the real crate, by design:
+//! - generation is a fixed-seed deterministic stream (seeded from the
+//!   test name), so failures reproduce exactly across runs;
+//! - no shrinking — a failing case prints its inputs and re-panics;
+//! - string strategies accept only the character-class/quantifier regex
+//!   subset the tests use (`[a-z_]{0,12}`-style patterns).
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    // The real prelude re-exports the crate root under the name `prop`
+    // so tests can say `prop::collection::vec(..)`.
+    pub use crate as prop;
+}
+
+/// Declare a block of property tests.
+///
+/// Supports an optional `#![proptest_config(..)]` header followed by any
+/// number of `fn name(arg in strategy, ..) { body }` items, each carrying
+/// its own attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let describe = || {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str("  ");
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&::std::format!("{:?}\n", $arg));
+                    )+
+                    s
+                };
+                let described = describe();
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(payload) = outcome {
+                    ::std::eprintln!(
+                        "proptest `{}` failed on case {}/{} with inputs:\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        described,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assert inside a property test (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::std::assert!($($t)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::std::assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::std::assert_ne!($($t)*) };
+}

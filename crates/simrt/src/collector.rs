@@ -12,18 +12,30 @@ use progmodel::{FuncId, PmuSpec, StmtId};
 
 use crate::cct::{Cct, CtxId};
 use crate::config::CollectionConfig;
-use crate::record::{CommRecord, LockRecord, MsgEdge, RunData, TraceData, TraceEvent};
+use crate::faults::{fault_roll, FaultPlan, FaultStream};
+use crate::record::{CommRecord, LockRecord, MsgEdge, RankStatus, RunData, TraceData, TraceEvent};
 
 /// Mutable collection state for one run.
 pub struct Collector {
     /// Accumulated run data (taken by [`Collector::finish`]).
     pub data: RunData,
     cfg: CollectionConfig,
+    faults: FaultPlan,
+    seed: u64,
+    /// Monotone PMU-read counter identifying corruption rolls.
+    pmu_reads: u64,
 }
 
 impl Collector {
-    /// New collector for a run of `nranks` × `nthreads`.
-    pub fn new(cfg: CollectionConfig, nranks: u32, nthreads: u32, entry: FuncId) -> Self {
+    /// New collector for a run of `nranks` × `nthreads` under `faults`.
+    pub fn new(
+        cfg: CollectionConfig,
+        faults: FaultPlan,
+        seed: u64,
+        nranks: u32,
+        nthreads: u32,
+        entry: FuncId,
+    ) -> Self {
         Collector {
             data: RunData {
                 nranks,
@@ -39,28 +51,80 @@ impl Collector {
                 indirect_targets: std::collections::HashMap::new(),
                 cct: Cct::new(entry),
                 trace: TraceData::default(),
+                rank_status: vec![RankStatus::Completed; nranks as usize],
+                dropped_samples: std::collections::HashMap::new(),
+                pmu_corrupted: 0,
+                retransmits: 0,
             },
             cfg,
+            faults,
+            seed,
+            pmu_reads: 0,
         }
+    }
+
+    /// The context a sample is attributed to after the injected
+    /// stack-truncation fault: the ancestor at the depth cap when the
+    /// sample's context is deeper than the unwinder can resolve.
+    fn attribution_ctx(&self, ctx: CtxId) -> CtxId {
+        let Some(max_depth) = self.faults.stack_truncate_depth else {
+            return ctx;
+        };
+        let mut cur = ctx;
+        while self.data.cct.depth(cur) as usize > max_depth {
+            cur = self.data.cct.parent(cur);
+        }
+        cur
     }
 
     /// Attribute the virtual interval `[t0, t1)` of `(rank, thread)` to
     /// context `ctx`: emits `floor(t1/p) - floor(t0/p)` samples. Returns
-    /// the number of samples fired so the caller can charge the
+    /// the number of samples *fired* so the caller can charge the
     /// per-sample instrumentation cost to the application's virtual
-    /// clock (the observer effect Table 1 measures).
+    /// clock (the observer effect Table 1 measures) — lost samples still
+    /// fired their handler, so injected sample loss never perturbs the
+    /// application's timing, only the recorded profile.
     pub fn account(&mut self, rank: u32, thread: u32, ctx: CtxId, t0: f64, t1: f64) -> u64 {
         let Some(period) = self.cfg.sampling_period_us else {
             return 0;
         };
         debug_assert!(t1 >= t0);
-        let n = (t1 / period).floor() - (t0 / period).floor();
-        if n > 0.0 {
-            *self.data.samples.entry((ctx, rank, thread)).or_insert(0) += n as u64;
-            n as u64
-        } else {
-            0
+        let i0 = (t0 / period).floor();
+        let n = ((t1 / period).floor() - i0) as u64;
+        if n == 0 {
+            return 0;
         }
+        let ctx = self.attribution_ctx(ctx);
+        let loss = self.faults.sample_loss_rate;
+        if loss <= 0.0 {
+            *self.data.samples.entry((ctx, rank, thread)).or_insert(0) += n;
+            return n;
+        }
+        // Each sample's loss roll is keyed by its global index in this
+        // (rank, thread)'s sample sequence, so the outcome is independent
+        // of how the interval happens to be split across calls.
+        let mut kept = 0u64;
+        let mut lost = 0u64;
+        let who = ((rank as u64) << 32) | thread as u64;
+        for k in 1..=n {
+            let idx = (i0 as u64).wrapping_add(k);
+            if fault_roll(self.seed, FaultStream::SampleLoss, who, idx) < loss {
+                lost += 1;
+            } else {
+                kept += 1;
+            }
+        }
+        if kept > 0 {
+            *self.data.samples.entry((ctx, rank, thread)).or_insert(0) += kept;
+        }
+        if lost > 0 {
+            *self
+                .data
+                .dropped_samples
+                .entry((ctx, rank, thread))
+                .or_insert(0) += lost;
+        }
+        n
     }
 
     /// Virtual µs charged per fired sample.
@@ -92,9 +156,21 @@ impl Collector {
     }
 
     /// Accumulate PMU estimates for `dur_us` of kernel time in `ctx`.
+    /// Under injected PMU corruption, a corrupted reading is counted and
+    /// discarded (as a validating consumer of real counters would).
     pub fn pmu(&mut self, ctx: CtxId, dur_us: f64, spec: &PmuSpec) {
         if !self.cfg.collect_pmu {
             return;
+        }
+        if self.faults.pmu_corrupt_rate > 0.0 {
+            let read = self.pmu_reads;
+            self.pmu_reads += 1;
+            if fault_roll(self.seed, FaultStream::PmuCorrupt, read, 0)
+                < self.faults.pmu_corrupt_rate
+            {
+                self.data.pmu_corrupted += 1;
+                return;
+            }
         }
         let instr = dur_us * spec.instr_per_us;
         let agg = self.data.pmu.entry(ctx).or_default();
@@ -153,10 +229,17 @@ impl Collector {
         self.cfg.trace_events
     }
 
-    /// Finish the run: set per-rank elapsed times and the makespan.
-    pub fn finish(mut self, elapsed: Vec<f64>) -> RunData {
+    /// Count one injected message drop/retransmission.
+    pub fn retransmit(&mut self) {
+        self.data.retransmits += 1;
+    }
+
+    /// Finish the run: set per-rank elapsed times, terminal rank
+    /// statuses and the makespan.
+    pub fn finish(mut self, elapsed: Vec<f64>, rank_status: Vec<RankStatus>) -> RunData {
         self.data.total_time = elapsed.iter().copied().fold(0.0, f64::max);
         self.data.elapsed = elapsed;
+        self.data.rank_status = rank_status;
         self.data
     }
 }
@@ -167,7 +250,11 @@ mod tests {
     use crate::record::CommKindTag;
 
     fn collector(cfg: CollectionConfig) -> Collector {
-        Collector::new(cfg, 2, 1, FuncId(0))
+        Collector::new(cfg, FaultPlan::default(), 0, 2, 1, FuncId(0))
+    }
+
+    fn faulty(cfg: CollectionConfig, faults: FaultPlan, seed: u64) -> Collector {
+        Collector::new(cfg, faults, seed, 2, 1, FuncId(0))
     }
 
     #[test]
@@ -240,8 +327,90 @@ mod tests {
     #[test]
     fn finish_sets_makespan() {
         let c = collector(CollectionConfig::default());
-        let data = c.finish(vec![5.0, 9.0]);
+        let data = c.finish(vec![5.0, 9.0], vec![RankStatus::Completed; 2]);
         assert_eq!(data.total_time, 9.0);
         assert_eq!(data.elapsed, vec![5.0, 9.0]);
+        assert!(data.is_complete());
+    }
+
+    #[test]
+    fn sample_loss_conserves_fired_count_and_is_deterministic() {
+        let cfg = CollectionConfig {
+            sampling_period_us: Some(10.0),
+            ..CollectionConfig::default()
+        };
+        let run = |seed| {
+            let mut c = faulty(cfg.clone(), FaultPlan::new().with_sample_loss(0.5), seed);
+            let ctx = c.data.cct.root();
+            let fired = c.account(0, 0, ctx, 0.0, 1000.0);
+            let kept = c.data.samples.get(&(ctx, 0, 0)).copied().unwrap_or(0);
+            let lost = c
+                .data
+                .dropped_samples
+                .get(&(ctx, 0, 0))
+                .copied()
+                .unwrap_or(0);
+            (fired, kept, lost)
+        };
+        let (fired, kept, lost) = run(7);
+        assert_eq!(fired, 100);
+        assert_eq!(kept + lost, 100, "loss must conserve fired samples");
+        assert!(kept > 0 && lost > 0, "kept {kept}, lost {lost}");
+        assert_eq!(run(7), (fired, kept, lost), "same seed, same losses");
+        assert_ne!(run(8).1, kept, "different seed, different losses");
+    }
+
+    #[test]
+    fn sample_loss_independent_of_interval_splitting() {
+        let cfg = CollectionConfig {
+            sampling_period_us: Some(10.0),
+            ..CollectionConfig::default()
+        };
+        let plan = FaultPlan::new().with_sample_loss(0.3);
+        let mut whole = faulty(cfg.clone(), plan.clone(), 3);
+        let ctx = whole.data.cct.root();
+        whole.account(0, 0, ctx, 0.0, 500.0);
+        let mut split = faulty(cfg, plan, 3);
+        split.account(0, 0, ctx, 0.0, 123.0);
+        split.account(0, 0, ctx, 123.0, 345.0);
+        split.account(0, 0, ctx, 345.0, 500.0);
+        assert_eq!(whole.data.samples, split.data.samples);
+        assert_eq!(whole.data.dropped_samples, split.data.dropped_samples);
+    }
+
+    #[test]
+    fn stack_truncation_attributes_to_ancestor() {
+        let cfg = CollectionConfig {
+            sampling_period_us: Some(10.0),
+            ..CollectionConfig::default()
+        };
+        let mut c = faulty(cfg, FaultPlan::new().with_stack_truncation(1), 0);
+        let root = c.data.cct.root();
+        let mid = c
+            .data
+            .cct
+            .child(root, crate::cct::CtxFrame::Stmt(StmtId(1)));
+        let deep = c.data.cct.child(mid, crate::cct::CtxFrame::Stmt(StmtId(2)));
+        c.account(0, 0, deep, 0.0, 100.0);
+        assert!(!c.data.samples.contains_key(&(deep, 0, 0)));
+        assert_eq!(c.data.samples[&(mid, 0, 0)], 10);
+    }
+
+    #[test]
+    fn pmu_corruption_counts_discarded_reads() {
+        let spec = PmuSpec {
+            instr_per_us: 1000.0,
+            miss_per_kinstr: 2.0,
+        };
+        let mut c = faulty(
+            CollectionConfig::default(),
+            FaultPlan::new().with_pmu_corruption(1.0),
+            0,
+        );
+        let ctx = c.data.cct.root();
+        c.pmu(ctx, 10.0, &spec);
+        c.pmu(ctx, 10.0, &spec);
+        assert_eq!(c.data.pmu_corrupted, 2);
+        assert!(c.data.pmu.is_empty());
     }
 }

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use crate::faults::FaultPlan;
+
 /// Network performance model (latency/bandwidth with an eager threshold),
 /// standing in for the clusters of §5.1.
 #[derive(Debug, Clone)]
@@ -145,6 +147,9 @@ pub struct RunConfig {
     /// here runs its compute `factor`× slower — a degraded node, thermal
     /// throttling, OS noise). Ranks not listed run at factor 1.0.
     pub rank_slowdown: HashMap<u32, f64>,
+    /// Hard-fault injection plan (crashes, hangs, message drops, sample
+    /// loss, stack truncation, PMU corruption). Inert by default.
+    pub faults: FaultPlan,
 }
 
 impl RunConfig {
@@ -158,6 +163,7 @@ impl RunConfig {
             network: NetworkModel::default(),
             collection: CollectionConfig::default(),
             rank_slowdown: HashMap::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -188,6 +194,12 @@ impl RunConfig {
     /// Inject a degraded node: rank `rank` computes `factor`× slower.
     pub fn with_slow_rank(mut self, rank: u32, factor: f64) -> Self {
         self.rank_slowdown.insert(rank, factor);
+        self
+    }
+
+    /// Install a hard-fault injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

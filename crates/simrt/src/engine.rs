@@ -17,15 +17,14 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use progmodel::{
-    CallTarget, CommOp, EvalCtx, Program, Stmt, StmtId, StmtKind,
-};
+use progmodel::{CallTarget, CommOp, EvalCtx, Program, Stmt, StmtId, StmtKind};
 
 use crate::cct::{CtxFrame, CtxId};
 use crate::collector::Collector;
 use crate::config::RunConfig;
+use crate::faults::{fault_roll, FaultStream};
 use crate::net::collective_cost;
-use crate::record::{CommKindTag, CommRecord, MsgEdge, RunData};
+use crate::record::{CommKindTag, CommRecord, MsgEdge, RankStatus, RunData};
 use crate::threads::run_thread_region;
 
 pub use crate::error::SimError;
@@ -33,13 +32,21 @@ pub use crate::error::SimError;
 const MAX_CALL_DEPTH: usize = 256;
 
 /// Simulate one run of `prog` under `cfg`.
+///
+/// With an injected crash in `cfg.faults` the run still returns `Ok`:
+/// surviving ranks complete (fail-fast notified of dead peers, collectives
+/// shrunk to the survivors) and [`RunData::rank_status`] records who died
+/// when. An injected hang instead returns [`SimError::Hang`] with the
+/// hung ranks, the ranks blocked behind them and the virtual time — the
+/// quiescence watchdog's triage of an otherwise silent stall.
 pub fn simulate(prog: &Program, cfg: &RunConfig) -> Result<RunData, SimError> {
     let mut params = prog.default_params.clone();
     params.extend(cfg.params.iter().map(|(k, v)| (k.clone(), *v)));
     let mut engine = Engine::new(prog, cfg, params);
     engine.run()?;
     let elapsed: Vec<f64> = engine.ranks.iter().map(|r| r.clock).collect();
-    Ok(engine.collector.finish(elapsed))
+    let status = engine.statuses();
+    Ok(engine.collector.finish(elapsed, status))
 }
 
 // ------------------------------------------------------------------ state
@@ -94,11 +101,7 @@ enum BlockInfo {
         post: f64,
     },
     /// Waiting for all outstanding requests.
-    Waitall {
-        ctx: CtxId,
-        stmt: StmtId,
-        post: f64,
-    },
+    Waitall { ctx: CtxId, stmt: StmtId, post: f64 },
     /// Waiting for a collective instance.
     Coll {
         inst: u64,
@@ -127,6 +130,28 @@ struct Blocked {
     info: BlockInfo,
 }
 
+/// Fault-injection health of one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Health {
+    /// Running normally.
+    Ok,
+    /// Crashed (injected) at the given virtual time.
+    Crashed(f64),
+    /// Stopped progressing at the given virtual time: an injected hang,
+    /// or (`injected: false`) a survivor stuck forever behind a crash.
+    Hung {
+        at: f64,
+        stmt: Option<StmtId>,
+        injected: bool,
+    },
+}
+
+impl Health {
+    fn is_ok(self) -> bool {
+        matches!(self, Health::Ok)
+    }
+}
+
 struct RankState<'p> {
     rank: u32,
     clock: f64,
@@ -138,6 +163,7 @@ struct RankState<'p> {
     blocked: Option<Blocked>,
     done: bool,
     call_depth: usize,
+    health: Health,
 }
 
 #[derive(Debug, Clone)]
@@ -183,6 +209,8 @@ struct Engine<'p> {
     channels: HashMap<(u32, u32, u32), Channel>,
     collectives: HashMap<u64, CollInst>,
     collector: Collector,
+    /// Monotone counter identifying message-drop rolls.
+    match_count: u64,
 }
 
 enum StepOutcome {
@@ -195,6 +223,8 @@ impl<'p> Engine<'p> {
     fn new(prog: &'p Program, cfg: &'p RunConfig, params: HashMap<String, f64>) -> Self {
         let collector = Collector::new(
             cfg.collection.clone(),
+            cfg.faults.clone(),
+            cfg.seed,
             cfg.nranks,
             cfg.nthreads,
             prog.entry,
@@ -217,6 +247,7 @@ impl<'p> Engine<'p> {
                 blocked: None,
                 done: false,
                 call_depth: 0,
+                health: Health::Ok,
             })
             .collect();
         Engine {
@@ -227,6 +258,7 @@ impl<'p> Engine<'p> {
             channels: HashMap::new(),
             collectives: HashMap::new(),
             collector,
+            match_count: 0,
         }
     }
 
@@ -234,29 +266,301 @@ impl<'p> Engine<'p> {
         loop {
             let mut progressed = false;
             for r in 0..self.ranks.len() {
-                if self.ranks[r].done || self.ranks[r].blocked.is_some() {
+                if self.ranks[r].done
+                    || self.ranks[r].blocked.is_some()
+                    || !self.ranks[r].health.is_ok()
+                {
                     continue;
                 }
                 progressed = true;
-                while let StepOutcome::Progress = self.step(r)? {}
+                loop {
+                    // A scheduled crash/hang fires at the first event
+                    // boundary at or after its virtual time.
+                    if self.apply_rank_fault(r, false) {
+                        break;
+                    }
+                    match self.step(r)? {
+                        StepOutcome::Progress => continue,
+                        StepOutcome::Blocked | StepOutcome::Done => break,
+                    }
+                }
             }
             let resolved = self.resolve_blocked();
-            if self.ranks.iter().all(|r| r.done) {
-                return Ok(());
+            if self.ranks.iter().all(|r| r.done || !r.health.is_ok()) {
+                return self.check_injected_hangs();
             }
             if !progressed && !resolved {
-                let blocked = self
+                // Quiescence watchdog. First, force any still-pending
+                // scheduled fault onto its (blocked) rank: a rank whose
+                // clock stopped short of its fault time would otherwise
+                // never reach it.
+                if self.apply_scheduled_faults_to_blocked() {
+                    continue;
+                }
+                let blocked: Vec<(u32, StmtId)> = self
                     .ranks
                     .iter()
-                    .filter_map(|r| {
-                        r.blocked
-                            .as_ref()
-                            .map(|b| (r.rank, b.info.stmt()))
-                    })
+                    .filter(|r| r.health.is_ok())
+                    .filter_map(|r| r.blocked.as_ref().map(|b| (r.rank, b.info.stmt())))
                     .collect();
+                if self
+                    .ranks
+                    .iter()
+                    .any(|r| matches!(r.health, Health::Hung { injected: true, .. }))
+                {
+                    return Err(self.hang_error(blocked));
+                }
+                if self
+                    .ranks
+                    .iter()
+                    .any(|r| matches!(r.health, Health::Crashed(_)))
+                {
+                    // Survivors stuck forever behind the crash (e.g. a
+                    // dependence the fail-fast notification cannot break):
+                    // mark them hung and degrade gracefully to a partial
+                    // run instead of failing the whole simulation.
+                    for r in 0..self.ranks.len() {
+                        if self.ranks[r].health.is_ok() && self.ranks[r].blocked.is_some() {
+                            let at = self.ranks[r].clock;
+                            self.stall_rank(r, at, false);
+                        }
+                    }
+                    continue;
+                }
                 return Err(SimError::Deadlock { blocked });
             }
         }
+    }
+
+    // ------------------------------------------------------ fault injection
+
+    /// Apply a scheduled crash/hang to rank `r` if due (its clock reached
+    /// the fault time) or if `force` (the rank is stalled short of it).
+    /// Returns whether a fault was applied.
+    fn apply_rank_fault(&mut self, r: usize, force: bool) -> bool {
+        if self.ranks[r].done || !self.ranks[r].health.is_ok() {
+            return false;
+        }
+        let rank = self.ranks[r].rank;
+        if let Some(&t) = self.cfg.faults.crash.get(&rank) {
+            if self.ranks[r].clock >= t || force {
+                self.crash_rank(r, self.ranks[r].clock.max(t));
+                return true;
+            }
+        }
+        if let Some(&t) = self.cfg.faults.hang.get(&rank) {
+            if self.ranks[r].clock >= t || force {
+                let at = self.ranks[r].clock.max(t);
+                self.stall_rank(r, at, true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Force pending scheduled faults onto blocked ranks (quiescence
+    /// watchdog path). Returns whether anything fired.
+    fn apply_scheduled_faults_to_blocked(&mut self) -> bool {
+        let mut any = false;
+        for r in 0..self.ranks.len() {
+            if self.ranks[r].blocked.is_some() {
+                any |= self.apply_rank_fault(r, true);
+            }
+        }
+        any
+    }
+
+    /// Kill rank `r` at virtual time `at`: fail-fast notify peers blocked
+    /// on it (an ULFM-style revoke) and shrink pending collectives to the
+    /// survivors.
+    fn crash_rank(&mut self, r: usize, at: f64) {
+        let dead = self.ranks[r].rank;
+        self.ranks[r].health = Health::Crashed(at);
+        self.ranks[r].clock = at;
+        self.ranks[r].blocked = None;
+        self.ranks[r].frames.clear();
+        // Peer notification: operations already targeting the dead rank
+        // complete as failed no earlier than the crash.
+        for p in 0..self.ranks.len() {
+            if p == r {
+                continue;
+            }
+            for req in &mut self.ranks[p].reqs {
+                if req.live && req.peer == dead && req.completion.is_none() {
+                    req.completion = Some(req.post.max(at));
+                }
+            }
+            if let Some(b) = self.ranks[p].blocked.as_mut() {
+                if let BlockInfo::P2p {
+                    peer,
+                    post,
+                    matched: None,
+                    ..
+                } = &b.info
+                {
+                    if *peer == dead && b.resume.is_none() {
+                        b.resume = Some(post.max(at));
+                    }
+                }
+            }
+        }
+        self.recheck_collectives();
+    }
+
+    /// Stop rank `r` from progressing at virtual time `at` without
+    /// killing it ([`Health::Hung`]). `injected` distinguishes a planned
+    /// hang from a survivor derived-stalled behind a crash.
+    fn stall_rank(&mut self, r: usize, at: f64, injected: bool) {
+        let stmt = self.ranks[r]
+            .blocked
+            .as_ref()
+            .map(|b| b.info.stmt())
+            .or_else(|| {
+                self.ranks[r]
+                    .frames
+                    .last()
+                    .and_then(|f| f.stmts.get(f.idx))
+                    .map(|s| s.id)
+            });
+        self.ranks[r].health = Health::Hung { at, stmt, injected };
+        self.ranks[r].clock = self.ranks[r].clock.max(at);
+        self.ranks[r].blocked = None;
+    }
+
+    /// `Err(SimError::Hang)` describing every injected-hung rank plus the
+    /// healthy ranks blocked behind them.
+    fn hang_error(&self, blocked: Vec<(u32, StmtId)>) -> SimError {
+        let hung = self
+            .ranks
+            .iter()
+            .filter_map(|r| match r.health {
+                Health::Hung {
+                    at,
+                    stmt,
+                    injected: true,
+                } => Some((r.rank, stmt, at)),
+                _ => None,
+            })
+            .collect();
+        let virtual_time_us = self.ranks.iter().map(|r| r.clock).fold(0.0, f64::max);
+        SimError::Hang {
+            hung,
+            blocked,
+            virtual_time_us,
+        }
+    }
+
+    /// At termination: an injected hang is an error even when no other
+    /// rank was blocked behind it — a silently missing rank must never
+    /// look like a clean run.
+    fn check_injected_hangs(&self) -> Result<(), SimError> {
+        if self
+            .ranks
+            .iter()
+            .any(|r| matches!(r.health, Health::Hung { injected: true, .. }))
+        {
+            return Err(self.hang_error(Vec::new()));
+        }
+        Ok(())
+    }
+
+    /// Terminal per-rank statuses (valid once `run` returned `Ok`).
+    fn statuses(&self) -> Vec<RankStatus> {
+        self.ranks
+            .iter()
+            .map(|r| match r.health {
+                Health::Ok => RankStatus::Completed,
+                Health::Crashed(at) => RankStatus::Crashed { at_us: at },
+                Health::Hung { at, .. } => RankStatus::Hung { at_us: at },
+            })
+            .collect()
+    }
+
+    /// True when `rank` has crashed.
+    fn is_crashed(&self, rank: u32) -> bool {
+        matches!(self.ranks[rank as usize].health, Health::Crashed(_))
+    }
+
+    /// A collective completes when every *live* (non-crashed) rank has
+    /// posted; crashed ranks are dropped from the membership (the
+    /// shrunken communicator), while hung ranks still count — a hang
+    /// blocks collectives, which is how it propagates.
+    fn collective_ready(&self, inst: &CollInst) -> bool {
+        (0..self.cfg.nranks)
+            .filter(|&x| !self.is_crashed(x))
+            .all(|x| inst.posts.iter().any(|&(pr, _, _, _)| pr == x))
+    }
+
+    /// Complete collective `inst` if every live rank has posted.
+    fn complete_collective_if_ready(&mut self, inst: u64) {
+        let Some(c) = self.collectives.get(&inst) else {
+            return;
+        };
+        if c.completion.is_some() || !self.collective_ready(c) {
+            return;
+        }
+        let cost = collective_cost(&self.cfg.network, c.kind, c.bytes, self.cfg.nranks);
+        let entry = self
+            .collectives
+            .get_mut(&inst)
+            .expect("instance exists: fetched above");
+        let max_post = entry
+            .posts
+            .iter()
+            .map(|&(_, p, _, _)| p)
+            .fold(f64::NEG_INFINITY, f64::max);
+        entry.completion = Some(max_post + cost);
+    }
+
+    /// Re-evaluate pending collectives after a crash shrank the
+    /// membership: instances now complete over the survivors.
+    fn recheck_collectives(&mut self) {
+        let insts: Vec<u64> = self
+            .collectives
+            .iter()
+            .filter(|(_, c)| c.completion.is_none())
+            .map(|(&i, _)| i)
+            .collect();
+        for i in insts {
+            self.complete_collective_if_ready(i);
+        }
+    }
+
+    /// Complete a point-to-point operation addressed to a crashed peer
+    /// immediately as failed (fail-fast notification): the survivor must
+    /// not block on a rank that can never answer.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_fast_p2p(
+        &mut self,
+        r: usize,
+        kind: CommKindTag,
+        ctx: CtxId,
+        stmt: StmtId,
+        peer: u32,
+        bytes: u64,
+        nonblocking: bool,
+    ) {
+        let overhead = self.cfg.network.op_overhead_us;
+        let post = self.ranks[r].clock;
+        if nonblocking {
+            let slot = self.push_req(r, kind, peer, bytes, post);
+            self.ranks[r].reqs[slot].completion = Some(post + overhead);
+        }
+        let rank = self.ranks[r].rank;
+        self.advance(r, overhead, ctx);
+        self.collector.comm(CommRecord {
+            rank,
+            ctx,
+            stmt,
+            kind,
+            peer,
+            bytes,
+            post,
+            complete: post + overhead,
+            wait: 0.0,
+        });
+        self.collector.trace(rank, stmt, post, post + overhead);
+        self.ranks[r].frames.last_mut().unwrap().idx += 1;
     }
 
     // --------------------------------------------------------- interpreter
@@ -394,8 +698,7 @@ impl<'p> Engine<'p> {
                         candidates,
                         selector,
                     } => {
-                        let idx =
-                            selector.eval_u64(&self.eval_ctx(r)) as usize % candidates.len();
+                        let idx = selector.eval_u64(&self.eval_ctx(r)) as usize % candidates.len();
                         let fid = candidates[idx];
                         self.collector.indirect(stmt.id, fid);
                         fid
@@ -496,6 +799,10 @@ impl<'p> Engine<'p> {
             CommOp::Isend { peer, bytes, tag } => {
                 let peer = self.eval_peer(r, peer, stmt.id)?;
                 let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                if self.is_crashed(peer) {
+                    self.fail_fast_p2p(r, CommKindTag::Isend, ctx, stmt.id, peer, bytes, true);
+                    return Ok(StepOutcome::Progress);
+                }
                 let post = self.ranks[r].clock;
                 let eager = bytes <= net.eager_threshold;
                 let slot = self.push_req(r, CommKindTag::Isend, peer, bytes, post);
@@ -535,6 +842,10 @@ impl<'p> Engine<'p> {
             CommOp::Irecv { peer, bytes, tag } => {
                 let peer = self.eval_peer(r, peer, stmt.id)?;
                 let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                if self.is_crashed(peer) {
+                    self.fail_fast_p2p(r, CommKindTag::Irecv, ctx, stmt.id, peer, bytes, true);
+                    return Ok(StepOutcome::Progress);
+                }
                 let post = self.ranks[r].clock;
                 let slot = self.push_req(r, CommKindTag::Irecv, peer, bytes, post);
                 self.channels
@@ -568,6 +879,10 @@ impl<'p> Engine<'p> {
             CommOp::Send { peer, bytes, tag } => {
                 let peer = self.eval_peer(r, peer, stmt.id)?;
                 let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                if self.is_crashed(peer) {
+                    self.fail_fast_p2p(r, CommKindTag::Send, ctx, stmt.id, peer, bytes, false);
+                    return Ok(StepOutcome::Progress);
+                }
                 let post = self.ranks[r].clock;
                 let eager = bytes <= net.eager_threshold;
                 self.channels
@@ -621,6 +936,10 @@ impl<'p> Engine<'p> {
             CommOp::Recv { peer, bytes, tag } => {
                 let peer = self.eval_peer(r, peer, stmt.id)?;
                 let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                if self.is_crashed(peer) {
+                    self.fail_fast_p2p(r, CommKindTag::Recv, ctx, stmt.id, peer, bytes, false);
+                    return Ok(StepOutcome::Progress);
+                }
                 let post = self.ranks[r].clock;
                 self.channels
                     .entry((peer, rank, *tag))
@@ -650,9 +969,7 @@ impl<'p> Engine<'p> {
             }
             CommOp::Wait { back } => {
                 let outstanding = self.ranks[r].outstanding.len();
-                let Some(i) = outstanding
-                    .checked_sub(1 + *back as usize)
-                else {
+                let Some(i) = outstanding.checked_sub(1 + *back as usize) else {
                     return Err(SimError::BadWait {
                         stmt: stmt.id,
                         back: *back,
@@ -708,28 +1025,22 @@ impl<'p> Engine<'p> {
                 let inst = self.ranks[r].coll_seq;
                 self.ranks[r].coll_seq += 1;
                 let post = self.ranks[r].clock;
-                let entry = self.collectives.entry(inst).or_insert_with(|| CollInst {
-                    kind,
-                    bytes: 0,
-                    posts: Vec::new(),
-                    completion: None,
-                });
-                debug_assert_eq!(
-                    entry.kind, kind,
-                    "ranks disagree on collective {inst}: {:?} vs {kind:?}",
-                    entry.kind
-                );
-                entry.bytes = entry.bytes.max(bytes);
-                entry.posts.push((rank, post, ctx, stmt.id));
-                if entry.posts.len() as u32 == self.cfg.nranks {
-                    let max_post = entry
-                        .posts
-                        .iter()
-                        .map(|&(_, p, _, _)| p)
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    entry.completion =
-                        Some(max_post + collective_cost(net, kind, entry.bytes, self.cfg.nranks));
+                {
+                    let entry = self.collectives.entry(inst).or_insert_with(|| CollInst {
+                        kind,
+                        bytes: 0,
+                        posts: Vec::new(),
+                        completion: None,
+                    });
+                    debug_assert_eq!(
+                        entry.kind, kind,
+                        "ranks disagree on collective {inst}: {:?} vs {kind:?}",
+                        entry.kind
+                    );
+                    entry.bytes = entry.bytes.max(bytes);
+                    entry.posts.push((rank, post, ctx, stmt.id));
                 }
+                self.complete_collective_if_ready(inst);
                 self.ranks[r].blocked = Some(Blocked {
                     resume: None,
                     info: BlockInfo::Coll {
@@ -772,13 +1083,24 @@ impl<'p> Engine<'p> {
             }
             let send = chan.sends.pop_front().unwrap();
             let recv = chan.recvs.pop_front().unwrap();
-            let net = &self.cfg.network;
-            let transfer = net.transfer_us(send.bytes);
+            let overhead = self.cfg.network.op_overhead_us;
+            let mut transfer = self.cfg.network.transfer_us(send.bytes);
+            // Injected network fault: this message is dropped and
+            // retransmitted after a timeout, stretching its transfer.
+            // Each match has a stable identity (arrival order is
+            // deterministic), so the drop pattern replays under a seed.
+            if self.cfg.faults.msg_drop_rate > 0.0 {
+                let id = self.match_count;
+                self.match_count += 1;
+                if fault_roll(self.cfg.seed, FaultStream::MsgDrop, id, 0)
+                    < self.cfg.faults.msg_drop_rate
+                {
+                    transfer += self.cfg.faults.msg_delay_us;
+                    self.collector.retransmit();
+                }
+            }
             let (send_complete, xfer_end) = if send.eager {
-                (
-                    send.post + net.op_overhead_us,
-                    send.post + net.op_overhead_us + transfer,
-                )
+                (send.post + overhead, send.post + overhead + transfer)
             } else {
                 let end = send.post.max(recv.post) + transfer;
                 (end, end)
@@ -958,8 +1280,7 @@ impl<'p> Engine<'p> {
                 kind,
                 bytes,
             } => {
-                let Some(completion) = self.collectives.get(inst).and_then(|c| c.completion)
-                else {
+                let Some(completion) = self.collectives.get(inst).and_then(|c| c.completion) else {
                     return false;
                 };
                 let resume = completion.max(*post);
@@ -980,10 +1301,8 @@ impl<'p> Engine<'p> {
                 self.collector.trace(rank, *stmt, *post, resume);
                 // Dependence edge from the last arriver to this rank.
                 if let Some(ci) = self.collectives.get(inst) {
-                    if let Some(&(late_rank, late_post, late_ctx, late_stmt)) = ci
-                        .posts
-                        .iter()
-                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                    if let Some(&(late_rank, late_post, late_ctx, late_stmt)) =
+                        ci.posts.iter().max_by(|a, b| a.1.total_cmp(&b.1))
                     {
                         if late_rank != rank && wait > 0.0 && late_post > *post {
                             self.collector.msg_edge(MsgEdge {

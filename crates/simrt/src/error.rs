@@ -13,6 +13,20 @@ pub enum SimError {
         /// Ranks that are blocked, with the statement they block on.
         blocked: Vec<(u32, StmtId)>,
     },
+    /// An injected hang stalled one or more ranks; the quiescence
+    /// watchdog triaged the stall so it is distinguishable from a
+    /// program deadlock.
+    Hang {
+        /// Hung ranks: (rank, last statement reached if known, virtual
+        /// time at which the rank stalled, µs).
+        hung: Vec<(u32, Option<StmtId>, f64)>,
+        /// Healthy ranks left blocked behind the hang, with the
+        /// statement they block on.
+        blocked: Vec<(u32, StmtId)>,
+        /// Virtual clock of the furthest-advanced rank when the watchdog
+        /// fired, µs.
+        virtual_time_us: f64,
+    },
     /// A communication operation appeared inside a thread region (the
     /// model is MPI "funneled": only the main thread communicates).
     CommInThreadRegion {
@@ -53,7 +67,40 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Deadlock { blocked } => {
-                write!(f, "deadlock: {} rank(s) blocked", blocked.len())
+                write!(f, "deadlock: {} rank(s) blocked [", blocked.len())?;
+                for (i, (rank, stmt)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "rank {rank} at stmt {}", stmt.0)?;
+                }
+                write!(f, "]")
+            }
+            SimError::Hang {
+                hung,
+                blocked,
+                virtual_time_us,
+            } => {
+                write!(f, "hang at t={virtual_time_us:.1}µs: ")?;
+                for (i, (rank, stmt, at)) in hung.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match stmt {
+                        Some(s) => write!(f, "rank {rank} hung at stmt {} (t={at:.1}µs)", s.0)?,
+                        None => write!(f, "rank {rank} hung (t={at:.1}µs)")?,
+                    }
+                }
+                if !blocked.is_empty() {
+                    write!(f, "; blocked behind it: ")?;
+                    for (i, (rank, stmt)) in blocked.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "rank {rank} at stmt {}", stmt.0)?;
+                    }
+                }
+                Ok(())
             }
             SimError::CommInThreadRegion { stmt } => {
                 write!(f, "communication inside thread region at stmt {}", stmt.0)
@@ -81,3 +128,75 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every variant must render its diagnostic payload, not just a
+    /// category name — these errors are what users see when a run fails.
+    #[test]
+    fn deadlock_display_lists_every_blocked_rank() {
+        let e = SimError::Deadlock {
+            blocked: vec![(0, StmtId(4)), (3, StmtId(9))],
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 rank(s)"), "{s}");
+        assert!(s.contains("rank 0 at stmt 4"), "{s}");
+        assert!(s.contains("rank 3 at stmt 9"), "{s}");
+    }
+
+    #[test]
+    fn hang_display_names_ranks_statements_and_time() {
+        let e = SimError::Hang {
+            hung: vec![(2, Some(StmtId(7)), 1500.0), (5, None, 1500.0)],
+            blocked: vec![(1, StmtId(8))],
+            virtual_time_us: 2300.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("t=2300.5µs"), "{s}");
+        assert!(s.contains("rank 2 hung at stmt 7"), "{s}");
+        assert!(s.contains("rank 5 hung"), "{s}");
+        assert!(s.contains("rank 1 at stmt 8"), "{s}");
+    }
+
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: Vec<(SimError, &[&str])> = vec![
+            (
+                SimError::CommInThreadRegion { stmt: StmtId(11) },
+                &["thread region", "11"],
+            ),
+            (
+                SimError::NestedThreadRegion { stmt: StmtId(12) },
+                &["nested", "12"],
+            ),
+            (
+                SimError::BadWait {
+                    stmt: StmtId(13),
+                    back: 2,
+                    outstanding: 1,
+                },
+                &["back=2", "13", "1 outstanding"],
+            ),
+            (
+                SimError::StackOverflow { stmt: StmtId(14) },
+                &["depth", "14"],
+            ),
+            (
+                SimError::BadPeer {
+                    stmt: StmtId(15),
+                    peer: -3,
+                    nranks: 8,
+                },
+                &["-3", "0..8", "15"],
+            ),
+        ];
+        for (e, needles) in cases {
+            let s = e.to_string();
+            for n in needles {
+                assert!(s.contains(n), "{e:?} display {s:?} missing {n:?}");
+            }
+        }
+    }
+}

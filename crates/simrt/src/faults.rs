@@ -1,0 +1,198 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] carried on [`crate::RunConfig`] describes what goes
+//! wrong during a run: ranks that crash or hang at a virtual time,
+//! messages that are dropped and retransmitted, samples the profiler
+//! loses, call stacks the unwinder truncates, and PMU readings that come
+//! back corrupted. Every fault decision is a pure function of the run
+//! seed and the event's identity ([`fault_roll`]), so a plan replays
+//! identically across runs — the same property that makes the simulator's
+//! noise model reproducible.
+//!
+//! Semantics downstream of a plan:
+//!
+//! * **Crash** — the rank stops at its crash time; the engine fail-fast
+//!   notifies peers blocked on it (like an ULFM revoke) and collectives
+//!   complete over the surviving ranks. The run still returns `Ok` with
+//!   partial data; [`crate::RankStatus`] records who died when.
+//! * **Hang** — the rank stops making progress but is *not* removed from
+//!   collectives, so dependent ranks block. The engine's quiescence
+//!   watchdog converts the stall into a rich [`crate::SimError::Hang`]
+//!   instead of an indistinguishable deadlock.
+//! * **Message drop** — a matched message is "lost" and retransmitted
+//!   after a delay, stretching its transfer time.
+//! * **Sample loss / stack truncation / PMU corruption** — degrade the
+//!   collector's view without touching the application's virtual timing,
+//!   so analyses can be tested against incomplete data whose ground truth
+//!   is known.
+
+use std::collections::HashMap;
+
+/// Independent random streams for fault decisions. Keeping streams
+/// separate means e.g. enabling message drops cannot perturb which
+/// samples are lost under the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStream {
+    /// Per-sample loss rolls.
+    SampleLoss,
+    /// Per-matched-message drop rolls.
+    MsgDrop,
+    /// Per-PMU-read corruption rolls.
+    PmuCorrupt,
+}
+
+impl FaultStream {
+    fn salt(self) -> u64 {
+        match self {
+            FaultStream::SampleLoss => 0x5A4D_504C,
+            FaultStream::MsgDrop => 0x4D53_4744,
+            FaultStream::PmuCorrupt => 0x504D_5543,
+        }
+    }
+}
+
+/// Deterministic roll in `[0, 1)` for the fault event identified by
+/// `(stream, a, b)` under `seed`. Stateless: the same identity always
+/// rolls the same value, independent of evaluation order.
+pub fn fault_roll(seed: u64, stream: FaultStream, a: u64, b: u64) -> f64 {
+    // SplitMix64-style finalizer over the mixed identity.
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.salt())
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A seeded, declarative description of the faults to inject into one
+/// run. `FaultPlan::default()` is inert — the engine behaves exactly as
+/// without a plan.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Ranks that crash, with the virtual time (µs) at which they die.
+    pub crash: HashMap<u32, f64>,
+    /// Ranks that hang (stop progressing without dying), with the
+    /// virtual time (µs) at which they stall.
+    pub hang: HashMap<u32, f64>,
+    /// Probability a matched message is dropped and retransmitted.
+    pub msg_drop_rate: f64,
+    /// Extra transfer delay (µs) charged per dropped message
+    /// (retransmission timeout).
+    pub msg_delay_us: f64,
+    /// Probability any individual profiling sample is lost.
+    pub sample_loss_rate: f64,
+    /// If set, the unwinder only resolves call stacks to this depth;
+    /// deeper samples are attributed to the ancestor context at the cap.
+    pub stack_truncate_depth: Option<usize>,
+    /// Probability a PMU reading is corrupted and must be discarded.
+    pub pmu_corrupt_rate: f64,
+}
+
+impl FaultPlan {
+    /// An empty (inert) plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash `rank` at virtual time `at_us`.
+    pub fn crash_rank(mut self, rank: u32, at_us: f64) -> Self {
+        self.crash.insert(rank, at_us);
+        self
+    }
+
+    /// Hang `rank` at virtual time `at_us`.
+    pub fn hang_rank(mut self, rank: u32, at_us: f64) -> Self {
+        self.hang.insert(rank, at_us);
+        self
+    }
+
+    /// Drop (and retransmit after `delay_us`) each matched message with
+    /// probability `rate`.
+    pub fn with_message_drop(mut self, rate: f64, delay_us: f64) -> Self {
+        self.msg_drop_rate = rate.clamp(0.0, 1.0);
+        self.msg_delay_us = delay_us.max(0.0);
+        self
+    }
+
+    /// Lose each profiling sample with probability `rate`.
+    pub fn with_sample_loss(mut self, rate: f64) -> Self {
+        self.sample_loss_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Truncate unwound call stacks to `depth` frames.
+    pub fn with_stack_truncation(mut self, depth: usize) -> Self {
+        self.stack_truncate_depth = Some(depth);
+        self
+    }
+
+    /// Corrupt each PMU reading with probability `rate`.
+    pub fn with_pmu_corruption(mut self, rate: f64) -> Self {
+        self.pmu_corrupt_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_inert(&self) -> bool {
+        self.crash.is_empty()
+            && self.hang.is_empty()
+            && self.msg_drop_rate == 0.0
+            && self.sample_loss_rate == 0.0
+            && self.stack_truncate_depth.is_none()
+            && self.pmu_corrupt_rate == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        assert!(FaultPlan::default().is_inert());
+        assert!(!FaultPlan::new().crash_rank(0, 1.0).is_inert());
+        assert!(!FaultPlan::new().with_sample_loss(0.1).is_inert());
+        assert!(!FaultPlan::new().with_stack_truncation(3).is_inert());
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_distinct() {
+        let a = fault_roll(7, FaultStream::SampleLoss, 1, 2);
+        assert_eq!(a, fault_roll(7, FaultStream::SampleLoss, 1, 2));
+        assert_ne!(a, fault_roll(8, FaultStream::SampleLoss, 1, 2));
+        assert_ne!(a, fault_roll(7, FaultStream::MsgDrop, 1, 2));
+        assert_ne!(a, fault_roll(7, FaultStream::SampleLoss, 2, 2));
+        assert_ne!(a, fault_roll(7, FaultStream::SampleLoss, 1, 3));
+    }
+
+    #[test]
+    fn rolls_are_roughly_uniform() {
+        let n = 10_000;
+        let hits = (0..n)
+            .filter(|&i| fault_roll(42, FaultStream::MsgDrop, i, 0) < 0.25)
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "observed {frac}");
+        assert!((0..n).all(|i| {
+            let r = fault_roll(1, FaultStream::PmuCorrupt, 0, i);
+            (0.0..1.0).contains(&r)
+        }));
+    }
+
+    #[test]
+    fn builder_clamps_rates() {
+        let p = FaultPlan::new()
+            .with_sample_loss(1.5)
+            .with_message_drop(-0.2, -5.0)
+            .with_pmu_corruption(2.0);
+        assert_eq!(p.sample_loss_rate, 1.0);
+        assert_eq!(p.msg_drop_rate, 0.0);
+        assert_eq!(p.msg_delay_us, 0.0);
+        assert_eq!(p.pmu_corrupt_rate, 1.0);
+    }
+}

@@ -22,9 +22,10 @@
 
 pub mod cct;
 pub mod collector;
-pub mod error;
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod net;
 pub mod record;
 pub mod threads;
@@ -32,4 +33,8 @@ pub mod threads;
 pub use cct::{Cct, CtxFrame, CtxId};
 pub use config::{CollectionConfig, NetworkModel, RunConfig};
 pub use engine::{simulate, SimError};
-pub use record::{CommKindTag, CommRecord, LockRecord, MsgEdge, PmuAgg, RunData, RunSummary, TraceData};
+pub use faults::{fault_roll, FaultPlan, FaultStream};
+pub use record::{
+    CommKindTag, CommRecord, LockRecord, MsgEdge, PmuAgg, RankStatus, RunData, RunSummary,
+    TraceData,
+};

@@ -49,10 +49,12 @@ mod tests {
     #[test]
     fn costs_grow_with_bytes() {
         let net = NetworkModel::default();
-        for kind in [CommKindTag::Bcast, CommKindTag::Allreduce, CommKindTag::Alltoall] {
-            assert!(
-                collective_cost(&net, kind, 1 << 20, 64) > collective_cost(&net, kind, 64, 64)
-            );
+        for kind in [
+            CommKindTag::Bcast,
+            CommKindTag::Allreduce,
+            CommKindTag::Alltoall,
+        ] {
+            assert!(collective_cost(&net, kind, 1 << 20, 64) > collective_cost(&net, kind, 64, 64));
         }
     }
 

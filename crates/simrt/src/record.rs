@@ -66,6 +66,42 @@ impl CommKindTag {
     }
 }
 
+/// Terminal state of one rank after a (possibly fault-injected) run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankStatus {
+    /// The rank ran its whole program.
+    Completed,
+    /// The rank crashed (injected) at the given virtual time.
+    Crashed {
+        /// Virtual time of death, µs.
+        at_us: f64,
+    },
+    /// The rank stopped progressing at the given virtual time — either
+    /// an injected hang or a survivor left blocked forever behind a
+    /// crashed peer.
+    Hung {
+        /// Virtual time of the stall, µs.
+        at_us: f64,
+    },
+}
+
+impl RankStatus {
+    /// True when the rank ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RankStatus::Completed)
+    }
+}
+
+impl std::fmt::Display for RankStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankStatus::Completed => write!(f, "completed"),
+            RankStatus::Crashed { at_us } => write!(f, "crashed@{at_us:.1}µs"),
+            RankStatus::Hung { at_us } => write!(f, "hung@{at_us:.1}µs"),
+        }
+    }
+}
+
 /// One completed communication operation instance.
 #[derive(Debug, Clone)]
 pub struct CommRecord {
@@ -225,10 +261,23 @@ pub struct RunData {
     pub cct: Cct,
     /// Optional full trace.
     pub trace: TraceData,
+    /// Terminal per-rank status (all `Completed` for a healthy run).
+    pub rank_status: Vec<RankStatus>,
+    /// Samples lost to injected collection faults, keyed like `samples`.
+    /// The application's virtual timing already accounts for these
+    /// (the handler fired; the record was lost).
+    pub dropped_samples: HashMap<(CtxId, u32, u32), u64>,
+    /// PMU readings discarded as corrupted.
+    pub pmu_corrupted: u64,
+    /// Messages dropped and retransmitted by the injected network fault.
+    pub retransmits: u64,
 }
 
 /// Aggregate statistics of one run, per operation kind.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so fault-injection tests can assert that repeated
+/// runs under the same seed and plan are bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
     /// Makespan (µs).
     pub makespan_us: f64,
@@ -244,6 +293,14 @@ pub struct RunSummary {
     pub per_kind: Vec<(CommKindTag, u64, f64, f64)>,
     /// Parallel efficiency proxy: 1 − (comm waits + lock waits) / aggregate.
     pub efficiency: f64,
+    /// Terminal per-rank status.
+    pub rank_status: Vec<RankStatus>,
+    /// Total samples lost to injected collection faults.
+    pub dropped_samples: u64,
+    /// PMU readings discarded as corrupted.
+    pub pmu_corrupted: u64,
+    /// Messages retransmitted due to injected drops.
+    pub retransmits: u64,
 }
 
 impl RunSummary {
@@ -265,6 +322,22 @@ impl RunSummary {
                 count,
                 time / 1e3,
                 wait / 1e3
+            ));
+        }
+        let degraded: Vec<String> = self
+            .rank_status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_completed())
+            .map(|(r, s)| format!("rank {r} {s}"))
+            .collect();
+        if !degraded.is_empty() {
+            out.push_str(&format!("  degraded ranks: {}\n", degraded.join(", ")));
+        }
+        if self.dropped_samples > 0 || self.pmu_corrupted > 0 || self.retransmits > 0 {
+            out.push_str(&format!(
+                "  collection faults: {} samples lost, {} pmu reads corrupted, {} retransmits\n",
+                self.dropped_samples, self.pmu_corrupted, self.retransmits
             ));
         }
         out
@@ -293,11 +366,12 @@ impl RunData {
             .map(LockRecord::wait)
             .sum::<f64>()
             .max(0.0);
-        let mut per_kind: Vec<(CommKindTag, u64, f64, f64)> = per
-            .into_iter()
-            .map(|(k, (c, t, w))| (k, c, t, w))
-            .collect();
-        per_kind.sort_by(|a, b| b.2.total_cmp(&a.2));
+        let mut per_kind: Vec<(CommKindTag, u64, f64, f64)> =
+            per.into_iter().map(|(k, (c, t, w))| (k, c, t, w)).collect();
+        // Tie-break on the kind name: `per` is a hash map, so equal times
+        // would otherwise surface its iteration order and break the
+        // replay-determinism guarantee (RunSummary is PartialEq).
+        per_kind.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.mpi_name().cmp(b.0.mpi_name())));
         RunSummary {
             makespan_us: self.total_time,
             aggregate_us,
@@ -306,7 +380,49 @@ impl RunData {
             lock_wait_us,
             per_kind,
             efficiency: 1.0 - (comm_wait_us + lock_wait_us) / aggregate_us.max(1e-12),
+            rank_status: self.rank_status.clone(),
+            dropped_samples: self.dropped_samples.values().sum(),
+            pmu_corrupted: self.pmu_corrupted,
+            retransmits: self.retransmits,
         }
+    }
+
+    /// Fraction of this rank's fired samples that were actually
+    /// recorded, in `[0, 1]`. Ranks with no fired samples report 1.0.
+    pub fn rank_completeness(&self, rank: u32) -> f64 {
+        let kept: u64 = self
+            .samples
+            .iter()
+            .filter(|((_, r, _), _)| *r == rank)
+            .map(|(_, &n)| n)
+            .sum();
+        let lost: u64 = self
+            .dropped_samples
+            .iter()
+            .filter(|((_, r, _), _)| *r == rank)
+            .map(|(_, &n)| n)
+            .sum();
+        if kept + lost == 0 {
+            1.0
+        } else {
+            kept as f64 / (kept + lost) as f64
+        }
+    }
+
+    /// Status of one rank (`Completed` when out of range, which only
+    /// happens for data predating fault support).
+    pub fn status_of(&self, rank: u32) -> RankStatus {
+        self.rank_status
+            .get(rank as usize)
+            .copied()
+            .unwrap_or(RankStatus::Completed)
+    }
+
+    /// True when every rank completed and no collection faults fired.
+    pub fn is_complete(&self) -> bool {
+        self.rank_status.iter().all(RankStatus::is_completed)
+            && self.dropped_samples.is_empty()
+            && self.pmu_corrupted == 0
     }
 
     /// Total sampled time attributed to a context (all ranks/threads), in

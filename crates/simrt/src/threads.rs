@@ -103,15 +103,19 @@ pub fn run_thread_region(
                     break;
                 }
                 match &all_segs[t][cursor[t]] {
-                    Seg::Compute { dur, ctx, pmu, stmt } => {
+                    Seg::Compute {
+                        dur,
+                        ctx,
+                        pmu,
+                        stmt,
+                    } => {
                         let t0 = clock[t];
                         let t1 = t0 + dur;
                         let fired = col.account(rank, $t, *ctx, t0, t1);
                         col.pmu(*ctx, *dur, pmu);
                         col.trace(rank, *stmt, t0, t1);
-                        clock[t] = t1
-                            + fired as f64 * col.sample_cost_us()
-                            + col.trace_probe_cost_us();
+                        clock[t] =
+                            t1 + fired as f64 * col.sample_cost_us() + col.trace_probe_cost_us();
                         cursor[t] += 1;
                     }
                     Seg::Lock { .. } => {

@@ -348,7 +348,10 @@ fn sampling_approximates_time_distribution() {
     // in roughly 3:1 proportion.
     let mut counts: Vec<u64> = data.samples.values().copied().collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
-    assert!(counts.len() >= 2, "expected two sampled contexts: {counts:?}");
+    assert!(
+        counts.len() >= 2,
+        "expected two sampled contexts: {counts:?}"
+    );
     let (hot, cold) = (counts[0], counts[1]);
     assert!(hot > 0 && cold > 0);
     let ratio = hot as f64 / cold as f64;

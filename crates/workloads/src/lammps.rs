@@ -16,7 +16,7 @@
 //! rebalancing): the force loop evens out, throughput improves by a
 //! double-digit percentage (paper: +13.77%).
 
-use progmodel::{c, nranks, noise, param, rank, Program, ProgramBuilder};
+use progmodel::{c, noise, nranks, param, rank, Program, ProgramBuilder};
 
 fn build(balanced: bool) -> Program {
     let mut pb = ProgramBuilder::new(if balanced { "LMP-balanced" } else { "LMP" });
@@ -90,17 +90,30 @@ fn build(balanced: bool) -> Program {
     // LAMMPS binary an order of magnitude bigger than ZeusMP's.
     let mut styles = Vec::new();
     for sname in [
-        "PairEAM::compute", "PairTersoff::compute", "PairMorse::compute",
-        "PairBuck::compute", "PairYukawa::compute", "PairSW::compute",
-        "FixNVE::initial_integrate", "FixNVT::initial_integrate",
-        "FixNPT::initial_integrate", "FixLangevin::post_force",
-        "FixSpring::post_force", "FixWall::post_force",
-        "ComputeTemp::compute_scalar", "ComputePressure::compute_scalar",
-        "ComputePE::compute_scalar", "ComputeRDF::compute_array",
-        "ComputeMSD::compute_vector", "ComputeStress::compute_array",
-        "BondHarmonic::compute", "AngleHarmonic::compute",
-        "DihedralOPLS::compute", "ImproperHarmonic::compute",
-        "KSpacePPPM::compute", "Output::write_dump",
+        "PairEAM::compute",
+        "PairTersoff::compute",
+        "PairMorse::compute",
+        "PairBuck::compute",
+        "PairYukawa::compute",
+        "PairSW::compute",
+        "FixNVE::initial_integrate",
+        "FixNVT::initial_integrate",
+        "FixNPT::initial_integrate",
+        "FixLangevin::post_force",
+        "FixSpring::post_force",
+        "FixWall::post_force",
+        "ComputeTemp::compute_scalar",
+        "ComputePressure::compute_scalar",
+        "ComputePE::compute_scalar",
+        "ComputeRDF::compute_array",
+        "ComputeMSD::compute_vector",
+        "ComputeStress::compute_array",
+        "BondHarmonic::compute",
+        "AngleHarmonic::compute",
+        "DihedralOPLS::compute",
+        "ImproperHarmonic::compute",
+        "KSpacePPPM::compute",
+        "Output::write_dump",
     ] {
         let file = "styles.cpp";
         let fid = pb.declare(sname, file);

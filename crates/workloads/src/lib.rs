@@ -59,8 +59,8 @@ mod tests {
     fn every_program_builds_and_runs() {
         for (prog, name) in all_programs().iter().zip(PROGRAM_NAMES) {
             let cfg = RunConfig::new(4).with_threads(2);
-            let data = simulate(prog, &cfg)
-                .unwrap_or_else(|e| panic!("{name} failed to simulate: {e}"));
+            let data =
+                simulate(prog, &cfg).unwrap_or_else(|e| panic!("{name} failed to simulate: {e}"));
             assert!(data.total_time > 0.0, "{name} produced no time");
             assert!(!data.samples.is_empty(), "{name} produced no samples");
         }

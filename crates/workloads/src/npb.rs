@@ -6,13 +6,16 @@
 //! EP). Costs are in simulated µs and scale with the `class` parameter
 //! and rank count so strong-scaling studies behave sensibly.
 
-use progmodel::{c, nranks, noise, param, rank, Expr, FuncBuilder, Program, ProgramBuilder};
+use progmodel::{c, noise, nranks, param, rank, Expr, FuncBuilder, Program, ProgramBuilder};
 
 /// Emit `n` straight-line compute kernels (the stand-in for large
 /// unrolled Fortran routines; gives functions realistic vertex counts).
 fn straightline(f: &mut FuncBuilder<'_>, prefix: &str, n: usize, each_cost: Expr) {
     for i in 0..n {
-        f.compute(&format!("{prefix}_{i}"), each_cost.clone() * noise(0.03, i as u64));
+        f.compute(
+            &format!("{prefix}_{i}"),
+            each_cost.clone() * noise(0.03, i as u64),
+        );
     }
 }
 
@@ -96,8 +99,16 @@ pub fn cg() -> Program {
         // Three p2p exchange phases emulating a reduce.
         for phase in 0..3u32 {
             f.loop_(&format!("reduce_phase_{phase}"), c(1.0), |b| {
-                b.irecv(rank() + (rank().rem(2.0).eq(0.0).select(c(1.0), c(-1.0))), c(8.0), 10 + phase);
-                b.isend(rank() + (rank().rem(2.0).eq(0.0).select(c(1.0), c(-1.0))), c(8.0), 10 + phase);
+                b.irecv(
+                    rank() + (rank().rem(2.0).eq(0.0).select(c(1.0), c(-1.0))),
+                    c(8.0),
+                    10 + phase,
+                );
+                b.isend(
+                    rank() + (rank().rem(2.0).eq(0.0).select(c(1.0), c(-1.0))),
+                    c(8.0),
+                    10 + phase,
+                );
                 b.waitall();
             });
         }
@@ -235,7 +246,11 @@ pub fn mg() -> Program {
                     22,
                     share(18.0 / (1 << level) as f64),
                 );
-                b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(bytes), 20 + level);
+                b.irecv(
+                    (rank() + nranks() - 1.0).rem(nranks()),
+                    c(bytes),
+                    20 + level,
+                );
                 b.isend((rank() + 1.0).rem(nranks()), c(bytes), 20 + level);
                 b.waitall();
             });

@@ -17,7 +17,7 @@
 //! drops by ~16× and the remaining allocations are short, restoring
 //! multi-threaded scaling (paper: 25.29× at 8 threads).
 
-use progmodel::{c, nranks, nthreads, noise, param, Program, ProgramBuilder};
+use progmodel::{c, noise, nranks, nthreads, param, Program, ProgramBuilder};
 
 fn build(optimized: bool) -> Program {
     let mut pb = ProgramBuilder::new(if optimized { "Vite-opt" } else { "Vite" });
@@ -53,8 +53,12 @@ fn build(optimized: bool) -> Program {
     // rebuild — structurally present, cheap in this input.
     let mut phases = Vec::new();
     for pname in [
-        "loadDistGraph", "exchangeGhosts", "fillRemoteCommunities",
-        "updateRemoteCommunities", "distbuildNextLevelGraph", "distComputeModularity",
+        "loadDistGraph",
+        "exchangeGhosts",
+        "fillRemoteCommunities",
+        "updateRemoteCommunities",
+        "distbuildNextLevelGraph",
+        "distComputeModularity",
     ] {
         let fid = pb.declare(pname, "vite.cpp");
         pb.define(fid, move |f| {

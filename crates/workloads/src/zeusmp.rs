@@ -22,7 +22,7 @@
 //! speedup by a few percent — not orders of magnitude, matching the
 //! paper's +6.91%.
 
-use progmodel::{c, nranks, noise, param, rank, Expr, Program, ProgramBuilder};
+use progmodel::{c, noise, nranks, param, rank, Expr, Program, ProgramBuilder};
 
 /// Expression: 1.0 when this rank owns a domain boundary face.
 ///
@@ -75,8 +75,8 @@ fn build(balanced: bool) -> Program {
             outer.loop_("loop_1.1", c(4.0), |b| {
                 let base = c(1_600.0) * param("class_scale") / nranks();
                 let amp = if balanced { 200.0 * 0.85 } else { 200.0 };
-                let surplus = is_boundary()
-                    .select(c(amp) * param("class_scale") / nranks().sqrt(), c(0.0));
+                let surplus =
+                    is_boundary().select(c(amp) * param("class_scale") / nranks().sqrt(), c(0.0));
                 b.compute("newdt_scan", (base + surplus) * noise(0.04, 103));
             });
         });
@@ -172,7 +172,10 @@ mod tests {
             .total_time;
         let gain = (t_bug - t_fix) / t_bug;
         assert!(gain > 0.0, "fix must help at scale (gain {gain})");
-        assert!(gain < 0.5, "fix should be moderate, not magical (gain {gain})");
+        assert!(
+            gain < 0.5,
+            "fix should be moderate, not magical (gain {gain})"
+        );
     }
 
     #[test]
@@ -190,10 +193,7 @@ mod tests {
         };
         let s4 = wait_share(4);
         let s32 = wait_share(32);
-        assert!(
-            s32 > s4,
-            "waitall share must grow with scale: {s4} → {s32}"
-        );
+        assert!(s32 > s4, "waitall share must grow with scale: {s4} → {s32}");
     }
 
     #[test]

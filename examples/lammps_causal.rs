@@ -17,8 +17,7 @@ fn main() {
     let run = pflow.run(&prog, &RunConfig::new(16)).expect("run failed");
 
     // Simple profiling first: the paper notices ~29% communication time.
-    let comm_share = run.data().total_comm_time()
-        / run.data().elapsed.iter().sum::<f64>();
+    let comm_share = run.data().total_comm_time() / run.data().elapsed.iter().sum::<f64>();
     println!(
         "LAMMPS-like run on 16 ranks: makespan {:.1} ms, comm share {:.1}%\n",
         run.data().total_time / 1e3,
@@ -27,8 +26,7 @@ fn main() {
 
     // The Fig.-11 PerFlowGraph: hotspot → comm filter → imbalance →
     // causal, iterated to a fixpoint.
-    let (causes, report) =
-        iterative_causal(&run, "MPI_*", 8, 5).expect("causal loop failed");
+    let (causes, report) = iterative_causal(&run, "MPI_*", 8, 5).expect("causal loop failed");
     println!("{}", report.render());
 
     // Verify the optimization the analysis suggests: balance the force

@@ -8,6 +8,7 @@
 //! cargo run --release --bin perflow-cli -- cg --paradigm mpip --ranks 16
 //! cargo run --release --bin perflow-cli -- lammps --paradigm causal --ranks 32
 //! cargo run --release --bin perflow-cli -- bt --paradigm critical-path --dot
+//! cargo run --release --bin perflow-cli -- cg --ranks 8 --crash 5@10000 --sample-loss 0.1
 //! ```
 
 use perflow::paradigms::{
@@ -15,14 +16,27 @@ use perflow::paradigms::{
     scalability_analysis,
 };
 use perflow::{PerFlow, Report, RunHandleExt};
-use simrt::RunConfig;
+use simrt::{FaultPlan, RunConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: perflow-cli <workload|list> [--paradigm mpip|hotspot|scalability|critical-path|causal|contention]\n\
-         \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]"
+         \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]\n\
+         \x20                [--crash RANK@US] [--hang RANK@US] [--sample-loss RATE]\n\
+         \x20                [--msg-drop RATE@DELAY_US] [--pmu-corrupt RATE] [--truncate-stacks DEPTH]"
     );
     std::process::exit(2)
+}
+
+/// Parse a `RANK@VALUE` fault operand (e.g. `--crash 5@10000`).
+fn rank_at(flag: &str, s: &str) -> (u32, f64) {
+    let parsed = s
+        .split_once('@')
+        .and_then(|(r, t)| Some((r.parse().ok()?, t.parse().ok()?)));
+    parsed.unwrap_or_else(|| {
+        eprintln!("{flag} expects RANK@MICROSECONDS, got `{s}`");
+        std::process::exit(2)
+    })
 }
 
 fn workload(name: &str) -> Option<progmodel::Program> {
@@ -51,8 +65,20 @@ fn main() {
     if target == "list" {
         println!("workloads:");
         for n in [
-            "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "zeusmp", "zeusmp-fixed", "lammps",
-            "lammps-balanced", "vite", "vite-optimized",
+            "bt",
+            "cg",
+            "ep",
+            "ft",
+            "is",
+            "lu",
+            "mg",
+            "sp",
+            "zeusmp",
+            "zeusmp-fixed",
+            "lammps",
+            "lammps-balanced",
+            "vite",
+            "vite-optimized",
         ] {
             println!("  {n}");
         }
@@ -71,21 +97,57 @@ fn main() {
     let mut threads = 1u32;
     let mut seed = 0x5EEDu64;
     let mut dot = false;
+    let mut faults = FaultPlan::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("{name} needs a value");
-                std::process::exit(2)
-            }).clone()
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2)
+                })
+                .clone()
         };
         match flag.as_str() {
             "--paradigm" => paradigm = val("--paradigm"),
             "--ranks" => ranks = val("--ranks").parse().unwrap_or_else(|_| usage()),
-            "--small-ranks" => small_ranks = val("--small-ranks").parse().unwrap_or_else(|_| usage()),
+            "--small-ranks" => {
+                small_ranks = val("--small-ranks").parse().unwrap_or_else(|_| usage())
+            }
             "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--dot" => dot = true,
+            "--crash" => {
+                let (r, t) = rank_at("--crash", &val("--crash"));
+                faults = faults.crash_rank(r, t);
+            }
+            "--hang" => {
+                let (r, t) = rank_at("--hang", &val("--hang"));
+                faults = faults.hang_rank(r, t);
+            }
+            "--sample-loss" => {
+                faults = faults
+                    .with_sample_loss(val("--sample-loss").parse().unwrap_or_else(|_| usage()))
+            }
+            "--msg-drop" => {
+                let (rate, delay) = val("--msg-drop")
+                    .split_once('@')
+                    .and_then(|(r, d)| Some((r.parse().ok()?, d.parse().ok()?)))
+                    .unwrap_or_else(|| {
+                        eprintln!("--msg-drop expects RATE@DELAY_US");
+                        std::process::exit(2)
+                    });
+                faults = faults.with_message_drop(rate, delay);
+            }
+            "--pmu-corrupt" => {
+                faults = faults
+                    .with_pmu_corruption(val("--pmu-corrupt").parse().unwrap_or_else(|_| usage()))
+            }
+            "--truncate-stacks" => {
+                faults = faults.with_stack_truncation(
+                    val("--truncate-stacks").parse().unwrap_or_else(|_| usage()),
+                )
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -94,7 +156,10 @@ fn main() {
     }
 
     let pflow = PerFlow::new();
-    let cfg = RunConfig::new(ranks).with_threads(threads).with_seed(seed);
+    let cfg = RunConfig::new(ranks)
+        .with_threads(threads)
+        .with_seed(seed)
+        .with_faults(faults);
     let run = pflow.run(&prog, &cfg).unwrap_or_else(|e| {
         eprintln!("run failed: {e}");
         std::process::exit(1);
@@ -119,17 +184,40 @@ fn main() {
                 .run(&prog, &RunConfig::new(small_ranks).with_seed(seed))
                 .expect("small run failed");
             scalability_analysis(&small, &run, 10, 0.2)
-                .expect("paradigm failed")
+                .unwrap_or_else(|e| {
+                    eprintln!("scalability analysis failed: {e}");
+                    std::process::exit(1)
+                })
                 .report
         }
-        "critical-path" => critical_path_paradigm(&run, 10).expect("paradigm failed").report,
-        "causal" => iterative_causal(&run, "MPI_*", 8, 5).expect("paradigm failed").1,
+        "critical-path" => {
+            critical_path_paradigm(&run, 10)
+                .unwrap_or_else(|e| {
+                    eprintln!("critical-path analysis failed: {e}");
+                    std::process::exit(1)
+                })
+                .report
+        }
+        "causal" => {
+            iterative_causal(&run, "MPI_*", 8, 5)
+                .unwrap_or_else(|e| {
+                    eprintln!("causal analysis failed: {e}");
+                    std::process::exit(1)
+                })
+                .1
+        }
         "contention" => {
             let fast = pflow
-                .run(&prog, &RunConfig::new(ranks).with_threads(2).with_seed(seed))
+                .run(
+                    &prog,
+                    &RunConfig::new(ranks).with_threads(2).with_seed(seed),
+                )
                 .expect("reference run failed");
             contention_diagnosis(&fast, &run, 10)
-                .expect("paradigm failed")
+                .unwrap_or_else(|e| {
+                    eprintln!("contention analysis failed: {e}");
+                    std::process::exit(1)
+                })
                 .report
         }
         other => {

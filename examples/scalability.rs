@@ -25,12 +25,9 @@ fn main() {
 
     let ideal = 64.0 / 4.0;
     let speedup = small.data().total_time / large.data().total_time;
-    println!(
-        "ZeusMP-like scaling 4 → 64 ranks: speedup {speedup:.2}× (ideal {ideal:.0}×)\n"
-    );
+    println!("ZeusMP-like scaling 4 → 64 ranks: speedup {speedup:.2}× (ideal {ideal:.0}×)\n");
 
-    let result =
-        scalability_analysis(&small, &large, 10, 0.2).expect("paradigm failed");
+    let result = scalability_analysis(&small, &large, 10, 0.2).expect("paradigm failed");
 
     println!("{}", result.report.render());
 

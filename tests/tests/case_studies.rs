@@ -114,8 +114,7 @@ fn lammps_comm_share_is_significant_like_paper() {
     let run = pflow
         .run(&workloads::lammps(), &RunConfig::new(16))
         .unwrap();
-    let share =
-        run.data().total_comm_time() / run.data().elapsed.iter().sum::<f64>();
+    let share = run.data().total_comm_time() / run.data().elapsed.iter().sum::<f64>();
     assert!(
         (0.1..0.6).contains(&share),
         "comm share {share} out of plausible band"
@@ -200,8 +199,7 @@ fn scalana_baseline_agrees_with_perflow_paradigm() {
 
 #[test]
 fn mpip_baseline_sees_the_waitall_but_not_the_cause() {
-    let report =
-        baselines::mpip_profile(&workloads::zeusmp(), &RunConfig::new(16)).unwrap();
+    let report = baselines::mpip_profile(&workloads::zeusmp(), &RunConfig::new(16)).unwrap();
     // mpiP reports MPI_Waitall / MPI_Allreduce time shares...
     assert!(report.function_pct("MPI_Waitall") > 0.0);
     assert!(report.function_pct("MPI_Allreduce") > 0.0);

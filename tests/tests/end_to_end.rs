@@ -16,7 +16,10 @@ fn ring_program() -> progmodel::Program {
     });
     pb.define(main, |f| {
         f.loop_("step", c(50.0), |b| {
-            b.compute("stencil", (rank() + 1.0) * c(300.0) * progmodel::noise(0.05, 5));
+            b.compute(
+                "stencil",
+                (rank() + 1.0) * c(300.0) * progmodel::noise(0.05, 5),
+            );
             b.call(exchange);
             b.allreduce(c(8.0));
         });

@@ -2,8 +2,8 @@
 //! programs are generated, simulated and analyzed; structural and timing
 //! invariants must always hold.
 
-use proptest::prelude::*;
 use progmodel::{c, nranks, rank, Expr, ProgramBuilder};
+use proptest::prelude::*;
 use simrt::{simulate, RunConfig};
 
 /// A tiny random program description.
@@ -26,14 +26,16 @@ fn rand_program_strategy() -> impl Strategy<Value = RandProgram> {
         2u32..=8,
         any::<u64>(),
     )
-        .prop_map(|(kernels, iters, use_allreduce, use_ring, nranks, seed)| RandProgram {
-            kernels,
-            iters,
-            use_allreduce,
-            use_ring,
-            nranks,
-            seed,
-        })
+        .prop_map(
+            |(kernels, iters, use_allreduce, use_ring, nranks, seed)| RandProgram {
+                kernels,
+                iters,
+                use_allreduce,
+                use_ring,
+                nranks,
+                seed,
+            },
+        )
 }
 
 fn build(rp: &RandProgram) -> progmodel::Program {
@@ -122,6 +124,72 @@ proptest! {
         let back = pag::serialize::decode(&pag::serialize::encode(&pv)).unwrap();
         prop_assert_eq!(back.num_vertices(), pv.num_vertices());
         prop_assert_eq!(back.num_edges(), pv.num_edges());
+    }
+
+    /// Embedding must never panic and must conserve attributed time
+    /// under arbitrary injected sample loss and call-stack truncation:
+    /// every fired sample is either kept or counted as dropped, and the
+    /// lost time plus the degraded PAG's attributed self time equals the
+    /// clean PAG's.
+    #[test]
+    fn embed_survives_sample_loss_and_truncation(
+        rp in rand_program_strategy(),
+        loss in 0.0f64..0.95,
+        depth in prop::option::of(0usize..5),
+    ) {
+        use simrt::FaultPlan;
+        let prog = build(&rp);
+        let clean_cfg = RunConfig::new(rp.nranks).with_seed(rp.seed);
+        let mut faults = FaultPlan::new().with_sample_loss(loss);
+        if let Some(d) = depth {
+            faults = faults.with_stack_truncation(d);
+        }
+        let fault_cfg = clean_cfg.clone().with_faults(faults);
+        let clean = collect::profile(&prog, &clean_cfg).unwrap();
+        let run = collect::profile(&prog, &fault_cfg).unwrap(); // must not panic
+
+        // Collection faults are observer-only: virtual timing identical.
+        prop_assert_eq!(&run.data.elapsed, &clean.data.elapsed);
+
+        // Sample conservation: every fired sample is kept or counted lost.
+        let kept: u64 = run.data.samples.values().sum();
+        let lost: u64 = run.data.dropped_samples.values().sum();
+        let clean_kept: u64 = clean.data.samples.values().sum();
+        prop_assert_eq!(kept + lost, clean_kept);
+
+        // Attributed-time conservation on the PAG.
+        let period = run.data.sample_period_us.unwrap();
+        let sum_self = |r: &collect::ProfiledRun| -> f64 {
+            r.pag
+                .vertex_ids()
+                .map(|v| {
+                    r.pag
+                        .vprop(v, pag::keys::SELF_TIME)
+                        .and_then(|p| p.as_f64())
+                        .unwrap_or(0.0)
+                })
+                .sum()
+        };
+        let faulted_total = sum_self(&run) + lost as f64 * period;
+        let clean_total = sum_self(&clean);
+        prop_assert!(
+            (faulted_total - clean_total).abs() <= 1e-6 * clean_total.max(1.0),
+            "attributed time not conserved: {} vs {}", faulted_total, clean_total
+        );
+
+        // Completeness metadata stays in range and appears iff degraded.
+        for v in run.pag.vertex_ids() {
+            if let Some(cp) = run.pag.vprop(v, pag::keys::COMPLETENESS).and_then(|p| p.as_f64()) {
+                prop_assert!((0.0..=1.0).contains(&cp), "completeness {} out of range", cp);
+            }
+        }
+        if lost > 0 {
+            let root_compl = run
+                .pag
+                .vprop(run.root, pag::keys::COMPLETENESS)
+                .and_then(|p| p.as_f64());
+            prop_assert!(root_compl.is_some(), "degraded run must mark the root");
+        }
     }
 
     /// Set algebra laws hold on sets derived from real runs.
