@@ -48,63 +48,55 @@ impl ProfiledRun {
     }
 }
 
-/// Embed run data into the static skeleton.
-pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
-    let nranks = data.nranks as usize;
-    let mut resolver = ContextResolver::new(prog);
-    let mut per_proc: HashMap<VertexId, Vec<f64>> = HashMap::new();
-    let mut self_time: HashMap<VertexId, f64> = HashMap::new();
-    let mut vt_times: HashMap<(VertexId, u32, u32), f64> = HashMap::new();
+/// Per-rank accumulator, filled from one rank's records on one worker
+/// thread, then merged into the global aggregates in rank order so the
+/// result is independent of the worker count.
+#[derive(Default)]
+struct RankAcc {
+    /// Inclusive sampled time per path vertex (this rank's slot of
+    /// `TIME_PER_PROC`).
+    incl: HashMap<VertexId, f64>,
+    /// Inclusive time per (vertex, thread).
+    vt: HashMap<(VertexId, u32), f64>,
+    /// Leaf self time.
+    self_time: HashMap<VertexId, f64>,
+    /// Kept sample counts per leaf (completeness denominator).
+    kept_leaf: HashMap<VertexId, u64>,
+    /// Communication statistics per leaf.
+    comm: HashMap<VertexId, CommAcc>,
+    /// Lock (count, wait) per leaf.
+    lock: HashMap<VertexId, (i64, f64)>,
+}
 
-    // 1. Samples → inclusive per-process time on every path vertex.
-    // Truncated contexts (injected unwinder faults) resolve to their
-    // nearest resolvable ancestor inside the resolver, so time is never
-    // silently discarded; out-of-range ranks (malformed data) are
-    // skipped rather than panicking.
-    let mut kept_leaf: HashMap<VertexId, u64> = HashMap::new();
-    if let Some(period) = data.sample_period_us {
-        for (&(ctx, rank, thread), &count) in &data.samples {
-            if rank as usize >= nranks {
-                continue;
-            }
-            let dt = count as f64 * period;
-            let path = resolver.resolve(&mut sp, &data.cct, ctx);
-            for &v in &path {
-                per_proc.entry(v).or_insert_with(|| vec![0.0; nranks])[rank as usize] += dt;
-                *vt_times.entry((v, rank, thread)).or_insert(0.0) += dt;
-            }
-            if let Some(&leaf) = path.last() {
-                *self_time.entry(leaf).or_insert(0.0) += dt;
-                *kept_leaf.entry(leaf).or_insert(0) += count;
-            }
-        }
-    }
+/// One rank's communication contribution to a vertex.
+#[derive(Default)]
+struct CommAcc {
+    count: i64,
+    bytes: u64,
+    wait: f64,
+    op_time: f64,
+    /// This rank's per-proc slots.
+    own_bytes: f64,
+    own_wait: f64,
+    kinds: std::collections::BTreeSet<&'static str>,
+    peers: std::collections::BTreeSet<u32>,
+}
 
-    // 2. PMU estimates → deepest vertex.
-    let pmu: Vec<(CtxId, simrt::PmuAgg)> = data.pmu.iter().map(|(c, p)| (*c, *p)).collect();
-    for (ctx, agg) in pmu {
-        let leaf = resolver.resolve_leaf(&mut sp, &data.cct, ctx);
-        let props = &mut sp.pag.vertex_mut(leaf).props;
-        props.add_f64(keys::PMU_INSTRUCTIONS, agg.instructions);
-        props.add_f64(keys::PMU_CYCLES, agg.cycles);
-        props.add_f64(keys::PMU_CACHE_MISSES, agg.cache_misses);
-    }
+/// Global (merged) communication statistics for a vertex.
+struct CommAgg {
+    count: i64,
+    bytes: u64,
+    wait: f64,
+    op_time: f64,
+    bytes_per_proc: Vec<f64>,
+    wait_per_proc: Vec<f64>,
+    kinds: std::collections::BTreeSet<&'static str>,
+    peers: std::collections::BTreeSet<u32>,
+}
 
-    // 3. Communication records → deepest vertex statistics.
-    struct CommAgg {
-        count: i64,
-        bytes: u64,
-        wait: f64,
-        op_time: f64,
-        bytes_per_proc: Vec<f64>,
-        wait_per_proc: Vec<f64>,
-        kinds: std::collections::BTreeSet<&'static str>,
-        peers: std::collections::BTreeSet<u32>,
-    }
-    let mut comm_aggs: HashMap<VertexId, CommAgg> = HashMap::new();
-    for rec in &data.comm_records {
-        let leaf = resolver.resolve_leaf(&mut sp, &data.cct, rec.ctx);
-        let agg = comm_aggs.entry(leaf).or_insert_with(|| CommAgg {
+impl CommAgg {
+    fn new(nranks: usize) -> Self {
+        CommAgg {
             count: 0,
             bytes: 0,
             wait: 0.0,
@@ -113,23 +105,266 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
             wait_per_proc: vec![0.0; nranks],
             kinds: Default::default(),
             peers: Default::default(),
-        });
-        agg.count += 1;
-        agg.bytes += rec.bytes;
-        agg.wait += rec.wait;
-        agg.op_time += rec.complete - rec.post;
+        }
+    }
+
+    fn add_record(&mut self, rec: &simrt::CommRecord) {
+        self.count += 1;
+        self.bytes += rec.bytes;
+        self.wait += rec.wait;
+        self.op_time += rec.complete - rec.post;
         if let (Some(b), Some(w)) = (
-            agg.bytes_per_proc.get_mut(rec.rank as usize),
-            agg.wait_per_proc.get_mut(rec.rank as usize),
+            self.bytes_per_proc.get_mut(rec.rank as usize),
+            self.wait_per_proc.get_mut(rec.rank as usize),
         ) {
             *b += rec.bytes as f64;
             *w += rec.wait;
         }
-        agg.kinds.insert(rec.kind.mpi_name());
+        self.kinds.insert(rec.kind.mpi_name());
         if rec.peer != u32::MAX {
-            agg.peers.insert(rec.peer);
+            self.peers.insert(rec.peer);
         }
     }
+}
+
+/// Accumulate one rank's samples/comm/lock records against the frozen
+/// context→path table. Pure with respect to the PAG: every context was
+/// resolved (and any dynamic fill-in done) before this runs, so it can
+/// execute on any thread.
+fn accumulate_rank(
+    ctx_paths: &HashMap<CtxId, Vec<VertexId>>,
+    period: Option<f64>,
+    samples: &[(CtxId, u32, u64)],
+    comm: &[&simrt::CommRecord],
+    locks: &[&simrt::LockRecord],
+) -> RankAcc {
+    let mut acc = RankAcc::default();
+    if let Some(period) = period {
+        for &(ctx, thread, count) in samples {
+            let dt = count as f64 * period;
+            let path = &ctx_paths[&ctx];
+            for &v in path {
+                *acc.incl.entry(v).or_insert(0.0) += dt;
+                *acc.vt.entry((v, thread)).or_insert(0.0) += dt;
+            }
+            if let Some(&leaf) = path.last() {
+                *acc.self_time.entry(leaf).or_insert(0.0) += dt;
+                *acc.kept_leaf.entry(leaf).or_insert(0) += count;
+            }
+        }
+    }
+    for rec in comm {
+        let leaf = *ctx_paths[&rec.ctx].last().expect("path contains root");
+        let c = acc.comm.entry(leaf).or_default();
+        c.count += 1;
+        c.bytes += rec.bytes;
+        c.wait += rec.wait;
+        c.op_time += rec.complete - rec.post;
+        c.own_bytes += rec.bytes as f64;
+        c.own_wait += rec.wait;
+        c.kinds.insert(rec.kind.mpi_name());
+        if rec.peer != u32::MAX {
+            c.peers.insert(rec.peer);
+        }
+    }
+    for rec in locks {
+        let leaf = *ctx_paths[&rec.ctx].last().expect("path contains root");
+        let e = acc.lock.entry(leaf).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += rec.wait();
+    }
+    acc
+}
+
+/// Embed run data into the static skeleton.
+///
+/// Embedding is two-phase: a serial *resolve* phase walks every calling
+/// context that appears anywhere in the run data (in sorted context
+/// order, so dynamic fill-in allocates vertices deterministically), then
+/// a parallel *accumulate* phase shards the per-rank records across
+/// scoped worker threads against the now-frozen context→path table and
+/// merges the per-rank accumulators in rank order. The embedded PAG is
+/// bit-identical regardless of the worker count.
+pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
+    let nranks = data.nranks as usize;
+
+    // Phase 1 (serial): resolve every context once. This is the only part
+    // that mutates the PAG (indirect-call fill-in), and sorted order makes
+    // the resulting vertex ids independent of hash-map iteration order.
+    let mut resolver = ContextResolver::new(prog);
+    let mut all_ctxs: Vec<CtxId> = Vec::new();
+    all_ctxs.extend(data.samples.keys().map(|&(c, _, _)| c));
+    all_ctxs.extend(data.pmu.keys().copied());
+    all_ctxs.extend(data.comm_records.iter().map(|r| r.ctx));
+    all_ctxs.extend(data.lock_records.iter().map(|r| r.ctx));
+    all_ctxs.extend(
+        data.lock_records
+            .iter()
+            .filter_map(|r| r.blocked_by.map(|(_, _, h)| h)),
+    );
+    all_ctxs.extend(data.msg_edges.iter().flat_map(|e| [e.src_ctx, e.dst_ctx]));
+    all_ctxs.extend(data.dropped_samples.keys().map(|&(c, _, _)| c));
+    all_ctxs.sort_unstable();
+    all_ctxs.dedup();
+    let mut ctx_paths: HashMap<CtxId, Vec<VertexId>> = HashMap::with_capacity(all_ctxs.len());
+    for ctx in all_ctxs {
+        let p = resolver.resolve(&mut sp, &data.cct, ctx);
+        ctx_paths.insert(ctx, p);
+    }
+
+    // Partition the raw records by rank. Samples are sorted per rank so
+    // the float accumulation order is canonical; comm/lock records keep
+    // their (already rank-grouped) record order. Out-of-range ranks
+    // (malformed data) are skipped for samples — matching the serial
+    // embedding's tolerance — and handled in a serial leftover pass for
+    // records.
+    let mut rank_samples: Vec<Vec<(CtxId, u32, u64)>> = vec![Vec::new(); nranks];
+    if data.sample_period_us.is_some() {
+        for (&(ctx, rank, thread), &count) in &data.samples {
+            if let Some(bucket) = rank_samples.get_mut(rank as usize) {
+                bucket.push((ctx, thread, count));
+            }
+        }
+        for bucket in &mut rank_samples {
+            bucket.sort_unstable();
+        }
+    }
+    let mut rank_comm: Vec<Vec<&simrt::CommRecord>> = vec![Vec::new(); nranks];
+    let mut stray_comm: Vec<&simrt::CommRecord> = Vec::new();
+    for rec in &data.comm_records {
+        match rank_comm.get_mut(rec.rank as usize) {
+            Some(bucket) => bucket.push(rec),
+            None => stray_comm.push(rec),
+        }
+    }
+    let mut rank_locks: Vec<Vec<&simrt::LockRecord>> = vec![Vec::new(); nranks];
+    let mut stray_locks: Vec<&simrt::LockRecord> = Vec::new();
+    for rec in &data.lock_records {
+        match rank_locks.get_mut(rec.rank as usize) {
+            Some(bucket) => bucket.push(rec),
+            None => stray_locks.push(rec),
+        }
+    }
+
+    // Phase 2 (parallel): one accumulator per rank, built concurrently.
+    let period = data.sample_period_us;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(nranks.max(1));
+    let rank_accs: Vec<RankAcc> = if workers <= 1 {
+        (0..nranks)
+            .map(|r| {
+                accumulate_rank(
+                    &ctx_paths,
+                    period,
+                    &rank_samples[r],
+                    &rank_comm[r],
+                    &rank_locks[r],
+                )
+            })
+            .collect()
+    } else {
+        let ctx_paths = &ctx_paths;
+        let rank_samples = &rank_samples;
+        let rank_comm = &rank_comm;
+        let rank_locks = &rank_locks;
+        let mut shards = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut r = w;
+                        while r < nranks {
+                            out.push((
+                                r,
+                                accumulate_rank(
+                                    ctx_paths,
+                                    period,
+                                    &rank_samples[r],
+                                    &rank_comm[r],
+                                    &rank_locks[r],
+                                ),
+                            ));
+                            r += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("embed worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        shards.sort_by_key(|(r, _)| *r);
+        shards.into_iter().map(|(_, acc)| acc).collect()
+    };
+
+    // Merge in rank order (deterministic float accumulation).
+    let mut per_proc: HashMap<VertexId, Vec<f64>> = HashMap::new();
+    let mut self_time: HashMap<VertexId, f64> = HashMap::new();
+    let mut vt_times: HashMap<(VertexId, u32, u32), f64> = HashMap::new();
+    let mut kept_leaf: HashMap<VertexId, u64> = HashMap::new();
+    let mut comm_aggs: HashMap<VertexId, CommAgg> = HashMap::new();
+    let mut lock_aggs: HashMap<VertexId, (i64, f64)> = HashMap::new();
+    for (r, acc) in rank_accs.into_iter().enumerate() {
+        for (v, dt) in acc.incl {
+            per_proc.entry(v).or_insert_with(|| vec![0.0; nranks])[r] += dt;
+        }
+        for ((v, thread), dt) in acc.vt {
+            *vt_times.entry((v, r as u32, thread)).or_insert(0.0) += dt;
+        }
+        for (v, dt) in acc.self_time {
+            *self_time.entry(v).or_insert(0.0) += dt;
+        }
+        for (v, n) in acc.kept_leaf {
+            *kept_leaf.entry(v).or_insert(0) += n;
+        }
+        for (v, c) in acc.comm {
+            let agg = comm_aggs.entry(v).or_insert_with(|| CommAgg::new(nranks));
+            agg.count += c.count;
+            agg.bytes += c.bytes;
+            agg.wait += c.wait;
+            agg.op_time += c.op_time;
+            agg.bytes_per_proc[r] += c.own_bytes;
+            agg.wait_per_proc[r] += c.own_wait;
+            agg.kinds.extend(c.kinds);
+            agg.peers.extend(c.peers);
+        }
+        for (v, (n, w)) in acc.lock {
+            let e = lock_aggs.entry(v).or_insert((0, 0.0));
+            e.0 += n;
+            e.1 += w;
+        }
+    }
+    for rec in stray_comm {
+        let leaf = *ctx_paths[&rec.ctx].last().expect("path contains root");
+        comm_aggs
+            .entry(leaf)
+            .or_insert_with(|| CommAgg::new(nranks))
+            .add_record(rec);
+    }
+    for rec in stray_locks {
+        let leaf = *ctx_paths[&rec.ctx].last().expect("path contains root");
+        let e = lock_aggs.entry(leaf).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += rec.wait();
+    }
+
+    // 2. PMU estimates → deepest vertex (sorted ctx order: deterministic
+    // float accumulation when several contexts share a leaf).
+    let mut pmu: Vec<(CtxId, simrt::PmuAgg)> = data.pmu.iter().map(|(c, p)| (*c, *p)).collect();
+    pmu.sort_unstable_by_key(|(c, _)| *c);
+    for (ctx, agg) in pmu {
+        let leaf = *ctx_paths[&ctx].last().expect("path contains root");
+        let props = &mut sp.pag.vertex_mut(leaf).props;
+        props.add_f64(keys::PMU_INSTRUCTIONS, agg.instructions);
+        props.add_f64(keys::PMU_CYCLES, agg.cycles);
+        props.add_f64(keys::PMU_CACHE_MISSES, agg.cache_misses);
+    }
+
+    // 3. Communication statistics → deepest vertex.
     for (v, agg) in comm_aggs {
         let pattern = if agg.peers.is_empty() {
             "collective".to_string()
@@ -155,12 +390,11 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
         props.set(keys::WAIT_PER_PROC, agg.wait_per_proc);
     }
 
-    // 4. Lock records → deepest vertex wait statistics.
-    for rec in &data.lock_records {
-        let leaf = resolver.resolve_leaf(&mut sp, &data.cct, rec.ctx);
-        let props = &mut sp.pag.vertex_mut(leaf).props;
-        props.add_i64(keys::COUNT, 1);
-        props.add_f64(keys::WAIT_TIME, rec.wait());
+    // 4. Lock statistics → deepest vertex.
+    for (v, (n, w)) in lock_aggs {
+        let props = &mut sp.pag.vertex_mut(v).props;
+        props.add_i64(keys::COUNT, n);
+        props.add_f64(keys::WAIT_TIME, w);
     }
 
     // 5. Degraded-data metadata: per-vertex dropped-sample counts and
@@ -174,11 +408,13 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
                 *by_ctx.entry(ctx).or_insert(0) += n;
             }
         }
-        by_ctx.into_iter().collect()
+        let mut v: Vec<_> = by_ctx.into_iter().collect();
+        v.sort_unstable_by_key(|(c, _)| *c);
+        v
     };
     let mut dropped_leaf: HashMap<VertexId, u64> = HashMap::new();
     for (ctx, n) in dropped {
-        let leaf = resolver.resolve_leaf(&mut sp, &data.cct, ctx);
+        let leaf = *ctx_paths[&ctx].last().expect("path contains root");
         *dropped_leaf.entry(leaf).or_insert(0) += n;
     }
     for (&v, &lost) in &dropped_leaf {
@@ -243,31 +479,8 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
     sp.pag.set_num_procs(data.nranks);
     sp.pag.set_threads_per_proc(data.nthreads);
 
-    // Freeze the resolver cache for downstream consumers.
-    let mut ctx_paths = HashMap::new();
-    for &(ctx, _, _) in data.samples.keys() {
-        let p = resolver.resolve(&mut sp, &data.cct, ctx);
-        ctx_paths.insert(ctx, p);
-    }
-    for rec in &data.comm_records {
-        let p = resolver.resolve(&mut sp, &data.cct, rec.ctx);
-        ctx_paths.insert(rec.ctx, p);
-    }
-    for e in &data.msg_edges {
-        for ctx in [e.src_ctx, e.dst_ctx] {
-            let p = resolver.resolve(&mut sp, &data.cct, ctx);
-            ctx_paths.insert(ctx, p);
-        }
-    }
-    for rec in &data.lock_records {
-        let p = resolver.resolve(&mut sp, &data.cct, rec.ctx);
-        ctx_paths.insert(rec.ctx, p);
-        if let Some((_, _, hctx)) = rec.blocked_by {
-            let p = resolver.resolve(&mut sp, &data.cct, hctx);
-            ctx_paths.insert(hctx, p);
-        }
-    }
-
+    // `ctx_paths` already covers every context in the run data (the
+    // phase-1 resolve) — hand it to downstream consumers as-is.
     ProfiledRun {
         pag: sp.pag,
         child_map: sp.child_map,

@@ -5,11 +5,23 @@
 //! at the first repeated function on the expansion stack, marking the
 //! call `Recursive`). This mirrors the structure the paper reports in
 //! Table 2, where the top-down view of every program has `|E| = |V| - 1`.
+//!
+//! Construction is sharded per function, following the near-linear
+//! function-level parallelism of parallel binary analysis: a *template*
+//! (the function's own statement tree, with static calls left as
+//! placeholders) is built for every function concurrently on scoped
+//! threads, since templates depend only on the immutable [`Program`]. A
+//! serial *stitch* then instantiates templates along the expansion tree —
+//! callees inline at their call sites, recursion cut against the live
+//! expansion stack — allocating vertices in exactly the depth-first order
+//! a direct recursive expansion would, so vertex ids (and everything
+//! keyed on them) are independent of how many threads built templates.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pag::{keys, CallKind, EdgeLabel, Pag, VertexId, VertexLabel, ViewKind};
-use progmodel::{CallTarget, CommOp, FuncId, Function, Program, Stmt, StmtKind};
+use progmodel::{CallTarget, CommOp, FuncId, Function, Program, Stmt, StmtId, StmtKind};
 use simrt::CtxFrame;
 
 /// The static skeleton plus the structure index used to resolve calling
@@ -30,114 +42,232 @@ pub struct StaticPag {
 /// Run static analysis on a program model.
 pub fn static_analysis(prog: &Program) -> StaticPag {
     let t0 = std::time::Instant::now();
-    let mut b = Builder {
+    let templates = build_templates_parallel(prog);
+    let mut s = Stitcher {
         prog,
+        templates,
         pag: Pag::new(ViewKind::TopDown, prog.name.clone()),
         child_map: HashMap::new(),
     };
-    let root = b.expand_function(None, prog.entry, &mut Vec::new());
-    b.pag.set_root(root);
+    let root = s.instantiate_function(None, prog.entry, &mut Vec::new());
+    s.pag.set_root(root);
     StaticPag {
-        pag: b.pag,
-        child_map: b.child_map,
+        pag: s.pag,
+        child_map: s.child_map,
         root,
         static_seconds: t0.elapsed().as_secs_f64(),
     }
 }
 
-struct Builder<'p> {
-    prog: &'p Program,
-    pag: Pag,
-    child_map: HashMap<(VertexId, CtxFrame), VertexId>,
+// ------------------------------------------------------------ templates
+
+/// A template vertex's label: fixed, or a static call whose `User` vs
+/// `Recursive` kind can only be decided against the stitch-time stack.
+#[derive(Debug, Clone)]
+enum TLabel {
+    Plain(VertexLabel),
+    StaticCall(FuncId),
 }
 
-impl<'p> Builder<'p> {
-    /// Expand a function as a child of `parent` (a call vertex), or as the
-    /// root when `parent` is `None`.
-    fn expand_function(
-        &mut self,
-        parent: Option<VertexId>,
-        fid: FuncId,
-        stack: &mut Vec<FuncId>,
-    ) -> VertexId {
-        let func: &Function = self.prog.function(fid);
-        let v = self
-            .pag
-            .add_vertex(VertexLabel::Function, func.name.clone());
-        self.pag
-            .set_vprop(v, keys::DEBUG_INFO, format!("{}:{}", func.file, func.line));
-        if let Some(p) = parent {
-            self.pag.add_edge(p, v, EdgeLabel::InterProc);
-            self.child_map.insert((p, CtxFrame::Func(fid)), v);
-        }
-        stack.push(fid);
-        self.expand_stmts(v, &func.body, func, stack);
-        stack.pop();
-        v
-    }
+/// One statement vertex of a function template.
+#[derive(Debug)]
+struct TNode {
+    tlabel: TLabel,
+    name: Arc<str>,
+    debug: String,
+    stmt: StmtId,
+    children: Vec<TNode>,
+}
 
-    fn expand_stmts(
-        &mut self,
-        parent: VertexId,
-        stmts: &'p [Stmt],
-        func: &'p Function,
-        stack: &mut Vec<FuncId>,
-    ) {
-        for stmt in stmts {
-            let (label, name): (VertexLabel, std::sync::Arc<str>) = match &stmt.kind {
-                StmtKind::Compute { name, .. } => (VertexLabel::Compute, name.clone()),
-                StmtKind::Loop { name, .. } => (VertexLabel::Loop, name.clone()),
-                StmtKind::Branch { name, .. } => (VertexLabel::Branch, name.clone()),
+/// One function's statement tree, independent of where it gets expanded.
+#[derive(Debug)]
+struct FuncTemplate {
+    name: Arc<str>,
+    debug: String,
+    body: Vec<TNode>,
+}
+
+/// Build the template of one function (pure: reads only the program).
+fn build_template(prog: &Program, fid: FuncId) -> FuncTemplate {
+    let func = prog.function(fid);
+    FuncTemplate {
+        name: func.name.clone(),
+        debug: format!("{}:{}", func.file, func.line),
+        body: template_stmts(prog, func, &func.body),
+    }
+}
+
+fn template_stmts(prog: &Program, func: &Function, stmts: &[Stmt]) -> Vec<TNode> {
+    stmts
+        .iter()
+        .map(|stmt| {
+            let (tlabel, name): (TLabel, Arc<str>) = match &stmt.kind {
+                StmtKind::Compute { name, .. } => {
+                    (TLabel::Plain(VertexLabel::Compute), name.clone())
+                }
+                StmtKind::Loop { name, .. } => (TLabel::Plain(VertexLabel::Loop), name.clone()),
+                StmtKind::Branch { name, .. } => (TLabel::Plain(VertexLabel::Branch), name.clone()),
                 StmtKind::Call { target } => match target {
-                    CallTarget::Static(callee) => {
-                        let callee_fn = self.prog.function(*callee);
-                        let kind = if stack.contains(callee) {
-                            CallKind::Recursive
-                        } else {
-                            CallKind::User
-                        };
-                        (VertexLabel::Call(kind), callee_fn.name.clone())
-                    }
+                    CallTarget::Static(callee) => (
+                        TLabel::StaticCall(*callee),
+                        prog.function(*callee).name.clone(),
+                    ),
                     CallTarget::Indirect { .. } => (
-                        VertexLabel::Call(CallKind::Indirect),
+                        TLabel::Plain(VertexLabel::Call(CallKind::Indirect)),
                         "indirect_call".into(),
                     ),
                 },
-                StmtKind::Comm(op) => (VertexLabel::Call(CallKind::Comm), comm_name(op).into()),
+                StmtKind::Comm(op) => (
+                    TLabel::Plain(VertexLabel::Call(CallKind::Comm)),
+                    comm_name(op).into(),
+                ),
                 StmtKind::ThreadRegion { .. } => (
-                    VertexLabel::Call(CallKind::ThreadSpawn),
+                    TLabel::Plain(VertexLabel::Call(CallKind::ThreadSpawn)),
                     "parallel_region".into(),
                 ),
-                StmtKind::Lock { name, .. } => (VertexLabel::Call(CallKind::Lock), name.clone()),
+                StmtKind::Lock { name, .. } => (
+                    TLabel::Plain(VertexLabel::Call(CallKind::Lock)),
+                    name.clone(),
+                ),
             };
-            let v = self.pag.add_vertex(label, name);
-            self.pag
-                .set_vprop(v, keys::DEBUG_INFO, format!("{}:{}", func.file, stmt.line));
-            self.pag.add_edge(parent, v, EdgeLabel::IntraProc);
-            self.child_map.insert((parent, CtxFrame::Stmt(stmt.id)), v);
-
-            match &stmt.kind {
+            let children = match &stmt.kind {
                 StmtKind::Loop { body, .. } | StmtKind::ThreadRegion { body, .. } => {
-                    self.expand_stmts(v, body, func, stack);
+                    template_stmts(prog, func, body)
                 }
                 StmtKind::Branch {
                     then_body,
                     else_body,
                     ..
                 } => {
-                    self.expand_stmts(v, then_body, func, stack);
-                    self.expand_stmts(v, else_body, func, stack);
+                    let mut kids = template_stmts(prog, func, then_body);
+                    kids.extend(template_stmts(prog, func, else_body));
+                    kids
                 }
-                StmtKind::Call {
-                    target: CallTarget::Static(callee),
-                } if !stack.contains(callee) => {
-                    self.expand_function(Some(v), *callee, stack);
-                }
-                // Indirect call targets are filled in from runtime data
-                // during embedding (§3.2: "marks the function calls whose
-                // information cannot be obtained at the static phase").
-                _ => {}
+                _ => Vec::new(),
+            };
+            TNode {
+                tlabel,
+                name,
+                debug: format!("{}:{}", func.file, stmt.line),
+                stmt: stmt.id,
+                children,
             }
+        })
+        .collect()
+}
+
+/// Build every function's template, sharded across scoped worker threads.
+/// The result is keyed by function id, so it is identical no matter how
+/// the functions were partitioned.
+fn build_templates_parallel(prog: &Program) -> HashMap<FuncId, Arc<FuncTemplate>> {
+    let nfuncs = prog.functions.len();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(nfuncs.max(1));
+    if workers <= 1 || nfuncs < 8 {
+        return (0..nfuncs)
+            .map(|i| {
+                let fid = FuncId(i as u32);
+                (fid, Arc::new(build_template(prog, fid)))
+            })
+            .collect();
+    }
+    let shards = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut shard = Vec::new();
+                    let mut i = w;
+                    while i < nfuncs {
+                        let fid = FuncId(i as u32);
+                        shard.push((fid, Arc::new(build_template(prog, fid))));
+                        i += workers;
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("template worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    shards.into_iter().flatten().collect()
+}
+
+// --------------------------------------------------------------- stitch
+
+/// Serial instantiation of templates along the expansion tree. Allocates
+/// vertices in the same depth-first order as a direct recursive
+/// expansion, so ids are deterministic.
+struct Stitcher<'p> {
+    prog: &'p Program,
+    templates: HashMap<FuncId, Arc<FuncTemplate>>,
+    pag: Pag,
+    child_map: HashMap<(VertexId, CtxFrame), VertexId>,
+}
+
+impl<'p> Stitcher<'p> {
+    /// Fetch (building on demand — the dynamic fill-in path starts with
+    /// an empty template cache) the template of `fid`.
+    fn template(&mut self, fid: FuncId) -> Arc<FuncTemplate> {
+        if let Some(t) = self.templates.get(&fid) {
+            return t.clone();
+        }
+        let t = Arc::new(build_template(self.prog, fid));
+        self.templates.insert(fid, t.clone());
+        t
+    }
+
+    /// Instantiate a function as a child of `parent` (a call vertex), or
+    /// as the root when `parent` is `None`.
+    fn instantiate_function(
+        &mut self,
+        parent: Option<VertexId>,
+        fid: FuncId,
+        stack: &mut Vec<FuncId>,
+    ) -> VertexId {
+        let t = self.template(fid);
+        let v = self.pag.add_vertex(VertexLabel::Function, t.name.clone());
+        self.pag.set_vprop(v, keys::DEBUG_INFO, t.debug.clone());
+        if let Some(p) = parent {
+            self.pag.add_edge(p, v, EdgeLabel::InterProc);
+            self.child_map.insert((p, CtxFrame::Func(fid)), v);
+        }
+        stack.push(fid);
+        self.instantiate_nodes(v, &t.body, stack);
+        stack.pop();
+        v
+    }
+
+    fn instantiate_nodes(&mut self, parent: VertexId, nodes: &[TNode], stack: &mut Vec<FuncId>) {
+        for n in nodes {
+            let label = match &n.tlabel {
+                TLabel::Plain(l) => *l,
+                TLabel::StaticCall(callee) => {
+                    let kind = if stack.contains(callee) {
+                        CallKind::Recursive
+                    } else {
+                        CallKind::User
+                    };
+                    VertexLabel::Call(kind)
+                }
+            };
+            let v = self.pag.add_vertex(label, n.name.clone());
+            self.pag.set_vprop(v, keys::DEBUG_INFO, n.debug.clone());
+            self.pag.add_edge(parent, v, EdgeLabel::IntraProc);
+            self.child_map.insert((parent, CtxFrame::Stmt(n.stmt)), v);
+            self.instantiate_nodes(v, &n.children, stack);
+            if let TLabel::StaticCall(callee) = &n.tlabel {
+                if !stack.contains(callee) {
+                    self.instantiate_function(Some(v), *callee, stack);
+                }
+                // Recursive calls are cut here, like the direct expansion.
+            }
+            // Indirect call targets are filled in from runtime data
+            // during embedding (§3.2: "marks the function calls whose
+            // information cannot be obtained at the static phase").
         }
     }
 }
@@ -150,14 +280,15 @@ pub fn expand_dynamic_call(
     call_vertex: VertexId,
     fid: FuncId,
 ) -> VertexId {
-    let mut b = Builder {
+    let mut s = Stitcher {
         prog,
+        templates: HashMap::new(),
         pag: std::mem::replace(&mut sp.pag, Pag::new(ViewKind::TopDown, "")),
         child_map: std::mem::take(&mut sp.child_map),
     };
-    let v = b.expand_function(Some(call_vertex), fid, &mut Vec::new());
-    sp.pag = b.pag;
-    sp.child_map = b.child_map;
+    let v = s.instantiate_function(Some(call_vertex), fid, &mut Vec::new());
+    sp.pag = s.pag;
+    sp.child_map = s.child_map;
     v
 }
 
@@ -294,5 +425,32 @@ mod tests {
         let sp = static_analysis(&sample());
         assert!(sp.static_seconds >= 0.0);
         assert!(sp.static_seconds < 5.0);
+    }
+
+    #[test]
+    fn many_function_program_shards_across_template_workers() {
+        // Enough functions to take the parallel template path; the stitch
+        // must still produce the exact expansion-tree shape.
+        let mut pb = ProgramBuilder::new("wide");
+        let main = pb.declare("main", "w.c");
+        let fns: Vec<_> = (0..32)
+            .map(|i| pb.declare(&format!("f{i}"), "w.c"))
+            .collect();
+        for (i, &f) in fns.iter().enumerate() {
+            pb.define(f, move |b| b.compute(&format!("k{i}"), c(1.0)));
+        }
+        pb.define(main, |b| {
+            for &f in &fns {
+                b.call(f);
+            }
+        });
+        let p = pb.build(main);
+        let sp = static_analysis(&p);
+        // main + 32 × (call + function + kernel)
+        assert_eq!(sp.pag.num_vertices(), 1 + 32 * 3);
+        assert_eq!(sp.pag.num_edges(), sp.pag.num_vertices() - 1);
+        for i in 0..32 {
+            assert_eq!(sp.pag.find_by_name(&format!("k{i}")).len(), 1);
+        }
     }
 }

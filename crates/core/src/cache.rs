@@ -1,0 +1,181 @@
+//! Content-hash pass-result cache.
+//!
+//! A [`PassCache`] memoizes `(pass, inputs) → outputs` across
+//! [`crate::dataflow::PerFlowGraph::execute_with_cache`] calls. The key
+//! combines the pass's identity — its content
+//! [`fingerprint`](crate::pass::Pass::fingerprint) when it has one, the
+//! node's pass-object address otherwise — with the content fingerprints
+//! of every input [`Value`]. Re-executing an unchanged PerFlowGraph
+//! against the same cache therefore hits on every node; editing a pass's
+//! configuration or feeding different data invalidates exactly the
+//! downstream slice whose inputs changed.
+//!
+//! Identity-keyed entries keep a strong reference to their pass object,
+//! so an address is never recycled while the cache can still return
+//! results for it. The cache is internally synchronized: scheduler
+//! workers probe and fill it concurrently.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::pass::Pass;
+use crate::value::{Fnv, Value};
+
+/// Hit/miss counters of a [`PassCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the pass.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    outputs: Vec<Value>,
+    trail: Vec<String>,
+    /// Keeps identity-keyed pass objects alive (see module docs).
+    _pass: Arc<dyn Pass>,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    stats: CacheStats,
+}
+
+/// A shareable, thread-safe pass-result cache.
+#[derive(Default)]
+pub struct PassCache {
+    inner: Mutex<Inner>,
+}
+
+impl PassCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached results and reset the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.entries.clear();
+        inner.stats = CacheStats::default();
+    }
+
+    /// The cache key of running `pass` on `inputs`.
+    pub(crate) fn key(pass: &Arc<dyn Pass>, inputs: &[Value]) -> u64 {
+        let mut h = Fnv::new();
+        match pass.fingerprint() {
+            Some(fp) => {
+                h.u64(1);
+                h.u64(fp);
+            }
+            None => {
+                h.u64(2);
+                h.u64(Arc::as_ptr(pass) as *const () as usize as u64);
+            }
+        }
+        h.u64(inputs.len() as u64);
+        for v in inputs {
+            h.u64(v.fingerprint());
+        }
+        h.finish()
+    }
+
+    /// Look up a result, counting the hit or miss.
+    pub(crate) fn get(&self, key: u64) -> Option<(Vec<Value>, Vec<String>)> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.entries.get(&key) {
+            Some(e) => {
+                let out = (e.outputs.clone(), e.trail.clone());
+                inner.stats.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a result.
+    pub(crate) fn put(
+        &self,
+        key: u64,
+        outputs: Vec<Value>,
+        trail: Vec<String>,
+        pass: Arc<dyn Pass>,
+    ) {
+        self.inner.lock().unwrap().entries.insert(
+            key,
+            Entry {
+                outputs,
+                trail,
+                _pass: pass,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::SourcePass;
+
+    #[test]
+    fn keys_separate_passes_and_inputs() {
+        let a: Arc<dyn Pass> = Arc::new(SourcePass::new(1.0));
+        let b: Arc<dyn Pass> = Arc::new(SourcePass::new(2.0));
+        let x = [Value::Num(1.0)];
+        let y = [Value::Num(2.0)];
+        assert_ne!(PassCache::key(&a, &x), PassCache::key(&b, &x));
+        assert_ne!(PassCache::key(&a, &x), PassCache::key(&a, &y));
+        assert_eq!(PassCache::key(&a, &x), PassCache::key(&a, &x));
+        // Content fingerprints alias equal configurations across objects.
+        let a2: Arc<dyn Pass> = Arc::new(SourcePass::new(1.0));
+        assert_eq!(PassCache::key(&a, &x), PassCache::key(&a2, &x));
+    }
+
+    #[test]
+    fn counters_and_clear() {
+        let c = PassCache::new();
+        let p: Arc<dyn Pass> = Arc::new(SourcePass::new(1.0));
+        let key = PassCache::key(&p, &[]);
+        assert!(c.get(key).is_none());
+        c.put(key, vec![Value::Num(1.0)], vec![], Arc::clone(&p));
+        assert!(c.get(key).is_some());
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.stats().hit_rate(), 0.5);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+}

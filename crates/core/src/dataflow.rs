@@ -1,15 +1,24 @@
 //! The PerFlowGraph: an executable dataflow graph of passes (§4.1).
 //!
 //! Nodes are passes; edges carry [`Value`]s from an output port of one
-//! node to an input port of another. `execute()` topologically schedules
-//! the graph and runs each *level* (nodes whose inputs are all ready) in
-//! parallel with scoped threads — dataflow graphs with independent
-//! branches (e.g. the Vite diagnosis graph of Fig. 14) exploit multicore
-//! hosts automatically.
+//! node to an input port of another. `execute()` runs the graph on an
+//! event-driven work queue: a node is dispatched the moment its *last*
+//! input lands, onto a bounded pool of scoped worker threads — dataflow
+//! graphs with independent branches (e.g. the Vite diagnosis graph of
+//! Fig. 14) exploit multicore hosts automatically, without the idle
+//! bubbles of level-synchronous scheduling. `execute_with_cache()` adds
+//! a content-hash pass-result cache ([`crate::cache::PassCache`]) so
+//! re-running an unchanged graph replays memoized results.
+//!
+//! Results are deterministic regardless of worker count or dispatch
+//! order: each node's outputs depend only on its inputs, and the
+//! reported trail is assembled in canonical topological order after the
+//! run, not in completion order.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 
+use crate::cache::PassCache;
 use crate::error::PerFlowError;
 use crate::pass::{Pass, PassCx, SourcePass};
 use crate::value::Value;
@@ -49,14 +58,31 @@ pub struct Outputs {
 }
 
 impl Outputs {
-    /// The outputs of one node.
+    /// The outputs of one node (empty slice when the node is unknown —
+    /// prefer [`Outputs::try_of`] to distinguish "no outputs" from "no
+    /// such node").
     pub fn of(&self, node: NodeId) -> &[Value] {
         self.values.get(&node).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The outputs of one node, failing with
+    /// [`PerFlowError::MissingOutput`] when the node was not part of the
+    /// executed graph.
+    pub fn try_of(&self, node: NodeId) -> Result<&[Value], PerFlowError> {
+        self.values
+            .get(&node)
+            .map(|v| v.as_slice())
+            .ok_or(PerFlowError::MissingOutput { node: node.0 })
     }
 
     /// Convenience: the first output of a node as a vertex set.
     pub fn vertices(&self, node: NodeId) -> Option<&crate::set::VertexSet> {
         self.of(node).first().and_then(Value::as_vertices)
+    }
+
+    /// Convenience: the first output of a node as an edge set.
+    pub fn edges(&self, node: NodeId) -> Option<&crate::set::EdgeSet> {
+        self.of(node).first().and_then(Value::as_edges)
     }
 
     /// Convenience: the first output of a node as a report.
@@ -137,8 +163,15 @@ impl PerFlowGraph {
     /// arrows).
     pub fn to_dot(&self, title: &str) -> String {
         use std::fmt::Write as _;
+        // DOT double-quoted string escaping: backslashes and quotes are
+        // escaped, newlines become literal `\n` line breaks.
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
         let mut out = String::new();
-        let _ = writeln!(out, "digraph \"{}\" {{", title.replace('"', "'"));
+        let _ = writeln!(out, "digraph \"{}\" {{", esc(title));
         let _ = writeln!(out, "  rankdir=LR;");
         let _ = writeln!(
             out,
@@ -153,7 +186,7 @@ impl PerFlowGraph {
             } else {
                 ""
             };
-            let _ = writeln!(out, "  n{i} [label=\"{name}\"{shape}];");
+            let _ = writeln!(out, "  n{i} [label=\"{}\"{shape}];", esc(name));
         }
         for w in &self.wires {
             let label = if w.out_port == 0 && w.in_port == 0 {
@@ -167,100 +200,270 @@ impl PerFlowGraph {
         out
     }
 
-    /// Execute the graph. Independent ready nodes run concurrently.
+    /// Execute the graph. A node is dispatched as soon as its last input
+    /// lands; independent nodes run concurrently on a bounded pool.
     pub fn execute(&self) -> Result<Outputs, PerFlowError> {
-        let n = self.nodes.len();
-        let mut indeg: Vec<usize> = vec![0; n];
-        for w in &self.wires {
-            indeg[w.to.0] += 1;
-        }
-        let mut done: Vec<bool> = vec![false; n];
-        let mut values: HashMap<NodeId, Vec<Value>> = HashMap::new();
-        let mut trail: Vec<String> = Vec::new();
-        let mut completed = 0usize;
+        self.run_scheduler(None, None)
+    }
 
-        while completed < n {
-            // Ready = all inputs produced.
-            let ready: Vec<usize> = (0..n)
-                .filter(|&i| {
-                    !done[i]
-                        && self
-                            .wires
-                            .iter()
-                            .filter(|w| w.to.0 == i)
-                            .all(|w| done[w.from.0])
-                })
-                .collect();
-            if ready.is_empty() {
-                return Err(PerFlowError::CyclicGraph);
-            }
-            // Gather inputs for every ready node.
-            let mut jobs: Vec<(usize, Vec<Value>)> = Vec::with_capacity(ready.len());
-            for &i in &ready {
-                let mut wires_in: Vec<&Wire> = self.wires.iter().filter(|w| w.to.0 == i).collect();
-                wires_in.sort_by_key(|w| w.in_port);
-                let mut inputs = Vec::with_capacity(wires_in.len());
-                for (expect, w) in wires_in.iter().enumerate() {
-                    if w.in_port != expect {
-                        return Err(PerFlowError::MissingInput {
-                            pass: self.nodes[i].pass.name().to_string(),
-                            port: expect,
-                        });
-                    }
-                    let outs = &values[&w.from];
-                    let v = outs.get(w.out_port).cloned().ok_or_else(|| {
-                        PerFlowError::MissingInput {
-                            pass: self.nodes[i].pass.name().to_string(),
-                            port: w.in_port,
-                        }
-                    })?;
-                    inputs.push(v);
-                }
-                let declared = self.nodes[i].pass.arity();
-                if inputs.len() < declared {
+    /// Execute with a pinned worker-pool size (`1` = fully serial).
+    /// Outputs and trail are identical for every worker count — this
+    /// knob exists for determinism tests and scheduling benchmarks.
+    pub fn execute_with_workers(&self, workers: usize) -> Result<Outputs, PerFlowError> {
+        self.run_scheduler(None, Some(workers.max(1)))
+    }
+
+    /// Execute with a pass-result cache: every `(pass, inputs)` pair
+    /// already in `cache` replays its memoized outputs instead of
+    /// running. Re-executing an unchanged graph against the same cache
+    /// hits on every node.
+    pub fn execute_with_cache(&self, cache: &PassCache) -> Result<Outputs, PerFlowError> {
+        self.run_scheduler(Some(cache), None)
+    }
+
+    /// Validate wiring: contiguous input ports starting at 0, and at
+    /// least `arity()` of them. Pure structure check, independent of
+    /// scheduling; returns per-node sorted input wires.
+    fn validate_wiring(&self) -> Result<Vec<Vec<Wire>>, PerFlowError> {
+        let n = self.nodes.len();
+        let mut wires_in: Vec<Vec<Wire>> = vec![Vec::new(); n];
+        for w in &self.wires {
+            wires_in[w.to.0].push(*w);
+        }
+        for (i, ws) in wires_in.iter_mut().enumerate() {
+            ws.sort_by_key(|w| w.in_port);
+            for (expect, w) in ws.iter().enumerate() {
+                if w.in_port != expect {
                     return Err(PerFlowError::MissingInput {
                         pass: self.nodes[i].pass.name().to_string(),
-                        port: inputs.len(),
+                        port: expect,
                     });
                 }
-                jobs.push((i, inputs));
             }
-            // Run the level in parallel.
-            let results: Vec<(usize, NodeResult)> = if jobs.len() == 1 {
-                let (i, inputs) = jobs.pop().unwrap();
-                let mut cx = PassCx::new();
-                let r = self.nodes[i].pass.run(&inputs, &mut cx);
-                vec![(i, r.map(|v| (v, cx.trail)))]
-            } else {
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = jobs
-                        .into_iter()
-                        .map(|(i, inputs)| {
-                            let pass = Arc::clone(&self.nodes[i].pass);
-                            s.spawn(move || {
-                                let mut cx = PassCx::new();
-                                let r = pass.run(&inputs, &mut cx);
-                                (i, r.map(|v| (v, cx.trail)))
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("pass panicked"))
-                        .collect()
-                })
-            };
-            for (i, res) in results {
-                let (outs, t) = res?;
-                values.insert(NodeId(i), outs);
-                trail.push(self.nodes[i].pass.name().to_string());
-                trail.extend(t);
-                done[i] = true;
-                completed += 1;
+            if ws.len() < self.nodes[i].pass.arity() {
+                return Err(PerFlowError::MissingInput {
+                    pass: self.nodes[i].pass.name().to_string(),
+                    port: ws.len(),
+                });
             }
+        }
+        Ok(wires_in)
+    }
+
+    /// Canonical topological order (smallest node id first among ready
+    /// nodes) — the order the trail is reported in, independent of the
+    /// order nodes actually completed in.
+    fn topo_order(&self) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut deps: Vec<usize> = vec![0; n];
+        for w in &self.wires {
+            deps[w.to.0] += 1;
+        }
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| deps[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(i)) = heap.pop() {
+            order.push(i);
+            for w in self.wires.iter().filter(|w| w.from.0 == i) {
+                deps[w.to.0] -= 1;
+                if deps[w.to.0] == 0 {
+                    heap.push(std::cmp::Reverse(w.to.0));
+                }
+            }
+        }
+        order
+    }
+
+    fn run_scheduler(
+        &self,
+        cache: Option<&PassCache>,
+        workers: Option<usize>,
+    ) -> Result<Outputs, PerFlowError> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Ok(Outputs {
+                values: HashMap::new(),
+                trail: Vec::new(),
+            });
+        }
+        let wires_in = self.validate_wiring()?;
+        let mut out_wires: Vec<Vec<Wire>> = vec![Vec::new(); n];
+        let mut deps_left: Vec<usize> = vec![0; n];
+        for w in &self.wires {
+            out_wires[w.from.0].push(*w);
+            deps_left[w.to.0] += 1;
+        }
+        let ready: VecDeque<usize> = (0..n).filter(|&i| deps_left[i] == 0).collect();
+        let state = Mutex::new(ExecState {
+            deps_left,
+            ready,
+            outputs: vec![None; n],
+            trails: vec![None; n],
+            in_flight: 0,
+            completed: 0,
+            error: None,
+        });
+        let wake = Condvar::new();
+        let workers = workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|c| c.get())
+                    .unwrap_or(1)
+            })
+            .min(n);
+
+        if workers <= 1 {
+            self.worker(&state, &wake, &wires_in, &out_wires, cache);
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| self.worker(&state, &wake, &wires_in, &out_wires, cache));
+                }
+            });
+        }
+
+        let mut st = state.into_inner().unwrap();
+        if let Some(e) = st.error.take() {
+            return Err(e);
+        }
+        let mut values: HashMap<NodeId, Vec<Value>> = HashMap::new();
+        let mut trail: Vec<String> = Vec::new();
+        for i in self.topo_order() {
+            trail.push(self.nodes[i].pass.name().to_string());
+            trail.extend(st.trails[i].take().unwrap_or_default());
+            values.insert(NodeId(i), st.outputs[i].take().unwrap_or_default());
         }
         Ok(Outputs { values, trail })
     }
+
+    /// One scheduler worker: pull ready nodes off the queue until the
+    /// graph completes, errors, or stalls (cycle).
+    fn worker(
+        &self,
+        state: &Mutex<ExecState>,
+        wake: &Condvar,
+        wires_in: &[Vec<Wire>],
+        out_wires: &[Vec<Wire>],
+        cache: Option<&PassCache>,
+    ) {
+        let n = self.nodes.len();
+        loop {
+            // Claim a ready node and snapshot its inputs.
+            let (i, inputs) = {
+                let mut st = state.lock().unwrap();
+                let i = loop {
+                    if st.error.is_some() || st.completed == n {
+                        return;
+                    }
+                    if let Some(i) = st.ready.pop_front() {
+                        break i;
+                    }
+                    if st.in_flight == 0 {
+                        // Nothing running, nothing ready, nodes left:
+                        // the remaining nodes form a cycle.
+                        st.error = Some(PerFlowError::CyclicGraph);
+                        wake.notify_all();
+                        return;
+                    }
+                    st = wake.wait(st).unwrap();
+                };
+                let mut inputs = Vec::with_capacity(wires_in[i].len());
+                for w in &wires_in[i] {
+                    let v = st.outputs[w.from.0]
+                        .as_ref()
+                        .and_then(|outs| outs.get(w.out_port))
+                        .cloned();
+                    match v {
+                        Some(v) => inputs.push(v),
+                        None => {
+                            // Producer ran but has no such output port.
+                            st.error = Some(PerFlowError::MissingInput {
+                                pass: self.nodes[i].pass.name().to_string(),
+                                port: w.in_port,
+                            });
+                            wake.notify_all();
+                            return;
+                        }
+                    }
+                }
+                st.in_flight += 1;
+                (i, inputs)
+            };
+
+            // Run the pass (or replay a cached result) off the lock.
+            let result: NodeResult = match cache {
+                Some(c) => {
+                    let key = PassCache::key(&self.nodes[i].pass, &inputs);
+                    match c.get(key) {
+                        Some((outs, trail)) => Ok((outs, trail)),
+                        None => {
+                            let mut cx = PassCx::new();
+                            match self.nodes[i].pass.run(&inputs, &mut cx) {
+                                Ok(outs) => {
+                                    c.put(
+                                        key,
+                                        outs.clone(),
+                                        cx.trail.clone(),
+                                        Arc::clone(&self.nodes[i].pass),
+                                    );
+                                    Ok((outs, cx.trail))
+                                }
+                                Err(e) => Err(e),
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let mut cx = PassCx::new();
+                    self.nodes[i]
+                        .pass
+                        .run(&inputs, &mut cx)
+                        .map(|v| (v, cx.trail))
+                }
+            };
+
+            // Publish and release dependents.
+            let mut st = state.lock().unwrap();
+            st.in_flight -= 1;
+            match result {
+                Ok((outs, trail)) => {
+                    st.outputs[i] = Some(outs);
+                    st.trails[i] = Some(trail);
+                    st.completed += 1;
+                    for w in &out_wires[i] {
+                        st.deps_left[w.to.0] -= 1;
+                        if st.deps_left[w.to.0] == 0 {
+                            st.ready.push_back(w.to.0);
+                        }
+                    }
+                }
+                Err(e) => {
+                    st.error.get_or_insert(e);
+                }
+            }
+            wake.notify_all();
+        }
+    }
+}
+
+/// Shared scheduler state behind the work-queue mutex.
+struct ExecState {
+    /// Unsatisfied input-wire counts; a node enqueues at zero.
+    deps_left: Vec<usize>,
+    /// Nodes whose inputs are all available.
+    ready: VecDeque<usize>,
+    /// Per-node outputs (produced or replayed).
+    outputs: Vec<Option<Vec<Value>>>,
+    /// Per-node pass trails.
+    trails: Vec<Option<Vec<String>>>,
+    /// Nodes currently executing on some worker.
+    in_flight: usize,
+    /// Nodes finished successfully.
+    completed: usize,
+    /// First error observed; stops the run.
+    error: Option<PerFlowError>,
 }
 
 #[cfg(test)]
@@ -394,6 +597,91 @@ mod tests {
         assert!(dot.contains("n0 -> n2"));
         assert!(dot.contains("0→1")); // non-default port labeled
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_and_newlines() {
+        let mut g = PerFlowGraph::new();
+        g.add_pass(FnPass::new("evil \"pass\"\nname", 0, |_: &[Value]| {
+            Ok(vec![])
+        }));
+        let dot = g.to_dot("ti\"tle\nx");
+        assert!(dot.contains("digraph \"ti\\\"tle\\nx\""), "{dot}");
+        assert!(dot.contains("label=\"evil \\\"pass\\\"\\nname\""), "{dot}");
+        // No raw newline survives inside any label.
+        for line in dot.lines() {
+            assert!(!line.contains("evil \"pass\""), "unescaped: {line}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_every_node_on_reexecution() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let runs = Arc::new(AtomicUsize::new(0));
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(3.0);
+        let runs2 = Arc::clone(&runs);
+        let sq = g.add_pass(FnPass::new("square", 1, move |i: &[Value]| {
+            runs2.fetch_add(1, Ordering::SeqCst);
+            let v = i[0].as_num().unwrap();
+            Ok(vec![Value::Num(v * v)])
+        }));
+        g.pipe(s, sq).unwrap();
+        let cache = crate::cache::PassCache::new();
+        let first = g.execute_with_cache(&cache).unwrap();
+        assert_eq!(first.of(sq)[0].as_num(), Some(9.0));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+        let second = g.execute_with_cache(&cache).unwrap();
+        assert_eq!(second.of(sq)[0].as_num(), Some(9.0));
+        assert_eq!(cache.stats().hits, 2, "every node replays from cache");
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "closure ran exactly once");
+        // Trails are identical between the live and the cached run.
+        assert_eq!(first.trail, second.trail);
+    }
+
+    #[test]
+    fn cache_misses_on_changed_input() {
+        let cache = crate::cache::PassCache::new();
+        for (seed, want) in [(2.0, 4.0), (5.0, 25.0)] {
+            let mut g = PerFlowGraph::new();
+            let s = g.add_source(seed);
+            let sq = g.add_pass(FnPass::new("square", 1, |i: &[Value]| {
+                let v = i[0].as_num().unwrap();
+                Ok(vec![Value::Num(v * v)])
+            }));
+            g.pipe(s, sq).unwrap();
+            let out = g.execute_with_cache(&cache).unwrap();
+            assert_eq!(out.of(sq)[0].as_num(), Some(want));
+        }
+        // Different source values → different keys → no false hits.
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn wide_fanout_32_branches() {
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(1.0);
+        let branches: Vec<NodeId> = (0..32)
+            .map(|k| {
+                let b = g.add_pass(FnPass::new(format!("b{k}"), 1, move |i: &[Value]| {
+                    Ok(vec![Value::Num(i[0].as_num().unwrap() + k as f64)])
+                }));
+                g.pipe(s, b).unwrap();
+                b
+            })
+            .collect();
+        let out = g.execute().unwrap();
+        for (k, &b) in branches.iter().enumerate() {
+            assert_eq!(out.of(b)[0].as_num(), Some(1.0 + k as f64));
+        }
+        // Every branch (and the source) shows up in the trail.
+        assert!(out.trail.contains(&"source".to_string()));
+        for k in 0..32 {
+            assert!(out.trail.contains(&format!("b{k}")));
+        }
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub enum PerFlowError {
         /// The offending id.
         node: usize,
     },
+    /// No outputs were recorded for a node — it does not exist in the
+    /// executed graph (raised by [`crate::dataflow::Outputs::try_of`]).
+    MissingOutput {
+        /// The node whose outputs were requested.
+        node: usize,
+    },
     /// The simulated run failed.
     Sim(simrt::SimError),
     /// Graph-difference failure (skeleton mismatch).
@@ -69,6 +75,9 @@ impl std::fmt::Display for PerFlowError {
                 write!(f, "node {node} port {port} has multiple producers")
             }
             PerFlowError::BadNode { node } => write!(f, "unknown node id {node}"),
+            PerFlowError::MissingOutput { node } => {
+                write!(f, "no outputs recorded for node {node}")
+            }
             PerFlowError::Sim(e) => write!(f, "simulation failed: {e}"),
             PerFlowError::Diff(m) => write!(f, "graph difference failed: {m}"),
             PerFlowError::Analysis(m) => write!(f, "analysis failed: {m}"),
@@ -119,6 +128,10 @@ mod tests {
                 &["node 3", "port 0"],
             ),
             (PerFlowError::BadNode { node: 9 }, &["node id 9"]),
+            (
+                PerFlowError::MissingOutput { node: 4 },
+                &["no outputs", "node 4"],
+            ),
             (
                 PerFlowError::Sim(simrt::SimError::Deadlock { blocked: vec![] }),
                 &["simulation failed", "deadlock"],

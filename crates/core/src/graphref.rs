@@ -93,6 +93,17 @@ impl GraphRef {
         }
     }
 
+    /// A (view-tag, handle-address) pair identifying this graph instance
+    /// — the identity `same_graph` compares, in hashable form. Used by
+    /// value fingerprints: sets on the same handle get the same token.
+    pub fn identity(&self) -> (u8, usize) {
+        match self {
+            GraphRef::TopDown(b) => (1, Arc::as_ptr(b) as *const () as usize),
+            GraphRef::Parallel(b) => (2, Arc::as_ptr(b) as *const () as usize),
+            GraphRef::Detached(p) => (3, Arc::as_ptr(p) as *const () as usize),
+        }
+    }
+
     /// Two refs denote the same graph instance.
     pub fn same_graph(&self, other: &GraphRef) -> bool {
         match (self, other) {

@@ -43,6 +43,8 @@
 //! with [`dataflow::PerFlowGraph`]; independent passes run concurrently.
 
 pub mod api;
+pub mod builder;
+pub mod cache;
 pub mod dataflow;
 pub mod error;
 pub mod graphref;
@@ -55,6 +57,8 @@ pub mod set;
 pub mod value;
 
 pub use api::PerFlow;
+pub use builder::{GraphBuilder, NodeHandle, OutPort};
+pub use cache::{CacheStats, PassCache};
 pub use dataflow::{NodeId, PerFlowGraph};
 pub use error::PerFlowError;
 pub use graphref::{GraphRef, RunBundle, RunHandle, RunHandleExt};

@@ -7,6 +7,7 @@
 //! of the built-in pass library, ready to execute or to render with
 //! [`PerFlowGraph::to_dot`].
 
+use crate::builder::GraphBuilder;
 use crate::dataflow::{NodeId, PerFlowGraph};
 use crate::error::PerFlowError;
 use crate::passes::{
@@ -27,24 +28,27 @@ pub struct ParadigmGraph {
 pub fn comm_analysis_graph(
     input: VertexSet,
 ) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
-    let mut g = PerFlowGraph::new();
-    let src = g.add_source(input);
-    let filt = g.add_pass(FilterPass::name("MPI_*"));
-    let hot = g.add_pass(HotspotPass::by_time(10));
-    let imb = g.add_pass(ImbalancePass::default());
-    let bd = g.add_pass(BreakdownPass::default());
-    let report = g.add_pass(ReportPass::new(
-        "communication analysis",
-        &["name", "comm-info", "debug-info", "time"],
-        2,
-    ));
-    g.pipe(src, filt)?;
-    g.pipe(filt, hot)?;
-    g.pipe(hot, imb)?;
-    g.pipe(imb, bd)?;
-    g.connect(imb, 0, report, 0)?;
-    g.connect(bd, 0, report, 1)?;
-    Ok((g, ParadigmGraph { report }))
+    let b = GraphBuilder::new();
+    let imb = b
+        .source(input)
+        .then(FilterPass::name("MPI_*"))
+        .then(HotspotPass::by_time(10))
+        .then(ImbalancePass::default());
+    let bd = imb.then(BreakdownPass::default());
+    let report = b
+        .node(ReportPass::new(
+            "communication analysis",
+            &["name", "comm-info", "debug-info", "time"],
+            2,
+        ))
+        .input(0, imb.out(0))
+        .input(1, bd.out(0));
+    Ok((
+        b.finish()?,
+        ParadigmGraph {
+            report: report.id(),
+        },
+    ))
 }
 
 /// Fig. 8 — the scalability-analysis PerFlowGraph of Listing 7:
@@ -59,53 +63,57 @@ pub fn scalability_graph(
     large: VertexSet,
     small: VertexSet,
 ) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
-    let mut g = PerFlowGraph::new();
-    let src_large = g.add_source(large);
-    let src_small = g.add_source(small);
-    let diff = g.add_pass(DifferentialPass::default());
-    let hot = g.add_pass(HotspotPass {
+    let b = GraphBuilder::new();
+    let src_large = b.source(large);
+    let src_small = b.source(small);
+    let diff = b
+        .node(DifferentialPass::default())
+        .input(0, src_large.out(0))
+        .input(1, src_small.out(0));
+    let hot = diff.then(HotspotPass {
         metric: "score".into(),
         n: 10,
     });
-    let imb = g.add_pass(ImbalancePass::default());
-    let union = g.add_pass(UnionPass::union());
-    let bt = g.add_pass(BacktrackingPass::default());
-    let report = g.add_pass(ReportPass::new(
-        "scalability analysis",
-        &["name", "time", "debug-info", "score"],
-        1,
-    ));
-    g.connect(src_large, 0, diff, 0)?;
-    g.connect(src_small, 0, diff, 1)?;
-    g.pipe(diff, hot)?;
-    g.pipe(diff, imb)?;
-    g.connect(hot, 0, union, 0)?;
-    g.connect(imb, 0, union, 1)?;
-    g.pipe(union, bt)?;
-    g.pipe(bt, report)?;
-    Ok((g, ParadigmGraph { report }))
+    let imb = diff.then(ImbalancePass::default());
+    let report = b
+        .node(UnionPass::union())
+        .input(0, hot.out(0))
+        .input(1, imb.out(0))
+        .then(BacktrackingPass::default())
+        .then(ReportPass::new(
+            "scalability analysis",
+            &["name", "time", "debug-info", "score"],
+            1,
+        ));
+    Ok((
+        b.finish()?,
+        ParadigmGraph {
+            report: report.id(),
+        },
+    ))
 }
 
 /// Fig. 11 — one iteration of the LAMMPS analysis loop:
 /// `run → hotspot → filter(MPI_*) → imbalance → causal → report`.
 pub fn causal_loop_graph(input: VertexSet) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
-    let mut g = PerFlowGraph::new();
-    let src = g.add_source(input);
-    let hot = g.add_pass(HotspotPass::by_time(20));
-    let filt = g.add_pass(FilterPass::name("MPI_*"));
-    let imb = g.add_pass(ImbalancePass { threshold: 0.1 });
-    let causal = g.add_pass(CausalPass::default());
-    let report = g.add_pass(ReportPass::new(
-        "causal analysis",
-        &["name", "debug-info", "proc", "time"],
-        1,
-    ));
-    g.pipe(src, hot)?;
-    g.pipe(hot, filt)?;
-    g.pipe(filt, imb)?;
-    g.pipe(imb, causal)?;
-    g.pipe(causal, report)?;
-    Ok((g, ParadigmGraph { report }))
+    let b = GraphBuilder::new();
+    let report = b
+        .source(input)
+        .then(HotspotPass::by_time(20))
+        .then(FilterPass::name("MPI_*"))
+        .then(ImbalancePass { threshold: 0.1 })
+        .then(CausalPass::default())
+        .then(ReportPass::new(
+            "causal analysis",
+            &["name", "debug-info", "proc", "time"],
+            1,
+        ));
+    Ok((
+        b.finish()?,
+        ParadigmGraph {
+            report: report.id(),
+        },
+    ))
 }
 
 /// Fig. 14 — the Vite comprehensive-diagnosis graph with branches:
@@ -116,30 +124,34 @@ pub fn diagnosis_graph(
     fast: VertexSet,
     parallel_suspects: VertexSet,
 ) -> Result<(PerFlowGraph, ParadigmGraph), PerFlowError> {
-    let mut g = PerFlowGraph::new();
-    let src_slow = g.add_source(slow);
-    let src_fast = g.add_source(fast);
-    let src_parallel = g.add_source(parallel_suspects);
+    let b = GraphBuilder::new();
+    let src_slow = b.source(slow);
+    let src_fast = b.source(fast);
+    let src_parallel = b.source(parallel_suspects);
     // Branch A: hotspot on the slow run.
-    let hot = g.add_pass(HotspotPass::by_time(10));
-    g.pipe(src_slow, hot)?;
+    let _hot = src_slow.then(HotspotPass::by_time(10));
     // Branch B: differential slow - fast.
-    let diff = g.add_pass(DifferentialPass::default());
-    g.connect(src_slow, 0, diff, 0)?;
-    g.connect(src_fast, 0, diff, 1)?;
+    let _diff = b
+        .node(DifferentialPass::default())
+        .input(0, src_slow.out(0))
+        .input(1, src_fast.out(0));
     // Parallel-view branches: causal + contention over the suspects.
-    let causal = g.add_pass(CausalPass::default());
-    let contention = g.add_pass(ContentionPass::default());
-    g.pipe(src_parallel, causal)?;
-    g.pipe(src_parallel, contention)?;
-    let report = g.add_pass(ReportPass::new(
-        "comprehensive diagnosis",
-        &["name", "debug-info", "proc", "thread", "time"],
-        2,
-    ));
-    g.connect(causal, 0, report, 0)?;
-    g.connect(contention, 0, report, 1)?;
-    Ok((g, ParadigmGraph { report }))
+    let causal = src_parallel.then(CausalPass::default());
+    let contention = src_parallel.then(ContentionPass::default());
+    let report = b
+        .node(ReportPass::new(
+            "comprehensive diagnosis",
+            &["name", "debug-info", "proc", "thread", "time"],
+            2,
+        ))
+        .input(0, causal.out(0))
+        .input(1, contention.out(0));
+    Ok((
+        b.finish()?,
+        ParadigmGraph {
+            report: report.id(),
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -174,8 +186,13 @@ mod tests {
         let (_, large) = runs();
         let (g, nodes) = comm_analysis_graph(large.vertices()).unwrap();
         let out = g.execute().unwrap();
-        let report = out.report(nodes.report).unwrap();
+        // The fallible accessor distinguishes "unknown node" from "ran".
+        let report = out.try_of(nodes.report).unwrap()[0].as_report().unwrap();
         assert!(report.render().contains("MPI_"));
+        assert!(matches!(
+            out.try_of(crate::dataflow::NodeId(99)),
+            Err(crate::PerFlowError::MissingOutput { node: 99 })
+        ));
         // Fig.-2 shape: 6 nodes.
         assert_eq!(g.len(), 6);
         assert!(g.to_dot("fig2").contains("breakdown_analysis"));

@@ -32,6 +32,17 @@ pub trait Pass: Send + Sync {
 
     /// Run the sub-task: consume `arity()` input values, produce outputs.
     fn run(&self, inputs: &[Value], cx: &mut PassCx) -> Result<Vec<Value>, PerFlowError>;
+
+    /// Content fingerprint of the pass *configuration* (name, thresholds,
+    /// parameters — everything that determines the output besides the
+    /// inputs). `Some(fp)` lets the pass-result cache share results
+    /// across graph instances holding equally-configured passes; `None`
+    /// (the default) makes the executor fall back to node-instance
+    /// identity, which still caches re-executions of the same graph but
+    /// never aliases two distinct pass objects (safe for closures).
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Helper: extract the vertex-set input on `port` or fail with a typed
@@ -76,6 +87,12 @@ impl Pass for SourcePass {
     }
     fn run(&self, _inputs: &[Value], _cx: &mut PassCx) -> Result<Vec<Value>, PerFlowError> {
         Ok(vec![self.value.clone()])
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str("source");
+        h.u64(self.value.fingerprint());
+        Some(h.finish())
     }
 }
 

@@ -61,6 +61,100 @@ impl Value {
     }
 }
 
+/// Minimal FNV-1a hasher used for value/pass fingerprints (no external
+/// dependencies, stable across platforms).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Value {
+    /// Content fingerprint, used as a cache key component by the
+    /// pass-result cache. Two values with the same fingerprint are
+    /// treated as interchangeable pass inputs: sets hash their member
+    /// ids, scores, and the *identity* of the graph they live on (the
+    /// shared handle, not the graph contents — PAGs are immutable while
+    /// sets flow through a PerFlowGraph), reports hash their full text
+    /// content, and numbers hash their bits.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        match self {
+            Value::Num(n) => {
+                h.u64(1);
+                h.u64(n.to_bits());
+            }
+            Value::Vertices(v) => {
+                h.u64(2);
+                let (tag, ptr) = v.graph.identity();
+                h.u64(tag as u64);
+                h.u64(ptr as u64);
+                h.u64(v.ids.len() as u64);
+                for id in &v.ids {
+                    h.u64(id.0 as u64);
+                }
+                h.u64(v.scores.len() as u64);
+                for (id, s) in &v.scores {
+                    h.u64(id.0 as u64);
+                    h.u64(s.to_bits());
+                }
+            }
+            Value::Edges(e) => {
+                h.u64(3);
+                let (tag, ptr) = e.graph.identity();
+                h.u64(tag as u64);
+                h.u64(ptr as u64);
+                h.u64(e.ids.len() as u64);
+                for id in &e.ids {
+                    h.u64(id.0 as u64);
+                }
+            }
+            Value::Report(r) => {
+                h.u64(4);
+                h.str(&r.title);
+                h.u64(r.columns.len() as u64);
+                for c in &r.columns {
+                    h.str(c);
+                }
+                h.u64(r.rows.len() as u64);
+                for row in &r.rows {
+                    h.u64(row.len() as u64);
+                    for cell in row {
+                        h.str(cell);
+                    }
+                }
+                h.u64(r.notes.len() as u64);
+                for n in &r.notes {
+                    h.str(n);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
 impl From<VertexSet> for Value {
     fn from(v: VertexSet) -> Self {
         Value::Vertices(v)

@@ -112,6 +112,28 @@ impl Cct {
         frames
     }
 
+    /// Merge every context of `other` into `self`, returning the remap
+    /// table `other CtxId index → self CtxId`.
+    ///
+    /// Relies on the construction invariant that a node's parent always
+    /// has a smaller index than the node itself, so a single forward walk
+    /// re-interns each node under its already-remapped parent. Merging
+    /// per-rank CCT shards in rank order therefore produces one
+    /// deterministic tree regardless of how the shards were built.
+    pub fn merge_from(&mut self, other: &Cct) -> Vec<CtxId> {
+        debug_assert_eq!(
+            self.nodes[0].frame, other.nodes[0].frame,
+            "shards must share the entry function"
+        );
+        let mut remap = Vec::with_capacity(other.nodes.len());
+        remap.push(self.root());
+        for node in &other.nodes[1..] {
+            let parent = remap[node.parent.0 as usize];
+            remap.push(self.child(parent, node.frame));
+        }
+        remap
+    }
+
     /// Iterate over a context's chain of ids from `ctx` up to the root.
     pub fn ancestors(&self, ctx: CtxId) -> impl Iterator<Item = CtxId> + '_ {
         let mut cur = Some(ctx);
@@ -160,6 +182,32 @@ mod tests {
         );
         let up: Vec<CtxId> = cct.ancestors(k).collect();
         assert_eq!(up, vec![k, f, l, cct.root()]);
+    }
+
+    #[test]
+    fn merge_from_reinterns_under_remapped_parents() {
+        // Shard A: root → s1 → f2; shard B: root → s1 → s3 (overlapping
+        // prefix, divergent leaf).
+        let mut a = Cct::new(FuncId(0));
+        let a1 = a.child(a.root(), CtxFrame::Stmt(StmtId(1)));
+        let a2 = a.child(a1, CtxFrame::Func(FuncId(2)));
+        let mut b = Cct::new(FuncId(0));
+        let b1 = b.child(b.root(), CtxFrame::Stmt(StmtId(1)));
+        let b2 = b.child(b1, CtxFrame::Stmt(StmtId(3)));
+        let remap = a.merge_from(&b);
+        // Shared prefix dedups onto the existing nodes…
+        assert_eq!(remap[b.root().0 as usize], a.root());
+        assert_eq!(remap[b1.0 as usize], a1);
+        // …and the divergent leaf is a fresh node.
+        let merged_leaf = remap[b2.0 as usize];
+        assert_ne!(merged_leaf, a2);
+        assert_eq!(a.frame(merged_leaf), CtxFrame::Stmt(StmtId(3)));
+        assert_eq!(a.parent(merged_leaf), a1);
+        assert_eq!(a.len(), 4);
+        // Merging is idempotent on identical shards.
+        let again = a.merge_from(&b);
+        assert_eq!(again, remap);
+        assert_eq!(a.len(), 4);
     }
 
     #[test]

@@ -15,13 +15,21 @@ use crate::config::CollectionConfig;
 use crate::faults::{fault_roll, FaultPlan, FaultStream};
 use crate::record::{CommRecord, LockRecord, MsgEdge, RankStatus, RunData, TraceData, TraceEvent};
 
-/// Mutable collection state for one run.
+/// Mutable collection state for one run — or for one *rank's shard* of a
+/// run. The engine gives every rank its own `Collector` (with its own
+/// CCT) so ranks can be simulated concurrently without sharing mutable
+/// state; [`merge_shards`] folds the shards back into one [`RunData`] in
+/// rank order, which keeps the merged result deterministic and
+/// independent of how the ranks were scheduled.
 pub struct Collector {
     /// Accumulated run data (taken by [`Collector::finish`]).
     pub data: RunData,
     cfg: CollectionConfig,
     faults: FaultPlan,
     seed: u64,
+    /// Rank owning this shard (0 for a whole-run collector); keys the
+    /// PMU-corruption fault stream so per-rank shards roll independently.
+    shard_rank: u32,
     /// Monotone PMU-read counter identifying corruption rolls.
     pmu_reads: u64,
 }
@@ -59,8 +67,17 @@ impl Collector {
             cfg,
             faults,
             seed,
+            shard_rank: 0,
             pmu_reads: 0,
         }
+    }
+
+    /// Mark this collector as rank `rank`'s shard (re-keys the PMU
+    /// corruption stream so shards roll independently of one another and
+    /// of how work interleaves across ranks).
+    pub fn for_rank(mut self, rank: u32) -> Self {
+        self.shard_rank = rank;
+        self
     }
 
     /// The context a sample is attributed to after the injected
@@ -165,8 +182,12 @@ impl Collector {
         if self.faults.pmu_corrupt_rate > 0.0 {
             let read = self.pmu_reads;
             self.pmu_reads += 1;
-            if fault_roll(self.seed, FaultStream::PmuCorrupt, read, 0)
-                < self.faults.pmu_corrupt_rate
+            if fault_roll(
+                self.seed,
+                FaultStream::PmuCorrupt,
+                read,
+                self.shard_rank as u64,
+            ) < self.faults.pmu_corrupt_rate
             {
                 self.data.pmu_corrupted += 1;
                 return;
@@ -242,6 +263,97 @@ impl Collector {
         self.data.rank_status = rank_status;
         self.data
     }
+}
+
+/// Fold per-rank collector shards into one [`RunData`].
+///
+/// Shards are merged strictly in rank order: CCT nodes re-intern through
+/// [`Cct::merge_from`] (parents always precede children, so one forward
+/// walk per shard suffices), floating-point aggregates (PMU) accumulate
+/// in rank order, and record streams concatenate per rank. The result is
+/// therefore a pure function of the shard contents — identical whether
+/// the ranks were simulated serially or on a worker pool.
+///
+/// `msg_edges` are the engine-level cross-rank dependence edges; each
+/// edge's contexts are remapped through its *own* endpoint ranks' tables
+/// (`src_ctx` lives in `src_rank`'s shard, `dst_ctx` in `dst_rank`'s).
+pub fn merge_shards(
+    shards: Vec<Collector>,
+    msg_edges: Vec<MsgEdge>,
+    retransmits: u64,
+    elapsed: Vec<f64>,
+    rank_status: Vec<RankStatus>,
+) -> RunData {
+    let mut shards = shards.into_iter();
+    let base = shards.next().expect("at least one shard");
+    let cap = base.cfg.trace_store_cap;
+    let mut data = base.data;
+    // Remap tables per rank; rank 0's shard *is* the base, so its table
+    // is the identity.
+    let mut remaps: Vec<Vec<CtxId>> = Vec::with_capacity(data.nranks as usize);
+    remaps.push((0..data.cct.len() as u32).map(CtxId).collect());
+    for shard in shards {
+        let sd = shard.data;
+        let remap = data.cct.merge_from(&sd.cct);
+        for ((ctx, rank, thread), n) in sd.samples {
+            *data
+                .samples
+                .entry((remap[ctx.0 as usize], rank, thread))
+                .or_insert(0) += n;
+        }
+        for ((ctx, rank, thread), n) in sd.dropped_samples {
+            *data
+                .dropped_samples
+                .entry((remap[ctx.0 as usize], rank, thread))
+                .or_insert(0) += n;
+        }
+        for (ctx, agg) in &sd.pmu {
+            let e = data.pmu.entry(remap[ctx.0 as usize]).or_default();
+            e.instructions += agg.instructions;
+            e.cycles += agg.cycles;
+            e.cache_misses += agg.cache_misses;
+        }
+        data.comm_records
+            .extend(sd.comm_records.into_iter().map(|mut rec| {
+                rec.ctx = remap[rec.ctx.0 as usize];
+                rec
+            }));
+        data.lock_records
+            .extend(sd.lock_records.into_iter().map(|mut rec| {
+                rec.ctx = remap[rec.ctx.0 as usize];
+                if let Some((t, s, hctx)) = rec.blocked_by {
+                    rec.blocked_by = Some((t, s, remap[hctx.0 as usize]));
+                }
+                rec
+            }));
+        for (stmt, targets) in sd.indirect_targets {
+            let merged = data.indirect_targets.entry(stmt).or_default();
+            for t in targets {
+                if !merged.contains(&t) {
+                    merged.push(t);
+                }
+            }
+        }
+        for ev in sd.trace.events {
+            if data.trace.events.len() < cap {
+                data.trace.events.push(ev);
+            }
+        }
+        data.trace.total_events += sd.trace.total_events;
+        data.trace.est_bytes += sd.trace.est_bytes;
+        data.pmu_corrupted += sd.pmu_corrupted;
+        remaps.push(remap);
+    }
+    data.msg_edges.extend(msg_edges.into_iter().map(|mut e| {
+        e.src_ctx = remaps[e.src_rank as usize][e.src_ctx.0 as usize];
+        e.dst_ctx = remaps[e.dst_rank as usize][e.dst_ctx.0 as usize];
+        e
+    }));
+    data.retransmits += retransmits;
+    data.total_time = elapsed.iter().copied().fold(0.0, f64::max);
+    data.elapsed = elapsed;
+    data.rank_status = rank_status;
+    data
 }
 
 #[cfg(test)]

@@ -150,6 +150,12 @@ pub struct RunConfig {
     /// Hard-fault injection plan (crashes, hangs, message drops, sample
     /// loss, stack truncation, PMU corruption). Inert by default.
     pub faults: FaultPlan,
+    /// Worker threads simulating ranks. `None` (the default) sizes the
+    /// pool to `min(nranks, available_parallelism)`; `Some(1)` forces a
+    /// fully serial simulation. Results are bit-identical either way —
+    /// the engine runs the same phase algorithm and merges per-rank
+    /// shards in rank order — so this is purely a wall-clock knob.
+    pub sim_workers: Option<usize>,
 }
 
 impl RunConfig {
@@ -164,7 +170,19 @@ impl RunConfig {
             collection: CollectionConfig::default(),
             rank_slowdown: HashMap::new(),
             faults: FaultPlan::default(),
+            sim_workers: None,
         }
+    }
+
+    /// Pin the simulation worker-pool size (`1` = serial).
+    pub fn with_sim_workers(mut self, workers: usize) -> Self {
+        self.sim_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Force a fully serial simulation (one rank at a time).
+    pub fn serial_sim(self) -> Self {
+        self.with_sim_workers(1)
     }
 
     /// Set threads per process.
@@ -227,6 +245,15 @@ mod tests {
         assert_eq!(cfg.params["n"], 256.0);
         assert_eq!(cfg.seed, 7);
         assert!(cfg.collection.sampling_period_us.is_none());
+    }
+
+    #[test]
+    fn sim_worker_knob() {
+        assert_eq!(RunConfig::new(4).sim_workers, None);
+        assert_eq!(RunConfig::new(4).serial_sim().sim_workers, Some(1));
+        assert_eq!(RunConfig::new(4).with_sim_workers(3).sim_workers, Some(3));
+        // Zero is clamped: a pool always has at least one worker.
+        assert_eq!(RunConfig::new(4).with_sim_workers(0).sim_workers, Some(1));
     }
 
     #[test]

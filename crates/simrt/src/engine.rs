@@ -1,30 +1,42 @@
 //! The discrete-event engine: per-rank interpreters plus a central
-//! communication matcher.
+//! communication matcher, organised as a *phase-based* scheduler so the
+//! ranks can be simulated on a worker pool.
 //!
 //! Each rank interprets the program with an explicit frame stack and a
-//! virtual clock. Ranks run independently until they *block* — on a
+//! virtual clock. A *segment* runs one rank until it blocks — on a
 //! blocking receive, a rendezvous send, an `MPI_Wait(all)` whose request
-//! is unmatched, or a collective. A matching engine pairs point-to-point
-//! operations per `(src, dst, tag)` channel (eager below the threshold,
-//! rendezvous above) and completes collectives when every rank arrived,
-//! computing completion times from the network model. The scheduler
-//! alternates "run all runnable ranks" and "resolve blocked ranks" phases
-//! until every rank finishes; if neither phase makes progress the program
-//! has deadlocked and the engine reports which ranks block where.
+//! is unmatched, or a collective. Segments touch only rank-local state:
+//! the rank's [`RankState`], its own [`Collector`] shard (with its own
+//! CCT), and a buffer of *effects* (channel posts, collective arrivals)
+//! to be published later. Between phases the scheduler — always a single
+//! thread — applies the buffered effects in rank order, pairs
+//! point-to-point operations per `(src, dst, tag)` channel (eager below
+//! the threshold, rendezvous above), completes collectives when every
+//! live rank arrived, and resolves blocked ranks. Because segments are
+//! independent and every cross-rank step is serial and rank-ordered, the
+//! result is bit-identical whether the segments of a phase run one at a
+//! time or concurrently on the pool ([`RunConfig::sim_workers`]).
+//!
+//! If neither the segment phase nor resolution makes progress the program
+//! has deadlocked and the engine reports which ranks block where (after
+//! the quiescence watchdog gives pending injected faults a last chance to
+//! fire).
 //!
 //! Everything observable — samples, comm/lock records, message edges,
-//! traces — flows through the [`Collector`].
+//! traces — flows through the per-rank [`Collector`] shards, which
+//! [`merge_shards`] folds back into one [`RunData`] in rank order.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
 
 use progmodel::{CallTarget, CommOp, EvalCtx, Program, Stmt, StmtId, StmtKind};
 
 use crate::cct::{CtxFrame, CtxId};
-use crate::collector::Collector;
+use crate::collector::{merge_shards, Collector};
 use crate::config::RunConfig;
 use crate::faults::{fault_roll, FaultStream};
 use crate::net::collective_cost;
-use crate::record::{CommKindTag, CommRecord, MsgEdge, RankStatus, RunData};
+use crate::record::{CommKindTag, CommRecord, LockRecord, MsgEdge, RankStatus, RunData};
 use crate::threads::run_thread_region;
 
 pub use crate::error::SimError;
@@ -44,9 +56,7 @@ pub fn simulate(prog: &Program, cfg: &RunConfig) -> Result<RunData, SimError> {
     params.extend(cfg.params.iter().map(|(k, v)| (k.clone(), *v)));
     let mut engine = Engine::new(prog, cfg, params);
     engine.run()?;
-    let elapsed: Vec<f64> = engine.ranks.iter().map(|r| r.clock).collect();
-    let status = engine.statuses();
-    Ok(engine.collector.finish(elapsed, status))
+    Ok(engine.finish())
 }
 
 // ------------------------------------------------------------------ state
@@ -57,7 +67,6 @@ struct Req {
     kind: CommKindTag,
     peer: u32,
     bytes: u64,
-    #[allow(dead_code)]
     post: f64,
     completion: Option<f64>,
     /// Matched remote side (rank, stmt, ctx) once known.
@@ -201,16 +210,59 @@ struct CollInst {
     completion: Option<f64>,
 }
 
+/// A cross-rank action buffered during a segment and published by the
+/// scheduler between phases, in rank order — so the channel/collective
+/// state evolves identically no matter how segments were scheduled.
+enum Effect {
+    Send {
+        key: (u32, u32, u32),
+        inst: SendInst,
+    },
+    Recv {
+        key: (u32, u32, u32),
+        inst: RecvInst,
+    },
+    Coll {
+        inst: u64,
+        kind: CommKindTag,
+        bytes: u64,
+        rank: u32,
+        post: f64,
+        ctx: CtxId,
+        stmt: StmtId,
+    },
+}
+
+/// Everything one rank's segment may touch: its interpreter state, its
+/// collector shard, its buffered effects and a deferred error slot.
+struct RankCtx<'p> {
+    state: RankState<'p>,
+    shard: Collector,
+    effects: Vec<Effect>,
+    error: Option<SimError>,
+}
+
+/// Matcher state owned by the (single-threaded) inter-phase scheduler.
+#[derive(Default)]
+struct Shared {
+    channels: HashMap<(u32, u32, u32), Channel>,
+    /// Per-channel match counters keying the message-drop fault stream
+    /// (the match sequence *within* a channel is deterministic; the
+    /// global interleaving across channels is not).
+    chan_matches: HashMap<(u32, u32, u32), u64>,
+    collectives: HashMap<u64, CollInst>,
+    /// Cross-rank dependence edges; each endpoint's context lives in
+    /// that endpoint rank's shard until the final merge remaps them.
+    msg_edges: Vec<MsgEdge>,
+    retransmits: u64,
+}
+
 struct Engine<'p> {
     prog: &'p Program,
     cfg: &'p RunConfig,
     params: HashMap<String, f64>,
-    ranks: Vec<RankState<'p>>,
-    channels: HashMap<(u32, u32, u32), Channel>,
-    collectives: HashMap<u64, CollInst>,
-    collector: Collector,
-    /// Monotone counter identifying message-drop rolls.
-    match_count: u64,
+    rankctxs: Vec<Mutex<RankCtx<'p>>>,
+    shared: Shared,
 }
 
 enum StepOutcome {
@@ -219,448 +271,207 @@ enum StepOutcome {
     Done,
 }
 
-impl<'p> Engine<'p> {
-    fn new(prog: &'p Program, cfg: &'p RunConfig, params: HashMap<String, f64>) -> Self {
-        let collector = Collector::new(
-            cfg.collection.clone(),
-            cfg.faults.clone(),
-            cfg.seed,
-            cfg.nranks,
-            cfg.nthreads,
-            prog.entry,
-        );
-        let root = collector.data.cct.root();
-        let ranks = (0..cfg.nranks)
-            .map(|rank| RankState {
-                rank,
-                clock: 0.0,
-                frames: vec![Frame {
-                    stmts: &prog.function(prog.entry).body,
-                    idx: 0,
-                    ctx: root,
-                    kind: FrameKind::Body,
-                }],
-                iters: Vec::new(),
-                reqs: Vec::new(),
-                outstanding: Vec::new(),
-                coll_seq: 0,
-                blocked: None,
-                done: false,
-                call_depth: 0,
-                health: Health::Ok,
-            })
-            .collect();
-        Engine {
-            prog,
-            cfg,
-            params,
-            ranks,
-            channels: HashMap::new(),
-            collectives: HashMap::new(),
-            collector,
-            match_count: 0,
-        }
-    }
+// ------------------------------------------------------- rank-local ops
 
-    fn run(&mut self) -> Result<(), SimError> {
+/// Kill a rank at virtual time `at` (rank-local part; the scheduler's
+/// crash sweep handles peer notification).
+fn crash_state(state: &mut RankState<'_>, at: f64) {
+    state.health = Health::Crashed(at);
+    state.clock = at;
+    state.blocked = None;
+    state.frames.clear();
+}
+
+/// Stop a rank from progressing at virtual time `at` without killing it
+/// ([`Health::Hung`]). `injected` distinguishes a planned hang from a
+/// survivor derived-stalled behind a crash.
+fn stall_state(state: &mut RankState<'_>, at: f64, injected: bool) {
+    let stmt = state.blocked.as_ref().map(|b| b.info.stmt()).or_else(|| {
+        state
+            .frames
+            .last()
+            .and_then(|f| f.stmts.get(f.idx))
+            .map(|s| s.id)
+    });
+    state.health = Health::Hung { at, stmt, injected };
+    state.clock = state.clock.max(at);
+    state.blocked = None;
+}
+
+fn push_req(
+    state: &mut RankState<'_>,
+    kind: CommKindTag,
+    peer: u32,
+    bytes: u64,
+    post: f64,
+) -> usize {
+    let slot = state.reqs.len();
+    state.reqs.push(Req {
+        kind,
+        peer,
+        bytes,
+        post,
+        completion: None,
+        matched: None,
+        live: true,
+    });
+    state.outstanding.push(slot);
+    slot
+}
+
+// ------------------------------------------------------------- segments
+
+/// Read-only context for running one rank's segment. Holds the phase's
+/// crash *snapshot*: a rank crashing mid-phase becomes visible to its
+/// peers only at the next phase boundary, which keeps segments
+/// order-independent.
+struct SegCtx<'a, 'p> {
+    prog: &'p Program,
+    cfg: &'a RunConfig,
+    params: &'a HashMap<String, f64>,
+    crashed: &'a [bool],
+}
+
+impl<'a, 'p> SegCtx<'a, 'p> {
+    /// Run one rank until it blocks, finishes, faults or errors.
+    fn run_segment(&self, rc: &mut RankCtx<'p>) {
         loop {
-            let mut progressed = false;
-            for r in 0..self.ranks.len() {
-                if self.ranks[r].done
-                    || self.ranks[r].blocked.is_some()
-                    || !self.ranks[r].health.is_ok()
-                {
-                    continue;
-                }
-                progressed = true;
-                loop {
-                    // A scheduled crash/hang fires at the first event
-                    // boundary at or after its virtual time.
-                    if self.apply_rank_fault(r, false) {
-                        break;
-                    }
-                    match self.step(r)? {
-                        StepOutcome::Progress => continue,
-                        StepOutcome::Blocked | StepOutcome::Done => break,
-                    }
-                }
+            // A scheduled crash/hang fires at the first event boundary at
+            // or after its virtual time.
+            if self.apply_rank_fault(rc) {
+                break;
             }
-            let resolved = self.resolve_blocked();
-            if self.ranks.iter().all(|r| r.done || !r.health.is_ok()) {
-                return self.check_injected_hangs();
-            }
-            if !progressed && !resolved {
-                // Quiescence watchdog. First, force any still-pending
-                // scheduled fault onto its (blocked) rank: a rank whose
-                // clock stopped short of its fault time would otherwise
-                // never reach it.
-                if self.apply_scheduled_faults_to_blocked() {
-                    continue;
+            match self.step(rc) {
+                Ok(StepOutcome::Progress) => continue,
+                Ok(StepOutcome::Blocked | StepOutcome::Done) => break,
+                Err(e) => {
+                    rc.error = Some(e);
+                    break;
                 }
-                let blocked: Vec<(u32, StmtId)> = self
-                    .ranks
-                    .iter()
-                    .filter(|r| r.health.is_ok())
-                    .filter_map(|r| r.blocked.as_ref().map(|b| (r.rank, b.info.stmt())))
-                    .collect();
-                if self
-                    .ranks
-                    .iter()
-                    .any(|r| matches!(r.health, Health::Hung { injected: true, .. }))
-                {
-                    return Err(self.hang_error(blocked));
-                }
-                if self
-                    .ranks
-                    .iter()
-                    .any(|r| matches!(r.health, Health::Crashed(_)))
-                {
-                    // Survivors stuck forever behind the crash (e.g. a
-                    // dependence the fail-fast notification cannot break):
-                    // mark them hung and degrade gracefully to a partial
-                    // run instead of failing the whole simulation.
-                    for r in 0..self.ranks.len() {
-                        if self.ranks[r].health.is_ok() && self.ranks[r].blocked.is_some() {
-                            let at = self.ranks[r].clock;
-                            self.stall_rank(r, at, false);
-                        }
-                    }
-                    continue;
-                }
-                return Err(SimError::Deadlock { blocked });
             }
         }
     }
 
-    // ------------------------------------------------------ fault injection
-
-    /// Apply a scheduled crash/hang to rank `r` if due (its clock reached
-    /// the fault time) or if `force` (the rank is stalled short of it).
-    /// Returns whether a fault was applied.
-    fn apply_rank_fault(&mut self, r: usize, force: bool) -> bool {
-        if self.ranks[r].done || !self.ranks[r].health.is_ok() {
+    /// Apply a scheduled crash/hang if the rank's clock reached the fault
+    /// time. Returns whether a fault was applied.
+    fn apply_rank_fault(&self, rc: &mut RankCtx<'p>) -> bool {
+        if rc.state.done || !rc.state.health.is_ok() {
             return false;
         }
-        let rank = self.ranks[r].rank;
+        let rank = rc.state.rank;
         if let Some(&t) = self.cfg.faults.crash.get(&rank) {
-            if self.ranks[r].clock >= t || force {
-                self.crash_rank(r, self.ranks[r].clock.max(t));
+            if rc.state.clock >= t {
+                let at = rc.state.clock.max(t);
+                crash_state(&mut rc.state, at);
                 return true;
             }
         }
         if let Some(&t) = self.cfg.faults.hang.get(&rank) {
-            if self.ranks[r].clock >= t || force {
-                let at = self.ranks[r].clock.max(t);
-                self.stall_rank(r, at, true);
+            if rc.state.clock >= t {
+                let at = rc.state.clock.max(t);
+                stall_state(&mut rc.state, at, true);
                 return true;
             }
         }
         false
     }
 
-    /// Force pending scheduled faults onto blocked ranks (quiescence
-    /// watchdog path). Returns whether anything fired.
-    fn apply_scheduled_faults_to_blocked(&mut self) -> bool {
-        let mut any = false;
-        for r in 0..self.ranks.len() {
-            if self.ranks[r].blocked.is_some() {
-                any |= self.apply_rank_fault(r, true);
-            }
-        }
-        any
-    }
-
-    /// Kill rank `r` at virtual time `at`: fail-fast notify peers blocked
-    /// on it (an ULFM-style revoke) and shrink pending collectives to the
-    /// survivors.
-    fn crash_rank(&mut self, r: usize, at: f64) {
-        let dead = self.ranks[r].rank;
-        self.ranks[r].health = Health::Crashed(at);
-        self.ranks[r].clock = at;
-        self.ranks[r].blocked = None;
-        self.ranks[r].frames.clear();
-        // Peer notification: operations already targeting the dead rank
-        // complete as failed no earlier than the crash.
-        for p in 0..self.ranks.len() {
-            if p == r {
-                continue;
-            }
-            for req in &mut self.ranks[p].reqs {
-                if req.live && req.peer == dead && req.completion.is_none() {
-                    req.completion = Some(req.post.max(at));
-                }
-            }
-            if let Some(b) = self.ranks[p].blocked.as_mut() {
-                if let BlockInfo::P2p {
-                    peer,
-                    post,
-                    matched: None,
-                    ..
-                } = &b.info
-                {
-                    if *peer == dead && b.resume.is_none() {
-                        b.resume = Some(post.max(at));
-                    }
-                }
-            }
-        }
-        self.recheck_collectives();
-    }
-
-    /// Stop rank `r` from progressing at virtual time `at` without
-    /// killing it ([`Health::Hung`]). `injected` distinguishes a planned
-    /// hang from a survivor derived-stalled behind a crash.
-    fn stall_rank(&mut self, r: usize, at: f64, injected: bool) {
-        let stmt = self.ranks[r]
-            .blocked
-            .as_ref()
-            .map(|b| b.info.stmt())
-            .or_else(|| {
-                self.ranks[r]
-                    .frames
-                    .last()
-                    .and_then(|f| f.stmts.get(f.idx))
-                    .map(|s| s.id)
-            });
-        self.ranks[r].health = Health::Hung { at, stmt, injected };
-        self.ranks[r].clock = self.ranks[r].clock.max(at);
-        self.ranks[r].blocked = None;
-    }
-
-    /// `Err(SimError::Hang)` describing every injected-hung rank plus the
-    /// healthy ranks blocked behind them.
-    fn hang_error(&self, blocked: Vec<(u32, StmtId)>) -> SimError {
-        let hung = self
-            .ranks
-            .iter()
-            .filter_map(|r| match r.health {
-                Health::Hung {
-                    at,
-                    stmt,
-                    injected: true,
-                } => Some((r.rank, stmt, at)),
-                _ => None,
-            })
-            .collect();
-        let virtual_time_us = self.ranks.iter().map(|r| r.clock).fold(0.0, f64::max);
-        SimError::Hang {
-            hung,
-            blocked,
-            virtual_time_us,
-        }
-    }
-
-    /// At termination: an injected hang is an error even when no other
-    /// rank was blocked behind it — a silently missing rank must never
-    /// look like a clean run.
-    fn check_injected_hangs(&self) -> Result<(), SimError> {
-        if self
-            .ranks
-            .iter()
-            .any(|r| matches!(r.health, Health::Hung { injected: true, .. }))
-        {
-            return Err(self.hang_error(Vec::new()));
-        }
-        Ok(())
-    }
-
-    /// Terminal per-rank statuses (valid once `run` returned `Ok`).
-    fn statuses(&self) -> Vec<RankStatus> {
-        self.ranks
-            .iter()
-            .map(|r| match r.health {
-                Health::Ok => RankStatus::Completed,
-                Health::Crashed(at) => RankStatus::Crashed { at_us: at },
-                Health::Hung { at, .. } => RankStatus::Hung { at_us: at },
-            })
-            .collect()
-    }
-
-    /// True when `rank` has crashed.
+    /// True when `rank` was crashed as of the start of this phase.
     fn is_crashed(&self, rank: u32) -> bool {
-        matches!(self.ranks[rank as usize].health, Health::Crashed(_))
+        self.crashed[rank as usize]
     }
 
-    /// A collective completes when every *live* (non-crashed) rank has
-    /// posted; crashed ranks are dropped from the membership (the
-    /// shrunken communicator), while hung ranks still count — a hang
-    /// blocks collectives, which is how it propagates.
-    fn collective_ready(&self, inst: &CollInst) -> bool {
-        (0..self.cfg.nranks)
-            .filter(|&x| !self.is_crashed(x))
-            .all(|x| inst.posts.iter().any(|&(pr, _, _, _)| pr == x))
-    }
-
-    /// Complete collective `inst` if every live rank has posted.
-    fn complete_collective_if_ready(&mut self, inst: u64) {
-        let Some(c) = self.collectives.get(&inst) else {
-            return;
-        };
-        if c.completion.is_some() || !self.collective_ready(c) {
-            return;
-        }
-        let cost = collective_cost(&self.cfg.network, c.kind, c.bytes, self.cfg.nranks);
-        let entry = self
-            .collectives
-            .get_mut(&inst)
-            .expect("instance exists: fetched above");
-        let max_post = entry
-            .posts
-            .iter()
-            .map(|&(_, p, _, _)| p)
-            .fold(f64::NEG_INFINITY, f64::max);
-        entry.completion = Some(max_post + cost);
-    }
-
-    /// Re-evaluate pending collectives after a crash shrank the
-    /// membership: instances now complete over the survivors.
-    fn recheck_collectives(&mut self) {
-        let insts: Vec<u64> = self
-            .collectives
-            .iter()
-            .filter(|(_, c)| c.completion.is_none())
-            .map(|(&i, _)| i)
-            .collect();
-        for i in insts {
-            self.complete_collective_if_ready(i);
-        }
-    }
-
-    /// Complete a point-to-point operation addressed to a crashed peer
-    /// immediately as failed (fail-fast notification): the survivor must
-    /// not block on a rank that can never answer.
-    #[allow(clippy::too_many_arguments)]
-    fn fail_fast_p2p(
-        &mut self,
-        r: usize,
-        kind: CommKindTag,
-        ctx: CtxId,
-        stmt: StmtId,
-        peer: u32,
-        bytes: u64,
-        nonblocking: bool,
-    ) {
-        let overhead = self.cfg.network.op_overhead_us;
-        let post = self.ranks[r].clock;
-        if nonblocking {
-            let slot = self.push_req(r, kind, peer, bytes, post);
-            self.ranks[r].reqs[slot].completion = Some(post + overhead);
-        }
-        let rank = self.ranks[r].rank;
-        self.advance(r, overhead, ctx);
-        self.collector.comm(CommRecord {
-            rank,
-            ctx,
-            stmt,
-            kind,
-            peer,
-            bytes,
-            post,
-            complete: post + overhead,
-            wait: 0.0,
-        });
-        self.collector.trace(rank, stmt, post, post + overhead);
-        self.ranks[r].frames.last_mut().unwrap().idx += 1;
-    }
-
-    // --------------------------------------------------------- interpreter
-
-    fn eval_ctx<'a>(&'a self, r: usize) -> EvalCtx<'a> {
-        let rs = &self.ranks[r];
+    fn ectx<'s>(&'s self, state: &'s RankState<'p>) -> EvalCtx<'s> {
         EvalCtx {
-            rank: rs.rank,
+            rank: state.rank,
             nranks: self.cfg.nranks,
             thread: 0,
             nthreads: self.cfg.nthreads,
-            iters: &rs.iters,
-            params: &self.params,
+            iters: &state.iters,
+            params: self.params,
             seed: self.cfg.seed,
         }
     }
 
-    /// Advance rank `r`'s clock by `dt`, attributing the interval to
+    /// Advance the rank's clock by `dt`, attributing the interval to
     /// `ctx`. Fired samples charge their handler cost to the clock — the
     /// observer effect the Table-1 overhead experiment measures.
-    fn advance(&mut self, r: usize, dt: f64, ctx: CtxId) {
+    fn advance(&self, rc: &mut RankCtx<'p>, dt: f64, ctx: CtxId) {
         debug_assert!(dt >= 0.0);
-        let t0 = self.ranks[r].clock;
+        let t0 = rc.state.clock;
         let t1 = t0 + dt;
-        let fired = self.collector.account(self.ranks[r].rank, 0, ctx, t0, t1);
-        self.ranks[r].clock = t1 + fired as f64 * self.collector.sample_cost_us();
+        let fired = rc.shard.account(rc.state.rank, 0, ctx, t0, t1);
+        rc.state.clock = t1 + fired as f64 * rc.shard.sample_cost_us();
     }
 
-    /// Execute one step of rank `r`. Must only be called when unblocked.
-    fn step(&mut self, r: usize) -> Result<StepOutcome, SimError> {
+    /// Execute one step of the rank. Must only be called when unblocked.
+    fn step(&self, rc: &mut RankCtx<'p>) -> Result<StepOutcome, SimError> {
         // Handle frame exhaustion / loop iteration.
         loop {
-            let frame = match self.ranks[r].frames.last() {
+            let frame = match rc.state.frames.last() {
                 Some(f) => f,
                 None => {
-                    self.ranks[r].done = true;
+                    rc.state.done = true;
                     return Ok(StepOutcome::Done);
                 }
             };
             if frame.idx < frame.stmts.len() {
                 break;
             }
-            let frame = self.ranks[r].frames.last_mut().unwrap();
+            let frame = rc.state.frames.last_mut().unwrap();
             match &mut frame.kind {
                 FrameKind::Loop { trips, cur } if *cur + 1 < *trips => {
                     *cur += 1;
                     frame.idx = 0;
                     let cur = *cur;
-                    *self.ranks[r].iters.last_mut().unwrap() = cur;
+                    *rc.state.iters.last_mut().unwrap() = cur;
                 }
                 FrameKind::Loop { .. } => {
-                    self.ranks[r].iters.pop();
-                    self.ranks[r].frames.pop();
+                    rc.state.iters.pop();
+                    rc.state.frames.pop();
                 }
                 FrameKind::Body => {
-                    self.ranks[r].frames.pop();
-                    if self.ranks[r].call_depth > 0 {
-                        self.ranks[r].call_depth -= 1;
+                    rc.state.frames.pop();
+                    if rc.state.call_depth > 0 {
+                        rc.state.call_depth -= 1;
                     }
                 }
             }
-            if self.ranks[r].frames.is_empty() {
-                self.ranks[r].done = true;
+            if rc.state.frames.is_empty() {
+                rc.state.done = true;
                 return Ok(StepOutcome::Done);
             }
         }
 
-        let frame = self.ranks[r].frames.last().unwrap();
+        let frame = rc.state.frames.last().unwrap();
         let stmt: &'p Stmt = &frame.stmts[frame.idx];
         let parent_ctx = frame.ctx;
-        let ctx = self
-            .collector
-            .data
-            .cct
-            .child(parent_ctx, CtxFrame::Stmt(stmt.id));
+        let ctx = rc.shard.data.cct.child(parent_ctx, CtxFrame::Stmt(stmt.id));
 
         match &stmt.kind {
             StmtKind::Compute { cost_us, pmu, .. } => {
                 let slow = self
                     .cfg
                     .rank_slowdown
-                    .get(&self.ranks[r].rank)
+                    .get(&rc.state.rank)
                     .copied()
                     .unwrap_or(1.0);
-                let dt = cost_us.eval(&self.eval_ctx(r)).max(0.0) * slow;
-                let t0 = self.ranks[r].clock;
-                self.advance(r, dt, ctx);
-                self.collector.pmu(ctx, dt, pmu);
-                self.collector
-                    .trace(self.ranks[r].rank, stmt.id, t0, t0 + dt);
-                self.ranks[r].clock += self.collector.trace_probe_cost_us();
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                let dt = cost_us.eval(&self.ectx(&rc.state)).max(0.0) * slow;
+                let t0 = rc.state.clock;
+                self.advance(rc, dt, ctx);
+                rc.shard.pmu(ctx, dt, pmu);
+                let rank = rc.state.rank;
+                rc.shard.trace(rank, stmt.id, t0, t0 + dt);
+                rc.state.clock += rc.shard.trace_probe_cost_us();
+                rc.state.frames.last_mut().unwrap().idx += 1;
                 Ok(StepOutcome::Progress)
             }
             StmtKind::Loop { trips, body, .. } => {
-                let n = trips.eval_u64(&self.eval_ctx(r));
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                let n = trips.eval_u64(&self.ectx(&rc.state));
+                rc.state.frames.last_mut().unwrap().idx += 1;
                 if n > 0 {
-                    self.ranks[r].iters.push(0);
-                    self.ranks[r].frames.push(Frame {
+                    rc.state.iters.push(0);
+                    rc.state.frames.push(Frame {
                         stmts: body,
                         idx: 0,
                         ctx,
@@ -675,11 +486,11 @@ impl<'p> Engine<'p> {
                 else_body,
                 ..
             } => {
-                let taken = cond.eval(&self.eval_ctx(r)) != 0.0;
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                let taken = cond.eval(&self.ectx(&rc.state)) != 0.0;
+                rc.state.frames.last_mut().unwrap().idx += 1;
                 let body = if taken { then_body } else { else_body };
                 if !body.is_empty() {
-                    self.ranks[r].frames.push(Frame {
+                    rc.state.frames.push(Frame {
                         stmts: body,
                         idx: 0,
                         ctx,
@@ -689,7 +500,7 @@ impl<'p> Engine<'p> {
                 Ok(StepOutcome::Progress)
             }
             StmtKind::Call { target } => {
-                if self.ranks[r].call_depth >= MAX_CALL_DEPTH {
+                if rc.state.call_depth >= MAX_CALL_DEPTH {
                     return Err(SimError::StackOverflow { stmt: stmt.id });
                 }
                 let fid = match target {
@@ -698,16 +509,17 @@ impl<'p> Engine<'p> {
                         candidates,
                         selector,
                     } => {
-                        let idx = selector.eval_u64(&self.eval_ctx(r)) as usize % candidates.len();
+                        let idx =
+                            selector.eval_u64(&self.ectx(&rc.state)) as usize % candidates.len();
                         let fid = candidates[idx];
-                        self.collector.indirect(stmt.id, fid);
+                        rc.shard.indirect(stmt.id, fid);
                         fid
                     }
                 };
-                let fctx = self.collector.data.cct.child(ctx, CtxFrame::Func(fid));
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
-                self.ranks[r].call_depth += 1;
-                self.ranks[r].frames.push(Frame {
+                let fctx = rc.shard.data.cct.child(ctx, CtxFrame::Func(fid));
+                rc.state.frames.last_mut().unwrap().idx += 1;
+                rc.state.call_depth += 1;
+                rc.state.frames.push(Frame {
                     stmts: &self.prog.function(fid).body,
                     idx: 0,
                     ctx: fctx,
@@ -716,13 +528,13 @@ impl<'p> Engine<'p> {
                 Ok(StepOutcome::Progress)
             }
             StmtKind::ThreadRegion { threads, body } => {
-                let t = threads.eval_u64(&self.eval_ctx(r)).max(1) as u32;
-                let start = self.ranks[r].clock;
-                let iters = self.ranks[r].iters.clone();
+                let t = threads.eval_u64(&self.ectx(&rc.state)).max(1) as u32;
+                let start = rc.state.clock;
+                let iters = rc.state.iters.clone();
                 let slow = self
                     .cfg
                     .rank_slowdown
-                    .get(&self.ranks[r].rank)
+                    .get(&rc.state.rank)
                     .copied()
                     .unwrap_or(1.0);
                 let end = run_thread_region(
@@ -730,27 +542,28 @@ impl<'p> Engine<'p> {
                     body,
                     ctx,
                     start,
-                    self.ranks[r].rank,
+                    rc.state.rank,
                     self.cfg.nranks,
                     t,
-                    &self.params,
+                    self.params,
                     self.cfg.seed,
                     &iters,
                     slow,
-                    &mut self.collector,
+                    &mut rc.shard,
                 )?;
-                self.ranks[r].clock = end;
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                rc.state.clock = end;
+                rc.state.frames.last_mut().unwrap().idx += 1;
                 Ok(StepOutcome::Progress)
             }
             StmtKind::Lock { lock, hold_us, .. } => {
                 // Rank-level lock: no intra-process contention (single
                 // thread), but still recorded for completeness.
-                let hold = hold_us.eval(&self.eval_ctx(r)).max(0.0);
-                let t0 = self.ranks[r].clock;
-                self.advance(r, hold, ctx);
-                self.collector.lock(crate::record::LockRecord {
-                    rank: self.ranks[r].rank,
+                let hold = hold_us.eval(&self.ectx(&rc.state)).max(0.0);
+                let t0 = rc.state.clock;
+                self.advance(rc, hold, ctx);
+                let rank = rc.state.rank;
+                rc.shard.lock(LockRecord {
+                    rank,
                     thread: 0,
                     ctx,
                     stmt: stmt.id,
@@ -760,19 +573,23 @@ impl<'p> Engine<'p> {
                     release: t0 + hold,
                     blocked_by: None,
                 });
-                self.collector
-                    .trace(self.ranks[r].rank, stmt.id, t0, t0 + hold);
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                rc.shard.trace(rank, stmt.id, t0, t0 + hold);
+                rc.state.frames.last_mut().unwrap().idx += 1;
                 Ok(StepOutcome::Progress)
             }
-            StmtKind::Comm(op) => self.step_comm(r, stmt, ctx, op),
+            StmtKind::Comm(op) => self.step_comm(rc, stmt, ctx, op),
         }
     }
 
-    // ------------------------------------------------------ communication
+    // ---------------------------------------------------- communication
 
-    fn eval_peer(&self, r: usize, e: &progmodel::Expr, stmt: StmtId) -> Result<u32, SimError> {
-        let v = e.eval(&self.eval_ctx(r)).round() as i64;
+    fn eval_peer(
+        &self,
+        rc: &RankCtx<'p>,
+        e: &progmodel::Expr,
+        stmt: StmtId,
+    ) -> Result<u32, SimError> {
+        let v = e.eval(&self.ectx(&rc.state)).round() as i64;
         if v < 0 || v >= self.cfg.nranks as i64 {
             return Err(SimError::BadPeer {
                 stmt,
@@ -783,37 +600,72 @@ impl<'p> Engine<'p> {
         Ok(v as u32)
     }
 
+    /// Complete a point-to-point operation addressed to a crashed peer
+    /// immediately as failed (fail-fast notification): the survivor must
+    /// not block on a rank that can never answer.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_fast_p2p(
+        &self,
+        rc: &mut RankCtx<'p>,
+        kind: CommKindTag,
+        ctx: CtxId,
+        stmt: StmtId,
+        peer: u32,
+        bytes: u64,
+        nonblocking: bool,
+    ) {
+        let overhead = self.cfg.network.op_overhead_us;
+        let post = rc.state.clock;
+        if nonblocking {
+            let slot = push_req(&mut rc.state, kind, peer, bytes, post);
+            rc.state.reqs[slot].completion = Some(post + overhead);
+        }
+        let rank = rc.state.rank;
+        self.advance(rc, overhead, ctx);
+        rc.shard.comm(CommRecord {
+            rank,
+            ctx,
+            stmt,
+            kind,
+            peer,
+            bytes,
+            post,
+            complete: post + overhead,
+            wait: 0.0,
+        });
+        rc.shard.trace(rank, stmt, post, post + overhead);
+        rc.state.frames.last_mut().unwrap().idx += 1;
+    }
+
     fn step_comm(
-        &mut self,
-        r: usize,
+        &self,
+        rc: &mut RankCtx<'p>,
         stmt: &'p Stmt,
         ctx: CtxId,
         op: &'p CommOp,
     ) -> Result<StepOutcome, SimError> {
-        let rank = self.ranks[r].rank;
+        let rank = rc.state.rank;
         // PMPI wrapper / trace-event cost of intercepting this call.
-        self.ranks[r].clock += self.collector.comm_call_cost_us();
+        rc.state.clock += rc.shard.comm_call_cost_us();
         let net = &self.cfg.network;
         let overhead = net.op_overhead_us;
         match op {
             CommOp::Isend { peer, bytes, tag } => {
-                let peer = self.eval_peer(r, peer, stmt.id)?;
-                let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                let peer = self.eval_peer(rc, peer, stmt.id)?;
+                let bytes = bytes.eval_u64(&self.ectx(&rc.state));
                 if self.is_crashed(peer) {
-                    self.fail_fast_p2p(r, CommKindTag::Isend, ctx, stmt.id, peer, bytes, true);
+                    self.fail_fast_p2p(rc, CommKindTag::Isend, ctx, stmt.id, peer, bytes, true);
                     return Ok(StepOutcome::Progress);
                 }
-                let post = self.ranks[r].clock;
+                let post = rc.state.clock;
                 let eager = bytes <= net.eager_threshold;
-                let slot = self.push_req(r, CommKindTag::Isend, peer, bytes, post);
+                let slot = push_req(&mut rc.state, CommKindTag::Isend, peer, bytes, post);
                 if eager {
-                    self.ranks[r].reqs[slot].completion = Some(post + overhead);
+                    rc.state.reqs[slot].completion = Some(post + overhead);
                 }
-                self.channels
-                    .entry((rank, peer, *tag))
-                    .or_default()
-                    .sends
-                    .push_back(SendInst {
+                rc.effects.push(Effect::Send {
+                    key: (rank, peer, *tag),
+                    inst: SendInst {
                         rank,
                         stmt: stmt.id,
                         ctx,
@@ -821,9 +673,10 @@ impl<'p> Engine<'p> {
                         bytes,
                         eager,
                         req_slot: Some(slot),
-                    });
-                self.advance(r, overhead, ctx);
-                self.collector.comm(CommRecord {
+                    },
+                });
+                self.advance(rc, overhead, ctx);
+                rc.shard.comm(CommRecord {
                     rank,
                     ctx,
                     stmt: stmt.id,
@@ -834,33 +687,31 @@ impl<'p> Engine<'p> {
                     complete: post + overhead,
                     wait: 0.0,
                 });
-                self.collector.trace(rank, stmt.id, post, post + overhead);
-                self.try_match((rank, peer, *tag));
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                rc.shard.trace(rank, stmt.id, post, post + overhead);
+                rc.state.frames.last_mut().unwrap().idx += 1;
                 Ok(StepOutcome::Progress)
             }
             CommOp::Irecv { peer, bytes, tag } => {
-                let peer = self.eval_peer(r, peer, stmt.id)?;
-                let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                let peer = self.eval_peer(rc, peer, stmt.id)?;
+                let bytes = bytes.eval_u64(&self.ectx(&rc.state));
                 if self.is_crashed(peer) {
-                    self.fail_fast_p2p(r, CommKindTag::Irecv, ctx, stmt.id, peer, bytes, true);
+                    self.fail_fast_p2p(rc, CommKindTag::Irecv, ctx, stmt.id, peer, bytes, true);
                     return Ok(StepOutcome::Progress);
                 }
-                let post = self.ranks[r].clock;
-                let slot = self.push_req(r, CommKindTag::Irecv, peer, bytes, post);
-                self.channels
-                    .entry((peer, rank, *tag))
-                    .or_default()
-                    .recvs
-                    .push_back(RecvInst {
+                let post = rc.state.clock;
+                let slot = push_req(&mut rc.state, CommKindTag::Irecv, peer, bytes, post);
+                rc.effects.push(Effect::Recv {
+                    key: (peer, rank, *tag),
+                    inst: RecvInst {
                         rank,
                         stmt: stmt.id,
                         ctx,
                         post,
                         req_slot: Some(slot),
-                    });
-                self.advance(r, overhead, ctx);
-                self.collector.comm(CommRecord {
+                    },
+                });
+                self.advance(rc, overhead, ctx);
+                rc.shard.comm(CommRecord {
                     rank,
                     ctx,
                     stmt: stmt.id,
@@ -871,25 +722,22 @@ impl<'p> Engine<'p> {
                     complete: post + overhead,
                     wait: 0.0,
                 });
-                self.collector.trace(rank, stmt.id, post, post + overhead);
-                self.try_match((peer, rank, *tag));
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                rc.shard.trace(rank, stmt.id, post, post + overhead);
+                rc.state.frames.last_mut().unwrap().idx += 1;
                 Ok(StepOutcome::Progress)
             }
             CommOp::Send { peer, bytes, tag } => {
-                let peer = self.eval_peer(r, peer, stmt.id)?;
-                let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                let peer = self.eval_peer(rc, peer, stmt.id)?;
+                let bytes = bytes.eval_u64(&self.ectx(&rc.state));
                 if self.is_crashed(peer) {
-                    self.fail_fast_p2p(r, CommKindTag::Send, ctx, stmt.id, peer, bytes, false);
+                    self.fail_fast_p2p(rc, CommKindTag::Send, ctx, stmt.id, peer, bytes, false);
                     return Ok(StepOutcome::Progress);
                 }
-                let post = self.ranks[r].clock;
+                let post = rc.state.clock;
                 let eager = bytes <= net.eager_threshold;
-                self.channels
-                    .entry((rank, peer, *tag))
-                    .or_default()
-                    .sends
-                    .push_back(SendInst {
+                rc.effects.push(Effect::Send {
+                    key: (rank, peer, *tag),
+                    inst: SendInst {
                         rank,
                         stmt: stmt.id,
                         ctx,
@@ -897,11 +745,12 @@ impl<'p> Engine<'p> {
                         bytes,
                         eager,
                         req_slot: None,
-                    });
+                    },
+                });
                 if eager {
                     // Eager send completes locally; receiver matches later.
-                    self.advance(r, overhead, ctx);
-                    self.collector.comm(CommRecord {
+                    self.advance(rc, overhead, ctx);
+                    rc.shard.comm(CommRecord {
                         rank,
                         ctx,
                         stmt: stmt.id,
@@ -912,12 +761,11 @@ impl<'p> Engine<'p> {
                         complete: post + overhead,
                         wait: 0.0,
                     });
-                    self.collector.trace(rank, stmt.id, post, post + overhead);
-                    self.try_match((rank, peer, *tag));
-                    self.ranks[r].frames.last_mut().unwrap().idx += 1;
+                    rc.shard.trace(rank, stmt.id, post, post + overhead);
+                    rc.state.frames.last_mut().unwrap().idx += 1;
                     Ok(StepOutcome::Progress)
                 } else {
-                    self.ranks[r].blocked = Some(Blocked {
+                    rc.state.blocked = Some(Blocked {
                         resume: None,
                         info: BlockInfo::P2p {
                             kind: CommKindTag::Send,
@@ -929,30 +777,28 @@ impl<'p> Engine<'p> {
                             matched: None,
                         },
                     });
-                    self.try_match((rank, peer, *tag));
                     Ok(StepOutcome::Blocked)
                 }
             }
             CommOp::Recv { peer, bytes, tag } => {
-                let peer = self.eval_peer(r, peer, stmt.id)?;
-                let bytes = bytes.eval_u64(&self.eval_ctx(r));
+                let peer = self.eval_peer(rc, peer, stmt.id)?;
+                let bytes = bytes.eval_u64(&self.ectx(&rc.state));
                 if self.is_crashed(peer) {
-                    self.fail_fast_p2p(r, CommKindTag::Recv, ctx, stmt.id, peer, bytes, false);
+                    self.fail_fast_p2p(rc, CommKindTag::Recv, ctx, stmt.id, peer, bytes, false);
                     return Ok(StepOutcome::Progress);
                 }
-                let post = self.ranks[r].clock;
-                self.channels
-                    .entry((peer, rank, *tag))
-                    .or_default()
-                    .recvs
-                    .push_back(RecvInst {
+                let post = rc.state.clock;
+                rc.effects.push(Effect::Recv {
+                    key: (peer, rank, *tag),
+                    inst: RecvInst {
                         rank,
                         stmt: stmt.id,
                         ctx,
                         post,
                         req_slot: None,
-                    });
-                self.ranks[r].blocked = Some(Blocked {
+                    },
+                });
+                rc.state.blocked = Some(Blocked {
                     resume: None,
                     info: BlockInfo::P2p {
                         kind: CommKindTag::Recv,
@@ -964,11 +810,10 @@ impl<'p> Engine<'p> {
                         matched: None,
                     },
                 });
-                self.try_match((peer, rank, *tag));
                 Ok(StepOutcome::Blocked)
             }
             CommOp::Wait { back } => {
-                let outstanding = self.ranks[r].outstanding.len();
+                let outstanding = rc.state.outstanding.len();
                 let Some(i) = outstanding.checked_sub(1 + *back as usize) else {
                     return Err(SimError::BadWait {
                         stmt: stmt.id,
@@ -976,9 +821,9 @@ impl<'p> Engine<'p> {
                         outstanding,
                     });
                 };
-                let slot = self.ranks[r].outstanding[i];
-                let post = self.ranks[r].clock;
-                self.ranks[r].blocked = Some(Blocked {
+                let slot = rc.state.outstanding[i];
+                let post = rc.state.clock;
+                rc.state.blocked = Some(Blocked {
                     resume: None,
                     info: BlockInfo::Wait {
                         slot,
@@ -990,8 +835,8 @@ impl<'p> Engine<'p> {
                 Ok(StepOutcome::Blocked)
             }
             CommOp::Waitall => {
-                let post = self.ranks[r].clock;
-                self.ranks[r].blocked = Some(Blocked {
+                let post = rc.state.clock;
+                rc.state.blocked = Some(Blocked {
                     resume: None,
                     info: BlockInfo::Waitall {
                         ctx,
@@ -1009,39 +854,33 @@ impl<'p> Engine<'p> {
                 let (kind, bytes) = match op {
                     CommOp::Barrier => (CommKindTag::Barrier, 0),
                     CommOp::Bcast { bytes, .. } => {
-                        (CommKindTag::Bcast, bytes.eval_u64(&self.eval_ctx(r)))
+                        (CommKindTag::Bcast, bytes.eval_u64(&self.ectx(&rc.state)))
                     }
                     CommOp::Reduce { bytes, .. } => {
-                        (CommKindTag::Reduce, bytes.eval_u64(&self.eval_ctx(r)))
+                        (CommKindTag::Reduce, bytes.eval_u64(&self.ectx(&rc.state)))
                     }
-                    CommOp::Allreduce { bytes } => {
-                        (CommKindTag::Allreduce, bytes.eval_u64(&self.eval_ctx(r)))
-                    }
+                    CommOp::Allreduce { bytes } => (
+                        CommKindTag::Allreduce,
+                        bytes.eval_u64(&self.ectx(&rc.state)),
+                    ),
                     CommOp::Alltoall { bytes } => {
-                        (CommKindTag::Alltoall, bytes.eval_u64(&self.eval_ctx(r)))
+                        (CommKindTag::Alltoall, bytes.eval_u64(&self.ectx(&rc.state)))
                     }
                     _ => unreachable!(),
                 };
-                let inst = self.ranks[r].coll_seq;
-                self.ranks[r].coll_seq += 1;
-                let post = self.ranks[r].clock;
-                {
-                    let entry = self.collectives.entry(inst).or_insert_with(|| CollInst {
-                        kind,
-                        bytes: 0,
-                        posts: Vec::new(),
-                        completion: None,
-                    });
-                    debug_assert_eq!(
-                        entry.kind, kind,
-                        "ranks disagree on collective {inst}: {:?} vs {kind:?}",
-                        entry.kind
-                    );
-                    entry.bytes = entry.bytes.max(bytes);
-                    entry.posts.push((rank, post, ctx, stmt.id));
-                }
-                self.complete_collective_if_ready(inst);
-                self.ranks[r].blocked = Some(Blocked {
+                let inst = rc.state.coll_seq;
+                rc.state.coll_seq += 1;
+                let post = rc.state.clock;
+                rc.effects.push(Effect::Coll {
+                    inst,
+                    kind,
+                    bytes,
+                    rank,
+                    post,
+                    ctx,
+                    stmt: stmt.id,
+                });
+                rc.state.blocked = Some(Blocked {
                     resume: None,
                     info: BlockInfo::Coll {
                         inst,
@@ -1056,47 +895,359 @@ impl<'p> Engine<'p> {
             }
         }
     }
+}
 
-    fn push_req(&mut self, r: usize, kind: CommKindTag, peer: u32, bytes: u64, post: f64) -> usize {
-        let slot = self.ranks[r].reqs.len();
-        self.ranks[r].reqs.push(Req {
-            kind,
-            peer,
-            bytes,
-            post,
-            completion: None,
-            matched: None,
-            live: true,
-        });
-        self.ranks[r].outstanding.push(slot);
-        slot
+// ------------------------------------------------------------ scheduler
+
+/// The inter-phase scheduler: runs on one thread, owns the matcher state,
+/// and performs every cross-rank step in rank order.
+struct Sched<'a, 'p> {
+    prog: &'p Program,
+    cfg: &'a RunConfig,
+    params: &'a HashMap<String, f64>,
+    rankctxs: &'a [Mutex<RankCtx<'p>>],
+    shared: &'a mut Shared,
+    /// Live crashed set (updated as crashes are discovered; snapshotted
+    /// once per phase for the segments).
+    crashed: Vec<bool>,
+}
+
+impl<'a, 'p> Sched<'a, 'p> {
+    fn drive(&mut self, pool: Option<(&PoolCtrl, usize)>) -> Result<(), SimError> {
+        let n = self.rankctxs.len();
+        let mut runnable = vec![false; n];
+        loop {
+            // Phase start: snapshot who can run and who is (already) dead.
+            let mut progressed = false;
+            for (r, flag) in runnable.iter_mut().enumerate() {
+                let rc = self.rankctxs[r].lock().unwrap();
+                *flag = !rc.state.done && rc.state.blocked.is_none() && rc.state.health.is_ok();
+                progressed |= *flag;
+            }
+            // Segments: the identical per-rank code runs either inline
+            // (serial) or strided across the pool — bit-identical by
+            // construction since segments touch only rank-local state.
+            if progressed {
+                match pool {
+                    Some((ctrl, nworkers)) => ctrl.run_phase(nworkers, &runnable, &self.crashed),
+                    None => {
+                        let seg = SegCtx {
+                            prog: self.prog,
+                            cfg: self.cfg,
+                            params: self.params,
+                            crashed: &self.crashed,
+                        };
+                        for (r, &run) in runnable.iter().enumerate() {
+                            if run {
+                                seg.run_segment(&mut self.rankctxs[r].lock().unwrap());
+                            }
+                        }
+                    }
+                }
+            }
+            // Errors surface in rank order, independent of scheduling.
+            for m in self.rankctxs {
+                if let Some(e) = m.lock().unwrap().error.take() {
+                    return Err(e);
+                }
+            }
+            // Publish buffered effects in rank order.
+            let mut touched_chans: Vec<(u32, u32, u32)> = Vec::new();
+            let mut touched_colls: Vec<u64> = Vec::new();
+            for m in self.rankctxs {
+                let effects = std::mem::take(&mut m.lock().unwrap().effects);
+                for eff in effects {
+                    match eff {
+                        Effect::Send { key, inst } => {
+                            if !touched_chans.contains(&key) {
+                                touched_chans.push(key);
+                            }
+                            self.shared
+                                .channels
+                                .entry(key)
+                                .or_default()
+                                .sends
+                                .push_back(inst);
+                        }
+                        Effect::Recv { key, inst } => {
+                            if !touched_chans.contains(&key) {
+                                touched_chans.push(key);
+                            }
+                            self.shared
+                                .channels
+                                .entry(key)
+                                .or_default()
+                                .recvs
+                                .push_back(inst);
+                        }
+                        Effect::Coll {
+                            inst,
+                            kind,
+                            bytes,
+                            rank,
+                            post,
+                            ctx,
+                            stmt,
+                        } => {
+                            if !touched_colls.contains(&inst) {
+                                touched_colls.push(inst);
+                            }
+                            let entry =
+                                self.shared
+                                    .collectives
+                                    .entry(inst)
+                                    .or_insert_with(|| CollInst {
+                                        kind,
+                                        bytes: 0,
+                                        posts: Vec::new(),
+                                        completion: None,
+                                    });
+                            debug_assert_eq!(
+                                entry.kind, kind,
+                                "ranks disagree on collective {inst}: {:?} vs {kind:?}",
+                                entry.kind
+                            );
+                            entry.bytes = entry.bytes.max(bytes);
+                            entry.posts.push((rank, post, ctx, stmt));
+                        }
+                    }
+                }
+            }
+            for key in &touched_chans {
+                self.try_match(*key);
+            }
+            // Crash sweep: notify peers of ranks that died this phase.
+            let mut any_crash = false;
+            for r in 0..n {
+                let newly = {
+                    let rc = self.rankctxs[r].lock().unwrap();
+                    match rc.state.health {
+                        Health::Crashed(at) if !self.crashed[r] => Some(at),
+                        _ => None,
+                    }
+                };
+                if let Some(at) = newly {
+                    self.crashed[r] = true;
+                    self.notify_crash(r as u32, at);
+                    any_crash = true;
+                }
+            }
+            for inst in &touched_colls {
+                self.complete_collective_if_ready(*inst);
+            }
+            if any_crash {
+                self.recheck_collectives();
+            }
+            let resolved = self.resolve_blocked();
+            let all_done = self.rankctxs.iter().all(|m| {
+                let rc = m.lock().unwrap();
+                rc.state.done || !rc.state.health.is_ok()
+            });
+            if all_done {
+                return self.check_injected_hangs();
+            }
+            if !progressed && !resolved {
+                // Quiescence watchdog. First, force any still-pending
+                // scheduled fault onto its (blocked) rank: a rank whose
+                // clock stopped short of its fault time would otherwise
+                // never reach it.
+                if self.apply_scheduled_faults_to_blocked() {
+                    continue;
+                }
+                let blocked = self.blocked_ranks();
+                if self.any_injected_hang() {
+                    return Err(self.hang_error(blocked));
+                }
+                if self.crashed.iter().any(|&c| c) {
+                    // Survivors stuck forever behind the crash (e.g. a
+                    // dependence the fail-fast notification cannot break):
+                    // mark them hung and degrade gracefully to a partial
+                    // run instead of failing the whole simulation.
+                    for m in self.rankctxs {
+                        let mut rc = m.lock().unwrap();
+                        if rc.state.health.is_ok() && rc.state.blocked.is_some() {
+                            let at = rc.state.clock;
+                            stall_state(&mut rc.state, at, false);
+                        }
+                    }
+                    continue;
+                }
+                return Err(SimError::Deadlock { blocked });
+            }
+        }
+    }
+
+    // -------------------------------------------------- fault machinery
+
+    /// Force pending scheduled faults onto blocked ranks (quiescence
+    /// watchdog path). Returns whether anything fired.
+    fn apply_scheduled_faults_to_blocked(&mut self) -> bool {
+        let mut any = false;
+        for r in 0..self.rankctxs.len() {
+            let rank = r as u32;
+            let crash_t = self.cfg.faults.crash.get(&rank).copied();
+            let hang_t = self.cfg.faults.hang.get(&rank).copied();
+            if crash_t.is_none() && hang_t.is_none() {
+                continue;
+            }
+            let mut fired_crash: Option<f64> = None;
+            {
+                let mut rc = self.rankctxs[r].lock().unwrap();
+                if rc.state.done || !rc.state.health.is_ok() || rc.state.blocked.is_none() {
+                    continue;
+                }
+                if let Some(t) = crash_t {
+                    let at = rc.state.clock.max(t);
+                    crash_state(&mut rc.state, at);
+                    fired_crash = Some(at);
+                    any = true;
+                } else if let Some(t) = hang_t {
+                    let at = rc.state.clock.max(t);
+                    stall_state(&mut rc.state, at, true);
+                    any = true;
+                }
+            }
+            if let Some(at) = fired_crash {
+                self.crashed[r] = true;
+                self.notify_crash(rank, at);
+                self.recheck_collectives();
+            }
+        }
+        any
+    }
+
+    /// Peer notification after rank `dead` crashed at `at`: operations
+    /// already targeting the dead rank complete as failed no earlier than
+    /// the crash (an ULFM-style revoke).
+    fn notify_crash(&mut self, dead: u32, at: f64) {
+        for (p, m) in self.rankctxs.iter().enumerate() {
+            if p == dead as usize {
+                continue;
+            }
+            let mut rc = m.lock().unwrap();
+            for req in &mut rc.state.reqs {
+                if req.live && req.peer == dead && req.completion.is_none() {
+                    req.completion = Some(req.post.max(at));
+                }
+            }
+            if let Some(b) = rc.state.blocked.as_mut() {
+                if let BlockInfo::P2p {
+                    peer,
+                    post,
+                    matched: None,
+                    ..
+                } = &b.info
+                {
+                    if *peer == dead && b.resume.is_none() {
+                        b.resume = Some(post.max(at));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Err(SimError::Hang)` describing every injected-hung rank plus the
+    /// healthy ranks blocked behind them.
+    fn hang_error(&self, blocked: Vec<(u32, StmtId)>) -> SimError {
+        let mut hung = Vec::new();
+        let mut virtual_time_us = 0.0f64;
+        for m in self.rankctxs {
+            let rc = m.lock().unwrap();
+            virtual_time_us = virtual_time_us.max(rc.state.clock);
+            if let Health::Hung {
+                at,
+                stmt,
+                injected: true,
+            } = rc.state.health
+            {
+                hung.push((rc.state.rank, stmt, at));
+            }
+        }
+        SimError::Hang {
+            hung,
+            blocked,
+            virtual_time_us,
+        }
+    }
+
+    /// At termination: an injected hang is an error even when no other
+    /// rank was blocked behind it — a silently missing rank must never
+    /// look like a clean run.
+    fn check_injected_hangs(&self) -> Result<(), SimError> {
+        if self.any_injected_hang() {
+            return Err(self.hang_error(Vec::new()));
+        }
+        Ok(())
+    }
+
+    fn any_injected_hang(&self) -> bool {
+        self.rankctxs.iter().any(|m| {
+            matches!(
+                m.lock().unwrap().state.health,
+                Health::Hung { injected: true, .. }
+            )
+        })
+    }
+
+    fn blocked_ranks(&self) -> Vec<(u32, StmtId)> {
+        self.rankctxs
+            .iter()
+            .filter_map(|m| {
+                let rc = m.lock().unwrap();
+                if rc.state.health.is_ok() {
+                    rc.state
+                        .blocked
+                        .as_ref()
+                        .map(|b| (rc.state.rank, b.info.stmt()))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    // ----------------------------------------------------------- matcher
+
+    fn msg_edge(&mut self, edge: MsgEdge) {
+        if self.cfg.collection.collect_comm {
+            self.shared.msg_edges.push(edge);
+        }
     }
 
     /// Match pending sends/recvs on one channel, computing completions.
     fn try_match(&mut self, key: (u32, u32, u32)) {
+        let rankctxs = self.rankctxs;
         loop {
-            let Some(chan) = self.channels.get_mut(&key) else {
-                return;
+            let (send, recv) = {
+                let Some(chan) = self.shared.channels.get_mut(&key) else {
+                    return;
+                };
+                if chan.sends.is_empty() || chan.recvs.is_empty() {
+                    return;
+                }
+                (
+                    chan.sends.pop_front().unwrap(),
+                    chan.recvs.pop_front().unwrap(),
+                )
             };
-            if chan.sends.is_empty() || chan.recvs.is_empty() {
-                return;
-            }
-            let send = chan.sends.pop_front().unwrap();
-            let recv = chan.recvs.pop_front().unwrap();
             let overhead = self.cfg.network.op_overhead_us;
             let mut transfer = self.cfg.network.transfer_us(send.bytes);
             // Injected network fault: this message is dropped and
             // retransmitted after a timeout, stretching its transfer.
-            // Each match has a stable identity (arrival order is
-            // deterministic), so the drop pattern replays under a seed.
+            // Each match is keyed by its channel and its index in that
+            // channel's (deterministic, FIFO) match sequence, so the drop
+            // pattern replays under a seed no matter how matching work
+            // interleaves across channels.
             if self.cfg.faults.msg_drop_rate > 0.0 {
-                let id = self.match_count;
-                self.match_count += 1;
-                if fault_roll(self.cfg.seed, FaultStream::MsgDrop, id, 0)
+                let ctr = self.shared.chan_matches.entry(key).or_insert(0);
+                let id = *ctr;
+                *ctr += 1;
+                let chan_id = ((key.0 as u64) << 42) ^ ((key.1 as u64) << 21) ^ key.2 as u64;
+                if fault_roll(self.cfg.seed, FaultStream::MsgDrop, chan_id, id)
                     < self.cfg.faults.msg_drop_rate
                 {
                     transfer += self.cfg.faults.msg_delay_us;
-                    self.collector.retransmit();
+                    self.shared.retransmits += 1;
                 }
             }
             let (send_complete, xfer_end) = if send.eager {
@@ -1110,7 +1261,8 @@ impl<'p> Engine<'p> {
             // Sender side.
             match send.req_slot {
                 Some(slot) => {
-                    let req = &mut self.ranks[send.rank as usize].reqs[slot];
+                    let mut rc = rankctxs[send.rank as usize].lock().unwrap();
+                    let req = &mut rc.state.reqs[slot];
                     req.completion = Some(send_complete);
                     req.matched = Some((recv.rank, recv.stmt, recv.ctx));
                 }
@@ -1120,27 +1272,29 @@ impl<'p> Engine<'p> {
                 }
                 None => {
                     // Blocking rendezvous send: unblock.
-                    let rs = &mut self.ranks[send.rank as usize];
-                    if let Some(b) = rs.blocked.as_mut() {
-                        debug_assert!(
-                            matches!(
-                                b.info,
-                                BlockInfo::P2p {
-                                    kind: CommKindTag::Send,
-                                    ..
-                                }
-                            ),
-                            "rendezvous sender must be blocked on its send"
-                        );
-                        b.resume = Some(send_complete);
-                        if let BlockInfo::P2p { matched, .. } = &mut b.info {
-                            *matched = Some((recv.rank, recv.stmt, recv.ctx));
+                    {
+                        let mut rc = rankctxs[send.rank as usize].lock().unwrap();
+                        if let Some(b) = rc.state.blocked.as_mut() {
+                            debug_assert!(
+                                matches!(
+                                    b.info,
+                                    BlockInfo::P2p {
+                                        kind: CommKindTag::Send,
+                                        ..
+                                    }
+                                ),
+                                "rendezvous sender must be blocked on its send"
+                            );
+                            b.resume = Some(send_complete);
+                            if let BlockInfo::P2p { matched, .. } = &mut b.info {
+                                *matched = Some((recv.rank, recv.stmt, recv.ctx));
+                            }
                         }
                     }
                     // Late receiver delayed the sender: dependence edge
                     // receiver → sender.
                     if recv.post > send.post {
-                        self.collector.msg_edge(MsgEdge {
+                        self.msg_edge(MsgEdge {
                             src_rank: recv.rank,
                             src_stmt: recv.stmt,
                             src_ctx: recv.ctx,
@@ -1157,13 +1311,14 @@ impl<'p> Engine<'p> {
             // Receiver side.
             match recv.req_slot {
                 Some(slot) => {
-                    let req = &mut self.ranks[recv.rank as usize].reqs[slot];
+                    let mut rc = rankctxs[recv.rank as usize].lock().unwrap();
+                    let req = &mut rc.state.reqs[slot];
                     req.completion = Some(recv_complete);
                     req.matched = Some((send.rank, send.stmt, send.ctx));
                 }
                 None => {
-                    let rs = &mut self.ranks[recv.rank as usize];
-                    if let Some(b) = rs.blocked.as_mut() {
+                    let mut rc = rankctxs[recv.rank as usize].lock().unwrap();
+                    if let Some(b) = rc.state.blocked.as_mut() {
                         b.resume = Some(recv_complete);
                         if let BlockInfo::P2p { matched, .. } = &mut b.info {
                             *matched = Some((send.rank, send.stmt, send.ctx));
@@ -1174,23 +1329,69 @@ impl<'p> Engine<'p> {
         }
     }
 
-    // ---------------------------------------------------------- resolution
+    /// A collective completes when every *live* (non-crashed) rank has
+    /// posted; crashed ranks are dropped from the membership (the
+    /// shrunken communicator), while hung ranks still count — a hang
+    /// blocks collectives, which is how it propagates.
+    fn collective_ready(&self, inst: &CollInst) -> bool {
+        (0..self.cfg.nranks)
+            .filter(|&x| !self.crashed[x as usize])
+            .all(|x| inst.posts.iter().any(|&(pr, _, _, _)| pr == x))
+    }
 
-    /// Resolve blocked ranks whose completion is now computable. Returns
-    /// whether any rank was unblocked.
+    /// Complete collective `inst` if every live rank has posted.
+    fn complete_collective_if_ready(&mut self, inst: u64) {
+        let Some(c) = self.shared.collectives.get(&inst) else {
+            return;
+        };
+        if c.completion.is_some() || !self.collective_ready(c) {
+            return;
+        }
+        let cost = collective_cost(&self.cfg.network, c.kind, c.bytes, self.cfg.nranks);
+        let entry = self
+            .shared
+            .collectives
+            .get_mut(&inst)
+            .expect("instance exists: fetched above");
+        let max_post = entry
+            .posts
+            .iter()
+            .map(|&(_, p, _, _)| p)
+            .fold(f64::NEG_INFINITY, f64::max);
+        entry.completion = Some(max_post + cost);
+    }
+
+    /// Re-evaluate pending collectives after a crash shrank the
+    /// membership: instances now complete over the survivors.
+    fn recheck_collectives(&mut self) {
+        let insts: Vec<u64> = self
+            .shared
+            .collectives
+            .iter()
+            .filter(|(_, c)| c.completion.is_none())
+            .map(|(&i, _)| i)
+            .collect();
+        for i in insts {
+            self.complete_collective_if_ready(i);
+        }
+    }
+
+    // -------------------------------------------------------- resolution
+
+    /// Resolve blocked ranks whose completion is now computable, in rank
+    /// order. Returns whether any rank was unblocked.
     fn resolve_blocked(&mut self) -> bool {
         let mut any = false;
-        for r in 0..self.ranks.len() {
-            let Some(blocked) = self.ranks[r].blocked.take() else {
+        let rankctxs = self.rankctxs;
+        for (r, cell) in rankctxs.iter().enumerate() {
+            let blocked = cell.lock().unwrap().state.blocked.take();
+            let Some(blocked) = blocked else {
                 continue;
             };
-            match self.try_finish(r, &blocked) {
-                true => {
-                    any = true;
-                }
-                false => {
-                    self.ranks[r].blocked = Some(blocked);
-                }
+            if self.try_finish(r, &blocked) {
+                any = true;
+            } else {
+                cell.lock().unwrap().state.blocked = Some(blocked);
             }
         }
         any
@@ -1198,7 +1399,7 @@ impl<'p> Engine<'p> {
 
     /// Attempt to complete a blocked operation; true if the rank resumed.
     fn try_finish(&mut self, r: usize, blocked: &Blocked) -> bool {
-        let rank = self.ranks[r].rank;
+        let rankctxs = self.rankctxs;
         match &blocked.info {
             BlockInfo::P2p {
                 kind,
@@ -1212,10 +1413,12 @@ impl<'p> Engine<'p> {
                 let Some(resume) = blocked.resume else {
                     return false;
                 };
+                let mut rc = rankctxs[r].lock().unwrap();
+                let rank = rc.state.rank;
                 let wait = (resume - post).max(0.0);
-                let fired = self.collector.account(rank, 0, *ctx, *post, resume);
-                let resume = resume + fired as f64 * self.collector.sample_cost_us();
-                self.collector.comm(CommRecord {
+                let fired = rc.shard.account(rank, 0, *ctx, *post, resume);
+                let resume = resume + fired as f64 * rc.shard.sample_cost_us();
+                rc.shard.comm(CommRecord {
                     rank,
                     ctx: *ctx,
                     stmt: *stmt,
@@ -1226,10 +1429,10 @@ impl<'p> Engine<'p> {
                     complete: resume,
                     wait,
                 });
-                self.collector.trace(rank, *stmt, *post, resume);
+                rc.shard.trace(rank, *stmt, *post, resume);
                 if *kind == CommKindTag::Recv && wait > 0.0 {
                     if let Some((src_rank, src_stmt, src_ctx)) = matched {
-                        self.collector.msg_edge(MsgEdge {
+                        self.msg_edge(MsgEdge {
                             src_rank: *src_rank,
                             src_stmt: *src_stmt,
                             src_ctx: *src_ctx,
@@ -1242,9 +1445,9 @@ impl<'p> Engine<'p> {
                         });
                     }
                 }
-                self.ranks[r].clock = resume.max(self.ranks[r].clock);
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
-                self.ranks[r].blocked = None;
+                rc.state.clock = resume.max(rc.state.clock);
+                rc.state.frames.last_mut().unwrap().idx += 1;
+                rc.state.blocked = None;
                 true
             }
             BlockInfo::Wait {
@@ -1253,7 +1456,8 @@ impl<'p> Engine<'p> {
                 stmt,
                 post,
             } => {
-                let Some(completion) = self.ranks[r].reqs[*slot].completion else {
+                let completion = rankctxs[r].lock().unwrap().state.reqs[*slot].completion;
+                let Some(completion) = completion else {
                     return false;
                 };
                 let resume = completion.max(*post);
@@ -1261,14 +1465,18 @@ impl<'p> Engine<'p> {
                 true
             }
             BlockInfo::Waitall { ctx, stmt, post } => {
-                let slots: Vec<usize> = self.ranks[r].outstanding.clone();
-                let mut resume = *post;
-                for &s in &slots {
-                    match self.ranks[r].reqs[s].completion {
-                        Some(c) => resume = resume.max(c),
-                        None => return false,
+                let (slots, resume) = {
+                    let rc = rankctxs[r].lock().unwrap();
+                    let slots: Vec<usize> = rc.state.outstanding.clone();
+                    let mut resume = *post;
+                    for &s in &slots {
+                        match rc.state.reqs[s].completion {
+                            Some(c) => resume = resume.max(c),
+                            None => return false,
+                        }
                     }
-                }
+                    (slots, resume)
+                };
                 self.finish_requests(r, &slots, *ctx, *stmt, *post, resume, CommKindTag::Waitall);
                 true
             }
@@ -1280,14 +1488,23 @@ impl<'p> Engine<'p> {
                 kind,
                 bytes,
             } => {
-                let Some(completion) = self.collectives.get(inst).and_then(|c| c.completion) else {
+                let Some(completion) = self.shared.collectives.get(inst).and_then(|c| c.completion)
+                else {
                     return false;
                 };
+                // Dependence edge from the last arriver to this rank.
+                let late = self
+                    .shared
+                    .collectives
+                    .get(inst)
+                    .and_then(|ci| ci.posts.iter().max_by(|a, b| a.1.total_cmp(&b.1)).copied());
+                let mut rc = rankctxs[r].lock().unwrap();
+                let rank = rc.state.rank;
                 let resume = completion.max(*post);
                 let wait = resume - post;
-                let fired = self.collector.account(rank, 0, *ctx, *post, resume);
-                let resume = resume + fired as f64 * self.collector.sample_cost_us();
-                self.collector.comm(CommRecord {
+                let fired = rc.shard.account(rank, 0, *ctx, *post, resume);
+                let resume = resume + fired as f64 * rc.shard.sample_cost_us();
+                rc.shard.comm(CommRecord {
                     rank,
                     ctx: *ctx,
                     stmt: *stmt,
@@ -1298,30 +1515,25 @@ impl<'p> Engine<'p> {
                     complete: resume,
                     wait,
                 });
-                self.collector.trace(rank, *stmt, *post, resume);
-                // Dependence edge from the last arriver to this rank.
-                if let Some(ci) = self.collectives.get(inst) {
-                    if let Some(&(late_rank, late_post, late_ctx, late_stmt)) =
-                        ci.posts.iter().max_by(|a, b| a.1.total_cmp(&b.1))
-                    {
-                        if late_rank != rank && wait > 0.0 && late_post > *post {
-                            self.collector.msg_edge(MsgEdge {
-                                src_rank: late_rank,
-                                src_stmt: late_stmt,
-                                src_ctx: late_ctx,
-                                dst_rank: rank,
-                                dst_stmt: *stmt,
-                                dst_ctx: *ctx,
-                                bytes: *bytes,
-                                kind: *kind,
-                                wait,
-                            });
-                        }
+                rc.shard.trace(rank, *stmt, *post, resume);
+                if let Some((late_rank, late_post, late_ctx, late_stmt)) = late {
+                    if late_rank != rank && wait > 0.0 && late_post > *post {
+                        self.msg_edge(MsgEdge {
+                            src_rank: late_rank,
+                            src_stmt: late_stmt,
+                            src_ctx: late_ctx,
+                            dst_rank: rank,
+                            dst_stmt: *stmt,
+                            dst_ctx: *ctx,
+                            bytes: *bytes,
+                            kind: *kind,
+                            wait,
+                        });
                     }
                 }
-                self.ranks[r].clock = resume;
-                self.ranks[r].frames.last_mut().unwrap().idx += 1;
-                self.ranks[r].blocked = None;
+                rc.state.clock = resume;
+                rc.state.frames.last_mut().unwrap().idx += 1;
+                rc.state.blocked = None;
                 true
             }
         }
@@ -1339,27 +1551,29 @@ impl<'p> Engine<'p> {
         resume: f64,
         kind: CommKindTag,
     ) {
-        let rank = self.ranks[r].rank;
+        let rankctxs = self.rankctxs;
+        let mut rc = rankctxs[r].lock().unwrap();
+        let rank = rc.state.rank;
         let wait = (resume - post).max(0.0);
-        let fired = self.collector.account(rank, 0, ctx, post, resume);
-        let resume = resume + fired as f64 * self.collector.sample_cost_us();
+        let fired = rc.shard.account(rank, 0, ctx, post, resume);
+        let resume = resume + fired as f64 * rc.shard.sample_cost_us();
         // A single-request wait reports its request's peer; Waitall has no
         // single peer.
         let peer = if slots.len() == 1 {
-            self.ranks[r].reqs[slots[0]].peer
+            rc.state.reqs[slots[0]].peer
         } else {
             u32::MAX
         };
         let mut bytes_total = 0;
         for &s in slots {
-            let req = self.ranks[r].reqs[s].clone();
+            let req = rc.state.reqs[s].clone();
             bytes_total += req.bytes;
-            self.ranks[r].reqs[s].live = false;
+            rc.state.reqs[s].live = false;
             // A matched remote operation that delayed this wait produces a
             // dependence edge onto the wait statement.
             if let (Some((src_rank, src_stmt, src_ctx)), Some(c)) = (req.matched, req.completion) {
                 if req.kind == CommKindTag::Irecv && c > post {
-                    self.collector.msg_edge(MsgEdge {
+                    self.msg_edge(MsgEdge {
                         src_rank,
                         src_stmt,
                         src_ctx,
@@ -1373,8 +1587,8 @@ impl<'p> Engine<'p> {
                 }
             }
         }
-        self.ranks[r].outstanding.retain(|s| !slots.contains(s));
-        self.collector.comm(CommRecord {
+        rc.state.outstanding.retain(|s| !slots.contains(s));
+        rc.shard.comm(CommRecord {
             rank,
             ctx,
             stmt,
@@ -1385,9 +1599,230 @@ impl<'p> Engine<'p> {
             complete: resume,
             wait,
         });
-        self.collector.trace(rank, stmt, post, resume);
-        self.ranks[r].clock = resume;
-        self.ranks[r].frames.last_mut().unwrap().idx += 1;
-        self.ranks[r].blocked = None;
+        rc.shard.trace(rank, stmt, post, resume);
+        rc.state.clock = resume;
+        rc.state.frames.last_mut().unwrap().idx += 1;
+        rc.state.blocked = None;
+    }
+}
+
+// ---------------------------------------------------------- worker pool
+
+struct PoolState {
+    generation: u64,
+    shutdown: bool,
+    done_count: usize,
+    runnable: Vec<bool>,
+    crashed: Vec<bool>,
+}
+
+/// Generation-barrier protocol for the persistent worker pool: the
+/// scheduler publishes a phase (runnable set + crash snapshot) by bumping
+/// `generation`; each worker runs its strided share of the runnable ranks
+/// and increments `done_count`; the scheduler waits for all workers.
+struct PoolCtrl {
+    state: Mutex<PoolState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+impl PoolCtrl {
+    fn new(nranks: usize) -> Self {
+        PoolCtrl {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                shutdown: false,
+                done_count: 0,
+                runnable: vec![false; nranks],
+                crashed: vec![false; nranks],
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Run one phase on the pool; blocks until every worker finished.
+    fn run_phase(&self, nworkers: usize, runnable: &[bool], crashed: &[bool]) {
+        let mut st = self.state.lock().unwrap();
+        st.runnable.copy_from_slice(runnable);
+        st.crashed.copy_from_slice(crashed);
+        st.done_count = 0;
+        st.generation += 1;
+        self.start.notify_all();
+        while st.done_count < nworkers {
+            st = self.done.wait(st).unwrap();
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.start.notify_all();
+    }
+}
+
+fn worker_loop<'p>(
+    w: usize,
+    nworkers: usize,
+    rankctxs: &[Mutex<RankCtx<'p>>],
+    ctrl: &PoolCtrl,
+    prog: &'p Program,
+    cfg: &RunConfig,
+    params: &HashMap<String, f64>,
+) {
+    let mut generation = 0u64;
+    loop {
+        let (runnable, crashed) = {
+            let mut st = ctrl.state.lock().unwrap();
+            while !st.shutdown && st.generation == generation {
+                st = ctrl.start.wait(st).unwrap();
+            }
+            if st.shutdown {
+                return;
+            }
+            generation = st.generation;
+            (st.runnable.clone(), st.crashed.clone())
+        };
+        let seg = SegCtx {
+            prog,
+            cfg,
+            params,
+            crashed: &crashed,
+        };
+        let mut r = w;
+        while r < rankctxs.len() {
+            if runnable[r] {
+                seg.run_segment(&mut rankctxs[r].lock().unwrap());
+            }
+            r += nworkers;
+        }
+        let mut st = ctrl.state.lock().unwrap();
+        st.done_count += 1;
+        if st.done_count == nworkers {
+            ctrl.done.notify_all();
+        }
+    }
+}
+
+// --------------------------------------------------------------- engine
+
+impl<'p> Engine<'p> {
+    fn new(prog: &'p Program, cfg: &'p RunConfig, params: HashMap<String, f64>) -> Self {
+        let rankctxs = (0..cfg.nranks)
+            .map(|rank| {
+                let shard = Collector::new(
+                    cfg.collection.clone(),
+                    cfg.faults.clone(),
+                    cfg.seed,
+                    cfg.nranks,
+                    cfg.nthreads,
+                    prog.entry,
+                )
+                .for_rank(rank);
+                let root = shard.data.cct.root();
+                Mutex::new(RankCtx {
+                    state: RankState {
+                        rank,
+                        clock: 0.0,
+                        frames: vec![Frame {
+                            stmts: &prog.function(prog.entry).body,
+                            idx: 0,
+                            ctx: root,
+                            kind: FrameKind::Body,
+                        }],
+                        iters: Vec::new(),
+                        reqs: Vec::new(),
+                        outstanding: Vec::new(),
+                        coll_seq: 0,
+                        blocked: None,
+                        done: false,
+                        call_depth: 0,
+                        health: Health::Ok,
+                    },
+                    shard,
+                    effects: Vec::new(),
+                    error: None,
+                })
+            })
+            .collect();
+        Engine {
+            prog,
+            cfg,
+            params,
+            rankctxs,
+            shared: Shared::default(),
+        }
+    }
+
+    fn run(&mut self) -> Result<(), SimError> {
+        let nranks = self.cfg.nranks as usize;
+        let workers = match self.cfg.sim_workers {
+            Some(n) => n.max(1),
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+        .min(nranks.max(1));
+        let prog = self.prog;
+        let cfg = self.cfg;
+        let params = &self.params;
+        let rankctxs: &[Mutex<RankCtx<'p>>] = &self.rankctxs;
+        let mut sched = Sched {
+            prog,
+            cfg,
+            params,
+            rankctxs,
+            shared: &mut self.shared,
+            crashed: vec![false; nranks],
+        };
+        if workers <= 1 {
+            return sched.drive(None);
+        }
+        // The pool control block must outlive the scope's spawned threads,
+        // so it lives here, not inside the scope closure.
+        let ctrl = PoolCtrl::new(nranks);
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let ctrl = &ctrl;
+                s.spawn(move || worker_loop(w, workers, rankctxs, ctrl, prog, cfg, params));
+            }
+            let out = sched.drive(Some((&ctrl, workers)));
+            ctrl.shutdown();
+            out
+        })
+    }
+
+    /// Fold the per-rank shards into one [`RunData`], in rank order.
+    fn finish(self) -> RunData {
+        if self.rankctxs.is_empty() {
+            return Collector::new(
+                self.cfg.collection.clone(),
+                self.cfg.faults.clone(),
+                self.cfg.seed,
+                0,
+                self.cfg.nthreads,
+                self.prog.entry,
+            )
+            .finish(Vec::new(), Vec::new());
+        }
+        let mut shards = Vec::with_capacity(self.rankctxs.len());
+        let mut elapsed = Vec::with_capacity(self.rankctxs.len());
+        let mut statuses = Vec::with_capacity(self.rankctxs.len());
+        for m in self.rankctxs {
+            let rc = m.into_inner().unwrap();
+            elapsed.push(rc.state.clock);
+            statuses.push(match rc.state.health {
+                Health::Ok => RankStatus::Completed,
+                Health::Crashed(at) => RankStatus::Crashed { at_us: at },
+                Health::Hung { at, .. } => RankStatus::Hung { at_us: at },
+            });
+            shards.push(rc.shard);
+        }
+        merge_shards(
+            shards,
+            self.shared.msg_edges,
+            self.shared.retransmits,
+            elapsed,
+            statuses,
+        )
     }
 }

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use progmodel::{FuncId, StmtId};
 
-use crate::cct::{Cct, CtxId};
+use crate::cct::{Cct, CtxFrame, CtxId};
 
 /// Communication operation categories as recorded (collapsed from
 /// [`progmodel::CommOp`]).
@@ -345,6 +345,132 @@ impl RunSummary {
 }
 
 impl RunData {
+    /// A content fingerprint of *everything* in the run: timings (bit
+    /// patterns, not approximations), samples, PMU aggregates, records,
+    /// edges, CCT structure, statuses and fault counters. Two runs digest
+    /// equal iff their data is byte-identical, so this is what the
+    /// serial-versus-parallel equivalence tests and benches assert on.
+    /// Unordered maps are folded in sorted key order.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over a stream of u64 words.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut put = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let ctx_frame = |f: CtxFrame| -> (u64, u64) {
+            match f {
+                CtxFrame::Func(id) => (0, id.0 as u64),
+                CtxFrame::Stmt(id) => (1, id.0 as u64),
+            }
+        };
+        put(self.nranks as u64);
+        put(self.nthreads as u64);
+        for &e in &self.elapsed {
+            put(e.to_bits());
+        }
+        put(self.total_time.to_bits());
+        put(self.sample_period_us.map_or(0, f64::to_bits));
+        // CCT structure: node i's (parent, frame), in interning order.
+        for i in 0..self.cct.len() as u32 {
+            put(self.cct.parent(CtxId(i)).0 as u64);
+            let (tag, id) = ctx_frame(self.cct.frame(CtxId(i)));
+            put(tag);
+            put(id);
+        }
+        let mut samples: Vec<_> = self.samples.iter().collect();
+        samples.sort_by_key(|(k, _)| **k);
+        for (&(ctx, rank, thread), &n) in samples {
+            put(ctx.0 as u64);
+            put(((rank as u64) << 32) | thread as u64);
+            put(n);
+        }
+        let mut dropped: Vec<_> = self.dropped_samples.iter().collect();
+        dropped.sort_by_key(|(k, _)| **k);
+        for (&(ctx, rank, thread), &n) in dropped {
+            put(ctx.0 as u64);
+            put(((rank as u64) << 32) | thread as u64);
+            put(n);
+        }
+        let mut pmu: Vec<_> = self.pmu.iter().collect();
+        pmu.sort_by_key(|(k, _)| **k);
+        for (&ctx, agg) in pmu {
+            put(ctx.0 as u64);
+            put(agg.instructions.to_bits());
+            put(agg.cycles.to_bits());
+            put(agg.cache_misses.to_bits());
+        }
+        for r in &self.comm_records {
+            put(((r.rank as u64) << 32) | r.peer as u64);
+            put(r.ctx.0 as u64);
+            put(r.stmt.0 as u64);
+            put(r.kind as u64);
+            put(r.bytes);
+            put(r.post.to_bits());
+            put(r.complete.to_bits());
+            put(r.wait.to_bits());
+        }
+        for e in &self.msg_edges {
+            put(((e.src_rank as u64) << 32) | e.dst_rank as u64);
+            put(e.src_stmt.0 as u64);
+            put(e.src_ctx.0 as u64);
+            put(e.dst_stmt.0 as u64);
+            put(e.dst_ctx.0 as u64);
+            put(e.bytes);
+            put(e.kind as u64);
+            put(e.wait.to_bits());
+        }
+        for l in &self.lock_records {
+            put(((l.rank as u64) << 32) | l.thread as u64);
+            put(l.ctx.0 as u64);
+            put(l.stmt.0 as u64);
+            put(l.lock as u64);
+            put(l.request.to_bits());
+            put(l.acquire.to_bits());
+            put(l.release.to_bits());
+            match l.blocked_by {
+                None => put(u64::MAX),
+                Some((t, s, c)) => {
+                    put(t as u64);
+                    put(s.0 as u64);
+                    put(c.0 as u64);
+                }
+            }
+        }
+        let mut indirect: Vec<_> = self.indirect_targets.iter().collect();
+        indirect.sort_by_key(|(s, _)| s.0);
+        for (s, targets) in indirect {
+            put(s.0 as u64);
+            for t in targets {
+                put(t.0 as u64);
+            }
+        }
+        for ev in &self.trace.events {
+            put(ev.rank as u64);
+            put(ev.stmt.0 as u64);
+            put(ev.enter.to_bits());
+            put(ev.exit.to_bits());
+        }
+        put(self.trace.total_events);
+        put(self.trace.est_bytes);
+        for s in &self.rank_status {
+            match *s {
+                RankStatus::Completed => put(0),
+                RankStatus::Crashed { at_us } => {
+                    put(1);
+                    put(at_us.to_bits());
+                }
+                RankStatus::Hung { at_us } => {
+                    put(2);
+                    put(at_us.to_bits());
+                }
+            }
+        }
+        put(self.pmu_corrupted);
+        put(self.retransmits);
+        h
+    }
+
     /// Aggregate the run into a [`RunSummary`].
     pub fn summary(&self) -> RunSummary {
         let aggregate_us: f64 = self.elapsed.iter().sum();

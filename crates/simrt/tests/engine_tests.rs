@@ -598,3 +598,87 @@ fn run_summary_aggregates_consistently() {
     assert_eq!(s.per_kind[0].1, 240); // 60 iters × 4 ranks
     assert!(s.render().contains("MPI_Allreduce"));
 }
+
+/// A zeusmp-style mixed workload: noisy compute, a nonblocking halo ring,
+/// a rendezvous exchange and collectives — enough machinery to exercise
+/// every matcher path.
+fn mixed_workload() -> progmodel::Program {
+    let mut pb = ProgramBuilder::new("mixed");
+    let main = pb.declare("main", "m.c");
+    pb.define(main, |f| {
+        f.loop_("step", c(12.0), |b| {
+            b.compute("stencil", c(400.0) * progmodel::noise(0.3, 1));
+            b.irecv((rank() + nranks() - 1.0).rem(nranks()), c(2048.0), 0);
+            b.isend((rank() + 1.0).rem(nranks()), c(2048.0), 0);
+            b.waitall();
+            b.branch(
+                "exchange",
+                rank().rem(2.0).eq(0.0),
+                |s| {
+                    s.send((rank() + 1.0).rem(nranks()), c(65536.0), 1);
+                },
+                |r| {
+                    r.recv((rank() + nranks() - 1.0).rem(nranks()), c(65536.0), 1);
+                },
+            );
+            b.allreduce(c(64.0));
+        });
+    });
+    pb.build(main)
+}
+
+#[test]
+fn parallel_simulation_is_bit_identical_to_serial() {
+    let prog = mixed_workload();
+    let base = RunConfig::new(8).with_seed(42).with_slow_rank(3, 1.7);
+    let serial = simulate(&prog, &base.clone().serial_sim()).unwrap();
+    for workers in [2, 4, 8] {
+        let par = simulate(&prog, &base.clone().with_sim_workers(workers)).unwrap();
+        assert_eq!(
+            serial.digest(),
+            par.digest(),
+            "serial vs {workers}-worker RunData diverged"
+        );
+        assert_eq!(serial.elapsed, par.elapsed);
+        assert_eq!(serial.total_time, par.total_time);
+        assert_eq!(serial.comm_records.len(), par.comm_records.len());
+        assert_eq!(serial.msg_edges.len(), par.msg_edges.len());
+        assert_eq!(serial.samples, par.samples);
+    }
+}
+
+#[test]
+fn parallel_bit_identity_survives_fault_injection() {
+    // Crash + message drops + sample loss + PMU corruption all at once:
+    // every fault stream must replay identically on the worker pool.
+    let prog = mixed_workload();
+    let base = RunConfig::new(8).with_seed(7).with_faults(
+        simrt::FaultPlan::new()
+            .crash_rank(5, 2000.0)
+            .with_message_drop(0.1, 500.0)
+            .with_sample_loss(0.2)
+            .with_pmu_corruption(0.1),
+    );
+    let serial = simulate(&prog, &base.clone().serial_sim()).unwrap();
+    let par = simulate(&prog, &base.clone().with_sim_workers(4)).unwrap();
+    assert_eq!(serial.digest(), par.digest(), "faulted run diverged");
+    assert_eq!(serial.rank_status, par.rank_status);
+    assert_eq!(serial.retransmits, par.retransmits);
+    assert_eq!(serial.dropped_samples, par.dropped_samples);
+    assert_eq!(serial.pmu_corrupted, par.pmu_corrupted);
+    assert!(serial.retransmits > 0, "drop rate must actually fire");
+    assert!(
+        matches!(serial.rank_status[5], simrt::RankStatus::Crashed { .. }),
+        "rank 5 must be recorded as crashed"
+    );
+}
+
+#[test]
+fn digest_distinguishes_different_runs() {
+    let prog = mixed_workload();
+    let a = simulate(&prog, &RunConfig::new(4).with_seed(1)).unwrap();
+    let b = simulate(&prog, &RunConfig::new(4).with_seed(2)).unwrap();
+    assert_ne!(a.digest(), b.digest(), "different seeds, same digest");
+    let again = simulate(&prog, &RunConfig::new(4).with_seed(1)).unwrap();
+    assert_eq!(a.digest(), again.digest(), "same run must re-digest equal");
+}

@@ -10,7 +10,7 @@
 //! ```
 
 use perflow::passes::{BreakdownPass, FilterPass, HotspotPass, ImbalancePass, ReportPass};
-use perflow::{PerFlow, PerFlowGraph, RunHandleExt};
+use perflow::{GraphBuilder, PerFlow, RunHandleExt};
 use simrt::RunConfig;
 
 fn main() {
@@ -21,34 +21,35 @@ fn main() {
     // pag = pflow.run(bin = "./a.out", cmd = "mpirun -np 8 ./a.out")
     let run = pflow.run(&prog, &RunConfig::new(8)).expect("run failed");
 
-    // Build the PerFlowGraph of Listing 1.
-    let mut g = PerFlowGraph::new();
-    let source = g.add_source(run.vertices());
-    let v_comm = g.add_pass(FilterPass::name("MPI_*"));
-    let v_hot = g.add_pass(HotspotPass::by_time(10));
-    let v_imb = g.add_pass(ImbalancePass { threshold: 0.1 });
-    let v_bd = g.add_pass(BreakdownPass::default());
-    let report = g.add_pass(ReportPass::new(
-        "communication analysis",
-        &["name", "comm-info", "debug-info", "time"],
-        2,
-    ));
-
-    g.pipe(source, v_comm).unwrap();
-    g.pipe(v_comm, v_hot).unwrap();
-    g.pipe(v_hot, v_imb).unwrap();
-    g.pipe(v_imb, v_bd).unwrap();
+    // Build the PerFlowGraph of Listing 1 with the fluent builder.
+    let b = GraphBuilder::new();
+    let v_imb = b
+        .source(run.vertices())
+        .then(FilterPass::name("MPI_*"))
+        .then(HotspotPass::by_time(10))
+        .then(ImbalancePass { threshold: 0.1 });
+    let v_bd = v_imb.then(BreakdownPass::default());
     // report(V_imb, V_bd, attrs)
-    g.connect(v_imb, 0, report, 0).unwrap();
-    g.connect(v_bd, 0, report, 1).unwrap();
+    let report = b
+        .node(ReportPass::new(
+            "communication analysis",
+            &["name", "comm-info", "debug-info", "time"],
+            2,
+        ))
+        .input(0, v_imb.out(0))
+        .input(1, v_bd.out(0));
+    let g = b.finish().expect("wiring failed");
 
     let out = g.execute().expect("PerFlowGraph failed");
 
     println!("pass trail: {:?}\n", out.trail);
-    println!("{}", out.report(report).expect("report produced").render());
+    println!(
+        "{}",
+        out.report(report.id()).expect("report produced").render()
+    );
 
     // The breakdown pass also emits its own explanation table (port 1).
-    if let Some(perflow::Value::Report(bd)) = out.of(v_bd).get(1) {
+    if let Some(perflow::Value::Report(bd)) = out.of(v_bd.id()).get(1) {
         println!("{}", bd.render());
     }
 }

@@ -92,7 +92,7 @@ fn serialization_roundtrips_profiled_pags() {
 #[test]
 fn dataflow_graph_equals_direct_api() {
     use perflow::passes::{FilterPass, HotspotPass};
-    use perflow::PerFlowGraph;
+    use perflow::GraphBuilder;
 
     let pflow = PerFlow::new();
     let run = pflow.run(&ring_program(), &RunConfig::new(4)).unwrap();
@@ -100,15 +100,15 @@ fn dataflow_graph_equals_direct_api() {
     // Direct API.
     let direct = pflow.hotspot_detection(&pflow.filter(&run.vertices(), "MPI_*"), 3);
 
-    // Same analysis as a PerFlowGraph.
-    let mut g = PerFlowGraph::new();
-    let src = g.add_source(run.vertices());
-    let filt = g.add_pass(FilterPass::name("MPI_*"));
-    let hot = g.add_pass(HotspotPass::by_time(3));
-    g.pipe(src, filt).unwrap();
-    g.pipe(filt, hot).unwrap();
+    // Same analysis as a PerFlowGraph, wired with the fluent builder.
+    let b = GraphBuilder::new();
+    let hot = b
+        .source(run.vertices())
+        .then(FilterPass::name("MPI_*"))
+        .then(HotspotPass::by_time(3));
+    let g = b.finish().unwrap();
     let out = g.execute().unwrap();
-    let via_graph = out.vertices(hot).unwrap();
+    let via_graph = out.vertices(hot.id()).unwrap();
 
     assert_eq!(direct.ids, via_graph.ids);
 }
