@@ -176,6 +176,12 @@ fn accumulate_rank(
     acc
 }
 
+/// Embed run data into the static skeleton ([`embed_observed`] with a
+/// disabled observability handle).
+pub fn embed(prog: &Program, sp: StaticPag, data: RunData) -> ProfiledRun {
+    embed_observed(prog, sp, data, &obs::Obs::disabled())
+}
+
 /// Embed run data into the static skeleton.
 ///
 /// Embedding is two-phase: a serial *resolve* phase walks every calling
@@ -184,13 +190,21 @@ fn accumulate_rank(
 /// a parallel *accumulate* phase shards the per-rank records across
 /// scoped worker threads against the now-frozen context→path table and
 /// merges the per-rank accumulators in rank order. The embedded PAG is
-/// bit-identical regardless of the worker count.
-pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
+/// bit-identical regardless of the worker count — and of whether `obs`
+/// is enabled (spans measure host wall-clock only).
+pub fn embed_observed(
+    prog: &Program,
+    mut sp: StaticPag,
+    data: RunData,
+    obs: &obs::Obs,
+) -> ProfiledRun {
+    use obs::Layer;
     let nranks = data.nranks as usize;
 
     // Phase 1 (serial): resolve every context once. This is the only part
     // that mutates the PAG (indirect-call fill-in), and sorted order makes
     // the resulting vertex ids independent of hash-map iteration order.
+    let resolve_t0 = obs.now_us();
     let mut resolver = ContextResolver::new(prog);
     let mut all_ctxs: Vec<CtxId> = Vec::new();
     all_ctxs.extend(data.samples.keys().map(|&(c, _, _)| c));
@@ -210,6 +224,17 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
     for ctx in all_ctxs {
         let p = resolver.resolve(&mut sp, &data.cct, ctx);
         ctx_paths.insert(ctx, p);
+    }
+    if obs.is_enabled() {
+        obs.record_span(
+            Layer::Collect,
+            "embed.resolve",
+            0,
+            resolve_t0,
+            obs.now_us(),
+            &[("ctxs", ctx_paths.len() as f64)],
+        );
+        obs.count("collect.ctxs.resolved", ctx_paths.len() as u64);
     }
 
     // Partition the raw records by rank. Samples are sorted per rank so
@@ -255,13 +280,25 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
     let rank_accs: Vec<RankAcc> = if workers <= 1 {
         (0..nranks)
             .map(|r| {
-                accumulate_rank(
+                let t0 = obs.now_us();
+                let acc = accumulate_rank(
                     &ctx_paths,
                     period,
                     &rank_samples[r],
                     &rank_comm[r],
                     &rank_locks[r],
-                )
+                );
+                if obs.is_enabled() {
+                    obs.record_span(
+                        Layer::Collect,
+                        "embed.rank",
+                        r as u32,
+                        t0,
+                        obs.now_us(),
+                        &[],
+                    );
+                }
+                acc
             })
             .collect()
     } else {
@@ -276,6 +313,7 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
                         let mut out = Vec::new();
                         let mut r = w;
                         while r < nranks {
+                            let t0 = obs.now_us();
                             out.push((
                                 r,
                                 accumulate_rank(
@@ -286,6 +324,16 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
                                     &rank_locks[r],
                                 ),
                             ));
+                            if obs.is_enabled() {
+                                obs.record_span(
+                                    Layer::Collect,
+                                    "embed.rank",
+                                    r as u32,
+                                    t0,
+                                    obs.now_us(),
+                                    &[],
+                                );
+                            }
                             r += workers;
                         }
                         out
@@ -302,6 +350,7 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
     };
 
     // Merge in rank order (deterministic float accumulation).
+    let merge_t0 = obs.now_us();
     let mut per_proc: HashMap<VertexId, Vec<f64>> = HashMap::new();
     let mut self_time: HashMap<VertexId, f64> = HashMap::new();
     let mut vt_times: HashMap<(VertexId, u32, u32), f64> = HashMap::new();
@@ -478,6 +527,17 @@ pub fn embed(prog: &Program, mut sp: StaticPag, data: RunData) -> ProfiledRun {
     }
     sp.pag.set_num_procs(data.nranks);
     sp.pag.set_threads_per_proc(data.nthreads);
+
+    if obs.is_enabled() {
+        obs.record_span(
+            Layer::Collect,
+            "embed.merge",
+            0,
+            merge_t0,
+            obs.now_us(),
+            &[],
+        );
+    }
 
     // `ctx_paths` already covers every context in the run data (the
     // phase-1 resolve) — hand it to downstream consumers as-is.

@@ -28,7 +28,7 @@ pub mod parallel;
 pub mod resolve;
 pub mod static_pag;
 
-pub use embed::{embed, ProfiledRun};
+pub use embed::{embed, embed_observed, ProfiledRun};
 pub use parallel::build_parallel_view;
 pub use resolve::ContextResolver;
 pub use static_pag::{static_analysis, StaticPag};
@@ -38,8 +38,16 @@ use simrt::{simulate, RunConfig, SimError};
 
 /// End-to-end: static analysis + simulated run + embedding. This is what
 /// PerFlow's `pflow.run(...)` performs under the hood.
+///
+/// When `cfg.obs` is enabled, each stage records `Collect`-layer spans
+/// (`static_pag`, `embed.resolve`, per-rank `embed.rank`, `embed.merge`)
+/// and the simulation records `Simrt`-layer spans; results are
+/// bit-identical either way.
 pub fn profile(prog: &Program, cfg: &RunConfig) -> Result<ProfiledRun, SimError> {
-    let static_pag = static_analysis(prog);
+    let static_pag = {
+        let _span = cfg.obs.span(obs::Layer::Collect, "static_pag", 0);
+        static_analysis(prog)
+    };
     let data = simulate(prog, cfg)?;
-    Ok(embed(prog, static_pag, data))
+    Ok(embed_observed(prog, static_pag, data, &cfg.obs))
 }

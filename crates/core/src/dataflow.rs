@@ -18,8 +18,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::cache::PassCache;
+use obs::{Layer, Obs};
+
+use crate::cache::{CacheStats, PassCache};
 use crate::error::PerFlowError;
+use crate::metrics::{PassMetric, RunMetrics};
 use crate::pass::{Pass, PassCx, SourcePass};
 use crate::value::Value;
 
@@ -55,6 +58,9 @@ pub struct Outputs {
     values: HashMap<NodeId, Vec<Value>>,
     /// Order in which passes ran (merged trails).
     pub trail: Vec<String>,
+    /// Scheduler metrics (empty unless the run was observed via
+    /// [`PerFlowGraph::execute_observed`]).
+    pub metrics: RunMetrics,
 }
 
 impl Outputs {
@@ -162,14 +168,8 @@ impl PerFlowGraph {
     /// paper draws in Figs. 2, 8, 11 and 14 (passes as boxes, set flow as
     /// arrows).
     pub fn to_dot(&self, title: &str) -> String {
+        use pag::escape_dot as esc;
         use std::fmt::Write as _;
-        // DOT double-quoted string escaping: backslashes and quotes are
-        // escaped, newlines become literal `\n` line breaks.
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\")
-                .replace('"', "\\\"")
-                .replace('\n', "\\n")
-        }
         let mut out = String::new();
         let _ = writeln!(out, "digraph \"{}\" {{", esc(title));
         let _ = writeln!(out, "  rankdir=LR;");
@@ -203,14 +203,14 @@ impl PerFlowGraph {
     /// Execute the graph. A node is dispatched as soon as its last input
     /// lands; independent nodes run concurrently on a bounded pool.
     pub fn execute(&self) -> Result<Outputs, PerFlowError> {
-        self.run_scheduler(None, None)
+        self.run_scheduler(None, None, &Obs::disabled())
     }
 
     /// Execute with a pinned worker-pool size (`1` = fully serial).
     /// Outputs and trail are identical for every worker count — this
     /// knob exists for determinism tests and scheduling benchmarks.
     pub fn execute_with_workers(&self, workers: usize) -> Result<Outputs, PerFlowError> {
-        self.run_scheduler(None, Some(workers.max(1)))
+        self.run_scheduler(None, Some(workers.max(1)), &Obs::disabled())
     }
 
     /// Execute with a pass-result cache: every `(pass, inputs)` pair
@@ -218,7 +218,27 @@ impl PerFlowGraph {
     /// running. Re-executing an unchanged graph against the same cache
     /// hits on every node.
     pub fn execute_with_cache(&self, cache: &PassCache) -> Result<Outputs, PerFlowError> {
-        self.run_scheduler(Some(cache), None)
+        self.run_scheduler(Some(cache), None, &Obs::disabled())
+    }
+
+    /// Execute under an observability handle: every pass dispatch is
+    /// recorded as a `Core`-layer span on `obs` (lane = worker index)
+    /// and summarized in [`Outputs::metrics`]. With a disabled handle
+    /// this is exactly [`PerFlowGraph::execute`].
+    pub fn execute_observed(&self, obs: &Obs) -> Result<Outputs, PerFlowError> {
+        self.run_scheduler(None, None, obs)
+    }
+
+    /// Fully configurable execution: optional cache, optional pinned
+    /// worker count, observability handle. All other `execute*` methods
+    /// are shorthands for this.
+    pub fn execute_observed_with(
+        &self,
+        obs: &Obs,
+        cache: Option<&PassCache>,
+        workers: Option<usize>,
+    ) -> Result<Outputs, PerFlowError> {
+        self.run_scheduler(cache, workers.map(|w| w.max(1)), obs)
     }
 
     /// Validate wiring: contiguous input ports starting at 0, and at
@@ -280,12 +300,14 @@ impl PerFlowGraph {
         &self,
         cache: Option<&PassCache>,
         workers: Option<usize>,
+        obs: &Obs,
     ) -> Result<Outputs, PerFlowError> {
         let n = self.nodes.len();
         if n == 0 {
             return Ok(Outputs {
                 values: HashMap::new(),
                 trail: Vec::new(),
+                metrics: RunMetrics::default(),
             });
         }
         let wires_in = self.validate_wiring()?;
@@ -295,7 +317,23 @@ impl PerFlowGraph {
             out_wires[w.from.0].push(*w);
             deps_left[w.to.0] += 1;
         }
+        let observed = obs.is_enabled();
+        let sched_start = obs.now_us();
+        let cache_stats0 = cache.map(|c| c.stats());
         let ready: VecDeque<usize> = (0..n).filter(|&i| deps_left[i] == 0).collect();
+        let mut ready_at = vec![0.0f64; if observed { n } else { 0 }];
+        if observed {
+            for &i in &ready {
+                ready_at[i] = sched_start;
+            }
+        }
+        let workers = workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|c| c.get())
+                    .unwrap_or(1)
+            })
+            .min(n);
         let state = Mutex::new(ExecState {
             deps_left,
             ready,
@@ -304,22 +342,20 @@ impl PerFlowGraph {
             in_flight: 0,
             completed: 0,
             error: None,
+            ready_at,
+            node_metrics: vec![None; if observed { n } else { 0 }],
+            dispatched: 0,
+            worker_busy: vec![0.0; if observed { workers } else { 0 }],
         });
         let wake = Condvar::new();
-        let workers = workers
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|c| c.get())
-                    .unwrap_or(1)
-            })
-            .min(n);
 
         if workers <= 1 {
-            self.worker(&state, &wake, &wires_in, &out_wires, cache);
+            self.worker(&state, &wake, &wires_in, &out_wires, cache, obs, 0);
         } else {
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| self.worker(&state, &wake, &wires_in, &out_wires, cache));
+                let (state, wake, wires_in, out_wires) = (&state, &wake, &wires_in, &out_wires);
+                for w in 0..workers {
+                    s.spawn(move || self.worker(state, wake, wires_in, out_wires, cache, obs, w));
                 }
             });
         }
@@ -335,11 +371,35 @@ impl PerFlowGraph {
             trail.extend(st.trails[i].take().unwrap_or_default());
             values.insert(NodeId(i), st.outputs[i].take().unwrap_or_default());
         }
-        Ok(Outputs { values, trail })
+        let metrics = if observed {
+            let cache_delta = cache.map(|c| {
+                let s1 = c.stats();
+                let s0 = cache_stats0.unwrap_or_default();
+                CacheStats {
+                    hits: s1.hits - s0.hits,
+                    misses: s1.misses - s0.misses,
+                }
+            });
+            RunMetrics {
+                passes: st.node_metrics.into_iter().flatten().collect(),
+                cache: cache_delta,
+                total_wall_us: obs.now_us() - sched_start,
+                workers,
+                worker_busy_us: st.worker_busy,
+            }
+        } else {
+            RunMetrics::default()
+        };
+        Ok(Outputs {
+            values,
+            trail,
+            metrics,
+        })
     }
 
     /// One scheduler worker: pull ready nodes off the queue until the
     /// graph completes, errors, or stalls (cycle).
+    #[allow(clippy::too_many_arguments)]
     fn worker(
         &self,
         state: &Mutex<ExecState>,
@@ -347,11 +407,14 @@ impl PerFlowGraph {
         wires_in: &[Vec<Wire>],
         out_wires: &[Vec<Wire>],
         cache: Option<&PassCache>,
+        obs: &Obs,
+        widx: usize,
     ) {
         let n = self.nodes.len();
+        let observed = obs.is_enabled();
         loop {
             // Claim a ready node and snapshot its inputs.
-            let (i, inputs) = {
+            let (i, inputs, dispatch_seq) = {
                 let mut st = state.lock().unwrap();
                 let i = loop {
                     if st.error.is_some() || st.completed == n {
@@ -389,15 +452,22 @@ impl PerFlowGraph {
                     }
                 }
                 st.in_flight += 1;
-                (i, inputs)
+                let seq = st.dispatched;
+                st.dispatched += 1;
+                (i, inputs, seq)
             };
 
             // Run the pass (or replay a cached result) off the lock.
+            let start_us = obs.now_us();
+            let mut cache_hit = false;
             let result: NodeResult = match cache {
                 Some(c) => {
                     let key = PassCache::key(&self.nodes[i].pass, &inputs);
                     match c.get(key) {
-                        Some((outs, trail)) => Ok((outs, trail)),
+                        Some((outs, trail)) => {
+                            cache_hit = true;
+                            Ok((outs, trail))
+                        }
                         None => {
                             let mut cx = PassCx::new();
                             match self.nodes[i].pass.run(&inputs, &mut cx) {
@@ -423,10 +493,49 @@ impl PerFlowGraph {
                         .map(|v| (v, cx.trail))
                 }
             };
+            let end_us = obs.now_us();
+            if observed {
+                let name = self.nodes[i].pass.name();
+                obs.record_span(
+                    Layer::Core,
+                    format!("pass:{name}"),
+                    widx as u32,
+                    start_us,
+                    end_us,
+                    &[
+                        ("node", i as f64),
+                        ("cache_hit", if cache_hit { 1.0 } else { 0.0 }),
+                        ("dispatch_seq", dispatch_seq as f64),
+                    ],
+                );
+                if cache.is_some() {
+                    obs.count(
+                        if cache_hit {
+                            "core.cache.hit"
+                        } else {
+                            "core.cache.miss"
+                        },
+                        1,
+                    );
+                }
+                obs.count("core.pass.dispatched", 1);
+            }
 
             // Publish and release dependents.
             let mut st = state.lock().unwrap();
             st.in_flight -= 1;
+            if observed {
+                st.worker_busy[widx] += end_us - start_us;
+                st.node_metrics[i] = Some(PassMetric {
+                    node: i,
+                    name: self.nodes[i].pass.name().to_string(),
+                    wall_us: end_us - start_us,
+                    queue_wait_us: (start_us - st.ready_at[i]).max(0.0),
+                    cache_hit,
+                    worker: widx,
+                    dispatch_seq,
+                });
+            }
             match result {
                 Ok((outs, trail)) => {
                     st.outputs[i] = Some(outs);
@@ -436,6 +545,9 @@ impl PerFlowGraph {
                         st.deps_left[w.to.0] -= 1;
                         if st.deps_left[w.to.0] == 0 {
                             st.ready.push_back(w.to.0);
+                            if observed {
+                                st.ready_at[w.to.0] = end_us;
+                            }
                         }
                     }
                 }
@@ -464,6 +576,15 @@ struct ExecState {
     completed: usize,
     /// First error observed; stops the run.
     error: Option<PerFlowError>,
+    /// Observability: per-node timestamp of when it became ready (empty
+    /// when the run is unobserved — no clock reads on the fast path).
+    ready_at: Vec<f64>,
+    /// Observability: per-node pass metric, filled at completion.
+    node_metrics: Vec<Option<PassMetric>>,
+    /// Observability: dispatch counter (0 = dispatched first).
+    dispatched: usize,
+    /// Observability: accumulated busy time per worker, µs.
+    worker_busy: Vec<f64>,
 }
 
 #[cfg(test)]

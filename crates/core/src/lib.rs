@@ -49,6 +49,7 @@ pub mod dataflow;
 pub mod error;
 pub mod graphref;
 pub mod interactive;
+pub mod metrics;
 pub mod paradigms;
 pub mod pass;
 pub mod passes;
@@ -63,6 +64,8 @@ pub use dataflow::{NodeId, PerFlowGraph};
 pub use error::PerFlowError;
 pub use graphref::{GraphRef, RunBundle, RunHandle, RunHandleExt};
 pub use interactive::{InteractiveSession, Suggestion};
+pub use metrics::{PassMetric, RunMetrics};
+pub use obs::{Layer, Obs};
 pub use pass::{Pass, PassCx};
 pub use report::Report;
 pub use set::{EdgeSet, VertexSet};

@@ -1,0 +1,172 @@
+//! Scheduler run metrics — the summary half of the observability layer.
+//!
+//! When a PerFlowGraph is executed with an enabled [`obs::Obs`] handle
+//! (see [`crate::dataflow::PerFlowGraph::execute_observed`]), the
+//! scheduler measures every pass dispatch and attaches a [`RunMetrics`]
+//! to the returned [`crate::dataflow::Outputs`]: per-pass wall time,
+//! queue wait (ready → dispatched), the worker that ran it, the dispatch
+//! order, whether the pass-result cache answered, plus pool occupancy
+//! and the run's cache hit/miss delta. With a disabled handle the
+//! scheduler takes no timestamps and the metrics stay empty — the
+//! outputs themselves are byte-identical either way.
+
+use crate::cache::CacheStats;
+
+/// Timing of one executed pass node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassMetric {
+    /// Node id within the executed graph.
+    pub node: usize,
+    /// Pass name.
+    pub name: String,
+    /// Wall time of the pass body (or the cache replay), µs.
+    pub wall_us: f64,
+    /// Time between becoming ready and being dispatched, µs.
+    pub queue_wait_us: f64,
+    /// Whether the result was replayed from the pass cache.
+    pub cache_hit: bool,
+    /// Index of the scheduler worker that ran the node.
+    pub worker: usize,
+    /// Position in the actual dispatch order (0 = dispatched first).
+    pub dispatch_seq: usize,
+}
+
+/// Summary metrics of one scheduler run. Empty (`is_empty()`) when the
+/// run was not observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Per-pass timings, sorted by node id.
+    pub passes: Vec<PassMetric>,
+    /// Cache hit/miss counts attributable to this run (`None` when the
+    /// run had no cache).
+    pub cache: Option<CacheStats>,
+    /// Scheduler wall time start-to-finish, µs.
+    pub total_wall_us: f64,
+    /// Worker-pool size used.
+    pub workers: usize,
+    /// Busy time per worker, µs (length = `workers`).
+    pub worker_busy_us: Vec<f64>,
+}
+
+impl RunMetrics {
+    /// True when the run was not observed (no per-pass data).
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Sum of pass wall times, µs.
+    pub fn busy_us(&self) -> f64 {
+        self.passes.iter().map(|p| p.wall_us).sum()
+    }
+
+    /// Pool occupancy in `[0, 1]`: busy worker-time over available
+    /// worker-time (0.0 when unobserved).
+    pub fn occupancy(&self) -> f64 {
+        let avail = self.workers as f64 * self.total_wall_us;
+        if avail > 0.0 {
+            (self.worker_busy_us.iter().sum::<f64>() / avail).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Render a human-readable table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("run metrics: (not observed)\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "run metrics: {} passes, {:.1} µs wall, {} workers, occupancy {:.0}%",
+            self.passes.len(),
+            self.total_wall_us,
+            self.workers,
+            self.occupancy() * 100.0
+        );
+        if let Some(c) = self.cache {
+            let _ = writeln!(
+                out,
+                "pass cache: {} hits / {} misses ({:.0}% hit rate)",
+                c.hits,
+                c.misses,
+                c.hit_rate() * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<5} {:<24} {:>12} {:>12} {:>7} {:>5} {:>5}",
+            "node", "pass", "wall µs", "queue µs", "cache", "wkr", "seq"
+        );
+        for p in &self.passes {
+            let _ = writeln!(
+                out,
+                "{:<5} {:<24} {:>12.1} {:>12.1} {:>7} {:>5} {:>5}",
+                p.node,
+                p.name,
+                p.wall_us,
+                p.queue_wait_us,
+                if p.cache_hit { "hit" } else { "miss" },
+                p.worker,
+                p.dispatch_seq
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            passes: vec![
+                PassMetric {
+                    node: 0,
+                    name: "source".into(),
+                    wall_us: 10.0,
+                    queue_wait_us: 1.0,
+                    cache_hit: false,
+                    worker: 0,
+                    dispatch_seq: 0,
+                },
+                PassMetric {
+                    node: 1,
+                    name: "hotspot".into(),
+                    wall_us: 30.0,
+                    queue_wait_us: 2.0,
+                    cache_hit: true,
+                    worker: 1,
+                    dispatch_seq: 1,
+                },
+            ],
+            cache: Some(CacheStats { hits: 1, misses: 1 }),
+            total_wall_us: 40.0,
+            workers: 2,
+            worker_busy_us: vec![10.0, 30.0],
+        }
+    }
+
+    #[test]
+    fn empty_by_default() {
+        let m = RunMetrics::default();
+        assert!(m.is_empty());
+        assert_eq!(m.occupancy(), 0.0);
+        assert!(m.render().contains("not observed"));
+    }
+
+    #[test]
+    fn occupancy_and_render() {
+        let m = sample();
+        assert!((m.busy_us() - 40.0).abs() < 1e-9);
+        assert!((m.occupancy() - 0.5).abs() < 1e-9);
+        let r = m.render();
+        assert!(r.contains("hotspot"));
+        assert!(r.contains("hit"));
+        assert!(r.contains("miss"));
+        assert!(r.contains("1 hits / 1 misses"));
+    }
+}

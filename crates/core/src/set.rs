@@ -7,7 +7,7 @@
 //! scaling losses) that downstream passes and the report module read —
 //! the Rust equivalent of the paper's passes mutating vertex attributes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use pag::{EdgeId, PropValue, VertexId, VertexLabel};
 
@@ -70,13 +70,12 @@ impl VertexSet {
     }
 
     /// Sort members descending by a metric (ties by id, deterministic).
+    /// NaN metrics — possible on degraded runs with corrupted or missing
+    /// performance data — sort last instead of panicking.
     pub fn sort_by(&self, metric: &str) -> VertexSet {
         let mut out = self.clone();
         out.ids.sort_by(|&a, &b| {
-            self.metric(b, metric)
-                .partial_cmp(&self.metric(a, metric))
-                .expect("metric values must not be NaN")
-                .then(a.cmp(&b))
+            pag::desc_nan_last(self.metric(a, metric), self.metric(b, metric)).then(a.cmp(&b))
         });
         out
     }
@@ -85,7 +84,8 @@ impl VertexSet {
     pub fn top(&self, n: usize) -> VertexSet {
         let mut out = self.clone();
         out.ids.truncate(n);
-        out.scores.retain(|k, _| out.ids.contains(k));
+        let kept: HashSet<VertexId> = out.ids.iter().copied().collect();
+        out.scores.retain(|k, _| kept.contains(k));
         out
     }
 
@@ -107,10 +107,11 @@ impl VertexSet {
     /// Generic retain.
     pub fn retain(&self, pred: impl Fn(VertexId) -> bool) -> VertexSet {
         let ids: Vec<VertexId> = self.ids.iter().copied().filter(|&v| pred(v)).collect();
+        let kept: HashSet<VertexId> = ids.iter().copied().collect();
         let scores = self
             .scores
             .iter()
-            .filter(|(k, _)| ids.contains(k))
+            .filter(|(k, _)| kept.contains(k))
             .map(|(k, v)| (*k, *v))
             .collect();
         VertexSet {
@@ -279,6 +280,54 @@ mod tests {
         let names: Vec<&str> = sorted.ids.iter().map(|&v| g.pag().vertex_name(v)).collect();
         assert_eq!(names, vec!["main", "kernel", "MPI_Send", "MPI_Recv"]);
         assert_eq!(sorted.top(2).len(), 2);
+    }
+
+    #[test]
+    fn sort_by_survives_nan_metrics() {
+        let g = detached();
+        // Scores: one NaN, one +inf, one -inf, one ordinary.
+        let set = g
+            .all_vertices()
+            .with_score(VertexId(0), f64::NAN)
+            .with_score(VertexId(1), f64::INFINITY)
+            .with_score(VertexId(2), 3.0)
+            .with_score(VertexId(3), f64::NEG_INFINITY);
+        let sorted = set.sort_by("score");
+        assert_eq!(
+            sorted.ids,
+            vec![VertexId(1), VertexId(2), VertexId(3), VertexId(0)],
+            "descending with NaN last"
+        );
+        // Deterministic: sorting again yields the same order.
+        assert_eq!(sorted.sort_by("score").ids, sorted.ids);
+        // top() after a NaN-bearing sort keeps the non-NaN head.
+        assert_eq!(sorted.top(2).ids, vec![VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn all_nan_sort_ties_break_by_id() {
+        let g = detached();
+        let mut set = g.all_vertices();
+        for v in set.ids.clone() {
+            set = set.with_score(v, f64::NAN);
+        }
+        let sorted = set.sort_by("score");
+        let mut want = sorted.ids.clone();
+        want.sort();
+        assert_eq!(sorted.ids, want);
+    }
+
+    #[test]
+    fn top_keeps_scores_of_kept_ids_only() {
+        let g = detached();
+        let set = g
+            .all_vertices()
+            .with_score(VertexId(0), 1.0)
+            .with_score(VertexId(3), 9.0);
+        let top = set.top(2); // ids 0,1 kept (insertion order, unsorted)
+        assert_eq!(top.ids, vec![VertexId(0), VertexId(1)]);
+        assert_eq!(top.scores.len(), 1);
+        assert_eq!(top.score(VertexId(0)), 1.0);
     }
 
     #[test]

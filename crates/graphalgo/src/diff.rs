@@ -112,7 +112,9 @@ pub fn hottest_differences(diff: &Pag, metric: &str, n: usize) -> Vec<(VertexId,
             (id, x)
         })
         .collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    // NaN differences (degraded or corrupted metrics) sort last instead
+    // of panicking; ids still break ties for determinism.
+    v.sort_by(|a, b| pag::desc_nan_last(a.1, b.1).then(a.0.cmp(&b.0)));
     v.truncate(n);
     v
 }
@@ -203,5 +205,24 @@ mod tests {
         a.vertex_mut(VertexId(0)).props.remove(keys::TIME);
         let d = graph_difference(&a, &b, &[keys::TIME]).unwrap();
         assert_eq!(d.vertex_time(VertexId(0)), -3.0);
+    }
+
+    #[test]
+    fn hottest_differences_survive_nan() {
+        let mut d = run("d", &[5.0, 2.0, 8.0]);
+        d.set_vprop(VertexId(1), keys::TIME, f64::NAN);
+        let hot = hottest_differences(&d, keys::TIME, 10);
+        assert_eq!(hot.len(), 3);
+        assert_eq!(hot[0].0, VertexId(2));
+        assert_eq!(hot[1].0, VertexId(0));
+        assert!(hot[2].1.is_nan(), "NaN sorts last, not first");
+        // Deterministic under repetition.
+        assert_eq!(
+            hottest_differences(&d, keys::TIME, 10)
+                .iter()
+                .map(|x| x.0)
+                .collect::<Vec<_>>(),
+            hot.iter().map(|x| x.0).collect::<Vec<_>>()
+        );
     }
 }

@@ -56,10 +56,13 @@ pub fn critical_path(
         pred[v.index()] = best_edge;
     }
     // Find the heaviest endpoint and walk back.
+    // NaN-weighted vertices never win the endpoint selection (a NaN
+    // weight compares below every number), so corrupted metrics degrade
+    // to "not on the critical path" instead of panicking.
     let (end, &weight) = dist
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights must not be NaN"))?;
+        .max_by(|a, b| pag::nan_smallest(*a.1, *b.1))?;
     let mut vertices = vec![VertexId(end as u32)];
     let mut edges = Vec::new();
     let mut cur = end;

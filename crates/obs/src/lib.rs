@@ -1,0 +1,559 @@
+//! # Observability for PerFlow's own pipeline
+//!
+//! PerFlow analyzes *other* programs' performance; this crate lets it
+//! observe itself. It provides lightweight wall-clock **spans** and
+//! monotonic **counters** behind an explicit [`Obs`] handle — no globals,
+//! no thread-locals — plus a Chrome-trace (`chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev)) JSON exporter so a PerFlow run
+//! can be inspected with the same kind of timeline the framework builds
+//! for target programs.
+//!
+//! Design constraints (all load-bearing for the rest of the workspace):
+//!
+//! * **No-op when disabled.** A default-constructed handle is disabled:
+//!   every instrumentation call short-circuits without reading the clock
+//!   or allocating, so digest-asserted deterministic code paths behave
+//!   byte-identically whether or not they are instrumented.
+//! * **Allocation-light when enabled.** Static span names are borrowed
+//!   (`Cow::Borrowed`); dynamic names go through [`Obs::span_with`],
+//!   whose closure only runs when the handle is enabled.
+//! * **Bounded.** Recorded spans are capped ([`Obs::enabled_with_cap`]);
+//!   spans beyond the cap are counted, not stored.
+//! * **Deterministic output ordering.** [`Obs::chrome_trace`] sorts
+//!   events by (start, layer, lane, name) and counters alphabetically,
+//!   so equal span sets always serialize identically.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default cap on stored spans (~26 MB worst case of span records).
+pub const DEFAULT_SPAN_CAP: usize = 262_144;
+
+/// Which pipeline layer a span belongs to. Layers map to Chrome-trace
+/// *processes* so the timeline groups the simulator, the collection
+/// pipeline and the pass scheduler into separate swim-lane blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// The discrete-event simulator (phases, rank segments).
+    Simrt,
+    /// Static analysis + embedding (PAG construction).
+    Collect,
+    /// The PerFlowGraph pass scheduler and cache.
+    Core,
+    /// Application-level spans (CLI, benches, user code).
+    App,
+}
+
+impl Layer {
+    /// Human-readable layer name (the trace's process name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Simrt => "simrt",
+            Layer::Collect => "collect",
+            Layer::Core => "core",
+            Layer::App => "app",
+        }
+    }
+
+    /// Chrome-trace process id.
+    fn pid(self) -> u32 {
+        match self {
+            Layer::Simrt => 1,
+            Layer::Collect => 2,
+            Layer::Core => 3,
+            Layer::App => 4,
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Pipeline layer (trace process).
+    pub layer: Layer,
+    /// Span name.
+    pub name: Cow<'static, str>,
+    /// Lane within the layer (trace thread id) — rank index, worker
+    /// index, or 0 for scheduler-level spans.
+    pub lane: u32,
+    /// Start, µs since the handle's epoch.
+    pub start_us: f64,
+    /// Duration in µs.
+    pub dur_us: f64,
+    /// Numeric annotations.
+    pub args: Vec<(&'static str, f64)>,
+}
+
+#[derive(Default)]
+struct State {
+    spans: Vec<SpanRec>,
+    dropped: u64,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+struct Inner {
+    epoch: Instant,
+    cap: usize,
+    state: Mutex<State>,
+}
+
+/// The observability handle. Cheap to clone (an `Option<Arc>`); a
+/// disabled handle ([`Obs::disabled`], also the `Default`) makes every
+/// instrumentation call a no-op.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A disabled handle: all instrumentation compiles to branches that
+    /// never touch the clock.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle with the default span cap.
+    pub fn enabled() -> Self {
+        Self::enabled_with_cap(DEFAULT_SPAN_CAP)
+    }
+
+    /// An enabled handle storing at most `cap` spans; further spans are
+    /// counted in [`Obs::dropped_spans`] but not stored.
+    pub fn enabled_with_cap(cap: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                cap,
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// Whether instrumentation is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since this handle's epoch (0.0 when disabled).
+    pub fn now_us(&self) -> f64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_secs_f64() * 1e6,
+            None => 0.0,
+        }
+    }
+
+    /// Open a span with a static name; it records itself on drop.
+    pub fn span(&self, layer: Layer, name: &'static str, lane: u32) -> Span<'_> {
+        self.begin(layer, Cow::Borrowed(name), lane)
+    }
+
+    /// Open a span with a dynamically built name. The closure runs only
+    /// when the handle is enabled, so disabled paths never allocate.
+    pub fn span_with(&self, layer: Layer, lane: u32, name: impl FnOnce() -> String) -> Span<'_> {
+        if self.inner.is_some() {
+            self.begin(layer, Cow::Owned(name()), lane)
+        } else {
+            Span {
+                obs: self,
+                rec: None,
+            }
+        }
+    }
+
+    fn begin(&self, layer: Layer, name: Cow<'static, str>, lane: u32) -> Span<'_> {
+        let rec = self.inner.as_ref().map(|_| SpanRec {
+            layer,
+            name,
+            lane,
+            start_us: self.now_us(),
+            dur_us: 0.0,
+            args: Vec::new(),
+        });
+        Span { obs: self, rec }
+    }
+
+    /// Record a fully formed span with explicit timestamps (for callers
+    /// that measured the interval themselves, e.g. the pass scheduler).
+    pub fn record_span(
+        &self,
+        layer: Layer,
+        name: impl Into<Cow<'static, str>>,
+        lane: u32,
+        start_us: f64,
+        end_us: f64,
+        args: &[(&'static str, f64)],
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.push(SpanRec {
+                layer,
+                name: name.into(),
+                lane,
+                start_us,
+                dur_us: (end_us - start_us).max(0.0),
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Add `delta` to a named counter.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            *inner
+                .state
+                .lock()
+                .unwrap()
+                .counters
+                .entry(name)
+                .or_insert(0) += delta;
+        }
+    }
+
+    /// Current value of a counter (0 when unknown or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .unwrap()
+                .counters
+                .get(name)
+                .copied()
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .unwrap()
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of recorded spans in deterministic order: (start, layer,
+    /// lane, name).
+    pub fn spans(&self) -> Vec<SpanRec> {
+        match &self.inner {
+            Some(inner) => {
+                let mut spans = inner.state.lock().unwrap().spans.clone();
+                spans.sort_by(|a, b| {
+                    a.start_us
+                        .total_cmp(&b.start_us)
+                        .then(a.layer.cmp(&b.layer))
+                        .then(a.lane.cmp(&b.lane))
+                        .then(a.name.cmp(&b.name))
+                });
+                spans
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Spans discarded because the cap was reached.
+    pub fn dropped_spans(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.state.lock().unwrap().dropped,
+            None => 0,
+        }
+    }
+
+    /// True when at least one recorded span belongs to `layer`.
+    pub fn has_layer(&self, layer: Layer) -> bool {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .unwrap()
+                .spans
+                .iter()
+                .any(|s| s.layer == layer),
+            None => false,
+        }
+    }
+
+    /// Export everything as Chrome-trace JSON (the `chrome://tracing` /
+    /// Perfetto "JSON Array with metadata" flavor): one complete (`"X"`)
+    /// event per span, process-name metadata per layer, counters under
+    /// `otherData`. Output ordering is deterministic for a given span
+    /// set.
+    pub fn chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let mut out = String::with_capacity(256 + spans.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut layers: Vec<Layer> = spans.iter().map(|s| s.layer).collect();
+        layers.sort();
+        layers.dedup();
+        let mut first = true;
+        for layer in &layers {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":{}}}}}",
+                layer.pid(),
+                json_str(layer.name())
+            ));
+        }
+        for s in &spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"X\",\"name\":{},\"cat\":{},\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+                json_str(&s.name),
+                json_str(s.layer.name()),
+                s.layer.pid(),
+                s.lane,
+                s.start_us,
+                s.dur_us
+            ));
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in s.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json_str(k), json_num(*v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        let counters = self.counters();
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(k), v));
+        }
+        if !counters.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&format!("\"droppedSpans\":{}", self.dropped_spans()));
+        out.push_str("}}");
+        out
+    }
+}
+
+impl Inner {
+    fn push(&self, rec: SpanRec) {
+        let mut st = self.state.lock().unwrap();
+        if st.spans.len() < self.cap {
+            st.spans.push(rec);
+        } else {
+            st.dropped += 1;
+        }
+    }
+}
+
+/// A RAII span guard: records the elapsed interval when dropped. Inert
+/// (holds nothing) when the handle is disabled.
+#[must_use = "a span records its interval when dropped"]
+pub struct Span<'a> {
+    obs: &'a Obs,
+    rec: Option<SpanRec>,
+}
+
+impl Span<'_> {
+    /// Attach a numeric argument (builder style).
+    pub fn arg(mut self, key: &'static str, value: f64) -> Self {
+        self.add_arg(key, value);
+        self
+    }
+
+    /// Attach a numeric argument in place.
+    pub fn add_arg(&mut self, key: &'static str, value: f64) {
+        if let Some(rec) = &mut self.rec {
+            rec.args.push((key, value));
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(mut rec) = self.rec.take() {
+            rec.dur_us = (self.obs.now_us() - rec.start_us).max(0.0);
+            if let Some(inner) = &self.obs.inner {
+                inner.push(rec);
+            }
+        }
+    }
+}
+
+/// Escape a string as a JSON string literal (with surrounding quotes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an f64 as a JSON number (JSON has no NaN/inf — clamp to null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.now_us(), 0.0);
+        {
+            let _s = obs.span(Layer::Core, "x", 0).arg("k", 1.0);
+        }
+        let _never = obs.span_with(Layer::Core, 0, || panic!("must not run"));
+        drop(_never);
+        obs.count("c", 5);
+        assert_eq!(obs.counter("c"), 0);
+        assert!(obs.spans().is_empty());
+        assert_eq!(obs.chrome_trace(), Obs::disabled().chrome_trace());
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let obs = Obs::enabled();
+        {
+            let _s = obs.span(Layer::Simrt, "phase", 3).arg("ranks", 4.0);
+        }
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "phase");
+        assert_eq!(spans[0].lane, 3);
+        assert_eq!(spans[0].args, vec![("ranks", 4.0)]);
+        assert!(spans[0].dur_us >= 0.0);
+        assert!(obs.has_layer(Layer::Simrt));
+        assert!(!obs.has_layer(Layer::Core));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let obs = Obs::enabled();
+        obs.count("hits", 2);
+        obs.count("hits", 3);
+        obs.count("misses", 1);
+        assert_eq!(obs.counter("hits"), 5);
+        assert_eq!(obs.counters(), vec![("hits", 5), ("misses", 1)]);
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let obs = Obs::enabled_with_cap(2);
+        for i in 0..5 {
+            obs.record_span(Layer::App, "s", i, 0.0, 1.0, &[]);
+        }
+        assert_eq!(obs.spans().len(), 2);
+        assert_eq!(obs.dropped_spans(), 3);
+        assert!(obs.chrome_trace().contains("\"droppedSpans\":3"));
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_escaping() {
+        let obs = Obs::enabled();
+        obs.record_span(
+            Layer::Core,
+            "pass:\"ev\\il\"\n",
+            1,
+            10.0,
+            25.0,
+            &[("n", 2.0)],
+        );
+        obs.record_span(Layer::Simrt, "phase", 0, 5.0, 7.0, &[]);
+        obs.count("core.cache.hit", 1);
+        let t = obs.chrome_trace();
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.ends_with("}}"));
+        // Process metadata for both layers.
+        assert!(t.contains("\"process_name\""));
+        assert!(t.contains("\"name\":\"simrt\""));
+        assert!(t.contains("\"name\":\"core\""));
+        // Span fields, escaped name, sorted order (simrt span starts first).
+        assert!(t.contains("\"ph\":\"X\""));
+        assert!(t.contains("pass:\\\"ev\\\\il\\\"\\n"));
+        assert!(t.find("\"phase\"").unwrap() < t.find("pass:").unwrap());
+        assert!(t.contains("\"core.cache.hit\":1"));
+        // No raw control characters escaped into the output.
+        assert!(!t.contains('\n'));
+        // Balanced braces/brackets (cheap well-formedness check; the CI
+        // workflow runs a real JSON parser over CLI output).
+        let mut in_str = false;
+        let mut esc = false;
+        let (mut braces, mut brackets) = (0i32, 0i32);
+        for c in t.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => braces += 1,
+                '}' if !in_str => braces -= 1,
+                '[' if !in_str => brackets += 1,
+                ']' if !in_str => brackets -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!((braces, brackets), (0, 0));
+    }
+
+    #[test]
+    fn deterministic_export_ordering() {
+        let build = |order: &[u32]| {
+            let obs = Obs::enabled();
+            for &lane in order {
+                obs.record_span(Layer::Core, "s", lane, lane as f64, 2.0, &[]);
+            }
+            obs.chrome_trace()
+        };
+        assert_eq!(build(&[2, 0, 1]), build(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn nonfinite_args_serialize_as_null() {
+        let obs = Obs::enabled();
+        obs.record_span(Layer::App, "s", 0, 0.0, 1.0, &[("bad", f64::NAN)]);
+        let t = obs.chrome_trace();
+        assert!(t.contains("\"bad\":null"));
+        assert!(!t.contains("NaN"));
+    }
+}

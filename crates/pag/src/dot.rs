@@ -42,7 +42,7 @@ impl Default for DotOptions {
 /// Render a PAG to DOT.
 pub fn to_dot(pag: &Pag, opts: &DotOptions) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(pag.name()));
+    let _ = writeln!(out, "digraph \"{}\" {{", escape_dot(pag.name()));
     let _ = writeln!(out, "  rankdir=TB;");
     let _ = writeln!(
         out,
@@ -69,7 +69,7 @@ pub fn to_dot(pag: &Pag, opts: &DotOptions) -> String {
 
     for &v in selected.iter().take(opts.max_vertices) {
         let data = pag.vertex(v);
-        let mut label = format!("{}\\n[{}]", sanitize(&data.name), data.label.name());
+        let mut label = format!("{}\\n[{}]", escape_dot(&data.name), data.label.name());
         if opts.show_props {
             for (k, val) in data.props.iter() {
                 if k == keys::NAME {
@@ -117,8 +117,15 @@ fn heat_color(h: f64) -> String {
     format!("\"0.0,{:.3},1.0\"", h)
 }
 
-fn sanitize(s: &str) -> String {
-    s.replace('"', "'").replace('\\', "/")
+/// Escape a string for use inside a DOT double-quoted string: backslashes
+/// and quotes are escaped, newlines become literal `\n` line breaks. The
+/// content round-trips — unlike a lossy replacement, a name containing
+/// `"` or `\` renders exactly as written. Shared by every DOT emitter in
+/// the workspace (re-exported as `pag::escape_dot`).
+pub fn escape_dot(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -194,5 +201,28 @@ mod tests {
     fn heat_color_bounds() {
         assert_eq!(heat_color(-1.0), "\"0.0,0.000,1.0\"");
         assert_eq!(heat_color(2.0), "\"0.0,1.000,1.0\"");
+    }
+
+    #[test]
+    fn escape_preserves_content() {
+        assert_eq!(escape_dot(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_dot("x\ny"), "x\\ny");
+        assert_eq!(escape_dot("plain"), "plain");
+    }
+
+    #[test]
+    fn dot_escapes_quotes_backslashes_newlines() {
+        let mut g = Pag::new(ViewKind::TopDown, "ti\"tle\\x");
+        g.add_vertex(VertexLabel::Compute, "evil \"name\"\nwith\\slash");
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("digraph \"ti\\\"tle\\\\x\""), "{dot}");
+        assert!(dot.contains("evil \\\"name\\\"\\nwith\\\\slash"), "{dot}");
+        // The old lossy mangling ("→', \→/) must be gone.
+        assert!(!dot.contains("evil 'name'"));
+        assert!(!dot.contains("with/slash"));
+        // No raw newline survives inside any emitted line.
+        for line in dot.lines() {
+            assert!(!line.contains("evil \"name\""), "unescaped: {line}");
+        }
     }
 }

@@ -28,13 +28,16 @@ pub mod dot;
 pub mod graph;
 pub mod ids;
 pub mod label;
+pub mod ord;
 pub mod props;
 pub mod serialize;
 pub mod stats;
 
+pub use dot::escape_dot;
 pub use graph::{EdgeData, Pag, VertexData};
 pub use ids::{EdgeId, ProcId, ThreadId, VertexId};
 pub use label::{CallKind, CommKind, EdgeLabel, VertexLabel};
+pub use ord::{desc_nan_last, nan_smallest};
 pub use props::{keys, PropMap, PropValue};
 pub use stats::VertexStats;
 

@@ -1,0 +1,83 @@
+//! NaN-tolerant total orderings for metric values.
+//!
+//! Performance metrics flowing out of degraded runs (PMU corruption,
+//! sample loss, 0/0 derived metrics) can be NaN; sorting passes must not
+//! panic on them and must stay deterministic. These comparators define a
+//! total order in which **every NaN compares below every number**
+//! (including −∞), so a descending hotspot sort always pushes NaN
+//! entries to the end — regardless of NaN sign/payload bits, which is
+//! why this is not a plain [`f64::total_cmp`] (there `+NaN` sorts
+//! *above* `+∞` and would win a descending sort).
+
+use std::cmp::Ordering;
+
+/// Total order on `f64` with NaN smallest: `NaN < -∞ < … < +∞`.
+/// Non-NaN values compare by [`f64::total_cmp`] (so `-0.0 < +0.0`,
+/// deterministically).
+pub fn nan_smallest(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Descending comparator for hotspot-style sorts: larger values first,
+/// NaN always last. `slice.sort_by(|a, b| desc_nan_last(*a, *b))` yields
+/// `[+∞, …, -∞, NaN, NaN]`.
+pub fn desc_nan_last(a: f64, b: f64) -> Ordering {
+    nan_smallest(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_sorts_below_everything() {
+        assert_eq!(nan_smallest(f64::NAN, f64::NEG_INFINITY), Ordering::Less);
+        assert_eq!(nan_smallest(f64::NEG_INFINITY, f64::NAN), Ordering::Greater);
+        assert_eq!(nan_smallest(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_smallest(-f64::NAN, 0.0), Ordering::Less);
+        assert_eq!(nan_smallest(1.0, 2.0), Ordering::Less);
+    }
+
+    #[test]
+    fn descending_puts_nan_last() {
+        let mut v = [
+            1.0,
+            f64::NAN,
+            f64::INFINITY,
+            -3.0,
+            f64::NEG_INFINITY,
+            -f64::NAN,
+        ];
+        v.sort_by(|a, b| desc_nan_last(*a, *b));
+        assert_eq!(v[0], f64::INFINITY);
+        assert_eq!(v[1], 1.0);
+        assert_eq!(v[2], -3.0);
+        assert_eq!(v[3], f64::NEG_INFINITY);
+        assert!(v[4].is_nan() && v[5].is_nan());
+    }
+
+    #[test]
+    fn total_and_antisymmetric_on_specials() {
+        let vals = [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.5,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let ab = nan_smallest(a, b);
+                let ba = nan_smallest(b, a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+}

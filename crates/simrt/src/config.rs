@@ -156,6 +156,11 @@ pub struct RunConfig {
     /// the engine runs the same phase algorithm and merges per-rank
     /// shards in rank order — so this is purely a wall-clock knob.
     pub sim_workers: Option<usize>,
+    /// Observability handle. Disabled by default: the engine then takes
+    /// no timestamps and records no spans, and simulation results are
+    /// byte-identical to an unobserved run either way (spans measure the
+    /// *host* clock, never virtual time).
+    pub obs: obs::Obs,
 }
 
 impl RunConfig {
@@ -171,7 +176,15 @@ impl RunConfig {
             rank_slowdown: HashMap::new(),
             faults: FaultPlan::default(),
             sim_workers: None,
+            obs: obs::Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle; the engine records phase,
+    /// per-rank-segment and merge spans on it (host wall-clock).
+    pub fn with_obs(mut self, obs: obs::Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Pin the simulation worker-pool size (`1` = serial).

@@ -52,6 +52,9 @@ const MAX_CALL_DEPTH: usize = 256;
 /// hung ranks, the ranks blocked behind them and the virtual time — the
 /// quiescence watchdog's triage of an otherwise silent stall.
 pub fn simulate(prog: &Program, cfg: &RunConfig) -> Result<RunData, SimError> {
+    // Span measures host wall-clock only; the simulation's virtual clocks
+    // and all collected data are unaffected by observation.
+    let _span = cfg.obs.span(obs::Layer::Simrt, "simulate", 0);
     let mut params = prog.default_params.clone();
     params.extend(cfg.params.iter().map(|(k, v)| (k.clone(), *v)));
     let mut engine = Engine::new(prog, cfg, params);
@@ -335,6 +338,7 @@ struct SegCtx<'a, 'p> {
 impl<'a, 'p> SegCtx<'a, 'p> {
     /// Run one rank until it blocks, finishes, faults or errors.
     fn run_segment(&self, rc: &mut RankCtx<'p>) {
+        let t0 = self.cfg.obs.now_us();
         loop {
             // A scheduled crash/hang fires at the first event boundary at
             // or after its virtual time.
@@ -349,6 +353,17 @@ impl<'a, 'p> SegCtx<'a, 'p> {
                     break;
                 }
             }
+        }
+        if self.cfg.obs.is_enabled() {
+            self.cfg.obs.record_span(
+                obs::Layer::Simrt,
+                "segment",
+                rc.state.rank,
+                t0,
+                self.cfg.obs.now_us(),
+                &[("vclock_us", rc.state.clock)],
+            );
+            self.cfg.obs.count("simrt.segments", 1);
         }
     }
 
@@ -916,6 +931,7 @@ impl<'a, 'p> Sched<'a, 'p> {
     fn drive(&mut self, pool: Option<(&PoolCtrl, usize)>) -> Result<(), SimError> {
         let n = self.rankctxs.len();
         let mut runnable = vec![false; n];
+        let mut phase_idx: u64 = 0;
         loop {
             // Phase start: snapshot who can run and who is (already) dead.
             let mut progressed = false;
@@ -928,6 +944,7 @@ impl<'a, 'p> Sched<'a, 'p> {
             // (serial) or strided across the pool — bit-identical by
             // construction since segments touch only rank-local state.
             if progressed {
+                let t0 = self.cfg.obs.now_us();
                 match pool {
                     Some((ctrl, nworkers)) => ctrl.run_phase(nworkers, &runnable, &self.crashed),
                     None => {
@@ -944,6 +961,19 @@ impl<'a, 'p> Sched<'a, 'p> {
                         }
                     }
                 }
+                if self.cfg.obs.is_enabled() {
+                    let nrun = runnable.iter().filter(|&&x| x).count();
+                    self.cfg.obs.record_span(
+                        obs::Layer::Simrt,
+                        "phase",
+                        0,
+                        t0,
+                        self.cfg.obs.now_us(),
+                        &[("phase", phase_idx as f64), ("runnable", nrun as f64)],
+                    );
+                    self.cfg.obs.count("simrt.phases", 1);
+                }
+                phase_idx += 1;
             }
             // Errors surface in rank order, independent of scheduling.
             for m in self.rankctxs {
@@ -1793,6 +1823,8 @@ impl<'p> Engine<'p> {
 
     /// Fold the per-rank shards into one [`RunData`], in rank order.
     fn finish(self) -> RunData {
+        let cfg = self.cfg;
+        let _span = cfg.obs.span(obs::Layer::Simrt, "merge_shards", 0);
         if self.rankctxs.is_empty() {
             return Collector::new(
                 self.cfg.collection.clone(),

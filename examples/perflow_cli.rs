@@ -12,16 +12,17 @@
 //! ```
 
 use perflow::paradigms::{
-    contention_diagnosis, critical_path_paradigm, iterative_causal, mpi_profiler,
-    scalability_analysis,
+    comm_analysis_graph, contention_diagnosis, critical_path_paradigm, iterative_causal,
+    mpi_profiler, scalability_analysis,
 };
-use perflow::{PerFlow, Report, RunHandleExt};
+use perflow::{Obs, PassCache, PerFlow, Report, RunHandleExt};
 use simrt::{FaultPlan, RunConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: perflow-cli <workload|list> [--paradigm mpip|hotspot|scalability|critical-path|causal|contention]\n\
          \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]\n\
+         \x20                [--trace-out FILE] [--metrics]\n\
          \x20                [--crash RANK@US] [--hang RANK@US] [--sample-loss RATE]\n\
          \x20                [--msg-drop RATE@DELAY_US] [--pmu-corrupt RATE] [--truncate-stacks DEPTH]"
     );
@@ -97,6 +98,8 @@ fn main() {
     let mut threads = 1u32;
     let mut seed = 0x5EEDu64;
     let mut dot = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
     let mut faults = FaultPlan::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -117,6 +120,8 @@ fn main() {
             "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--dot" => dot = true,
+            "--trace-out" => trace_out = Some(val("--trace-out")),
+            "--metrics" => metrics = true,
             "--crash" => {
                 let (r, t) = rank_at("--crash", &val("--crash"));
                 faults = faults.crash_rank(r, t);
@@ -156,10 +161,16 @@ fn main() {
     }
 
     let pflow = PerFlow::new();
+    let obs = if trace_out.is_some() || metrics {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
     let cfg = RunConfig::new(ranks)
         .with_threads(threads)
         .with_seed(seed)
-        .with_faults(faults);
+        .with_faults(faults)
+        .with_obs(obs.clone());
     let run = pflow.run(&prog, &cfg).unwrap_or_else(|e| {
         eprintln!("run failed: {e}");
         std::process::exit(1);
@@ -226,6 +237,39 @@ fn main() {
         }
     };
     println!("\n{}", report.render());
+
+    if obs.is_enabled() {
+        // Run the standard communication-analysis PerFlowGraph under the
+        // observed scheduler so the trace covers the core layer too.
+        let _app = obs.span(perflow::Layer::App, "comm-analysis-graph", 0);
+        let cache = PassCache::new();
+        let (g, nodes) = comm_analysis_graph(run.vertices()).unwrap_or_else(|e| {
+            eprintln!("comm-analysis graph construction failed: {e}");
+            std::process::exit(1)
+        });
+        let out = g
+            .execute_observed_with(&obs, Some(&cache), None)
+            .unwrap_or_else(|e| {
+                eprintln!("comm-analysis graph failed: {e}");
+                std::process::exit(1)
+            });
+        debug_assert!(!out.of(nodes.report).is_empty());
+        drop(_app);
+        if metrics {
+            print!("\n{}", out.metrics.render());
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, obs.chrome_trace()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            });
+            eprintln!(
+                "wrote {} spans ({} dropped) to {path}",
+                obs.spans().len(),
+                obs.dropped_spans()
+            );
+        }
+    }
 
     if dot {
         let hot = pflow.hotspot_detection(&run.vertices(), 25);
