@@ -51,6 +51,17 @@ pub fn static_analysis(prog: &Program) -> StaticPag {
     };
     let root = s.instantiate_function(None, prog.entry, &mut Vec::new());
     s.pag.set_root(root);
+    // Stitching must always produce a well-formed top-down tree; the
+    // invariant checker is the authority on what that means.
+    #[cfg(debug_assertions)]
+    {
+        let diags = verify::check_pag(&s.pag);
+        debug_assert!(
+            !diags.has_errors(),
+            "static_analysis built an invalid PAG:\n{}",
+            diags.render_text()
+        );
+    }
     StaticPag {
         pag: s.pag,
         child_map: s.child_map,

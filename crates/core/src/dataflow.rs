@@ -25,6 +25,7 @@ use crate::error::PerFlowError;
 use crate::metrics::{PassMetric, RunMetrics};
 use crate::pass::{Pass, PassCx, SourcePass};
 use crate::value::Value;
+use verify::{lint_graph, Diagnostics, GraphShape, NodeShape, WireShape};
 
 /// Identifier of a node within one [`PerFlowGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -241,9 +242,46 @@ impl PerFlowGraph {
         self.run_scheduler(cache, workers.map(|w| w.max(1)), obs)
     }
 
+    /// Structural snapshot of this graph for the static linter: node
+    /// names, arities, fingerprint availability, and wires — everything
+    /// `verify::lint_graph` inspects, nothing it could execute.
+    pub fn shape(&self) -> GraphShape {
+        GraphShape {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeShape {
+                    name: n.pass.name().to_string(),
+                    arity: n.pass.arity(),
+                    has_fingerprint: n.pass.fingerprint().is_some(),
+                })
+                .collect(),
+            wires: self
+                .wires
+                .iter()
+                .map(|w| WireShape {
+                    from: w.from.0,
+                    out_port: w.out_port,
+                    to: w.to.0,
+                    in_port: w.in_port,
+                })
+                .collect(),
+        }
+    }
+
+    /// Run the static linter over this graph without executing it. The
+    /// `execute*` methods run this as a pre-flight gate and refuse to
+    /// schedule anything when it reports errors; warnings and infos
+    /// never block execution.
+    pub fn lint(&self) -> Diagnostics {
+        lint_graph(&self.shape())
+    }
+
     /// Validate wiring: contiguous input ports starting at 0, and at
     /// least `arity()` of them. Pure structure check, independent of
-    /// scheduling; returns per-node sorted input wires.
+    /// scheduling; returns per-node sorted input wires. Defense-in-depth
+    /// behind the pre-flight lint, which reports the same conditions as
+    /// `PF0002`/`PF0003`/`PF0004` diagnostics with full context.
     fn validate_wiring(&self) -> Result<Vec<Vec<Wire>>, PerFlowError> {
         let n = self.nodes.len();
         let mut wires_in: Vec<Vec<Wire>> = vec![Vec::new(); n];
@@ -254,16 +292,34 @@ impl PerFlowGraph {
             ws.sort_by_key(|w| w.in_port);
             for (expect, w) in ws.iter().enumerate() {
                 if w.in_port != expect {
-                    return Err(PerFlowError::MissingInput {
+                    // Sorted ports: below the rank means a duplicate,
+                    // above it means a gap.
+                    let (port, problem) = if w.in_port < expect {
+                        (w.in_port, "has more than one producer".to_string())
+                    } else {
+                        (
+                            expect,
+                            format!("has no producer (next wired port is {})", w.in_port),
+                        )
+                    };
+                    return Err(PerFlowError::BadWiring {
                         pass: self.nodes[i].pass.name().to_string(),
-                        port: expect,
+                        node: i,
+                        port,
+                        problem,
                     });
                 }
             }
-            if ws.len() < self.nodes[i].pass.arity() {
-                return Err(PerFlowError::MissingInput {
+            let arity = self.nodes[i].pass.arity();
+            if ws.len() < arity {
+                return Err(PerFlowError::BadWiring {
                     pass: self.nodes[i].pass.name().to_string(),
+                    node: i,
                     port: ws.len(),
+                    problem: format!(
+                        "has no producer (pass declares arity {arity}, only {} wired)",
+                        ws.len()
+                    ),
                 });
             }
         }
@@ -309,6 +365,14 @@ impl PerFlowGraph {
                 trail: Vec::new(),
                 metrics: RunMetrics::default(),
             });
+        }
+        // Pre-flight static gate: refuse to schedule structurally broken
+        // graphs (cycles, missing inputs, port gaps, …) with localized
+        // diagnostics instead of stalling or failing mid-run. Lint
+        // warnings/infos never block execution.
+        let diagnostics = self.lint();
+        if diagnostics.has_errors() {
+            return Err(PerFlowError::Rejected { diagnostics });
         }
         let wires_in = self.validate_wiring()?;
         let mut out_wires: Vec<Vec<Wire>> = vec![Vec::new(); n];
@@ -673,13 +737,27 @@ mod tests {
     }
 
     #[test]
-    fn cycle_detected() {
+    fn cycle_rejected_preflight_with_named_ring() {
         let mut g = PerFlowGraph::new();
         let id1 = g.add_pass(FnPass::new("id1", 1, |i: &[Value]| Ok(vec![i[0].clone()])));
         let id2 = g.add_pass(FnPass::new("id2", 1, |i: &[Value]| Ok(vec![i[0].clone()])));
         g.pipe(id1, id2).unwrap();
         g.pipe(id2, id1).unwrap();
-        assert!(matches!(g.execute(), Err(PerFlowError::CyclicGraph)));
+        // The pre-flight lint names the cycle members instead of letting
+        // the scheduler stall into a bare CyclicGraph error.
+        match g.execute() {
+            Err(PerFlowError::Rejected { diagnostics }) => {
+                let cyc = diagnostics
+                    .items()
+                    .iter()
+                    .find(|d| d.code == verify::codes::CYCLE)
+                    .expect("cycle diagnostic");
+                assert!(cyc.message.contains("`id1`"), "{}", cyc.message);
+                assert!(cyc.message.contains("`id2`"), "{}", cyc.message);
+            }
+            Err(other) => panic!("expected Rejected, got {other:?}"),
+            Ok(_) => panic!("expected Rejected, graph executed"),
+        }
     }
 
     #[test]
@@ -698,10 +776,16 @@ mod tests {
         let a = g.add_source(1.0);
         let sum = g.add_pass(add_pass()); // needs 2 inputs
         g.connect(a, 0, sum, 0).unwrap();
-        assert!(matches!(
-            g.execute(),
-            Err(PerFlowError::MissingInput { .. })
-        ));
+        match g.execute() {
+            Err(PerFlowError::Rejected { diagnostics }) => {
+                let m = diagnostics.first_error().unwrap();
+                assert_eq!(m.code, verify::codes::MISSING_INPUT);
+                assert!(m.message.contains("`add`"), "{}", m.message);
+                assert!(m.message.contains("port 1"), "{}", m.message);
+            }
+            Err(other) => panic!("expected Rejected, got {other:?}"),
+            Ok(_) => panic!("expected Rejected, graph executed"),
+        }
     }
 
     #[test]
@@ -811,9 +895,53 @@ mod tests {
         let a = g.add_source(1.0);
         let sum = g.add_pass(add_pass());
         g.connect(a, 0, sum, 1).unwrap(); // port 0 never wired
-        assert!(matches!(
-            g.execute(),
-            Err(PerFlowError::MissingInput { .. })
-        ));
+        match g.execute() {
+            Err(PerFlowError::Rejected { diagnostics }) => {
+                let m = diagnostics.first_error().unwrap();
+                assert_eq!(m.code, verify::codes::MISSING_INPUT);
+                assert!(m.message.contains("port 0"), "{}", m.message);
+            }
+            Err(other) => panic!("expected Rejected, got {other:?}"),
+            Ok(_) => panic!("expected Rejected, graph executed"),
+        }
+    }
+
+    #[test]
+    fn validate_wiring_reports_node_and_port() {
+        // Exercise the defense-in-depth wiring check directly (the
+        // pre-flight lint normally rejects such graphs first).
+        let mut g = PerFlowGraph::new();
+        let a = g.add_source(1.0);
+        let sum = g.add_pass(add_pass());
+        g.connect(a, 0, sum, 1).unwrap();
+        match g.validate_wiring() {
+            Err(PerFlowError::BadWiring {
+                pass,
+                node,
+                port,
+                problem,
+            }) => {
+                assert_eq!(pass, "add");
+                assert_eq!(node, sum.0);
+                assert_eq!(port, 0);
+                assert!(problem.contains("no producer"), "{problem}");
+            }
+            other => panic!("expected BadWiring, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_is_exposed_without_execution() {
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(1.0);
+        let id = g.add_pass(FnPass::new("id", 1, |i: &[Value]| Ok(vec![i[0].clone()])));
+        g.pipe(s, id).unwrap();
+        let d = g.lint();
+        assert!(!d.has_errors(), "{}", d.render_text());
+        // The closure pass has no fingerprint → cache-effectiveness warn.
+        assert!(d
+            .items()
+            .iter()
+            .any(|x| x.code == verify::codes::NO_FINGERPRINT));
     }
 }

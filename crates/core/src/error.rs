@@ -21,8 +21,30 @@ pub enum PerFlowError {
         /// Missing port index.
         port: usize,
     },
-    /// The PerFlowGraph contains a cycle.
+    /// The PerFlowGraph contains a cycle. Defense-in-depth: the
+    /// pre-flight lint rejects cyclic graphs with named cycle members
+    /// ([`PerFlowError::Rejected`]) before the scheduler can stall, so
+    /// this is only reachable if the lint is bypassed.
     CyclicGraph,
+    /// The pre-flight static lint rejected the graph before execution:
+    /// at least one diagnostic at error severity (cycle, missing input,
+    /// non-contiguous ports, …). The full sorted findings ride along.
+    Rejected {
+        /// Lint findings; [`verify::Diagnostics::has_errors`] is true.
+        diagnostics: verify::Diagnostics,
+    },
+    /// A node's input wiring is structurally invalid (missing, gapped,
+    /// or duplicated port). Defense-in-depth behind the pre-flight lint.
+    BadWiring {
+        /// Display name of the affected pass.
+        pass: String,
+        /// Node index within the graph.
+        node: usize,
+        /// The exact offending port index.
+        port: usize,
+        /// What is wrong with that port.
+        problem: String,
+    },
     /// An input port received more than one incoming edge.
     PortConflict {
         /// Node whose port is multiply connected.
@@ -71,6 +93,23 @@ impl std::fmt::Display for PerFlowError {
                 write!(f, "pass {pass}: missing input on port {port}")
             }
             PerFlowError::CyclicGraph => write!(f, "PerFlowGraph contains a cycle"),
+            PerFlowError::Rejected { diagnostics } => {
+                write!(
+                    f,
+                    "graph rejected by pre-flight lint ({})",
+                    diagnostics.summary()
+                )?;
+                if let Some(first) = diagnostics.first_error() {
+                    write!(f, ": {}", first.render_text())?;
+                }
+                Ok(())
+            }
+            PerFlowError::BadWiring {
+                pass,
+                node,
+                port,
+                problem,
+            } => write!(f, "pass {pass} (node {node}): input port {port} {problem}"),
             PerFlowError::PortConflict { node, port } => {
                 write!(f, "node {node} port {port} has multiple producers")
             }
@@ -123,6 +162,33 @@ mod tests {
                 &["imbalance_analysis", "port 1"],
             ),
             (PerFlowError::CyclicGraph, &["cycle"]),
+            (
+                {
+                    let mut d = verify::Diagnostics::new();
+                    d.push(
+                        verify::codes::CYCLE,
+                        verify::Severity::Error,
+                        verify::Anchor::Node {
+                            id: 0,
+                            name: "id1".into(),
+                        },
+                        "data-flow cycle through 2 node(s)",
+                    );
+                    PerFlowError::Rejected {
+                        diagnostics: d.finish(),
+                    }
+                },
+                &["pre-flight lint", "1 error", "PF0001", "id1"],
+            ),
+            (
+                PerFlowError::BadWiring {
+                    pass: "differential_analysis".into(),
+                    node: 5,
+                    port: 1,
+                    problem: "has no producer".into(),
+                },
+                &["differential_analysis", "node 5", "port 1", "no producer"],
+            ),
             (
                 PerFlowError::PortConflict { node: 3, port: 0 },
                 &["node 3", "port 0"],

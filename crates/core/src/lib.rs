@@ -70,3 +70,5 @@ pub use pass::{Pass, PassCx};
 pub use report::Report;
 pub use set::{EdgeSet, VertexSet};
 pub use value::Value;
+pub use verify;
+pub use verify::{Anchor, Diagnostic, Diagnostics, Severity};

@@ -119,6 +119,12 @@ impl Pass for BacktrackingPass {
         let (v, e) = backtracking(set, self.max_steps);
         Ok(vec![v.into(), e.into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.u64(self.max_steps as u64);
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -172,6 +172,12 @@ impl Pass for BreakdownPass {
         let (causes, report, _) = breakdown(set, self.threshold);
         Ok(vec![causes.into(), report.into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.u64(self.threshold.to_bits());
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -150,6 +150,14 @@ impl Pass for CausalPass {
         let (causes, edges) = causal(set, &self.cfg);
         Ok(vec![causes.into(), edges.into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.u64(self.cfg.restrict_to_input as u64);
+        h.u64(self.cfg.resolve_to_compute as u64);
+        h.u64(self.cfg.max_pairs as u64);
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -103,6 +103,17 @@ impl Pass for ContentionPass {
         let (v, e, _) = contention(set, self.pattern.clone(), self.max_per_anchor);
         Ok(vec![v.into(), e.into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        // Custom patterns have no stable content hash; fall back to
+        // node-instance identity for those.
+        if self.pattern.is_some() {
+            return None;
+        }
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.u64(self.max_per_anchor as u64);
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

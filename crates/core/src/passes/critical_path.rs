@@ -113,6 +113,11 @@ impl Pass for CriticalPathPass {
         let (v, e, w) = critical_path_analysis(set)?;
         Ok(vec![v.into(), e.into(), Value::Num(w)])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

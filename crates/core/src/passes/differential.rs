@@ -97,6 +97,12 @@ impl Pass for DifferentialPass {
         let right = expect_vertices(self, inputs, 1)?;
         Ok(vec![differential_sets(left, right, self.scale)?.into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.u64(self.scale.to_bits());
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,26 @@ impl Pass for FilterPass {
         };
         Ok(vec![out.into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        match &self.spec {
+            FilterSpec::Name(p) => {
+                h.u64(0);
+                h.str(p);
+            }
+            FilterSpec::Label(l) => {
+                h.u64(1);
+                h.str(l.name());
+            }
+            FilterSpec::MetricAtLeast(m, min) => {
+                h.u64(2);
+                h.str(m);
+                h.u64(min.to_bits());
+            }
+        }
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,13 @@ impl Pass for HotspotPass {
         let set = expect_vertices(self, inputs, 0)?;
         Ok(vec![hotspot(set, &self.metric, self.n).into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.str(&self.metric);
+        h.u64(self.n as u64);
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

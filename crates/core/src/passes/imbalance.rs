@@ -111,6 +111,12 @@ impl Pass for ImbalancePass {
         let set = expect_vertices(self, inputs, 0)?;
         Ok(vec![imbalance(set, self.threshold).into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.u64(self.threshold.to_bits());
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,17 @@ impl Pass for ReportPass {
         let attrs: Vec<&str> = self.attrs.iter().map(String::as_str).collect();
         Ok(vec![report_sets(&self.title, &sets, &attrs).into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.str(&self.title);
+        h.u64(self.attrs.len() as u64);
+        for a in &self.attrs {
+            h.str(a);
+        }
+        h.u64(self.inputs as u64);
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

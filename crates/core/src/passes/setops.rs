@@ -63,6 +63,12 @@ impl Pass for UnionPass {
         };
         Ok(vec![out.into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        // The display name is distinct per operation.
+        h.str(self.name());
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -154,6 +154,12 @@ impl Pass for WaitStatePass {
         let (subset, report, _) = wait_states(set, self.threshold);
         Ok(vec![subset.into(), report.into()])
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = crate::value::Fnv::new();
+        h.str(self.name());
+        h.u64(self.threshold.to_bits());
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

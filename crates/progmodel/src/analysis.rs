@@ -1,17 +1,19 @@
 //! Static structure queries over a program model — the information
 //! Dyninst-style binary analysis provides (§3.2): the call graph, recursion
-//! detection, and the inventory of call sites whose targets cannot be
-//! resolved statically.
+//! detection, dead-code detection, and the inventory of call sites whose
+//! targets cannot be resolved statically.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use crate::program::{CallTarget, FuncId, Program, StmtKind};
 
 /// Static call graph: for each function, the statically-known callees.
 /// Indirect call sites contribute *all* candidates but are also reported
-/// separately so the dynamic phase can refine them.
-pub fn call_graph(p: &Program) -> HashMap<FuncId, Vec<FuncId>> {
-    let mut cg: HashMap<FuncId, Vec<FuncId>> = HashMap::new();
+/// separately so the dynamic phase can refine them. The result is a
+/// `BTreeMap` with sorted, deduplicated callee lists, so iteration order
+/// (and everything derived from it, e.g. lint output) is deterministic.
+pub fn call_graph(p: &Program) -> BTreeMap<FuncId, Vec<FuncId>> {
+    let mut cg: BTreeMap<FuncId, Vec<FuncId>> = BTreeMap::new();
     for f in &p.functions {
         cg.entry(f.id).or_default();
     }
@@ -31,29 +33,128 @@ pub fn call_graph(p: &Program) -> HashMap<FuncId, Vec<FuncId>> {
     cg
 }
 
+/// Functions reachable from `entry` via the static call graph.
+fn reachable_from(cg: &BTreeMap<FuncId, Vec<FuncId>>, entry: FuncId) -> HashSet<FuncId> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![entry];
+    seen.insert(entry);
+    while let Some(f) = stack.pop() {
+        for &callee in cg.get(&f).into_iter().flatten() {
+            if seen.insert(callee) {
+                stack.push(callee);
+            }
+        }
+    }
+    seen
+}
+
+/// Functions that can never execute: unreachable from the program entry
+/// via the static call graph (including indirect-call candidates, so a
+/// function is only "dead" if *no* call site could possibly target it).
+/// Sorted by id for deterministic output.
+pub fn dead_functions(p: &Program) -> Vec<FuncId> {
+    let cg = call_graph(p);
+    let live = reachable_from(&cg, p.entry);
+    let mut dead: Vec<FuncId> = p
+        .functions
+        .iter()
+        .map(|f| f.id)
+        .filter(|id| !live.contains(id))
+        .collect();
+    dead.sort();
+    dead
+}
+
 /// Functions participating in call-graph cycles (directly or mutually
 /// recursive). Their call sites get the `Recursive` call kind in the PAG.
+///
+/// One Tarjan SCC pass over the call graph: a function is recursive iff
+/// its SCC has more than one member, or it is a singleton with a
+/// self-call.
 pub fn recursive_functions(p: &Program) -> HashSet<FuncId> {
     let cg = call_graph(p);
+    // Dense indexing for the SCC pass.
+    let ids: Vec<FuncId> = cg.keys().copied().collect();
+    let index_of: BTreeMap<FuncId, usize> = ids.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    let succ: Vec<Vec<usize>> = ids
+        .iter()
+        .map(|f| {
+            cg[f]
+                .iter()
+                .filter_map(|c| index_of.get(c).copied())
+                .collect()
+        })
+        .collect();
+
     let mut recursive = HashSet::new();
-    // A function is recursive iff it can reach itself in the call graph.
-    for &start in cg.keys() {
-        let mut stack = vec![start];
-        let mut seen = HashSet::new();
-        while let Some(f) = stack.pop() {
-            for &callee in cg.get(&f).into_iter().flatten() {
-                if callee == start {
-                    recursive.insert(start);
-                    stack.clear();
-                    break;
+    for scc in tarjan_sccs(&succ) {
+        let cyclic = scc.len() > 1 || succ[scc[0]].contains(&scc[0]);
+        if cyclic {
+            recursive.extend(scc.into_iter().map(|i| ids[i]));
+        }
+    }
+    recursive
+}
+
+/// Iterative Tarjan strongly-connected components over a dense adjacency
+/// list (no recursion: deep call chains must not overflow the stack).
+fn tarjan_sccs(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succ.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < succ[v].len() {
+                let w = succ[v][*child];
+                *child += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
                 }
-                if seen.insert(callee) {
-                    stack.push(callee);
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
                 }
             }
         }
     }
-    recursive
+    sccs
 }
 
 /// Summary of what static analysis could and could not resolve.
@@ -104,19 +205,8 @@ pub fn static_summary(p: &Program) -> StaticSummary {
             _ => {}
         }
     });
-    // Reachability from entry.
     let cg = call_graph(p);
-    let mut seen = HashSet::new();
-    let mut stack = vec![p.entry];
-    seen.insert(p.entry);
-    while let Some(f) = stack.pop() {
-        for &callee in cg.get(&f).into_iter().flatten() {
-            if seen.insert(callee) {
-                stack.push(callee);
-            }
-        }
-    }
-    s.reachable_functions = seen.len();
+    s.reachable_functions = reachable_from(&cg, p.entry).len();
     s
 }
 
@@ -157,6 +247,19 @@ mod tests {
     }
 
     #[test]
+    fn call_graph_iteration_is_deterministic() {
+        let p = sample();
+        let a: Vec<_> = call_graph(&p).into_iter().collect();
+        let b: Vec<_> = call_graph(&p).into_iter().collect();
+        assert_eq!(a, b);
+        // Keys come out sorted by id.
+        let keys: Vec<FuncId> = a.iter().map(|(f, _)| *f).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
     fn recursion_detected() {
         let p = sample();
         let rec = recursive_functions(&p);
@@ -166,6 +269,17 @@ mod tests {
         assert!(names.contains("baz"));
         assert!(!names.contains("main"));
         assert!(!names.contains("dead"));
+    }
+
+    #[test]
+    fn dead_functions_reports_unreachable_only() {
+        let p = sample();
+        let dead = dead_functions(&p);
+        let names: Vec<&str> = dead.iter().map(|&f| p.function(f).name.as_ref()).collect();
+        assert_eq!(names, vec!["dead"]);
+        // Indirect candidates count as live.
+        assert!(!names.contains(&"bar"));
+        assert!(!names.contains(&"baz"));
     }
 
     #[test]

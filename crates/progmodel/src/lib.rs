@@ -24,7 +24,7 @@ pub mod expr;
 pub mod pretty;
 pub mod program;
 
-pub use analysis::{call_graph, recursive_functions, StaticSummary};
+pub use analysis::{call_graph, dead_functions, recursive_functions, StaticSummary};
 pub use builder::{FuncBuilder, ProgramBuilder};
 pub use expr::{c, iter, noise, nranks, nthreads, param, rank, thread, EvalCtx, Expr};
 pub use pretty::pretty;

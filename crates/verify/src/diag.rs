@@ -1,0 +1,391 @@
+//! The diagnostics framework: stable codes, severities, source anchors,
+//! deterministic ordering, and text/JSON rendering.
+//!
+//! Diagnostics are *data*, not log lines: analyzers return a
+//! [`Diagnostics`] collection and callers decide how to surface it — the
+//! engine embeds it in `PerFlowError::Rejected`, the CLI renders text or
+//! JSON, tests match on codes. Two runs of any analyzer over the same
+//! input produce byte-identical renderings: collections sort by
+//! `(code, anchor, message)` before emission.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Severity policy: **error** means the artifact is structurally broken —
+/// executing the graph would fail, or the PAG violates an invariant the
+/// pass library relies on; the pre-flight gate rejects on errors.
+/// **warning** means the artifact is suspicious but executable (duplicate
+/// names, unreachable passes, identity-keyed caching, degraded metrics).
+/// **info** is advisory (an unused output may be intentional).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious but executable.
+    Warn,
+    /// Structurally broken; the pre-flight gate rejects on these.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in text and JSON renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// What a diagnostic points at.
+///
+/// The variant order defines the sort precedence within one code:
+/// whole-graph diagnostics first, then nodes, vertices, edges, functions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Anchor {
+    /// The whole analyzed artifact.
+    Graph,
+    /// One PerFlowGraph node (pass), by id and display name.
+    Node {
+        /// Node index within the graph.
+        id: usize,
+        /// The pass's display name.
+        name: String,
+    },
+    /// One PAG vertex, by id and snippet name.
+    Vertex {
+        /// Vertex id.
+        id: u32,
+        /// Snippet name.
+        name: String,
+    },
+    /// One PAG edge, by id.
+    Edge {
+        /// Edge id.
+        id: u32,
+    },
+    /// One program-model function, by id and name.
+    Func {
+        /// Function id.
+        id: u32,
+        /// Function name.
+        name: String,
+    },
+}
+
+impl fmt::Display for Anchor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anchor::Graph => write!(f, "graph"),
+            Anchor::Node { id, name } => write!(f, "node {id} (`{name}`)"),
+            Anchor::Vertex { id, name } => write!(f, "vertex {id} (`{name}`)"),
+            Anchor::Edge { id } => write!(f, "edge {id}"),
+            Anchor::Func { id, name } => write!(f, "function {id} (`{name}`)"),
+        }
+    }
+}
+
+/// One finding of a static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (see [`crate::codes`]).
+    pub code: &'static str,
+    /// Severity under the policy documented on [`Severity`].
+    pub severity: Severity,
+    /// What the finding points at.
+    pub anchor: Anchor,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as one text line:
+    /// `error[PF0001] node 0 (`a`): data-flow cycle …`.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}[{}] {}: {}",
+            self.severity.name(),
+            self.code,
+            self.anchor,
+            self.message
+        )
+    }
+
+    /// Render as one JSON object with a structured anchor.
+    pub fn render_json(&self) -> String {
+        let anchor = match &self.anchor {
+            Anchor::Graph => "{\"kind\":\"graph\"}".to_string(),
+            Anchor::Node { id, name } => format!(
+                "{{\"kind\":\"node\",\"id\":{id},\"name\":\"{}\"}}",
+                json_escape(name)
+            ),
+            Anchor::Vertex { id, name } => format!(
+                "{{\"kind\":\"vertex\",\"id\":{id},\"name\":\"{}\"}}",
+                json_escape(name)
+            ),
+            Anchor::Edge { id } => format!("{{\"kind\":\"edge\",\"id\":{id}}}"),
+            Anchor::Func { id, name } => format!(
+                "{{\"kind\":\"function\",\"id\":{id},\"name\":\"{}\"}}",
+                json_escape(name)
+            ),
+        };
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"anchor\":{},\"message\":\"{}\"}}",
+            self.code,
+            self.severity.name(),
+            anchor,
+            json_escape(&self.message)
+        )
+    }
+
+    fn sort_key(&self) -> (&'static str, &Anchor, &str) {
+        (self.code, &self.anchor, &self.message)
+    }
+}
+
+/// An ordered collection of diagnostics.
+///
+/// `push` may happen in any analyzer-internal order; the collection sorts
+/// itself on [`Diagnostics::finish`] (and defensively before rendering),
+/// so emission order is independent of analysis order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a finding.
+    pub fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        anchor: Anchor,
+        message: impl Into<String>,
+    ) {
+        self.items.push(Diagnostic {
+            code,
+            severity,
+            anchor,
+            message: message.into(),
+        });
+    }
+
+    /// Absorb another collection.
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Sort into canonical `(code, anchor, message)` order and return
+    /// self — analyzers call this before handing the collection out.
+    pub fn finish(mut self) -> Self {
+        self.items.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        self
+    }
+
+    /// All findings in canonical order.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// True when at least one finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// True when nothing at warning level or above was found — the bar
+    /// the built-in paradigms and examples hold themselves to.
+    pub fn is_clean(&self) -> bool {
+        !self.items.iter().any(|d| d.severity >= Severity::Warn)
+    }
+
+    /// First error in canonical order, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.items.iter().find(|d| d.severity == Severity::Error)
+    }
+
+    /// Short counter summary, e.g. `2 errors, 1 warning, 0 infos`.
+    pub fn summary(&self) -> String {
+        let (e, w, i) = (
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        );
+        let plural = |n: usize| if n == 1 { "" } else { "s" };
+        format!(
+            "{e} error{}, {w} warning{}, {i} info{}",
+            plural(e),
+            plural(w),
+            plural(i)
+        )
+    }
+
+    /// Render as text, one line per finding (empty string when clean).
+    pub fn render_text(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.items.iter().collect();
+        sorted.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let mut out = String::new();
+        for d in sorted {
+            out.push_str(&d.render_text());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a JSON array of diagnostic objects.
+    pub fn render_json(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.items.iter().collect();
+        sorted.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let mut out = String::from("[");
+        for (i, d) in sorted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.render_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostics {
+        let mut d = Diagnostics::new();
+        d.push(
+            "PF0010",
+            Severity::Warn,
+            Anchor::Node {
+                id: 3,
+                name: "b".into(),
+            },
+            "later",
+        );
+        d.push("PF0001", Severity::Error, Anchor::Graph, "first");
+        d.push(
+            "PF0010",
+            Severity::Warn,
+            Anchor::Node {
+                id: 1,
+                name: "a".into(),
+            },
+            "earlier",
+        );
+        d
+    }
+
+    #[test]
+    fn emission_is_sorted_by_code_then_anchor() {
+        let d = sample().finish();
+        let codes: Vec<&str> = d.items().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["PF0001", "PF0010", "PF0010"]);
+        // Within PF0010, node 1 before node 3.
+        assert!(matches!(d.items()[1].anchor, Anchor::Node { id: 1, .. }));
+        let text = d.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("error[PF0001] graph: first"));
+        assert!(lines[1].contains("node 1 (`a`)"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_regardless_of_push_order() {
+        let a = sample().finish();
+        let mut b = Diagnostics::new();
+        // Same findings, reversed push order.
+        for d in sample().items().iter().rev() {
+            b.push(d.code, d.severity, d.anchor.clone(), d.message.clone());
+        }
+        let b = b.finish();
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.render_json(), b.render_json());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_and_summary() {
+        let d = sample().finish();
+        assert_eq!(d.count(Severity::Error), 1);
+        assert_eq!(d.count(Severity::Warn), 2);
+        assert!(d.has_errors());
+        assert!(!d.is_clean());
+        assert_eq!(d.summary(), "1 error, 2 warnings, 0 infos");
+        assert_eq!(d.first_error().unwrap().code, "PF0001");
+        assert!(Diagnostics::new().is_clean());
+        assert!(!Diagnostics::new().has_errors());
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\t\r"), "\\t\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        let mut d = Diagnostics::new();
+        d.push(
+            "PF0001",
+            Severity::Error,
+            Anchor::Node {
+                id: 0,
+                name: "evil \"node\"\n".into(),
+            },
+            "msg with \\ and \"quotes\"",
+        );
+        let json = d.finish().render_json();
+        assert!(json.contains("evil \\\"node\\\"\\n"), "{json}");
+        assert!(json.contains("msg with \\\\ and \\\"quotes\\\""), "{json}");
+        // No raw control characters survive.
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn merge_combines_collections() {
+        let mut a = sample();
+        let mut b = Diagnostics::new();
+        b.push("PF0002", Severity::Error, Anchor::Graph, "merged");
+        a.merge(b);
+        let a = a.finish();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.items()[1].code, "PF0002");
+    }
+}

@@ -1,0 +1,91 @@
+//! # `verify` — static analysis for PerFlow programs and PAGs
+//!
+//! Analysis tasks in PerFlow are *programs*: PerFlowGraphs of passes
+//! operating over Program Abstraction Graphs. Programs deserve static
+//! analysis, and this crate provides it — correctness tooling in the
+//! spirit of ScalAna's graph-contract checking — behind one deterministic
+//! diagnostics framework ([`Diagnostics`]):
+//!
+//! * **PerFlowGraph lint** ([`lint_graph`]) analyzes the *structure* of a
+//!   dataflow graph without executing it: cycle localization that names
+//!   the offending node ring, input-arity and port-contiguity checks,
+//!   unreachable-pass / unused-output / missing-entry detection,
+//!   duplicate node names, and cache-effectiveness advice for passes
+//!   lacking a content fingerprint. The engine runs it as a pre-flight
+//!   gate before every execution.
+//! * **PAG invariant checker** ([`check_pag`]) verifies a constructed
+//!   Program Abstraction Graph: the top-down view's tree invariant
+//!   (`|E| = |V| - 1`, designated root, root-reachability — the Table 2
+//!   property), endpoint sanity, edge-label legality per view, a
+//!   non-negative/NaN metric audit, and completeness-metadata
+//!   consistency from the fault-injection path.
+//! * **Program-model lint** ([`lint_program`]) warns about dead
+//!   (entry-unreachable) functions in a [`progmodel::Program`].
+//!
+//! Every diagnostic carries a stable code (`PF0001`, …), a severity, and
+//! a source anchor (graph node, PAG vertex/edge, or function); emission
+//! order is fully deterministic (sorted by code, anchor, message) and
+//! renders both as human-readable text and machine-readable JSON.
+//!
+//! The crate deliberately depends only on `pag` and `progmodel`: the
+//! dataflow engine hands it a plain structural snapshot
+//! ([`GraphShape`]), so `core` can depend on `verify` without a cycle.
+
+pub mod diag;
+pub mod graph;
+pub mod pag_check;
+pub mod program_lint;
+
+pub use diag::{json_escape, Anchor, Diagnostic, Diagnostics, Severity};
+pub use graph::{lint_graph, GraphShape, NodeShape, WireShape};
+pub use pag_check::check_pag;
+pub use program_lint::lint_program;
+
+/// Stable diagnostic codes emitted by the analyzers in this crate.
+///
+/// `PF00xx` — PerFlowGraph lint; `PF01xx` — PAG invariant checker;
+/// `PF02xx` — program-model lint. Codes are part of the public contract:
+/// tools may match on them, so they are never renumbered.
+pub mod codes {
+    /// Data-flow cycle through the named node ring (error).
+    pub const CYCLE: &str = "PF0001";
+    /// An input port required by a pass's arity has no producer (error).
+    pub const MISSING_INPUT: &str = "PF0002";
+    /// Input ports are not contiguous from 0 (error).
+    pub const PORT_GAP: &str = "PF0003";
+    /// Two wires feed the same input port (error).
+    pub const DUPLICATE_INPUT: &str = "PF0004";
+    /// A wire references a node id outside the graph (error).
+    pub const BAD_NODE_REF: &str = "PF0005";
+    /// Non-empty graph with no entry node at all (error).
+    pub const NO_ENTRY: &str = "PF0006";
+    /// Pass unreachable from every entry node (warning).
+    pub const UNREACHABLE: &str = "PF0007";
+    /// Two non-source nodes share a display name (warning).
+    pub const DUPLICATE_NAME: &str = "PF0008";
+    /// A non-report node's outputs are never consumed (info).
+    pub const UNUSED_OUTPUT: &str = "PF0009";
+    /// Pass lacks a content fingerprint; the pass-result cache falls
+    /// back to object identity (warning).
+    pub const NO_FINGERPRINT: &str = "PF0010";
+
+    /// Edge endpoint out of the vertex range (error).
+    pub const DANGLING_EDGE: &str = "PF0101";
+    /// Non-empty top-down PAG without a designated root (error).
+    pub const NO_ROOT: &str = "PF0102";
+    /// Top-down tree invariant `|E| = |V| - 1` violated (error).
+    pub const TREE_VIOLATION: &str = "PF0103";
+    /// Vertices unreachable from the designated root (error).
+    pub const UNROOTED_VERTEX: &str = "PF0104";
+    /// Inter-process/inter-thread edge in the top-down view (error).
+    pub const ILLEGAL_EDGE_LABEL: &str = "PF0105";
+    /// Negative, NaN, or infinite value in an audited metric (warning).
+    pub const BAD_METRIC: &str = "PF0106";
+    /// Completeness value outside `[0, 1]` or not finite (warning).
+    pub const BAD_COMPLETENESS: &str = "PF0107";
+    /// Per-process completeness vector length ≠ `num_procs` (warning).
+    pub const COMPLETENESS_SHAPE: &str = "PF0108";
+
+    /// Function unreachable from the program entry (warning).
+    pub const DEAD_FUNCTION: &str = "PF0201";
+}

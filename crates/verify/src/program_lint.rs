@@ -1,0 +1,66 @@
+//! Program-model lint: dead-code detection over the static call graph.
+//!
+//! A function nobody can reach from the program entry — not even as an
+//! indirect-call candidate — can never execute, so its cost model is
+//! dead weight and usually a modelling mistake (`PF0201`).
+
+use progmodel::Program;
+
+use crate::codes;
+use crate::diag::{Anchor, Diagnostics, Severity};
+
+/// Lint a program model. The result is sorted and deterministic.
+pub fn lint_program(p: &Program) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    let entry = p.function(p.entry).name.clone();
+    for f in progmodel::dead_functions(p) {
+        let name = &p.function(f).name;
+        d.push(
+            codes::DEAD_FUNCTION,
+            Severity::Warn,
+            Anchor::Func {
+                id: f.0,
+                name: name.to_string(),
+            },
+            format!("function `{name}` is unreachable from entry `{entry}`"),
+        );
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use progmodel::{c, ProgramBuilder};
+
+    #[test]
+    fn pf0201_dead_function_warns() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare("main", "p.c");
+        let live = pb.declare("live", "p.c");
+        let dead = pb.declare("orphan", "p.c");
+        pb.define(main, |f| f.call(live));
+        pb.define(live, |f| f.compute("k", c(1.0)));
+        pb.define(dead, |f| f.compute("never", c(1.0)));
+        let p = pb.build(main);
+
+        let d = lint_program(&p);
+        assert_eq!(d.len(), 1, "{}", d.render_text());
+        let m = &d.items()[0];
+        assert_eq!(m.code, codes::DEAD_FUNCTION);
+        assert_eq!(m.severity, Severity::Warn);
+        assert!(m.message.contains("`orphan`"), "{}", m.message);
+        assert!(m.message.contains("entry `main`"), "{}", m.message);
+    }
+
+    #[test]
+    fn fully_live_program_is_clean() {
+        let mut pb = ProgramBuilder::new("p");
+        let main = pb.declare("main", "p.c");
+        let helper = pb.declare("helper", "p.c");
+        pb.define(main, |f| f.call(helper));
+        pb.define(helper, |f| f.compute("k", c(1.0)));
+        let p = pb.build(main);
+        assert!(lint_program(&p).is_empty());
+    }
+}

@@ -12,21 +12,105 @@
 //! ```
 
 use perflow::paradigms::{
-    comm_analysis_graph, contention_diagnosis, critical_path_paradigm, iterative_causal,
-    mpi_profiler, scalability_analysis,
+    causal_loop_graph, comm_analysis_graph, contention_diagnosis, critical_path_paradigm,
+    diagnosis_graph, iterative_causal, mpi_profiler, scalability_analysis, scalability_graph,
 };
-use perflow::{Obs, PassCache, PerFlow, Report, RunHandleExt};
+use perflow::{Obs, PassCache, PerFlow, Report, RunHandle, RunHandleExt};
 use simrt::{FaultPlan, RunConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: perflow-cli <workload|list> [--paradigm mpip|hotspot|scalability|critical-path|causal|contention]\n\
          \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]\n\
-         \x20                [--trace-out FILE] [--metrics]\n\
+         \x20                [--trace-out FILE] [--metrics] [--lint] [--lint-json]\n\
          \x20                [--crash RANK@US] [--hang RANK@US] [--sample-loss RATE]\n\
          \x20                [--msg-drop RATE@DELAY_US] [--pmu-corrupt RATE] [--truncate-stacks DEPTH]"
     );
     std::process::exit(2)
+}
+
+/// `--lint` / `--lint-json`: run the static analyzers over the program
+/// model, every built-in paradigm PerFlowGraph (instantiated against the
+/// run's vertex sets, never executed), and both PAG views. Exits 0 when
+/// no target has errors, 1 otherwise.
+fn run_lint(prog: &progmodel::Program, run: &RunHandle, workload: &str, json: bool) -> ! {
+    use perflow::verify::{check_pag, json_escape, lint_program, Diagnostics, Severity};
+
+    let mut targets: Vec<(&str, Diagnostics)> = vec![("program", lint_program(prog))];
+    let graph = |name: &'static str,
+                 built: Result<
+        (perflow::PerFlowGraph, perflow::paradigms::ParadigmGraph),
+        perflow::PerFlowError,
+    >| {
+        let (g, _) = built.unwrap_or_else(|e| {
+            eprintln!("{name} graph construction failed: {e}");
+            std::process::exit(1)
+        });
+        (name, g.lint())
+    };
+    targets.push(graph(
+        "graph:comm-analysis",
+        comm_analysis_graph(run.vertices()),
+    ));
+    targets.push(graph(
+        "graph:scalability",
+        scalability_graph(run.vertices(), run.vertices()),
+    ));
+    targets.push(graph(
+        "graph:causal-loop",
+        causal_loop_graph(run.vertices()),
+    ));
+    targets.push(graph(
+        "graph:diagnosis",
+        diagnosis_graph(run.vertices(), run.vertices(), run.parallel_vertices()),
+    ));
+    targets.push(("pag:top-down", check_pag(run.topdown())));
+    targets.push(("pag:parallel", check_pag(run.parallel())));
+
+    let count = |sev: Severity| -> usize { targets.iter().map(|(_, d)| d.count(sev)).sum() };
+    let (errors, warnings, infos) = (
+        count(Severity::Error),
+        count(Severity::Warn),
+        count(Severity::Info),
+    );
+
+    if json {
+        let mut out = format!(
+            "{{\"workload\":\"{}\",\"errors\":{errors},\"warnings\":{warnings},\"infos\":{infos},\"targets\":[",
+            json_escape(workload)
+        );
+        for (i, (name, d)) in targets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"target\":\"{}\",\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":{}}}",
+                json_escape(name),
+                d.count(Severity::Error),
+                d.count(Severity::Warn),
+                d.count(Severity::Info),
+                d.render_json()
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else {
+        for (name, d) in &targets {
+            println!("== {name} ==");
+            if d.is_empty() {
+                println!("  (clean)");
+            } else {
+                for line in d.render_text().lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+        println!(
+            "lint: {errors} error(s), {warnings} warning(s), {infos} info(s) across {} targets",
+            targets.len()
+        );
+    }
+    std::process::exit(if errors > 0 { 1 } else { 0 })
 }
 
 /// Parse a `RANK@VALUE` fault operand (e.g. `--crash 5@10000`).
@@ -100,6 +184,8 @@ fn main() {
     let mut dot = false;
     let mut trace_out: Option<String> = None;
     let mut metrics = false;
+    let mut lint = false;
+    let mut lint_json = false;
     let mut faults = FaultPlan::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -122,6 +208,8 @@ fn main() {
             "--dot" => dot = true,
             "--trace-out" => trace_out = Some(val("--trace-out")),
             "--metrics" => metrics = true,
+            "--lint" => lint = true,
+            "--lint-json" => lint_json = true,
             "--crash" => {
                 let (r, t) = rank_at("--crash", &val("--crash"));
                 faults = faults.crash_rank(r, t);
@@ -175,6 +263,9 @@ fn main() {
         eprintln!("run failed: {e}");
         std::process::exit(1);
     });
+    if lint || lint_json {
+        run_lint(&prog, &run, target, lint_json);
+    }
     println!(
         "{}: {} ranks × {} threads, top-down PAG {} vertices",
         prog.name,
