@@ -99,6 +99,26 @@ fn bench_obs_overhead(c: &mut Criterion) {
     }
     assert!(!out.metrics.is_empty(), "observed run must report metrics");
     assert_eq!(out.metrics.passes.len(), g.len(), "one metric per pass");
+    // Histograms ride along when observed…
+    assert_eq!(
+        out.metrics.wall_hist.count(),
+        g.len() as u64,
+        "wall-time histogram must cover every pass"
+    );
+    assert!(
+        obs.histogram("core.pass.wall_us").is_some(),
+        "scheduler must publish its wall-time histogram to the handle"
+    );
+    assert!(!obs.prometheus().is_empty() && !obs.folded_stacks().is_empty());
+    // …and a disabled handle records none of this (digest identity above
+    // already proved results are unaffected either way).
+    let off = Obs::disabled();
+    off.observe("core.pass.wall_us", 1.0);
+    off.set_gauge("core.pool.workers", 8.0);
+    assert!(
+        off.histogram("core.pass.wall_us").is_none() && off.gauge("core.pool.workers").is_none(),
+        "disabled handle must stay empty"
+    );
     let trace = obs.chrome_trace();
     assert!(trace.starts_with('{') && trace.ends_with('}'));
     assert!(trace.contains("\"traceEvents\""));

@@ -23,14 +23,18 @@
 //!    (plus per-thread flows under thread regions) and adds inter-process
 //!    and inter-thread edges from the run's message and lock records.
 
+pub mod app_folded;
 pub mod embed;
 pub mod parallel;
 pub mod resolve;
+pub mod self_pag;
 pub mod static_pag;
 
+pub use app_folded::folded_samples;
 pub use embed::{embed, embed_observed, ProfiledRun};
 pub use parallel::build_parallel_view;
 pub use resolve::ContextResolver;
+pub use self_pag::{build_self_pag, SelfPag};
 pub use static_pag::{static_analysis, StaticPag};
 
 use progmodel::Program;

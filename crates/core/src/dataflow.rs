@@ -444,12 +444,27 @@ impl PerFlowGraph {
                     misses: s1.misses - s0.misses,
                 }
             });
+            let passes: Vec<PassMetric> = st.node_metrics.into_iter().flatten().collect();
+            // Distribution views of the same timings: into the run's
+            // metrics and into the handle's histogram store, so the
+            // Prometheus exposition carries them too.
+            let mut wall_hist = obs::Histogram::new();
+            let mut queue_hist = obs::Histogram::new();
+            for p in &passes {
+                wall_hist.record(p.wall_us);
+                queue_hist.record(p.queue_wait_us);
+            }
+            obs.observe_merged("core.pass.wall_us", &wall_hist);
+            obs.observe_merged("core.pass.queue_wait_us", &queue_hist);
+            obs.set_gauge("core.pool.workers", workers as f64);
             RunMetrics {
-                passes: st.node_metrics.into_iter().flatten().collect(),
+                passes,
                 cache: cache_delta,
                 total_wall_us: obs.now_us() - sched_start,
                 workers,
                 worker_busy_us: st.worker_busy,
+                wall_hist,
+                queue_hist,
             }
         } else {
             RunMetrics::default()

@@ -11,6 +11,7 @@
 //! outputs themselves are byte-identical either way.
 
 use crate::cache::CacheStats;
+use obs::Histogram;
 
 /// Timing of one executed pass node.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,10 @@ pub struct RunMetrics {
     pub workers: usize,
     /// Busy time per worker, µs (length = `workers`).
     pub worker_busy_us: Vec<f64>,
+    /// Distribution of per-pass wall times, µs.
+    pub wall_hist: Histogram,
+    /// Distribution of per-pass queue waits (ready → dispatched), µs.
+    pub queue_hist: Histogram,
 }
 
 impl RunMetrics {
@@ -71,6 +76,11 @@ impl RunMetrics {
     }
 
     /// Render a human-readable table.
+    ///
+    /// Ordering is explicitly deterministic: the header, the optional
+    /// cache line, the two histogram summary lines (wall, then queue),
+    /// then one row per pass sorted by node id — the order `passes` is
+    /// stored in. Two equal `RunMetrics` always render byte-identically.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -95,6 +105,12 @@ impl RunMetrics {
                 c.hit_rate() * 100.0
             );
         }
+        if !self.wall_hist.is_empty() {
+            let _ = writeln!(out, "pass wall µs:  {}", self.wall_hist.render());
+        }
+        if !self.queue_hist.is_empty() {
+            let _ = writeln!(out, "queue wait µs: {}", self.queue_hist.render());
+        }
         let _ = writeln!(
             out,
             "{:<5} {:<24} {:>12} {:>12} {:>7} {:>5} {:>5}",
@@ -113,6 +129,61 @@ impl RunMetrics {
                 p.dispatch_seq
             );
         }
+        out
+    }
+
+    /// Machine-readable JSON rendering — the `--metrics-json` sibling of
+    /// [`RunMetrics::render`]. Keys are emitted in sorted order at every
+    /// level and arrays keep their stored (node-id / worker-index)
+    /// order, so equal metrics serialize byte-identically.
+    pub fn render_json(&self) -> String {
+        use obs::escape::{json_num, json_str};
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        match self.cache {
+            Some(c) => {
+                let _ = write!(
+                    out,
+                    "\"cache\":{{\"hits\":{},\"misses\":{}}},",
+                    c.hits, c.misses
+                );
+            }
+            None => out.push_str("\"cache\":null,"),
+        }
+        let _ = write!(out, "\"occupancy\":{},", json_num(self.occupancy()));
+        out.push_str("\"passes\":[");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cache_hit\":{},\"dispatch_seq\":{},\"name\":{},\"node\":{},\
+                 \"queue_wait_us\":{},\"wall_us\":{},\"worker\":{}}}",
+                p.cache_hit,
+                p.dispatch_seq,
+                json_str(&p.name),
+                p.node,
+                json_num(p.queue_wait_us),
+                json_num(p.wall_us),
+                p.worker
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"queue_hist\":{},\"total_wall_us\":{},\"wall_hist\":{},",
+            self.queue_hist.render_json(),
+            json_num(self.total_wall_us),
+            self.wall_hist.render_json()
+        );
+        out.push_str("\"worker_busy_us\":[");
+        for (i, w) in self.worker_busy_us.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_num(*w));
+        }
+        let _ = write!(out, "],\"workers\":{}}}", self.workers);
         out
     }
 }
@@ -147,6 +218,18 @@ mod tests {
             total_wall_us: 40.0,
             workers: 2,
             worker_busy_us: vec![10.0, 30.0],
+            wall_hist: {
+                let mut h = Histogram::new();
+                h.record(10.0);
+                h.record(30.0);
+                h
+            },
+            queue_hist: {
+                let mut h = Histogram::new();
+                h.record(1.0);
+                h.record(2.0);
+                h
+            },
         }
     }
 
@@ -168,5 +251,40 @@ mod tests {
         assert!(r.contains("hit"));
         assert!(r.contains("miss"));
         assert!(r.contains("1 hits / 1 misses"));
+        assert!(r.contains("pass wall µs:"), "{r}");
+        assert!(r.contains("queue wait µs:"), "{r}");
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_sorted() {
+        let m = sample();
+        let a = m.render_json();
+        assert_eq!(a, m.clone().render_json());
+        assert!(a.starts_with("{\"cache\":{\"hits\":1,\"misses\":1},"));
+        assert!(a.contains("\"passes\":[{\"cache_hit\":false"));
+        assert!(a.contains("\"wall_hist\":{\"buckets\":["));
+        assert!(a.contains("\"queue_hist\":{"));
+        assert!(a.ends_with("\"workers\":2}"));
+        // Keys appear in sorted order.
+        let keys = [
+            "\"cache\"",
+            "\"occupancy\"",
+            "\"passes\"",
+            "\"queue_hist\"",
+            "\"total_wall_us\"",
+            "\"wall_hist\"",
+            "\"worker_busy_us\"",
+            "\"workers\"",
+        ];
+        let mut last = 0;
+        for k in keys {
+            let pos = a.find(k).unwrap_or_else(|| panic!("missing {k}"));
+            assert!(pos >= last, "{k} out of order");
+            last = pos;
+        }
+        // Unobserved metrics render as an empty-but-valid object.
+        let empty = RunMetrics::default().render_json();
+        assert!(empty.contains("\"cache\":null"));
+        assert!(empty.contains("\"passes\":[]"));
     }
 }

@@ -18,6 +18,7 @@ pub mod critpath;
 pub mod graphs;
 pub mod mpi_profiler;
 pub mod scalability;
+pub mod self_analysis;
 
 pub use contention_diag::{contention_diagnosis, iterative_causal, ContentionDiagnosis};
 pub use critpath::{critical_path_paradigm, path_breakdown, CriticalPathResult};
@@ -26,3 +27,6 @@ pub use graphs::{
 };
 pub use mpi_profiler::mpi_profiler;
 pub use scalability::{scalability_analysis, ScalabilityResult};
+pub use self_analysis::{
+    self_analysis, self_analysis_graph, SelfAnalysisNodes, SelfAnalysisResult,
+};

@@ -6,7 +6,6 @@
 use pag::{keys, PropValue, VertexStats};
 
 use crate::error::PerFlowError;
-use crate::graphref::GraphRef;
 use crate::pass::{expect_vertices, Pass, PassCx};
 use crate::passes::hotspot::completeness;
 use crate::set::VertexSet;
@@ -26,8 +25,11 @@ use crate::value::Value;
 /// `completeness` (absent = 1.0) before the threshold test, so apparent
 /// imbalance that is really missing data does not clear the bar.
 pub fn imbalance(set: &VertexSet, threshold: f64) -> VertexSet {
-    match &set.graph {
-        GraphRef::Parallel(_) => imbalance_parallel(set, threshold),
+    // Dispatch on the PAG's own view kind (not the ref variant) so a
+    // detached parallel-view graph — e.g. the self-analysis PAG built
+    // from an `obs` trace — gets the flow-replica treatment too.
+    match set.graph.pag().view() {
+        pag::ViewKind::Parallel => imbalance_parallel(set, threshold),
         _ => imbalance_topdown(set, threshold),
     }
 }
@@ -122,6 +124,7 @@ impl Pass for ImbalancePass {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graphref::GraphRef;
     use pag::{Pag, VertexLabel, ViewKind};
     use std::sync::Arc;
 

@@ -1,0 +1,73 @@
+//! Chrome-trace JSON exporter (the `chrome://tracing` / Perfetto "JSON
+//! Object" flavor).
+
+use crate::escape::{json_num, json_str};
+use crate::{Layer, Obs};
+
+impl Obs {
+    /// Export everything as Chrome-trace JSON: one complete (`"X"`)
+    /// event per span, process-name metadata per layer, counters under
+    /// `otherData`. Output ordering is deterministic for a given span
+    /// set, and every string (span names are hostile input) goes through
+    /// the shared [`crate::escape`] helper.
+    pub fn chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let mut out = String::with_capacity(256 + spans.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut layers: Vec<Layer> = spans.iter().map(|s| s.layer).collect();
+        layers.sort();
+        layers.dedup();
+        let mut first = true;
+        for layer in &layers {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":{}}}}}",
+                layer.pid(),
+                json_str(layer.name())
+            ));
+        }
+        for s in &spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"X\",\"name\":{},\"cat\":{},\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+                json_str(&s.name),
+                json_str(s.layer.name()),
+                s.layer.pid(),
+                s.lane,
+                s.start_us,
+                s.dur_us
+            ));
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in s.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json_str(k), json_num(*v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        let counters = self.counters();
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(k), v));
+        }
+        if !counters.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&format!("\"droppedSpans\":{}", self.dropped_spans()));
+        out.push_str("}}");
+        out
+    }
+}

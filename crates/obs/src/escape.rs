@@ -1,0 +1,82 @@
+//! JSON string escaping — the one escaping helper shared across the
+//! workspace.
+//!
+//! Both this crate's Chrome-trace exporter and `verify`'s diagnostic
+//! renderer emit hand-rolled JSON containing hostile strings (span names
+//! and PAG vertex names are attacker-ish input: quotes, backslashes,
+//! newlines, control characters). Escaping used to be duplicated per
+//! crate; it now lives here, behind two entry points:
+//!
+//! * [`json_escape`] — escape the *contents* of a JSON string literal
+//!   (no surrounding quotes), the drop-in for `verify::json_escape`;
+//! * [`json_str`] — a full JSON string literal including quotes.
+
+/// Escape a string for inclusion inside a JSON string literal (without
+/// surrounding quotes). Handles `"` and `\`, the common whitespace
+/// escapes, and all remaining C0 control characters as `\u00xx`.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A string as a complete JSON string literal (with surrounding quotes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    out.push_str(&json_escape(s));
+    out.push('"');
+    out
+}
+
+/// Render an f64 as a JSON number (JSON has no NaN/inf — clamp to null).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\t\r"), "\\t\\r");
+        assert_eq!(json_escape("\u{1}\u{1f}"), "\\u0001\\u001f");
+        assert_eq!(json_escape("\u{8}\u{c}"), "\\b\\f");
+        assert_eq!(json_escape("plain"), "plain");
+        // Unicode above the control range passes through.
+        assert_eq!(json_escape("µs → спан"), "µs → спан");
+    }
+
+    #[test]
+    fn json_str_quotes() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str(""), "\"\"");
+    }
+
+    #[test]
+    fn json_num_clamps_nonfinite() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+    }
+}

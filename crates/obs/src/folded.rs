@@ -1,0 +1,218 @@
+//! Folded-stack ("collapsed") exporter — the `flamegraph.pl` / inferno
+//! input format: one line per distinct stack, frames joined by `;`,
+//! followed by a space and an integer value.
+//!
+//! Two producers share the format:
+//!
+//! * [`Obs::folded_stacks`] collapses recorded **span nesting**: within
+//!   each (layer, lane) the spans form a time-interval tree, and each
+//!   span contributes its *self* time (duration minus directly nested
+//!   child durations, in µs) to the stack `perflow;<layer>;<path…>`.
+//!   Lanes are aggregated, as a flamegraph aggregates threads.
+//! * [`render_folded`] renders any pre-aggregated `stack → value` map —
+//!   the collection pipeline uses it for the simulated application's
+//!   sampled calling contexts.
+//!
+//! Output lines are sorted (BTreeMap order), so equal inputs always
+//! serialize identically.
+
+use std::collections::BTreeMap;
+
+use crate::{Obs, SpanRec};
+
+/// Synthetic root frame of all engine-span stacks.
+pub const FOLDED_ROOT: &str = "perflow";
+
+/// Make a frame name safe for the folded format: `;` separates frames
+/// and the last space separates the value, so both (and control
+/// characters) are replaced with `_`.
+pub fn sanitize_frame(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() || (c as u32) < 0x20 {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Render a `stack → value` map as folded lines (sorted, one `stack
+/// value` line each, trailing newline when non-empty). Zero-valued
+/// stacks are kept: a present-but-cheap frame is information.
+pub fn render_folded(stacks: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (stack, value) in stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// An open frame during interval-tree reconstruction.
+struct Frame {
+    end_us: f64,
+    path: String,
+    dur_us: f64,
+    child_us: f64,
+}
+
+/// Collapse one lane's spans (already sorted by start) into self-time
+/// stacks, accumulating into `acc`.
+fn collapse_lane(layer: &str, spans: &[&SpanRec], acc: &mut BTreeMap<String, u64>) {
+    let mut stack: Vec<Frame> = Vec::new();
+    let close = |f: Frame, acc: &mut BTreeMap<String, u64>| {
+        let self_us = (f.dur_us - f.child_us).max(0.0);
+        *acc.entry(f.path).or_insert(0) += self_us.round() as u64;
+    };
+    for s in spans {
+        while let Some(top) = stack.last() {
+            if s.start_us >= top.end_us {
+                let f = stack.pop().unwrap();
+                close(f, acc);
+            } else {
+                break;
+            }
+        }
+        if let Some(top) = stack.last_mut() {
+            top.child_us += s.dur_us;
+        }
+        let parent_path = match stack.last() {
+            Some(top) => top.path.clone(),
+            None => format!("{FOLDED_ROOT};{layer}"),
+        };
+        stack.push(Frame {
+            end_us: s.start_us + s.dur_us,
+            path: format!("{parent_path};{}", sanitize_frame(&s.name)),
+            dur_us: s.dur_us,
+            child_us: 0.0,
+        });
+    }
+    while let Some(f) = stack.pop() {
+        close(f, acc);
+    }
+}
+
+impl Obs {
+    /// Export recorded spans as folded stacks (self time in µs per
+    /// stack). Empty string when disabled or nothing was recorded.
+    pub fn folded_stacks(&self) -> String {
+        let spans = self.spans();
+        let mut acc: BTreeMap<String, u64> = BTreeMap::new();
+        // Group by (layer, lane); `spans()` is sorted by (start, layer,
+        // lane, name), so a stable partition keeps start order per lane.
+        let mut groups: BTreeMap<(u8, u32), Vec<&SpanRec>> = BTreeMap::new();
+        for s in &spans {
+            groups.entry((s.layer as u8, s.lane)).or_default().push(s);
+        }
+        for ((_, _), lane_spans) in groups {
+            // Parents first when spans share a start time (longer spans
+            // enclose shorter ones).
+            let mut sorted = lane_spans;
+            sorted.sort_by(|a, b| {
+                a.start_us
+                    .total_cmp(&b.start_us)
+                    .then(b.dur_us.total_cmp(&a.dur_us))
+                    .then(a.name.cmp(&b.name))
+            });
+            let layer = sorted[0].layer.name();
+            collapse_lane(layer, &sorted, &mut acc);
+        }
+        render_folded(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Layer;
+
+    /// Parse folded output back into (stack, value) pairs.
+    fn parse(out: &str) -> Vec<(String, u64)> {
+        out.lines()
+            .map(|l| {
+                let (stack, v) = l.rsplit_once(' ').unwrap();
+                (stack.to_string(), v.parse().unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nesting_roundtrip_self_times_sum_to_parent() {
+        let obs = Obs::enabled();
+        // parent [0, 100) with child [10, 40) holding grandchild
+        // [15, 25), plus a second child [50, 80).
+        obs.record_span(Layer::Core, "parent", 0, 0.0, 100.0, &[]);
+        obs.record_span(Layer::Core, "child", 0, 10.0, 40.0, &[]);
+        obs.record_span(Layer::Core, "grandchild", 0, 15.0, 25.0, &[]);
+        obs.record_span(Layer::Core, "child2", 0, 50.0, 80.0, &[]);
+        let folded = obs.folded_stacks();
+        let lines = parse(&folded);
+        let get = |stack: &str| {
+            lines
+                .iter()
+                .find(|(s, _)| s == &format!("perflow;core;{stack}"))
+                .unwrap_or_else(|| panic!("missing {stack} in:\n{folded}"))
+                .1
+        };
+        assert_eq!(get("parent"), 40); // 100 - 30 - 30
+        assert_eq!(get("parent;child"), 20); // 30 - 10
+        assert_eq!(get("parent;child;grandchild"), 10);
+        assert_eq!(get("parent;child2"), 30);
+        // Round trip: self times under `parent` sum to its duration.
+        let total: u64 = lines
+            .iter()
+            .filter(|(s, _)| s.starts_with("perflow;core;parent"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn lanes_aggregate_and_layers_separate() {
+        let obs = Obs::enabled();
+        obs.record_span(Layer::Simrt, "phase", 0, 0.0, 10.0, &[]);
+        obs.record_span(Layer::Simrt, "phase", 1, 0.0, 15.0, &[]);
+        obs.record_span(Layer::Core, "phase", 0, 0.0, 7.0, &[]);
+        let lines = parse(&obs.folded_stacks());
+        assert_eq!(
+            lines,
+            vec![
+                ("perflow;core;phase".to_string(), 7),
+                ("perflow;simrt;phase".to_string(), 25),
+            ]
+        );
+    }
+
+    #[test]
+    fn hostile_names_are_sanitized() {
+        let obs = Obs::enabled();
+        obs.record_span(Layer::App, "a;b c\nd", 0, 0.0, 5.0, &[]);
+        let folded = obs.folded_stacks();
+        assert_eq!(folded, "perflow;app;a_b_c_d 5\n");
+    }
+
+    #[test]
+    fn disabled_or_empty_is_empty() {
+        assert_eq!(Obs::disabled().folded_stacks(), "");
+        assert_eq!(Obs::enabled().folded_stacks(), "");
+    }
+
+    #[test]
+    fn siblings_do_not_nest() {
+        let obs = Obs::enabled();
+        obs.record_span(Layer::App, "a", 0, 0.0, 10.0, &[]);
+        obs.record_span(Layer::App, "b", 0, 10.0, 30.0, &[]);
+        let lines = parse(&obs.folded_stacks());
+        assert_eq!(
+            lines,
+            vec![
+                ("perflow;app;a".to_string(), 10),
+                ("perflow;app;b".to_string(), 20),
+            ]
+        );
+    }
+}

@@ -1,12 +1,21 @@
 //! # Observability for PerFlow's own pipeline
 //!
 //! PerFlow analyzes *other* programs' performance; this crate lets it
-//! observe itself. It provides lightweight wall-clock **spans** and
-//! monotonic **counters** behind an explicit [`Obs`] handle — no globals,
-//! no thread-locals — plus a Chrome-trace (`chrome://tracing` /
-//! [Perfetto](https://ui.perfetto.dev)) JSON exporter so a PerFlow run
-//! can be inspected with the same kind of timeline the framework builds
-//! for target programs.
+//! observe itself. It is a small telemetry subsystem behind an explicit
+//! [`Obs`] handle — no globals, no thread-locals — carrying four
+//! instrument kinds and three exporters:
+//!
+//! * wall-clock **spans** (RAII guards or explicit intervals),
+//! * monotonic **counters**,
+//! * log-bucketed **histograms** ([`Histogram`], deterministic merge),
+//! * last-write-wins **gauges**,
+//!
+//! exported as a Chrome trace ([`Obs::chrome_trace`], for
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)), Prometheus
+//! text exposition ([`Obs::prometheus`]), or folded stacks
+//! ([`Obs::folded_stacks`], flamegraph.pl/inferno-compatible). A recorded
+//! trace can also be lifted into a Program Abstraction Graph by
+//! `collect::self_pag`, so PerFlow's own passes analyze PerFlow.
 //!
 //! Design constraints (all load-bearing for the rest of the workspace):
 //!
@@ -18,10 +27,21 @@
 //!   (`Cow::Borrowed`); dynamic names go through [`Obs::span_with`],
 //!   whose closure only runs when the handle is enabled.
 //! * **Bounded.** Recorded spans are capped ([`Obs::enabled_with_cap`]);
-//!   spans beyond the cap are counted, not stored.
-//! * **Deterministic output ordering.** [`Obs::chrome_trace`] sorts
-//!   events by (start, layer, lane, name) and counters alphabetically,
-//!   so equal span sets always serialize identically.
+//!   spans beyond the cap are counted, not stored. Histograms and
+//!   gauges are fixed-size per name.
+//! * **Deterministic output ordering.** Every exporter sorts: spans by
+//!   (start, layer, lane, name), counters/histograms/gauges
+//!   alphabetically — equal telemetry always serializes identically.
+
+mod chrome_trace;
+pub mod escape;
+mod folded;
+pub mod metrics;
+mod prometheus;
+
+pub use escape::{json_escape, json_str};
+pub use folded::{render_folded, sanitize_frame, FOLDED_ROOT};
+pub use metrics::{bucket_bound, Histogram, HIST_BUCKETS};
 
 use std::borrow::Cow;
 use std::collections::BTreeMap;
@@ -58,7 +78,7 @@ impl Layer {
     }
 
     /// Chrome-trace process id.
-    fn pid(self) -> u32 {
+    pub(crate) fn pid(self) -> u32 {
         match self {
             Layer::Simrt => 1,
             Layer::Collect => 2,
@@ -91,6 +111,8 @@ struct State {
     spans: Vec<SpanRec>,
     dropped: u64,
     counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    gauges: BTreeMap<&'static str, f64>,
 }
 
 struct Inner {
@@ -267,6 +289,90 @@ impl Obs {
         }
     }
 
+    /// Record one measurement into the named histogram (no-op when
+    /// disabled, so instrumented code stays digest-identical).
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .state
+                .lock()
+                .unwrap()
+                .histograms
+                .entry(name)
+                .or_default()
+                .record(value);
+        }
+    }
+
+    /// Merge a pre-aggregated histogram into the named one (no-op when
+    /// disabled). Used by workers that accumulate locally and publish
+    /// once; `Histogram::merge` is order-invariant, so the result does
+    /// not depend on worker completion order.
+    pub fn observe_merged(&self, name: &'static str, h: &Histogram) {
+        if let Some(inner) = &self.inner {
+            inner
+                .state
+                .lock()
+                .unwrap()
+                .histograms
+                .entry(name)
+                .or_default()
+                .merge(h);
+        }
+    }
+
+    /// Snapshot of the named histogram (`None` when disabled or never
+    /// observed).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.state.lock().unwrap().histograms.get(name).cloned())
+    }
+
+    /// Snapshot of all histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(&'static str, Histogram)> {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .unwrap()
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k, v.clone()))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Set a gauge to a value (last write wins; no-op when disabled).
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().unwrap().gauges.insert(name, value);
+        }
+    }
+
+    /// Current value of a gauge (`None` when disabled or never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.state.lock().unwrap().gauges.get(name).copied())
+    }
+
+    /// Snapshot of all gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(&'static str, f64)> {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .unwrap()
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Spans discarded because the cap was reached.
     pub fn dropped_spans(&self) -> u64 {
         match &self.inner {
@@ -287,72 +393,6 @@ impl Obs {
                 .any(|s| s.layer == layer),
             None => false,
         }
-    }
-
-    /// Export everything as Chrome-trace JSON (the `chrome://tracing` /
-    /// Perfetto "JSON Array with metadata" flavor): one complete (`"X"`)
-    /// event per span, process-name metadata per layer, counters under
-    /// `otherData`. Output ordering is deterministic for a given span
-    /// set.
-    pub fn chrome_trace(&self) -> String {
-        let spans = self.spans();
-        let mut out = String::with_capacity(256 + spans.len() * 96);
-        out.push_str("{\"traceEvents\":[");
-        let mut layers: Vec<Layer> = spans.iter().map(|s| s.layer).collect();
-        layers.sort();
-        layers.dedup();
-        let mut first = true;
-        for layer in &layers {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!(
-                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":{}}}}}",
-                layer.pid(),
-                json_str(layer.name())
-            ));
-        }
-        for s in &spans {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!(
-                "{{\"ph\":\"X\",\"name\":{},\"cat\":{},\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
-                json_str(&s.name),
-                json_str(s.layer.name()),
-                s.layer.pid(),
-                s.lane,
-                s.start_us,
-                s.dur_us
-            ));
-            if !s.args.is_empty() {
-                out.push_str(",\"args\":{");
-                for (i, (k, v)) in s.args.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&format!("{}:{}", json_str(k), json_num(*v)));
-                }
-                out.push('}');
-            }
-            out.push('}');
-        }
-        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
-        let counters = self.counters();
-        for (i, (k, v)) in counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("{}:{}", json_str(k), v));
-        }
-        if !counters.is_empty() {
-            out.push(',');
-        }
-        out.push_str(&format!("\"droppedSpans\":{}", self.dropped_spans()));
-        out.push_str("}}");
-        out
     }
 }
 
@@ -401,34 +441,6 @@ impl Drop for Span<'_> {
     }
 }
 
-/// Escape a string as a JSON string literal (with surrounding quotes).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Render an f64 as a JSON number (JSON has no NaN/inf — clamp to null).
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +457,12 @@ mod tests {
         drop(_never);
         obs.count("c", 5);
         assert_eq!(obs.counter("c"), 0);
+        obs.observe("h", 3.0);
+        assert!(obs.histogram("h").is_none());
+        assert!(obs.histograms().is_empty());
+        obs.set_gauge("g", 1.0);
+        assert!(obs.gauge("g").is_none());
+        assert!(obs.gauges().is_empty());
         assert!(obs.spans().is_empty());
         assert_eq!(obs.chrome_trace(), Obs::disabled().chrome_trace());
     }
@@ -473,6 +491,25 @@ mod tests {
         obs.count("misses", 1);
         assert_eq!(obs.counter("hits"), 5);
         assert_eq!(obs.counters(), vec![("hits", 5), ("misses", 1)]);
+    }
+
+    #[test]
+    fn histograms_and_gauges_record() {
+        let obs = Obs::enabled();
+        obs.observe("lat", 2.0);
+        obs.observe("lat", 8.0);
+        let mut local = Histogram::new();
+        local.record(32.0);
+        obs.observe_merged("lat", &local);
+        let h = obs.histogram("lat").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 42.0);
+        obs.set_gauge("depth", 4.0);
+        obs.set_gauge("depth", 7.0);
+        assert_eq!(obs.gauge("depth"), Some(7.0));
+        assert_eq!(obs.gauges(), vec![("depth", 7.0)]);
+        assert_eq!(obs.histograms().len(), 1);
+        assert_eq!(obs.histograms()[0].0, "lat");
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub mod keys {
     pub const DIFF_TIME: &str = "diff-time";
     /// Profiling samples lost at this vertex (degraded collection).
     pub const DROPPED_SAMPLES: &str = "dropped-samples";
+    /// Observation spans lost because the recorder's span cap was hit
+    /// (set on the root of a self-analysis PAG built from a truncated
+    /// `obs` trace).
+    pub const DROPPED_SPANS: &str = "dropped-spans";
     /// Fraction of fired samples actually recorded, in `[0, 1]`. Absent
     /// means 1.0 (complete data) — analyses treat it as a confidence
     /// weight.

@@ -270,23 +270,10 @@ impl Diagnostics {
 }
 
 /// Escape a string for inclusion inside a JSON string literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+///
+/// Re-exported from `obs` so the whole workspace shares one escaping
+/// implementation (this used to be a per-crate duplicate).
+pub use obs::json_escape;
 
 #[cfg(test)]
 mod tests {

@@ -27,7 +27,8 @@
 //! order is fully deterministic (sorted by code, anchor, message) and
 //! renders both as human-readable text and machine-readable JSON.
 //!
-//! The crate deliberately depends only on `pag` and `progmodel`: the
+//! The crate deliberately depends only on `pag`, `progmodel` and the
+//! zero-dependency `obs` (for the shared JSON escaping helper): the
 //! dataflow engine hands it a plain structural snapshot
 //! ([`GraphShape`]), so `core` can depend on `verify` without a cycle.
 
@@ -85,6 +86,9 @@ pub mod codes {
     pub const BAD_COMPLETENESS: &str = "PF0107";
     /// Per-process completeness vector length ≠ `num_procs` (warning).
     pub const COMPLETENESS_SHAPE: &str = "PF0108";
+    /// Observation was truncated: the span cap was hit and spans were
+    /// dropped, so the PAG is knowingly incomplete (info).
+    pub const TRUNCATED_OBSERVATION: &str = "PF0110";
 
     /// Function unreachable from the program entry (warning).
     pub const DEAD_FUNCTION: &str = "PF0201";

@@ -167,6 +167,7 @@ pub fn check_pag(g: &Pag) -> Diagnostics {
 
     audit_metrics(g, &mut d);
     audit_completeness(g, &mut d);
+    audit_truncation(g, &mut d);
 
     d.finish()
 }
@@ -266,6 +267,27 @@ fn audit_completeness(g: &Pag, d: &mut Diagnostics) {
                     format!(
                         "`{}` contains {x}, expected finite fractions in [0, 1]",
                         keys::COMPLETENESS_PER_PROC,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// PF0110 — the observation behind this PAG was truncated: the span
+/// recorder hit its cap and dropped spans, so the graph is knowingly
+/// incomplete. Info-level: the data is still usable, just labeled.
+fn audit_truncation(g: &Pag, d: &mut Diagnostics) {
+    for v in g.vertex_ids() {
+        if let Some(n) = g.vprop(v, keys::DROPPED_SPANS).and_then(PropValue::as_f64) {
+            if n > 0.0 {
+                d.push(
+                    codes::TRUNCATED_OBSERVATION,
+                    Severity::Info,
+                    vanchor(g, v),
+                    format!(
+                        "observation truncated: {n} span(s) dropped at the recorder's cap; \
+                         this PAG under-reports the layers that were still running"
                     ),
                 );
             }
@@ -454,5 +476,26 @@ mod tests {
         g.set_vprop(VertexId(0), keys::COMPLETENESS, 0.75);
         g.set_vprop(VertexId(0), keys::COMPLETENESS_PER_PROC, vec![1.0, 0.5]);
         assert!(check_pag(&g).is_empty());
+    }
+
+    #[test]
+    fn pf0110_truncated_observation_is_info() {
+        let mut g = tree();
+        g.set_vprop(VertexId(0), keys::DROPPED_SPANS, 17.0);
+        let d = check_pag(&g);
+        let m = d
+            .items()
+            .iter()
+            .find(|x| x.code == codes::TRUNCATED_OBSERVATION)
+            .unwrap();
+        assert_eq!(m.severity, Severity::Info);
+        assert!(m.message.contains("17"), "{}", m.message);
+        // Info-level: the PAG still counts as clean for gating purposes.
+        assert!(d.is_clean(), "{}", d.render_text());
+
+        // Zero drops (complete observation) → no diagnostic at all.
+        let mut g2 = tree();
+        g2.set_vprop(VertexId(0), keys::DROPPED_SPANS, 0.0);
+        assert!(check_pag(&g2).is_empty());
     }
 }

@@ -22,7 +22,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: perflow-cli <workload|list> [--paradigm mpip|hotspot|scalability|critical-path|causal|contention]\n\
          \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]\n\
-         \x20                [--trace-out FILE] [--metrics] [--lint] [--lint-json]\n\
+         \x20                [--trace-out FILE] [--metrics] [--metrics-json] [--lint] [--lint-json]\n\
+         \x20                [--self-analyze] [--prom-out FILE] [--folded-out FILE] [--app-folded-out FILE]\n\
          \x20                [--crash RANK@US] [--hang RANK@US] [--sample-loss RATE]\n\
          \x20                [--msg-drop RATE@DELAY_US] [--pmu-corrupt RATE] [--truncate-stacks DEPTH]"
     );
@@ -183,7 +184,12 @@ fn main() {
     let mut seed = 0x5EEDu64;
     let mut dot = false;
     let mut trace_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
+    let mut folded_out: Option<String> = None;
+    let mut app_folded_out: Option<String> = None;
     let mut metrics = false;
+    let mut metrics_json = false;
+    let mut self_analyze = false;
     let mut lint = false;
     let mut lint_json = false;
     let mut faults = FaultPlan::new();
@@ -207,7 +213,12 @@ fn main() {
             "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--dot" => dot = true,
             "--trace-out" => trace_out = Some(val("--trace-out")),
+            "--prom-out" => prom_out = Some(val("--prom-out")),
+            "--folded-out" => folded_out = Some(val("--folded-out")),
+            "--app-folded-out" => app_folded_out = Some(val("--app-folded-out")),
             "--metrics" => metrics = true,
+            "--metrics-json" => metrics_json = true,
+            "--self-analyze" => self_analyze = true,
             "--lint" => lint = true,
             "--lint-json" => lint_json = true,
             "--crash" => {
@@ -249,7 +260,13 @@ fn main() {
     }
 
     let pflow = PerFlow::new();
-    let obs = if trace_out.is_some() || metrics {
+    let observed = trace_out.is_some()
+        || prom_out.is_some()
+        || folded_out.is_some()
+        || metrics
+        || metrics_json
+        || self_analyze;
+    let obs = if observed {
         Obs::enabled()
     } else {
         Obs::disabled()
@@ -349,17 +366,44 @@ fn main() {
         if metrics {
             print!("\n{}", out.metrics.render());
         }
-        if let Some(path) = &trace_out {
-            std::fs::write(path, obs.chrome_trace()).unwrap_or_else(|e| {
+        if metrics_json {
+            println!("{}", out.metrics.render_json());
+        }
+        let write_file = |path: &String, what: &str, contents: String| {
+            std::fs::write(path, contents).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1)
             });
+            eprintln!("wrote {what} to {path}");
+        };
+        if let Some(path) = &trace_out {
+            write_file(path, "chrome trace", obs.chrome_trace());
             eprintln!(
-                "wrote {} spans ({} dropped) to {path}",
+                "  ({} spans, {} dropped)",
                 obs.spans().len(),
                 obs.dropped_spans()
             );
         }
+        if let Some(path) = &prom_out {
+            write_file(path, "prometheus exposition", obs.prometheus());
+        }
+        if let Some(path) = &folded_out {
+            write_file(path, "folded engine stacks", obs.folded_stacks());
+        }
+        if self_analyze {
+            let sa = perflow::self_analysis(&obs).unwrap_or_else(|e| {
+                eprintln!("self-analysis failed: {e}");
+                std::process::exit(1)
+            });
+            println!("\n{}", sa.render());
+        }
+    }
+    if let Some(path) = &app_folded_out {
+        std::fs::write(path, collect::folded_samples(&prog, run.data())).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("wrote folded application stacks to {path}");
     }
 
     if dot {

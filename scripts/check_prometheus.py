@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (format 0.0.4) file.
+
+Dependency-free checker used by CI against `perflow-cli --prom-out`:
+
+* every non-comment line parses as `name[{labels}] value`;
+* metric and label names match the Prometheus grammar, label values
+  are well-escaped;
+* every sample is preceded by a `# TYPE` declaration for its family;
+* counters end in `_total`;
+* histogram `_bucket` series are cumulative in `le` order and end with
+  an `le="+Inf"` bucket matching `_count`.
+
+Usage: check_prometheus.py FILE
+Exits 0 when the file is well-formed, 1 with a message otherwise.
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABELS_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(lineno, msg):
+    print(f"check_prometheus: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main(path):
+    types = {}  # family -> declared type
+    # (family, non-le labels) -> list of (le, cumulative count)
+    buckets = {}
+    counts = {}
+
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    samples = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                if not METRIC_RE.match(parts[2]):
+                    fail(lineno, f"bad metric name in comment: {parts[2]!r}")
+                if parts[1] == "TYPE":
+                    if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped",
+                    ):
+                        fail(lineno, f"bad TYPE line: {line!r}")
+                    types[parts[2]] = parts[3]
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, f"unparseable sample: {line!r}")
+        name, labelstr, value = m.groups()
+        samples += 1
+
+        try:
+            val = float(value)
+        except ValueError:
+            fail(lineno, f"bad sample value: {value!r}")
+
+        family = base_family(name)
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            fail(lineno, f"sample {name!r} has no preceding # TYPE")
+        if declared == "counter" and not name.endswith("_total"):
+            fail(lineno, f"counter {name!r} must end in _total")
+
+        labels = {}
+        if labelstr:
+            body = labelstr[1:-1]
+            consumed = LABELS_RE.sub("", body).strip(", \t")
+            if consumed:
+                fail(lineno, f"malformed labels: {labelstr!r}")
+            for lm in LABELS_RE.finditer(body):
+                key, raw = lm.group(1), lm.group(2)
+                if not LABEL_RE.match(key):
+                    fail(lineno, f"bad label name {key!r}")
+                if re.search(r'\\(?![\\n"])', raw):
+                    fail(lineno, f"bad escape in label value {raw!r}")
+                labels[key] = raw
+
+        if declared == "histogram" and name.endswith("_bucket"):
+            le = labels.get("le")
+            if le is None:
+                fail(lineno, f"histogram bucket without le label: {line!r}")
+            rest = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            buckets.setdefault((family, rest), []).append((lineno, le, val))
+        if declared == "histogram" and name.endswith("_count"):
+            rest = tuple(sorted(labels.items()))
+            counts[(family, rest)] = (lineno, val)
+
+    for (family, rest), series in buckets.items():
+        prev = -1.0
+        saw_inf = False
+        for lineno, le, val in series:
+            if val < prev:
+                fail(lineno, f"{family} buckets not cumulative ({val} < {prev})")
+            prev = val
+            if le == "+Inf":
+                saw_inf = True
+                total = counts.get((family, rest))
+                if total is not None and total[1] != val:
+                    fail(lineno, f"{family} +Inf bucket {val} != _count {total[1]}")
+        if not saw_inf:
+            fail(series[-1][0], f"{family} histogram missing le=\"+Inf\" bucket")
+
+    if samples == 0:
+        print("check_prometheus: no samples found", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_prometheus: OK ({samples} samples, {len(types)} families)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
