@@ -1,0 +1,145 @@
+//! **Resilience overhead** — acceptance harness for the fault-tolerant
+//! scheduler:
+//!
+//! 1. the resilient configuration (isolate policy + watchdog deadline +
+//!    retry budget) must not change a single output: the rendered
+//!    communication-analysis report is identical to a plain
+//!    `execute()`;
+//! 2. a checkpoint-recording run followed by a resume-only run must
+//!    replay every pass and reproduce the same report;
+//! 3. the cost of the guard rails is measured (informational): plain
+//!    execution vs resilient execution vs checkpoint-recording
+//!    execution of the comm-analysis PerFlowGraph.
+//!
+//! ```sh
+//! cargo bench --bench resilience_overhead
+//! ```
+
+use bench::{median_secs, print_table};
+use criterion::{criterion_group, criterion_main, Criterion};
+use perflow::paradigms::comm_analysis_graph;
+use perflow::{
+    CheckpointFile, CheckpointWriter, ExecOptions, ExecPolicy, PerFlow, Report, RetryPolicy,
+    RunHandleExt, Value,
+};
+use simrt::RunConfig;
+
+const RANKS: u32 = 8;
+const CONTEXT: u64 = 0xBE4C;
+
+fn rendered_report(out: &perflow::dataflow::Outputs, node: perflow::NodeId) -> String {
+    out.of(node)
+        .first()
+        .and_then(Value::as_report)
+        .map(Report::render)
+        .expect("comm-analysis graph must emit a report")
+}
+
+fn bench_resilience_overhead(c: &mut Criterion) {
+    let prog = workloads::cg();
+    let pflow = PerFlow::new();
+    let run = pflow
+        .run(&prog, &RunConfig::new(RANKS))
+        .expect("profiling run failed");
+    let (g, nodes) = comm_analysis_graph(run.vertices()).expect("paradigm wiring failed");
+
+    let resilient = || {
+        ExecOptions::new()
+            .with_policy(ExecPolicy::Isolate)
+            .with_pass_timeout_ms(60_000)
+            .with_retry(RetryPolicy::new(2))
+    };
+
+    // --- 1. Guard rails must not perturb results.
+    let plain = g.execute().expect("plain execution failed");
+    let guarded = g
+        .execute_with(&resilient())
+        .expect("resilient execution failed");
+    assert!(!guarded.degraded(), "clean graph must not degrade");
+    assert_eq!(
+        rendered_report(&plain, nodes.report),
+        rendered_report(&guarded, nodes.report),
+        "resilient execution must reproduce the plain report"
+    );
+    assert_eq!(plain.trail, guarded.trail, "trail must be unchanged");
+
+    // --- 2. Checkpoint round trip reproduces the report pass-for-pass.
+    let path = std::env::temp_dir().join(format!("perflow-bench-{}.pfck", std::process::id()));
+    let writer = CheckpointWriter::create(&path, CONTEXT).expect("checkpoint create failed");
+    let recording = g
+        .execute_with(&resilient().with_checkpoint(&writer))
+        .expect("recording execution failed");
+    assert!(
+        writer.error().is_none(),
+        "checkpoint writer must stay clean"
+    );
+    let recorded = writer.recorded();
+    drop(writer);
+    let file = CheckpointFile::load(&path).expect("checkpoint load failed");
+    file.expect_context(CONTEXT).expect("context mismatch");
+    let snapshot = file.rebind(std::slice::from_ref(&run));
+    assert_eq!(snapshot.dropped, 0, "every entry must rebind to the run");
+    let resumed = g
+        .execute_with(&resilient().with_resume(&snapshot))
+        .expect("resumed execution failed");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(resumed.resumed, recorded, "every recorded pass must replay");
+    assert_eq!(
+        rendered_report(&recording, nodes.report),
+        rendered_report(&resumed, nodes.report),
+        "resumed run must reproduce the recorded report"
+    );
+
+    // --- 3. Overhead (informational).
+    let mut group = c.benchmark_group("resilience_overhead");
+    group.sample_size(10);
+    group.bench_function("execute_plain", |b| b.iter(|| g.execute().unwrap()));
+    group.bench_function("execute_resilient", |b| {
+        b.iter(|| g.execute_with(&resilient()).unwrap())
+    });
+    group.finish();
+
+    let reps = 9;
+    let t_plain = median_secs(reps, || {
+        g.execute().unwrap();
+    });
+    let t_guarded = median_secs(reps, || {
+        g.execute_with(&resilient()).unwrap();
+    });
+    let t_recording = median_secs(reps, || {
+        let p = std::env::temp_dir().join(format!("perflow-bench-ck-{}.pfck", std::process::id()));
+        let w = CheckpointWriter::create(&p, CONTEXT).unwrap();
+        g.execute_with(&resilient().with_checkpoint(&w)).unwrap();
+        drop(w);
+        std::fs::remove_file(&p).ok();
+    });
+    let rel = |t: f64| format!("{:.2}x", t / t_plain.max(1e-12));
+    print_table(
+        "comm-analysis graph execution: plain vs guarded vs checkpointing",
+        &["mode", "median(ms)", "relative"],
+        &[
+            vec![
+                "plain".into(),
+                format!("{:.3}", t_plain * 1e3),
+                "1.00x".into(),
+            ],
+            vec![
+                "isolate+deadline+retry".into(),
+                format!("{:.3}", t_guarded * 1e3),
+                rel(t_guarded),
+            ],
+            vec![
+                "…+checkpoint".into(),
+                format!("{:.3}", t_recording * 1e3),
+                rel(t_recording),
+            ],
+        ],
+    );
+    println!(
+        "\nidentity: resilient report == plain report: yes; resumed {recorded}/{} passes with an identical report",
+        g.len()
+    );
+}
+
+criterion_group!(benches, bench_resilience_overhead);
+criterion_main!(benches);

@@ -69,12 +69,16 @@ impl PassCache {
 
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().unwrap().stats
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).stats
     }
 
     /// Number of cached results.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .len()
     }
 
     /// True when nothing is cached.
@@ -84,7 +88,7 @@ impl PassCache {
 
     /// Drop all cached results and reset the counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         inner.entries.clear();
         inner.stats = CacheStats::default();
     }
@@ -111,7 +115,7 @@ impl PassCache {
 
     /// Look up a result, counting the hit or miss.
     pub(crate) fn get(&self, key: u64) -> Option<(Vec<Value>, Vec<String>)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         match inner.entries.get(&key) {
             Some(e) => {
                 let out = (e.outputs.clone(), e.trail.clone());
@@ -133,14 +137,18 @@ impl PassCache {
         trail: Vec<String>,
         pass: Arc<dyn Pass>,
     ) {
-        self.inner.lock().unwrap().entries.insert(
-            key,
-            Entry {
-                outputs,
-                trail,
-                _pass: pass,
-            },
-        );
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .insert(
+                key,
+                Entry {
+                    outputs,
+                    trail,
+                    _pass: pass,
+                },
+            );
     }
 }
 

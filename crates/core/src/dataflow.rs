@@ -16,16 +16,28 @@
 //! run, not in completion order.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use obs::{Layer, Obs};
+use obs::{names, Layer, Obs};
 
 use crate::cache::{CacheStats, PassCache};
+use crate::checkpoint;
 use crate::error::PerFlowError;
+use crate::exec::{ExecOptions, ExecPolicy, PassFailure};
 use crate::metrics::{PassMetric, RunMetrics};
 use crate::pass::{Pass, PassCx, SourcePass};
 use crate::value::Value;
-use verify::{lint_graph, Diagnostics, GraphShape, NodeShape, WireShape};
+use verify::{lint_checkpoint, lint_graph, Diagnostics, GraphShape, NodeShape, WireShape};
+
+/// Lock the scheduler state, recovering from poisoning: a worker that
+/// panicked outside `catch_unwind` (e.g. an allocation failure while
+/// publishing) must not strand its siblings on a poisoned mutex. The
+/// guarded state is always structurally consistent — every mutation
+/// below is a field write, not a multi-step invariant — so recovery is
+/// safe.
+fn lock_state<'a>(m: &'a Mutex<ExecState>) -> MutexGuard<'a, ExecState> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Identifier of a node within one [`PerFlowGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -55,6 +67,14 @@ pub struct PerFlowGraph {
 }
 
 /// All node outputs after execution.
+///
+/// Under [`ExecPolicy::Isolate`] a run can complete *degraded*: failed
+/// nodes are listed in [`Outputs::failures`], their transitive
+/// downstream in [`Outputs::skipped`], and neither contributes values
+/// or trail entries — [`Outputs::try_of`] on them returns
+/// [`PerFlowError::MissingOutput`]. Human-readable degraded-data
+/// warnings accumulate in [`Outputs::warnings`].
+#[derive(Debug, Default)]
 pub struct Outputs {
     values: HashMap<NodeId, Vec<Value>>,
     /// Order in which passes ran (merged trails).
@@ -62,6 +82,16 @@ pub struct Outputs {
     /// Scheduler metrics (empty unless the run was observed via
     /// [`PerFlowGraph::execute_observed`]).
     pub metrics: RunMetrics,
+    /// Nodes that failed (error, panic, or timeout after retries) in an
+    /// [`ExecPolicy::Isolate`] run, sorted by node id. Empty on
+    /// fail-fast runs — those return `Err` instead.
+    pub failures: Vec<PassFailure>,
+    /// Nodes skipped because a transitive producer failed, sorted.
+    pub skipped: Vec<NodeId>,
+    /// Degraded-data and checkpoint warnings, in deterministic order.
+    pub warnings: Vec<String>,
+    /// Nodes replayed from a resume snapshot instead of executing.
+    pub resumed: usize,
 }
 
 impl Outputs {
@@ -95,6 +125,12 @@ impl Outputs {
     /// Convenience: the first output of a node as a report.
     pub fn report(&self, node: NodeId) -> Option<&crate::report::Report> {
         self.of(node).first().and_then(Value::as_report)
+    }
+
+    /// True when the run completed with failed or skipped nodes
+    /// (possible only under [`ExecPolicy::Isolate`]).
+    pub fn degraded(&self) -> bool {
+        !self.failures.is_empty() || !self.skipped.is_empty()
     }
 }
 
@@ -204,14 +240,14 @@ impl PerFlowGraph {
     /// Execute the graph. A node is dispatched as soon as its last input
     /// lands; independent nodes run concurrently on a bounded pool.
     pub fn execute(&self) -> Result<Outputs, PerFlowError> {
-        self.run_scheduler(None, None, &Obs::disabled())
+        self.execute_with(&ExecOptions::new())
     }
 
     /// Execute with a pinned worker-pool size (`1` = fully serial).
     /// Outputs and trail are identical for every worker count — this
     /// knob exists for determinism tests and scheduling benchmarks.
     pub fn execute_with_workers(&self, workers: usize) -> Result<Outputs, PerFlowError> {
-        self.run_scheduler(None, Some(workers.max(1)), &Obs::disabled())
+        self.execute_with(&ExecOptions::new().with_workers(workers))
     }
 
     /// Execute with a pass-result cache: every `(pass, inputs)` pair
@@ -219,7 +255,7 @@ impl PerFlowGraph {
     /// running. Re-executing an unchanged graph against the same cache
     /// hits on every node.
     pub fn execute_with_cache(&self, cache: &PassCache) -> Result<Outputs, PerFlowError> {
-        self.run_scheduler(Some(cache), None, &Obs::disabled())
+        self.execute_with(&ExecOptions::new().with_cache(cache))
     }
 
     /// Execute under an observability handle: every pass dispatch is
@@ -227,19 +263,29 @@ impl PerFlowGraph {
     /// and summarized in [`Outputs::metrics`]. With a disabled handle
     /// this is exactly [`PerFlowGraph::execute`].
     pub fn execute_observed(&self, obs: &Obs) -> Result<Outputs, PerFlowError> {
-        self.run_scheduler(None, None, obs)
+        self.execute_with(&ExecOptions::new().with_obs(obs.clone()))
     }
 
-    /// Fully configurable execution: optional cache, optional pinned
-    /// worker count, observability handle. All other `execute*` methods
-    /// are shorthands for this.
+    /// Shorthand kept for existing callers: optional cache, optional
+    /// pinned worker count, observability handle.
     pub fn execute_observed_with(
         &self,
         obs: &Obs,
         cache: Option<&PassCache>,
         workers: Option<usize>,
     ) -> Result<Outputs, PerFlowError> {
-        self.run_scheduler(cache, workers.map(|w| w.max(1)), obs)
+        let mut opts = ExecOptions::new().with_obs(obs.clone());
+        opts.cache = cache;
+        opts.workers = workers.map(|w| w.max(1));
+        self.execute_with(&opts)
+    }
+
+    /// Fully configurable resilient execution. All other `execute*`
+    /// methods are shorthands for this; see [`ExecOptions`] for the
+    /// failure policy, deadline, retry, cache, and checkpoint/resume
+    /// knobs.
+    pub fn execute_with(&self, opts: &ExecOptions<'_>) -> Result<Outputs, PerFlowError> {
+        self.run_scheduler(opts)
     }
 
     /// Structural snapshot of this graph for the static linter: node
@@ -352,19 +398,12 @@ impl PerFlowGraph {
         order
     }
 
-    fn run_scheduler(
-        &self,
-        cache: Option<&PassCache>,
-        workers: Option<usize>,
-        obs: &Obs,
-    ) -> Result<Outputs, PerFlowError> {
+    fn run_scheduler(&self, opts: &ExecOptions<'_>) -> Result<Outputs, PerFlowError> {
         let n = self.nodes.len();
+        let obs = &opts.obs;
+        let cache = opts.cache;
         if n == 0 {
-            return Ok(Outputs {
-                values: HashMap::new(),
-                trail: Vec::new(),
-                metrics: RunMetrics::default(),
-            });
+            return Ok(Outputs::default());
         }
         // Pre-flight static gate: refuse to schedule structurally broken
         // graphs (cycles, missing inputs, port gaps, …) with localized
@@ -391,7 +430,8 @@ impl PerFlowGraph {
                 ready_at[i] = sched_start;
             }
         }
-        let workers = workers
+        let workers = opts
+            .workers
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|c| c.get())
@@ -406,35 +446,56 @@ impl PerFlowGraph {
             in_flight: 0,
             completed: 0,
             error: None,
+            failed: vec![false; n],
+            skipped: vec![false; n],
+            failures: Vec::new(),
+            resume_hits: 0,
             ready_at,
             node_metrics: vec![None; if observed { n } else { 0 }],
             dispatched: 0,
             worker_busy: vec![0.0; if observed { workers } else { 0 }],
         });
         let wake = Condvar::new();
+        let ctx = WorkerCtx {
+            wires_in: &wires_in,
+            out_wires: &out_wires,
+            opts,
+            // Stable content keys are only needed (and only computed)
+            // when a snapshot is being written or replayed.
+            need_stable: opts.checkpoint.is_some() || opts.resume.is_some(),
+        };
 
         if workers <= 1 {
-            self.worker(&state, &wake, &wires_in, &out_wires, cache, obs, 0);
+            self.worker(&state, &wake, &ctx, 0);
         } else {
             std::thread::scope(|s| {
-                let (state, wake, wires_in, out_wires) = (&state, &wake, &wires_in, &out_wires);
+                let (state, wake, ctx) = (&state, &wake, &ctx);
                 for w in 0..workers {
-                    s.spawn(move || self.worker(state, wake, wires_in, out_wires, cache, obs, w));
+                    s.spawn(move || self.worker(state, wake, ctx, w));
                 }
             });
         }
 
-        let mut st = state.into_inner().unwrap();
+        let mut st = state.into_inner().unwrap_or_else(|p| p.into_inner());
         if let Some(e) = st.error.take() {
             return Err(e);
         }
+        let mut failures = std::mem::take(&mut st.failures);
+        // Completion order is nondeterministic; node order is not.
+        failures.sort_by_key(|f| f.node);
+        let skipped: Vec<NodeId> = (0..n).filter(|&i| st.skipped[i]).map(NodeId).collect();
         let mut values: HashMap<NodeId, Vec<Value>> = HashMap::new();
         let mut trail: Vec<String> = Vec::new();
         for i in self.topo_order() {
-            trail.push(self.nodes[i].pass.name().to_string());
-            trail.extend(st.trails[i].take().unwrap_or_default());
-            values.insert(NodeId(i), st.outputs[i].take().unwrap_or_default());
+            // Failed and skipped nodes contribute neither outputs nor
+            // trail entries — the trail reports what actually ran.
+            if let Some(outs) = st.outputs[i].take() {
+                trail.push(self.nodes[i].pass.name().to_string());
+                trail.extend(st.trails[i].take().unwrap_or_default());
+                values.insert(NodeId(i), outs);
+            }
         }
+        let warnings = self.run_warnings(opts, &failures, &skipped);
         let metrics = if observed {
             let cache_delta = cache.map(|c| {
                 let s1 = c.stats();
@@ -473,34 +534,122 @@ impl PerFlowGraph {
             values,
             trail,
             metrics,
+            failures,
+            skipped,
+            warnings,
+            resumed: st.resume_hits,
         })
+    }
+
+    /// Assemble the deterministic warning list of a completed run:
+    /// checkpoint-readiness lint findings (when snapshotting was
+    /// requested), degraded-data records for failures and skips, and
+    /// best-effort checkpoint/resume anomalies.
+    fn run_warnings(
+        &self,
+        opts: &ExecOptions<'_>,
+        failures: &[PassFailure],
+        skipped: &[NodeId],
+    ) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if opts.checkpoint.is_some() || opts.resume.is_some() {
+            for d in lint_checkpoint(&self.shape()).items() {
+                warnings.push(d.render_text());
+            }
+        }
+        for f in failures {
+            warnings.push(format!("degraded data: {f}"));
+        }
+        if !skipped.is_empty() {
+            let names: Vec<String> = skipped
+                .iter()
+                .map(|&id| format!("`{}` (node {})", self.nodes[id.0].pass.name(), id.0))
+                .collect();
+            warnings.push(format!(
+                "degraded data: skipped {} downstream pass(es): {}",
+                names.len(),
+                names.join(", ")
+            ));
+        }
+        if let Some(w) = opts.checkpoint {
+            if let Some(e) = w.error() {
+                warnings.push(format!("checkpoint: {e}"));
+            }
+        }
+        if let Some(s) = opts.resume {
+            if s.dropped > 0 {
+                warnings.push(format!(
+                    "resume: {} snapshot entr{} referenced a run digest not loaded in this process and could not be replayed",
+                    s.dropped,
+                    if s.dropped == 1 { "y" } else { "ies" }
+                ));
+            }
+        }
+        warnings
     }
 
     /// One scheduler worker: pull ready nodes off the queue until the
     /// graph completes, errors, or stalls (cycle).
-    #[allow(clippy::too_many_arguments)]
     fn worker(
         &self,
         state: &Mutex<ExecState>,
         wake: &Condvar,
-        wires_in: &[Vec<Wire>],
-        out_wires: &[Vec<Wire>],
-        cache: Option<&PassCache>,
-        obs: &Obs,
+        ctx: &WorkerCtx<'_, '_>,
         widx: usize,
     ) {
         let n = self.nodes.len();
+        let opts = ctx.opts;
+        let obs = &opts.obs;
+        let cache = opts.cache;
         let observed = obs.is_enabled();
+        let isolate = opts.policy == ExecPolicy::Isolate;
         loop {
             // Claim a ready node and snapshot its inputs.
             let (i, inputs, dispatch_seq) = {
-                let mut st = state.lock().unwrap();
-                let i = loop {
+                let mut st = lock_state(state);
+                let (i, inputs) = loop {
                     if st.error.is_some() || st.completed == n {
                         return;
                     }
                     if let Some(i) = st.ready.pop_front() {
-                        break i;
+                        // Isolate: a node fed by a failed or skipped
+                        // producer is skipped without dispatch, and the
+                        // taint cascades to its own dependents. All
+                        // producers are final (done/failed/skipped) by
+                        // the time a node is enqueued, so this decision
+                        // is deterministic.
+                        if isolate
+                            && ctx.wires_in[i]
+                                .iter()
+                                .any(|w| st.failed[w.from.0] || st.skipped[w.from.0])
+                        {
+                            st.skipped[i] = true;
+                            st.finish_node(&ctx.out_wires[i], observed, obs);
+                            wake.notify_all();
+                            continue;
+                        }
+                        match self.snapshot_inputs(&st, i, &ctx.wires_in[i]) {
+                            Ok(inputs) => break (i, inputs),
+                            Err(e) => {
+                                // Producer ran but lacks the wired
+                                // output port.
+                                if isolate {
+                                    st.failed[i] = true;
+                                    st.failures.push(PassFailure {
+                                        node: i,
+                                        pass: self.nodes[i].pass.name().to_string(),
+                                        error: e,
+                                        attempts: 0,
+                                    });
+                                    st.finish_node(&ctx.out_wires[i], observed, obs);
+                                    wake.notify_all();
+                                    continue;
+                                }
+                                st.error = Some(e);
+                                wake.notify_all();
+                                return;
+                            }
+                        }
                     }
                     if st.in_flight == 0 {
                         // Nothing running, nothing ready, nodes left:
@@ -509,72 +658,82 @@ impl PerFlowGraph {
                         wake.notify_all();
                         return;
                     }
-                    st = wake.wait(st).unwrap();
+                    st = wake.wait(st).unwrap_or_else(|p| p.into_inner());
                 };
-                let mut inputs = Vec::with_capacity(wires_in[i].len());
-                for w in &wires_in[i] {
-                    let v = st.outputs[w.from.0]
-                        .as_ref()
-                        .and_then(|outs| outs.get(w.out_port))
-                        .cloned();
-                    match v {
-                        Some(v) => inputs.push(v),
-                        None => {
-                            // Producer ran but has no such output port.
-                            st.error = Some(PerFlowError::MissingInput {
-                                pass: self.nodes[i].pass.name().to_string(),
-                                port: w.in_port,
-                            });
-                            wake.notify_all();
-                            return;
-                        }
-                    }
-                }
                 st.in_flight += 1;
                 let seq = st.dispatched;
                 st.dispatched += 1;
                 (i, inputs, seq)
             };
 
-            // Run the pass (or replay a cached result) off the lock.
+            // Run the pass (or replay a cached/resumed result) off the
+            // lock.
+            let pass = &self.nodes[i].pass;
             let start_us = obs.now_us();
             let mut cache_hit = false;
-            let result: NodeResult = match cache {
-                Some(c) => {
-                    let key = PassCache::key(&self.nodes[i].pass, &inputs);
-                    match c.get(key) {
-                        Some((outs, trail)) => {
-                            cache_hit = true;
-                            Ok((outs, trail))
-                        }
-                        None => {
-                            let mut cx = PassCx::new();
-                            match self.nodes[i].pass.run(&inputs, &mut cx) {
-                                Ok(outs) => {
-                                    c.put(
-                                        key,
-                                        outs.clone(),
-                                        cx.trail.clone(),
-                                        Arc::clone(&self.nodes[i].pass),
-                                    );
-                                    Ok((outs, cx.trail))
-                                }
-                                Err(e) => Err(e),
+            let mut resume_hit = false;
+            let mut attempts: u32 = 1;
+            let stable_key = if ctx.need_stable {
+                checkpoint::stable_key(&**pass, &inputs)
+            } else {
+                None
+            };
+            let cache_key = cache.map(|_| PassCache::key(pass, &inputs));
+            let cached = cache.and_then(|c| c.get(cache_key.unwrap()));
+            let result: NodeResult = if let Some(r) = cached {
+                cache_hit = true;
+                Ok(r)
+            } else if let Some(r) =
+                stable_key.and_then(|k| opts.resume.and_then(|snap| snap.get(k)))
+            {
+                resume_hit = true;
+                obs.count(names::PASS_RESUME_HIT, 1);
+                Ok(r)
+            } else {
+                let retry = opts.retry_override.or_else(|| pass.retry_policy());
+                let max_attempts = 1 + retry.map(|r| r.max_retries).unwrap_or(0);
+                loop {
+                    let r = run_attempt(pass, &inputs, opts.pass_timeout_ms);
+                    match &r {
+                        Err(PerFlowError::PassPanicked { .. }) => obs.count(names::PASS_PANIC, 1),
+                        Err(PerFlowError::PassTimeout { .. }) => obs.count(names::PASS_TIMEOUT, 1),
+                        _ => {}
+                    }
+                    match r {
+                        Ok(v) => break Ok(v),
+                        Err(e) => {
+                            if attempts >= max_attempts {
+                                break Err(e);
                             }
+                            // Deterministic capped exponential backoff;
+                            // the policy exists because attempts > 1.
+                            let backoff = retry
+                                .expect("retrying implies a retry policy")
+                                .backoff_ms(attempts);
+                            obs.count(names::PASS_RETRY, 1);
+                            obs.observe(names::PASS_RETRY_LATENCY_MS, backoff as f64);
+                            std::thread::sleep(std::time::Duration::from_millis(backoff));
+                            attempts += 1;
                         }
                     }
                 }
-                None => {
-                    let mut cx = PassCx::new();
-                    self.nodes[i]
-                        .pass
-                        .run(&inputs, &mut cx)
-                        .map(|v| (v, cx.trail))
-                }
             };
+            if let Ok((outs, trail)) = &result {
+                // Fill the cache from executed *and* resumed results, and
+                // append every stable-keyed success to the snapshot —
+                // a resumed run rewrites a complete checkpoint file.
+                if !cache_hit {
+                    if let (Some(c), Some(k)) = (cache, cache_key) {
+                        c.put(k, outs.clone(), trail.clone(), Arc::clone(pass));
+                    }
+                }
+                if let (Some(w), Some(k)) = (opts.checkpoint, stable_key) {
+                    w.record(k, outs, trail);
+                }
+            }
             let end_us = obs.now_us();
             if observed {
-                let name = self.nodes[i].pass.name();
+                let name = pass.name();
                 obs.record_span(
                     Layer::Core,
                     format!("pass:{name}"),
@@ -584,6 +743,8 @@ impl PerFlowGraph {
                     &[
                         ("node", i as f64),
                         ("cache_hit", if cache_hit { 1.0 } else { 0.0 }),
+                        ("resume_hit", if resume_hit { 1.0 } else { 0.0 }),
+                        ("attempts", attempts as f64),
                         ("dispatch_seq", dispatch_seq as f64),
                     ],
                 );
@@ -601,13 +762,13 @@ impl PerFlowGraph {
             }
 
             // Publish and release dependents.
-            let mut st = state.lock().unwrap();
+            let mut st = lock_state(state);
             st.in_flight -= 1;
             if observed {
                 st.worker_busy[widx] += end_us - start_us;
                 st.node_metrics[i] = Some(PassMetric {
                     node: i,
-                    name: self.nodes[i].pass.name().to_string(),
+                    name: pass.name().to_string(),
                     wall_us: end_us - start_us,
                     queue_wait_us: (start_us - st.ready_at[i]).max(0.0),
                     cache_hit,
@@ -617,25 +778,121 @@ impl PerFlowGraph {
             }
             match result {
                 Ok((outs, trail)) => {
+                    if resume_hit {
+                        st.resume_hits += 1;
+                    }
                     st.outputs[i] = Some(outs);
                     st.trails[i] = Some(trail);
-                    st.completed += 1;
-                    for w in &out_wires[i] {
-                        st.deps_left[w.to.0] -= 1;
-                        if st.deps_left[w.to.0] == 0 {
-                            st.ready.push_back(w.to.0);
-                            if observed {
-                                st.ready_at[w.to.0] = end_us;
-                            }
-                        }
-                    }
+                    st.finish_node(&ctx.out_wires[i], observed, obs);
                 }
                 Err(e) => {
-                    st.error.get_or_insert(e);
+                    if isolate {
+                        st.failed[i] = true;
+                        st.failures.push(PassFailure {
+                            node: i,
+                            pass: pass.name().to_string(),
+                            error: e,
+                            attempts,
+                        });
+                        // Dependents still enqueue (so the skip cascade
+                        // can visit and finish them), but carry no data.
+                        st.finish_node(&ctx.out_wires[i], observed, obs);
+                    } else {
+                        st.error.get_or_insert(e);
+                    }
                 }
             }
             wake.notify_all();
         }
+    }
+
+    /// Snapshot node `i`'s inputs from its producers' published outputs
+    /// (caller holds the state lock).
+    fn snapshot_inputs(
+        &self,
+        st: &ExecState,
+        i: usize,
+        wires: &[Wire],
+    ) -> Result<Vec<Value>, PerFlowError> {
+        let mut inputs = Vec::with_capacity(wires.len());
+        for w in wires {
+            let v = st.outputs[w.from.0]
+                .as_ref()
+                .and_then(|outs| outs.get(w.out_port))
+                .cloned();
+            match v {
+                Some(v) => inputs.push(v),
+                None => {
+                    return Err(PerFlowError::MissingInput {
+                        pass: self.nodes[i].pass.name().to_string(),
+                        port: w.in_port,
+                    })
+                }
+            }
+        }
+        Ok(inputs)
+    }
+}
+
+/// Immutable per-run context shared by all workers.
+struct WorkerCtx<'a, 'o> {
+    wires_in: &'a [Vec<Wire>],
+    out_wires: &'a [Vec<Wire>],
+    opts: &'a ExecOptions<'o>,
+    need_stable: bool,
+}
+
+/// Run one execution attempt of `pass`: panics are caught and converted
+/// to [`PerFlowError::PassPanicked`]; with a deadline, the pass runs on
+/// a detached watchdog thread and is abandoned on expiry (its eventual
+/// result, if any, is discarded).
+fn run_attempt(pass: &Arc<dyn Pass>, inputs: &[Value], timeout_ms: Option<u64>) -> NodeResult {
+    let Some(ms) = timeout_ms else {
+        return run_guarded(pass, inputs);
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let pass2 = Arc::clone(pass);
+    let inputs2 = inputs.to_vec();
+    std::thread::spawn(move || {
+        // A send after the deadline hits a dropped receiver; ignore it.
+        let _ = tx.send(run_guarded(&pass2, &inputs2));
+    });
+    match rx.recv_timeout(std::time::Duration::from_millis(ms)) {
+        Ok(r) => r,
+        Err(_) => Err(PerFlowError::PassTimeout {
+            pass: pass.name().to_string(),
+            timeout_ms: ms,
+        }),
+    }
+}
+
+/// Run a pass under `catch_unwind`, converting an unwind into a
+/// structured error. `AssertUnwindSafe` is sound here: on panic both the
+/// context and any partially-built outputs are discarded, so no broken
+/// invariant is ever observed.
+fn run_guarded(pass: &Arc<dyn Pass>, inputs: &[Value]) -> NodeResult {
+    let mut cx = PassCx::new();
+    let caught =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pass.run(inputs, &mut cx)));
+    match caught {
+        Ok(Ok(outs)) => Ok((outs, cx.trail)),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err(PerFlowError::PassPanicked {
+            pass: pass.name().to_string(),
+            payload: panic_payload_text(payload.as_ref()),
+        }),
+    }
+}
+
+/// Render a panic payload: `&str` and `String` payloads verbatim,
+/// anything else a placeholder.
+fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -651,10 +908,20 @@ struct ExecState {
     trails: Vec<Option<Vec<String>>>,
     /// Nodes currently executing on some worker.
     in_flight: usize,
-    /// Nodes finished successfully.
+    /// Nodes in a final state: done, failed, or skipped. The pool drains
+    /// when this reaches the node count — failed branches count too, so
+    /// an isolated failure can never deadlock waiting workers.
     completed: usize,
-    /// First error observed; stops the run.
+    /// First error observed; stops the run (fail-fast only).
     error: Option<PerFlowError>,
+    /// Isolate: nodes whose execution failed after all retries.
+    failed: Vec<bool>,
+    /// Isolate: nodes skipped because a transitive producer failed.
+    skipped: Vec<bool>,
+    /// Isolate: post-mortem records, in completion order (sorted later).
+    failures: Vec<PassFailure>,
+    /// Nodes replayed from a resume snapshot.
+    resume_hits: usize,
     /// Observability: per-node timestamp of when it became ready (empty
     /// when the run is unobserved — no clock reads on the fast path).
     ready_at: Vec<f64>,
@@ -664,6 +931,24 @@ struct ExecState {
     dispatched: usize,
     /// Observability: accumulated busy time per worker, µs.
     worker_busy: Vec<f64>,
+}
+
+impl ExecState {
+    /// Move a node into a final state (done, failed, or skipped):
+    /// count it and release its dependents. Dependents of failed/skipped
+    /// nodes still enqueue so the skip cascade can finish them.
+    fn finish_node(&mut self, out_wires: &[Wire], observed: bool, obs: &Obs) {
+        self.completed += 1;
+        for w in out_wires {
+            self.deps_left[w.to.0] -= 1;
+            if self.deps_left[w.to.0] == 0 {
+                self.ready.push_back(w.to.0);
+                if observed {
+                    self.ready_at[w.to.0] = obs.now_us();
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -958,5 +1243,337 @@ mod tests {
             .items()
             .iter()
             .any(|x| x.code == verify::codes::NO_FINGERPRINT));
+    }
+
+    // ----- resilient execution -------------------------------------
+
+    use crate::exec::RetryPolicy;
+
+    /// A fingerprinted unary pass for checkpoint tests: `f(x)` on Num
+    /// inputs, content-keyed on its name.
+    struct FpPass {
+        name: String,
+        f: fn(f64) -> f64,
+    }
+
+    impl Pass for FpPass {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn run(&self, inputs: &[Value], _cx: &mut PassCx) -> Result<Vec<Value>, PerFlowError> {
+            Ok(vec![Value::Num((self.f)(inputs[0].as_num().unwrap()))])
+        }
+        fn fingerprint(&self) -> Option<u64> {
+            let mut h = crate::value::Fnv::new();
+            h.str("fp-pass");
+            h.str(&self.name);
+            Some(h.finish())
+        }
+    }
+
+    fn panicking_graph() -> (PerFlowGraph, NodeId, NodeId, NodeId) {
+        // source ─→ boom ─→ sink        (fails, then skipped)
+        //    └────→ ok                   (independent, must complete)
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(1.0);
+        let boom = g.add_pass(FnPass::new(
+            "boom",
+            1,
+            |_: &[Value]| -> Result<Vec<Value>, PerFlowError> { panic!("injected pass panic") },
+        ));
+        let sink = g.add_pass(FnPass::new("sink", 1, |i: &[Value]| Ok(vec![i[0].clone()])));
+        let ok = g.add_pass(FnPass::new("ok", 1, |i: &[Value]| {
+            Ok(vec![Value::Num(i[0].as_num().unwrap() + 41.0)])
+        }));
+        g.pipe(s, boom).unwrap();
+        g.pipe(boom, sink).unwrap();
+        g.pipe(s, ok).unwrap();
+        (g, boom, sink, ok)
+    }
+
+    #[test]
+    fn panic_becomes_structured_error_at_every_worker_count() {
+        let (g, ..) = panicking_graph();
+        for workers in [1, 2, 8] {
+            let opts = ExecOptions::new().with_workers(workers);
+            match g.execute_with(&opts) {
+                Err(PerFlowError::PassPanicked { pass, payload }) => {
+                    assert_eq!(pass, "boom");
+                    assert_eq!(payload, "injected pass panic");
+                }
+                other => panic!("workers={workers}: expected PassPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn isolate_skips_downstream_and_finishes_independent_branches() {
+        let (g, boom, sink, ok) = panicking_graph();
+        for workers in [1, 2, 8] {
+            let obs = Obs::enabled();
+            let opts = ExecOptions::new()
+                .with_policy(ExecPolicy::Isolate)
+                .with_workers(workers)
+                .with_obs(obs.clone());
+            let out = g.execute_with(&opts).expect("isolate run completes");
+            assert!(out.degraded());
+            assert_eq!(out.failures.len(), 1);
+            assert_eq!(out.failures[0].node, boom.0);
+            assert!(matches!(
+                out.failures[0].error,
+                PerFlowError::PassPanicked { .. }
+            ));
+            assert_eq!(out.skipped, vec![sink]);
+            // The independent branch completed with its value.
+            assert_eq!(out.of(ok)[0].as_num(), Some(42.0));
+            // Failed/skipped nodes have no outputs and no trail entry.
+            assert!(matches!(
+                out.try_of(sink),
+                Err(PerFlowError::MissingOutput { .. })
+            ));
+            assert!(!out.trail.contains(&"boom".to_string()));
+            assert!(!out.trail.contains(&"sink".to_string()));
+            // Degraded-data warnings name both the failure and the skip.
+            assert!(
+                out.warnings.iter().any(|w| w.contains("boom")),
+                "{:?}",
+                out.warnings
+            );
+            assert!(
+                out.warnings.iter().any(|w| w.contains("sink")),
+                "{:?}",
+                out.warnings
+            );
+            assert_eq!(obs.counter(obs::names::PASS_PANIC), 1);
+        }
+    }
+
+    #[test]
+    fn deadline_watchdog_abandons_stalled_pass() {
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(1.0);
+        let stall = g.add_pass(FnPass::new("stall", 1, |i: &[Value]| {
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            Ok(vec![i[0].clone()])
+        }));
+        g.pipe(s, stall).unwrap();
+        let obs = Obs::enabled();
+        let opts = ExecOptions::new()
+            .with_pass_timeout_ms(30)
+            .with_obs(obs.clone());
+        match g.execute_with(&opts) {
+            Err(PerFlowError::PassTimeout { pass, timeout_ms }) => {
+                assert_eq!(pass, "stall");
+                assert_eq!(timeout_ms, 30);
+            }
+            other => panic!("expected PassTimeout, got {other:?}"),
+        }
+        assert_eq!(obs.counter(obs::names::PASS_TIMEOUT), 1);
+        // A generous deadline lets the same graph complete.
+        let opts = ExecOptions::new().with_pass_timeout_ms(10_000);
+        assert!(g.execute_with(&opts).is_ok());
+    }
+
+    #[test]
+    fn retry_recovers_transient_failures() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let tries = Arc::new(AtomicU32::new(0));
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(7.0);
+        let t2 = Arc::clone(&tries);
+        let flaky = g.add_pass(FnPass::new("flaky", 1, move |i: &[Value]| {
+            if t2.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(PerFlowError::Analysis("transient".into()))
+            } else {
+                Ok(vec![i[0].clone()])
+            }
+        }));
+        g.pipe(s, flaky).unwrap();
+        let obs = Obs::enabled();
+        let opts = ExecOptions::new()
+            .with_retry(RetryPolicy::new(3).with_backoff_ms(1, 2))
+            .with_obs(obs.clone());
+        let out = g.execute_with(&opts).expect("retries recover");
+        assert_eq!(out.of(flaky)[0].as_num(), Some(7.0));
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert_eq!(obs.counter(obs::names::PASS_RETRY), 2);
+        assert_eq!(
+            obs.histogram(obs::names::PASS_RETRY_LATENCY_MS)
+                .unwrap()
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn retries_exhaust_to_final_error() {
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(1.0);
+        let bad = g.add_pass(FnPass::new("bad", 1, |_: &[Value]| {
+            Err(PerFlowError::Analysis("permanent".into()))
+        }));
+        g.pipe(s, bad).unwrap();
+        let opts = ExecOptions::new().with_retry(RetryPolicy::new(2).with_backoff_ms(1, 1));
+        match g.execute_with(&opts) {
+            Err(PerFlowError::Analysis(m)) => assert_eq!(m, "permanent"),
+            other => panic!("expected Analysis, got {other:?}"),
+        }
+        // Under Isolate the same exhaustion is a recorded failure with
+        // the attempt count.
+        let opts = ExecOptions::new()
+            .with_policy(ExecPolicy::Isolate)
+            .with_retry(RetryPolicy::new(2).with_backoff_ms(1, 1));
+        let out = g.execute_with(&opts).unwrap();
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].attempts, 3);
+    }
+
+    #[test]
+    fn per_pass_retry_policy_is_honored() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct SelfHealing(Arc<AtomicU32>);
+        impl Pass for SelfHealing {
+            fn name(&self) -> &str {
+                "self_healing"
+            }
+            fn arity(&self) -> usize {
+                0
+            }
+            fn run(&self, _: &[Value], _: &mut PassCx) -> Result<Vec<Value>, PerFlowError> {
+                if self.0.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(PerFlowError::Analysis("first try fails".into()))
+                } else {
+                    Ok(vec![Value::Num(5.0)])
+                }
+            }
+            fn retry_policy(&self) -> Option<RetryPolicy> {
+                Some(RetryPolicy::new(1).with_backoff_ms(1, 1))
+            }
+        }
+        let tries = Arc::new(AtomicU32::new(0));
+        let mut g = PerFlowGraph::new();
+        let node = g.add_pass(SelfHealing(Arc::clone(&tries)));
+        let out = g.execute().expect("pass-declared retry applies");
+        assert_eq!(out.of(node)[0].as_num(), Some(5.0));
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn checkpoint_then_resume_replays_without_execution() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("perflow-dataflow-ckpt-{}", std::process::id()));
+            p
+        };
+        let runs = Arc::new(AtomicU32::new(0));
+
+        let build = |runs: Arc<AtomicU32>| {
+            let mut g = PerFlowGraph::new();
+            let s = g.add_source(3.0);
+            let double = g.add_pass(FpPass {
+                name: "double".into(),
+                f: |x| x * 2.0,
+            });
+            struct Counting(Arc<AtomicU32>);
+            impl Pass for Counting {
+                fn name(&self) -> &str {
+                    "counting_inc"
+                }
+                fn arity(&self) -> usize {
+                    1
+                }
+                fn run(&self, i: &[Value], _: &mut PassCx) -> Result<Vec<Value>, PerFlowError> {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![Value::Num(i[0].as_num().unwrap() + 1.0)])
+                }
+                fn fingerprint(&self) -> Option<u64> {
+                    let mut h = crate::value::Fnv::new();
+                    h.str("counting_inc");
+                    Some(h.finish())
+                }
+            }
+            let inc = g.add_pass(Counting(runs));
+            g.pipe(s, double).unwrap();
+            g.pipe(double, inc).unwrap();
+            (g, inc)
+        };
+
+        // First run writes the snapshot.
+        let (g1, inc1) = build(Arc::clone(&runs));
+        let writer = checkpoint::CheckpointWriter::create(&path, 77).unwrap();
+        let opts = ExecOptions::new().with_checkpoint(&writer);
+        let first = g1.execute_with(&opts).unwrap();
+        assert_eq!(first.of(inc1)[0].as_num(), Some(7.0));
+        assert_eq!(writer.recorded(), 3, "all three passes are stable-keyed");
+        assert!(writer.error().is_none());
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+
+        // Second run (fresh graph objects, same content) resumes: no
+        // pass re-executes, outputs identical.
+        let (g2, inc2) = build(Arc::clone(&runs));
+        let file = checkpoint::CheckpointFile::load(&path).unwrap();
+        file.expect_context(77).unwrap();
+        let snap = file.rebind(&[]);
+        assert_eq!(snap.len(), 3);
+        let obs = Obs::enabled();
+        let opts = ExecOptions::new().with_resume(&snap).with_obs(obs.clone());
+        let second = g2.execute_with(&opts).unwrap();
+        assert_eq!(second.of(inc2)[0].as_num(), Some(7.0));
+        assert_eq!(second.resumed, 3);
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "no re-execution on resume");
+        assert_eq!(obs.counter(obs::names::PASS_RESUME_HIT), 3);
+        assert_eq!(first.trail, second.trail);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_warns_on_unresumable_passes() {
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("perflow-dataflow-warn-{}", std::process::id()));
+            p
+        };
+        let mut g = PerFlowGraph::new();
+        let s = g.add_source(1.0);
+        // Closure pass: no fingerprint, so it can never be checkpointed.
+        let id = g.add_pass(FnPass::new("opaque", 1, |i: &[Value]| {
+            Ok(vec![i[0].clone()])
+        }));
+        g.pipe(s, id).unwrap();
+        let writer = checkpoint::CheckpointWriter::create(&path, 1).unwrap();
+        let opts = ExecOptions::new().with_checkpoint(&writer);
+        let out = g.execute_with(&opts).unwrap();
+        assert!(
+            out.warnings
+                .iter()
+                .any(|w| w.contains("PF0011") && w.contains("opaque")),
+            "{:?}",
+            out.warnings
+        );
+        // Only the fingerprinted source was recorded.
+        assert_eq!(writer.recorded(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn isolate_on_clean_graph_is_identical_to_failfast() {
+        let mut g = PerFlowGraph::new();
+        let a = g.add_source(1.0);
+        let b = g.add_source(2.0);
+        let sum = g.add_pass(add_pass());
+        g.connect(a, 0, sum, 0).unwrap();
+        g.connect(b, 0, sum, 1).unwrap();
+        let plain = g.execute().unwrap();
+        let isolated = g
+            .execute_with(&ExecOptions::new().with_policy(ExecPolicy::Isolate))
+            .unwrap();
+        assert_eq!(plain.of(sum)[0].as_num(), isolated.of(sum)[0].as_num());
+        assert_eq!(plain.trail, isolated.trail);
+        assert!(!isolated.degraded());
+        assert!(isolated.warnings.is_empty());
     }
 }

@@ -63,6 +63,32 @@ pub enum PerFlowError {
         /// The node whose outputs were requested.
         node: usize,
     },
+    /// A pass panicked during execution. The scheduler catches the
+    /// unwind, recovers its shared state, and converts the panic into
+    /// this structured error so one bad pass can neither poison the
+    /// work-queue mutex nor strand sibling workers.
+    PassPanicked {
+        /// Display name of the panicking pass.
+        pass: String,
+        /// The panic payload rendered as text (`String`/`&str` payloads
+        /// verbatim, anything else a placeholder).
+        payload: String,
+    },
+    /// A pass exceeded its per-pass wall-clock deadline and was
+    /// abandoned by the watchdog (its eventual result, if any, is
+    /// discarded).
+    PassTimeout {
+        /// Display name of the stalled pass.
+        pass: String,
+        /// The deadline that was exceeded, milliseconds.
+        timeout_ms: u64,
+    },
+    /// Checkpoint snapshot I/O or format failure (unreadable file, bad
+    /// magic/version, context mismatch with the run being resumed).
+    Checkpoint {
+        /// What went wrong.
+        detail: String,
+    },
     /// The simulated run failed.
     Sim(simrt::SimError),
     /// Graph-difference failure (skeleton mismatch).
@@ -117,6 +143,13 @@ impl std::fmt::Display for PerFlowError {
             PerFlowError::MissingOutput { node } => {
                 write!(f, "no outputs recorded for node {node}")
             }
+            PerFlowError::PassPanicked { pass, payload } => {
+                write!(f, "pass {pass} panicked: {payload}")
+            }
+            PerFlowError::PassTimeout { pass, timeout_ms } => {
+                write!(f, "pass {pass} exceeded its {timeout_ms} ms deadline")
+            }
+            PerFlowError::Checkpoint { detail } => write!(f, "checkpoint failed: {detail}"),
             PerFlowError::Sim(e) => write!(f, "simulation failed: {e}"),
             PerFlowError::Diff(m) => write!(f, "graph difference failed: {m}"),
             PerFlowError::Analysis(m) => write!(f, "analysis failed: {m}"),
@@ -197,6 +230,26 @@ mod tests {
             (
                 PerFlowError::MissingOutput { node: 4 },
                 &["no outputs", "node 4"],
+            ),
+            (
+                PerFlowError::PassPanicked {
+                    pass: "breakdown_analysis".into(),
+                    payload: "index out of bounds".into(),
+                },
+                &["breakdown_analysis", "panicked", "index out of bounds"],
+            ),
+            (
+                PerFlowError::PassTimeout {
+                    pass: "causal_analysis".into(),
+                    timeout_ms: 250,
+                },
+                &["causal_analysis", "250 ms", "deadline"],
+            ),
+            (
+                PerFlowError::Checkpoint {
+                    detail: "context mismatch".into(),
+                },
+                &["checkpoint failed", "context mismatch"],
             ),
             (
                 PerFlowError::Sim(simrt::SimError::Deadlock { blocked: vec![] }),

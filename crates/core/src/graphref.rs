@@ -19,6 +19,7 @@ use crate::set::VertexSet;
 pub struct RunBundle {
     run: ProfiledRun,
     parallel: OnceLock<Pag>,
+    content_digest: OnceLock<u64>,
 }
 
 /// Shared handle to a [`RunBundle`].
@@ -30,7 +31,16 @@ impl RunBundle {
         Arc::new(RunBundle {
             run,
             parallel: OnceLock::new(),
+            content_digest: OnceLock::new(),
         })
+    }
+
+    /// Content digest of the underlying run data
+    /// ([`simrt::RunData::digest`], cached). Stable across processes for
+    /// deterministic simulations — the identity checkpoint snapshots use
+    /// to re-associate serialized sets with a resumed run.
+    pub fn content_digest(&self) -> u64 {
+        *self.content_digest.get_or_init(|| self.run.data.digest())
     }
 
     /// The profiled run (top-down PAG, raw run data, context maps).
@@ -101,6 +111,20 @@ impl GraphRef {
             GraphRef::TopDown(b) => (1, Arc::as_ptr(b) as *const () as usize),
             GraphRef::Parallel(b) => (2, Arc::as_ptr(b) as *const () as usize),
             GraphRef::Detached(p) => (3, Arc::as_ptr(p) as *const () as usize),
+        }
+    }
+
+    /// A process-independent `(view-tag, content-digest)` identity for
+    /// graphs that belong to a run bundle — the token checkpoint keys
+    /// use instead of [`GraphRef::identity`]'s handle address. `None`
+    /// for detached graphs (difference graphs and other derived PAGs
+    /// have no stable content token, so values on them cannot be
+    /// checkpointed).
+    pub fn content_identity(&self) -> Option<(u8, u64)> {
+        match self {
+            GraphRef::TopDown(b) => Some((1, b.content_digest())),
+            GraphRef::Parallel(b) => Some((2, b.content_digest())),
+            GraphRef::Detached(_) => None,
         }
     }
 

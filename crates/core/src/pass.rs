@@ -43,6 +43,17 @@ pub trait Pass: Send + Sync {
     fn fingerprint(&self) -> Option<u64> {
         None
     }
+
+    /// Retry policy this pass opts into: `Some(policy)` makes the
+    /// resilient executor re-run a failing (erroring, panicking, or
+    /// timed-out) execution up to `policy.max_retries` times with
+    /// deterministic capped backoff. `None` (the default) means one
+    /// attempt only. A per-run
+    /// [`crate::exec::ExecOptions::retry_override`] takes precedence
+    /// over this declaration.
+    fn retry_policy(&self) -> Option<crate::exec::RetryPolicy> {
+        None
+    }
 }
 
 /// Helper: extract the vertex-set input on `port` or fail with a typed
@@ -91,7 +102,14 @@ impl Pass for SourcePass {
     fn fingerprint(&self) -> Option<u64> {
         let mut h = crate::value::Fnv::new();
         h.str("source");
-        h.u64(self.value.fingerprint());
+        // Prefer the content-addressed fingerprint: the pointer-based one
+        // is unstable across processes, which would make source nodes
+        // silently unresumable from a checkpoint snapshot.
+        h.u64(
+            self.value
+                .stable_fingerprint()
+                .unwrap_or_else(|| self.value.fingerprint()),
+        );
         Some(h.finish())
     }
 }

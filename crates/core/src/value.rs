@@ -155,6 +155,70 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Process-independent content fingerprint, used by checkpoint
+    /// snapshots. Identical to [`Value::fingerprint`] except that sets
+    /// identify their graph by its *content digest*
+    /// ([`crate::graphref::GraphRef::content_identity`]) instead of the
+    /// handle address, so the same value in a re-created process hashes
+    /// the same. `None` when any referenced graph has no stable content
+    /// identity (detached graphs) — such values cannot be resumed.
+    pub fn stable_fingerprint(&self) -> Option<u64> {
+        let mut h = Fnv::new();
+        match self {
+            Value::Num(n) => {
+                h.u64(1);
+                h.u64(n.to_bits());
+            }
+            Value::Vertices(v) => {
+                h.u64(2);
+                let (tag, digest) = v.graph.content_identity()?;
+                h.u64(tag as u64);
+                h.u64(digest);
+                h.u64(v.ids.len() as u64);
+                for id in &v.ids {
+                    h.u64(id.0 as u64);
+                }
+                h.u64(v.scores.len() as u64);
+                for (id, s) in &v.scores {
+                    h.u64(id.0 as u64);
+                    h.u64(s.to_bits());
+                }
+            }
+            Value::Edges(e) => {
+                h.u64(3);
+                let (tag, digest) = e.graph.content_identity()?;
+                h.u64(tag as u64);
+                h.u64(digest);
+                h.u64(e.ids.len() as u64);
+                for id in &e.ids {
+                    h.u64(id.0 as u64);
+                }
+            }
+            Value::Report(r) => {
+                h.u64(4);
+                h.str(&r.title);
+                h.u64(r.columns.len() as u64);
+                for c in &r.columns {
+                    h.str(c);
+                }
+                h.u64(r.rows.len() as u64);
+                for row in &r.rows {
+                    h.u64(row.len() as u64);
+                    for cell in row {
+                        h.str(cell);
+                    }
+                }
+                h.u64(r.notes.len() as u64);
+                for n in &r.notes {
+                    h.str(n);
+                }
+            }
+        }
+        Some(h.finish())
+    }
+}
+
 impl From<VertexSet> for Value {
     fn from(v: VertexSet) -> Self {
         Value::Vertices(v)

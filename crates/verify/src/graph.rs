@@ -290,6 +290,30 @@ pub fn lint_graph(g: &GraphShape) -> Diagnostics {
     d.finish()
 }
 
+/// Lint a PerFlowGraph for checkpoint/resume readiness: every pass
+/// without a content fingerprint gets a `PF0011` warning, because its
+/// results can never be persisted to a snapshot or replayed on resume —
+/// a kill-then-resume run re-executes it (and everything downstream of
+/// it) from scratch. Run by the engine when a checkpoint or resume
+/// handle is attached; findings are warnings and never block execution.
+pub fn lint_checkpoint(g: &GraphShape) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        if !node.has_fingerprint {
+            d.push(
+                codes::UNRESUMABLE_PASS,
+                Severity::Warn,
+                node_anchor(g, i),
+                format!(
+                    "`{}` has no content fingerprint; its results cannot be checkpointed or resumed",
+                    node.name
+                ),
+            );
+        }
+    }
+    d.finish()
+}
+
 /// Iterative Tarjan strongly-connected components over a dense adjacency
 /// list. Returns SCCs; singleton SCCs are cyclic only with a self-loop
 /// (the caller checks).
@@ -583,6 +607,37 @@ mod tests {
             .unwrap();
         assert!(m.message.contains("`my_closure`"));
         assert!(m.message.contains("object identity"));
+    }
+
+    #[test]
+    fn checkpoint_lint_flags_unresumable_passes() {
+        let mut opaque = node("my_closure", 1);
+        opaque.has_fingerprint = false;
+        let g = GraphShape {
+            nodes: vec![node("source", 0), opaque, node("report", 1)],
+            wires: vec![wire(0, 1, 0), wire(1, 2, 0)],
+        };
+        let d = lint_checkpoint(&g);
+        assert!(!d.has_errors(), "PF0011 findings are warnings only");
+        let items: Vec<_> = d
+            .items()
+            .iter()
+            .filter(|x| x.code == codes::UNRESUMABLE_PASS)
+            .collect();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].severity, Severity::Warn);
+        assert!(items[0].message.contains("`my_closure`"));
+        assert!(
+            items[0].message.contains("checkpointed"),
+            "{}",
+            items[0].message
+        );
+        // A fully fingerprinted graph is checkpoint-clean.
+        let clean = GraphShape {
+            nodes: vec![node("source", 0), node("hotspot", 1)],
+            wires: vec![wire(0, 1, 0)],
+        };
+        assert!(lint_checkpoint(&clean).items().is_empty());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod pag_check;
 pub mod program_lint;
 
 pub use diag::{json_escape, Anchor, Diagnostic, Diagnostics, Severity};
-pub use graph::{lint_graph, GraphShape, NodeShape, WireShape};
+pub use graph::{lint_checkpoint, lint_graph, GraphShape, NodeShape, WireShape};
 pub use pag_check::check_pag;
 pub use program_lint::lint_program;
 
@@ -69,6 +69,10 @@ pub mod codes {
     /// Pass lacks a content fingerprint; the pass-result cache falls
     /// back to object identity (warning).
     pub const NO_FINGERPRINT: &str = "PF0010";
+    /// Checkpoint/resume was requested but the pass has no content
+    /// fingerprint, so its results can never be persisted or resumed
+    /// (warning).
+    pub const UNRESUMABLE_PASS: &str = "PF0011";
 
     /// Edge endpoint out of the vertex range (error).
     pub const DANGLING_EDGE: &str = "PF0101";

@@ -15,7 +15,11 @@ use perflow::paradigms::{
     causal_loop_graph, comm_analysis_graph, contention_diagnosis, critical_path_paradigm,
     diagnosis_graph, iterative_causal, mpi_profiler, scalability_analysis, scalability_graph,
 };
-use perflow::{Obs, PassCache, PerFlow, Report, RunHandle, RunHandleExt};
+use perflow::pass::FnPass;
+use perflow::{
+    CheckpointFile, CheckpointWriter, ExecOptions, ExecPolicy, Obs, PassCache, PerFlow, Report,
+    RetryPolicy, RunHandle, RunHandleExt,
+};
 use simrt::{FaultPlan, RunConfig};
 
 fn usage() -> ! {
@@ -24,10 +28,36 @@ fn usage() -> ! {
          \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]\n\
          \x20                [--trace-out FILE] [--metrics] [--metrics-json] [--lint] [--lint-json]\n\
          \x20                [--self-analyze] [--prom-out FILE] [--folded-out FILE] [--app-folded-out FILE]\n\
+         \x20                [--fail-policy failfast|isolate] [--pass-timeout-ms N] [--retries N]\n\
+         \x20                [--checkpoint FILE] [--resume FILE] [--inject-pass-panic]\n\
          \x20                [--crash RANK@US] [--hang RANK@US] [--sample-loss RATE]\n\
          \x20                [--msg-drop RATE@DELAY_US] [--pmu-corrupt RATE] [--truncate-stacks DEPTH]"
     );
     std::process::exit(2)
+}
+
+/// FNV-1a over a sequence of 64-bit words — used to derive the
+/// checkpoint context digest from the CLI configuration, so a snapshot
+/// taken under one workload/config refuses to resume under another.
+fn fnv_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// FNV-1a over a string (feeds [`fnv_words`]).
+fn fnv_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// `--lint` / `--lint-json`: run the static analyzers over the program
@@ -192,6 +222,12 @@ fn main() {
     let mut self_analyze = false;
     let mut lint = false;
     let mut lint_json = false;
+    let mut fail_policy: Option<ExecPolicy> = None;
+    let mut pass_timeout_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut checkpoint_out: Option<String> = None;
+    let mut resume_in: Option<String> = None;
+    let mut inject_pass_panic = false;
     let mut faults = FaultPlan::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -221,6 +257,20 @@ fn main() {
             "--self-analyze" => self_analyze = true,
             "--lint" => lint = true,
             "--lint-json" => lint_json = true,
+            "--fail-policy" => {
+                let v = val("--fail-policy");
+                fail_policy = Some(ExecPolicy::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--fail-policy expects `failfast` or `isolate`, got `{v}`");
+                    std::process::exit(2)
+                }));
+            }
+            "--pass-timeout-ms" => {
+                pass_timeout_ms = Some(val("--pass-timeout-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--retries" => retries = Some(val("--retries").parse().unwrap_or_else(|_| usage())),
+            "--checkpoint" => checkpoint_out = Some(val("--checkpoint")),
+            "--resume" => resume_in = Some(val("--resume")),
+            "--inject-pass-panic" => inject_pass_panic = true,
             "--crash" => {
                 let (r, t) = rank_at("--crash", &val("--crash"));
                 faults = faults.crash_rank(r, t);
@@ -346,23 +396,123 @@ fn main() {
     };
     println!("\n{}", report.render());
 
-    if obs.is_enabled() {
+    let resilient = fail_policy.is_some()
+        || pass_timeout_ms.is_some()
+        || retries.is_some()
+        || checkpoint_out.is_some()
+        || resume_in.is_some()
+        || inject_pass_panic;
+    if obs.is_enabled() || resilient {
         // Run the standard communication-analysis PerFlowGraph under the
-        // observed scheduler so the trace covers the core layer too.
+        // observed (and, when requested, resilient) scheduler so the
+        // trace covers the core layer too.
         let _app = obs.span(perflow::Layer::App, "comm-analysis-graph", 0);
         let cache = PassCache::new();
-        let (g, nodes) = comm_analysis_graph(run.vertices()).unwrap_or_else(|e| {
+        let (mut g, nodes) = comm_analysis_graph(run.vertices()).unwrap_or_else(|e| {
             eprintln!("comm-analysis graph construction failed: {e}");
             std::process::exit(1)
         });
-        let out = g
-            .execute_observed_with(&obs, Some(&cache), None)
-            .unwrap_or_else(|e| {
-                eprintln!("comm-analysis graph failed: {e}");
+        if inject_pass_panic {
+            g.add_pass(FnPass::new(
+                "injected_panic",
+                0,
+                |_inp: &[perflow::Value]| panic!("injected failure (--inject-pass-panic)"),
+            ));
+        }
+
+        // Checkpoint context: workload + shape-determining config + the
+        // run's content digest. A snapshot only resumes under the exact
+        // configuration that produced it.
+        let ctx = fnv_words(&[
+            fnv_str(target),
+            ranks as u64,
+            threads as u64,
+            seed,
+            run.content_digest(),
+        ]);
+        let snapshot = resume_in.as_ref().map(|path| {
+            let file = CheckpointFile::load(path).unwrap_or_else(|e| {
+                eprintln!("cannot load checkpoint {path}: {e}");
                 std::process::exit(1)
             });
-        debug_assert!(!out.of(nodes.report).is_empty());
+            file.expect_context(ctx).unwrap_or_else(|e| {
+                eprintln!("cannot resume from {path}: {e}");
+                std::process::exit(1)
+            });
+            let snap = file.rebind(std::slice::from_ref(&run));
+            eprintln!(
+                "resuming from {path}: {} entr{} ({} dropped)",
+                snap.len(),
+                if snap.len() == 1 { "y" } else { "ies" },
+                snap.dropped
+            );
+            snap
+        });
+        let writer = checkpoint_out.as_ref().map(|path| {
+            CheckpointWriter::create(path, ctx).unwrap_or_else(|e| {
+                eprintln!("cannot create checkpoint {path}: {e}");
+                std::process::exit(1)
+            })
+        });
+
+        let mut opts = ExecOptions::new().with_cache(&cache).with_obs(obs.clone());
+        if let Some(p) = fail_policy {
+            opts = opts.with_policy(p);
+        }
+        if let Some(ms) = pass_timeout_ms {
+            opts = opts.with_pass_timeout_ms(ms);
+        }
+        if let Some(n) = retries {
+            opts = opts.with_retry(RetryPolicy::new(n));
+        }
+        if let Some(w) = &writer {
+            opts = opts.with_checkpoint(w);
+        }
+        if let Some(s) = &snapshot {
+            opts = opts.with_resume(s);
+        }
+        let out = g.execute_with(&opts).unwrap_or_else(|e| {
+            eprintln!("comm-analysis graph failed: {e}");
+            std::process::exit(1)
+        });
         drop(_app);
+
+        if resilient {
+            let rendered = out
+                .of(nodes.report)
+                .first()
+                .and_then(|v| v.as_report())
+                .map(Report::render)
+                .unwrap_or_default();
+            if !rendered.is_empty() {
+                println!("\n{rendered}");
+            }
+            // Stable digest of the rendered report: lets scripts check
+            // that a resumed run reproduced the uninterrupted result.
+            println!("comm-analysis report digest: {:016x}", fnv_str(&rendered));
+            for w in &out.warnings {
+                println!("warning: {w}");
+            }
+            println!(
+                "resilience: {} failed, {} skipped, {} resumed{}",
+                out.failures.len(),
+                out.skipped.len(),
+                out.resumed,
+                if out.degraded() { " (degraded)" } else { "" }
+            );
+        } else {
+            debug_assert!(!out.of(nodes.report).is_empty());
+        }
+        if let (Some(path), Some(w)) = (&checkpoint_out, &writer) {
+            match w.error() {
+                Some(e) => eprintln!("checkpoint {path} incomplete: {e}"),
+                None => eprintln!(
+                    "wrote checkpoint to {path} ({} recorded, {} unresumable)",
+                    w.recorded(),
+                    w.skipped()
+                ),
+            }
+        }
         if metrics {
             print!("\n{}", out.metrics.render());
         }

@@ -1,0 +1,313 @@
+//! Integration properties of the resilient scheduler: injected faults
+//! (panics, timeouts) must produce the *same* degraded report at every
+//! worker count, and a run that dies partway through must resume from
+//! its checkpoint to a result indistinguishable from an uninterrupted
+//! run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use perflow::pass::{Pass, PassCx};
+use perflow::{
+    CheckpointFile, CheckpointWriter, ExecOptions, ExecPolicy, NodeId, PerFlowError, PerFlowGraph,
+    Value,
+};
+use proptest::prelude::*;
+
+/// FNV-1a over 64-bit words — a process-independent fingerprint base.
+fn fnv(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// What an [`FpPass`] does when it runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Behavior {
+    /// Deterministic arithmetic over the inputs.
+    Compute,
+    /// Unwind with a recognizable payload.
+    Panic,
+}
+
+/// A deterministic, *fingerprinted* numeric pass — unlike `FnPass`, its
+/// results can be checkpointed and resumed. The fault behavior is part
+/// of the object, not the fingerprint: an armed and a disarmed instance
+/// share a checkpoint key, exactly like a re-run of a crashing pipeline
+/// after the bug is fixed (the paper's resume story).
+struct FpPass {
+    name: String,
+    arity: usize,
+    seed: f64,
+    behavior: Behavior,
+}
+
+impl Pass for FpPass {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn arity(&self) -> usize {
+        self.arity
+    }
+    fn run(&self, inputs: &[Value], _cx: &mut PassCx) -> Result<Vec<Value>, PerFlowError> {
+        if self.behavior == Behavior::Panic {
+            panic!("injected fault in {}", self.name);
+        }
+        let mut acc = self.seed;
+        for (k, v) in inputs.iter().enumerate() {
+            acc += (k as f64 + 1.0) * v.as_num().unwrap();
+        }
+        Ok(vec![Value::Num(acc), Value::Num(-acc)])
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        Some(fnv(&[self.arity as u64, self.seed.to_bits()]))
+    }
+}
+
+/// A random DAG plus one designated fault node: node `i`'s inputs are
+/// drawn from nodes `< i`, so the graph is acyclic by construction.
+#[derive(Debug, Clone)]
+struct FaultyDag {
+    preds: Vec<Vec<usize>>,
+    fault: usize,
+}
+
+fn faulty_dag_strategy() -> impl Strategy<Value = FaultyDag> {
+    (2usize..=10, any::<u64>()).prop_map(|(n, mix)| {
+        let mut preds = Vec::with_capacity(n);
+        let mut state = mix;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for i in 0..n {
+            if i == 0 {
+                preds.push(Vec::new());
+                continue;
+            }
+            let fan_in = next() % 4.min(i + 1);
+            preds.push((0..fan_in).map(|_| next() % i).collect());
+        }
+        let fault = next() % n;
+        FaultyDag { preds, fault }
+    })
+}
+
+/// Materialize the DAG; the fault node gets `behavior`, everyone else
+/// computes. Seeds are a pure function of the node index, so a disarmed
+/// rebuild produces fingerprint-identical passes.
+fn build(dag: &FaultyDag, behavior: Behavior) -> (PerFlowGraph, Vec<NodeId>) {
+    let mut g = PerFlowGraph::new();
+    let mut nodes = Vec::with_capacity(dag.preds.len());
+    for (i, preds) in dag.preds.iter().enumerate() {
+        let id = g.add_pass(FpPass {
+            name: format!("n{i}"),
+            arity: preds.len(),
+            seed: (i as f64) * 31.0 + 7.0,
+            behavior: if i == dag.fault {
+                behavior
+            } else {
+                Behavior::Compute
+            },
+        });
+        for (port, &p) in preds.iter().enumerate() {
+            g.connect(nodes[p], port % 2, id, port).unwrap();
+        }
+        nodes.push(id);
+    }
+    (g, nodes)
+}
+
+/// Flatten an isolate-mode outcome into a comparable digest: surviving
+/// node values, failure renderings, skipped set, warnings, and trail.
+fn degraded_digest(out: &perflow::dataflow::Outputs, nodes: &[NodeId]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for &id in nodes {
+        let vals: Vec<Option<f64>> = out.of(id).iter().map(Value::as_num).collect();
+        let _ = writeln!(s, "{id:?}: {vals:?}");
+    }
+    let _ = writeln!(
+        s,
+        "failures: {:?}",
+        out.failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(s, "skipped: {:?}", out.skipped);
+    let _ = writeln!(s, "warnings: {:?}", out.warnings);
+    let _ = writeln!(s, "trail: {:?}", out.trail);
+    s
+}
+
+/// Unique checkpoint path per invocation (tests run concurrently).
+fn temp_checkpoint() -> std::path::PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "perflow-resilience-{}-{n}.pfck",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under `Isolate`, an injected panic yields the *identical* degraded
+    /// report — same failures, skipped cascade, surviving values,
+    /// warnings, and trail — at 1, 2, and 8 workers.
+    #[test]
+    fn injected_panic_degrades_identically_across_workers(dag in faulty_dag_strategy()) {
+        let (g, nodes) = build(&dag, Behavior::Panic);
+        let run = |workers: usize| {
+            g.execute_with(
+                &ExecOptions::new()
+                    .with_policy(ExecPolicy::Isolate)
+                    .with_workers(workers),
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        prop_assert!(serial.degraded());
+        prop_assert_eq!(serial.failures.len(), 1);
+        let reference = degraded_digest(&serial, &nodes);
+        for workers in [2usize, 8] {
+            let par = degraded_digest(&run(workers), &nodes);
+            prop_assert_eq!(&reference, &par, "divergence at {} workers", workers);
+        }
+    }
+
+    /// Under `FailFast`, the same injected panic surfaces as the same
+    /// structured error at every worker count.
+    #[test]
+    fn injected_panic_failfast_error_is_stable(dag in faulty_dag_strategy()) {
+        let (g, _) = build(&dag, Behavior::Panic);
+        let err = |workers: usize| {
+            g.execute_with(&ExecOptions::new().with_workers(workers))
+                .unwrap_err()
+                .to_string()
+        };
+        let reference = err(1);
+        prop_assert!(reference.contains("panicked"), "{}", reference);
+        prop_assert!(reference.contains("injected fault"), "{}", reference);
+        for workers in [2usize, 8] {
+            prop_assert_eq!(&reference, &err(workers));
+        }
+    }
+
+    /// Kill-then-resume round trip: a run that dies on an injected panic
+    /// leaves a checkpoint of every completed pass; disarming the fault
+    /// and resuming replays that prefix and converges to a result
+    /// identical to a run that never crashed.
+    #[test]
+    fn kill_then_resume_matches_uninterrupted_run(dag in faulty_dag_strategy()) {
+        // Reference: the uninterrupted (disarmed) execution.
+        let (clean, nodes) = build(&dag, Behavior::Compute);
+        let reference = clean.execute().unwrap();
+
+        // Doomed run: checkpoint everything that completes, then die.
+        let path = temp_checkpoint();
+        let writer = CheckpointWriter::create(&path, 0xC0FFEE).unwrap();
+        let (armed, _) = build(&dag, Behavior::Panic);
+        let crash = armed.execute_with(
+            &ExecOptions::new().with_workers(2).with_checkpoint(&writer),
+        );
+        prop_assert!(crash.is_err());
+        let recorded = writer.recorded();
+        prop_assert!(writer.error().is_none());
+        drop(writer);
+
+        // Resume: the persisted prefix replays, the rest executes.
+        let file = CheckpointFile::load(&path).unwrap();
+        prop_assert!(!file.truncated);
+        file.expect_context(0xC0FFEE).unwrap();
+        prop_assert_eq!(file.len(), recorded);
+        let snapshot = file.rebind(&[]);
+        prop_assert_eq!(snapshot.dropped, 0);
+        let resumed = clean
+            .execute_with(&ExecOptions::new().with_resume(&snapshot))
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(resumed.resumed, recorded, "every persisted pass must replay");
+        prop_assert!(resumed.failures.is_empty());
+        for &id in &nodes {
+            let a: Vec<Option<f64>> = reference.of(id).iter().map(Value::as_num).collect();
+            let b: Vec<Option<f64>> = resumed.of(id).iter().map(Value::as_num).collect();
+            prop_assert_eq!(a, b, "node {:?} diverged after resume", id);
+        }
+        prop_assert_eq!(&reference.trail, &resumed.trail);
+    }
+}
+
+/// A stalled pass trips the watchdog deadline and degrades identically
+/// at 1, 2, and 8 workers (fixed graph: sleep is wall-clock, so this is
+/// a plain test rather than a property).
+#[test]
+fn injected_timeout_degrades_identically_across_workers() {
+    struct Stall;
+    impl Pass for Stall {
+        fn name(&self) -> &str {
+            "stall"
+        }
+        fn arity(&self) -> usize {
+            0
+        }
+        fn run(&self, _inputs: &[Value], _cx: &mut PassCx) -> Result<Vec<Value>, PerFlowError> {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            Ok(vec![Value::Num(1.0)])
+        }
+    }
+
+    let mut g = PerFlowGraph::new();
+    let stall = g.add_pass(Stall);
+    let ok = g.add_pass(FpPass {
+        name: "ok".into(),
+        arity: 0,
+        seed: 3.0,
+        behavior: Behavior::Compute,
+    });
+    let downstream = g.add_pass(FpPass {
+        name: "downstream".into(),
+        arity: 1,
+        seed: 5.0,
+        behavior: Behavior::Compute,
+    });
+    g.connect(stall, 0, downstream, 0).unwrap();
+    let nodes = [stall, ok, downstream];
+
+    let run = |workers: usize| {
+        g.execute_with(
+            &ExecOptions::new()
+                .with_policy(ExecPolicy::Isolate)
+                .with_pass_timeout_ms(10)
+                .with_workers(workers),
+        )
+        .unwrap()
+    };
+    let serial = run(1);
+    assert!(serial.degraded());
+    assert_eq!(serial.failures.len(), 1);
+    assert!(
+        serial.failures[0].to_string().contains("deadline"),
+        "{}",
+        serial.failures[0]
+    );
+    assert_eq!(serial.skipped, vec![downstream]);
+    assert_eq!(serial.of(ok).first().and_then(Value::as_num), Some(3.0));
+    let reference = degraded_digest(&serial, &nodes);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            reference,
+            degraded_digest(&run(workers), &nodes),
+            "divergence at {workers} workers"
+        );
+    }
+}
