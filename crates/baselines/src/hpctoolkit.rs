@@ -9,7 +9,7 @@
 //! views from [`collect::ProfiledRun`] data.
 
 use collect::ProfiledRun;
-use pag::{keys, VertexId};
+use pag::{keys, mkeys, VertexId};
 
 /// One hotspot / scaling row.
 #[derive(Debug, Clone)]
@@ -48,7 +48,7 @@ impl HpcToolkitReport {
 }
 
 fn self_time(run: &ProfiledRun, v: VertexId) -> f64 {
-    run.pag.vertex(v).props.get_f64(keys::SELF_TIME)
+    run.pag.metric_f64(v, mkeys::SELF_TIME)
 }
 
 fn row(run: &ProfiledRun, v: VertexId, value: f64, total: f64) -> HpcRow {
@@ -106,8 +106,8 @@ pub fn hpctoolkit_scaling(
     let mut rows: Vec<(VertexId, f64)> = (0..n as u32)
         .map(VertexId)
         .map(|v| {
-            let loss = large.pag.vertex(v).props.get_f64(keys::SELF_TIME)
-                - small.pag.vertex(v).props.get_f64(keys::SELF_TIME);
+            let loss = large.pag.metric_f64(v, mkeys::SELF_TIME)
+                - small.pag.metric_f64(v, mkeys::SELF_TIME);
             (v, loss)
         })
         .filter(|&(_, l)| l > 0.0)

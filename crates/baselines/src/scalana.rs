@@ -15,7 +15,7 @@
 use std::collections::{HashMap, HashSet};
 
 use collect::ProfiledRun;
-use pag::{keys, PropValue, VertexId};
+use pag::{keys, mkeys, VertexId};
 
 /// A detected root cause.
 #[derive(Debug, Clone)]
@@ -64,8 +64,7 @@ pub fn scalana_analyze(small: &ProfiledRun, large: &ProfiledRun, top_n: usize) -
     let mut loss: Vec<(VertexId, f64)> = Vec::new();
     for i in 0..n as u32 {
         let v = VertexId(i);
-        let l = large.pag.vertex(v).props.get_f64(keys::TIME)
-            - small.pag.vertex(v).props.get_f64(keys::TIME);
+        let l = large.pag.metric_f64(v, mkeys::TIME) - small.pag.metric_f64(v, mkeys::TIME);
         if l > 0.0 {
             loss.push((v, l));
         }
@@ -77,8 +76,7 @@ pub fn scalana_analyze(small: &ProfiledRun, large: &ProfiledRun, top_n: usize) -
     // --- Phase 2: imbalance detector (inline). -------------------------
     let imb_of = |run: &ProfiledRun, v: VertexId| -> f64 {
         run.pag
-            .vprop(v, keys::TIME_PER_PROC)
-            .and_then(PropValue::as_f64_slice)
+            .metric_vec(v, mkeys::TIME_PER_PROC)
             .and_then(pag::VertexStats::from_slice)
             .map(|s| s.imbalance())
             .unwrap_or(0.0)
@@ -137,8 +135,7 @@ pub fn scalana_analyze(small: &ProfiledRun, large: &ProfiledRun, top_n: usize) -
                 .and_then(|p| p.as_str().map(String::from))
                 .unwrap_or_default(),
             loss_us: loss_of.get(&v).copied().unwrap_or_else(|| {
-                large.pag.vertex(v).props.get_f64(keys::TIME)
-                    - small.pag.vertex(v).props.get_f64(keys::TIME)
+                large.pag.metric_f64(v, mkeys::TIME) - small.pag.metric_f64(v, mkeys::TIME)
             }),
             imbalance: imb_of(large, v),
         })

@@ -5,7 +5,6 @@
 //! reasonable: accuracy saturates well before overhead becomes visible.
 
 use bench::print_table;
-use pag::keys;
 use simrt::{CollectionConfig, RunConfig};
 
 fn main() {
@@ -32,7 +31,7 @@ fn main() {
         let sampled: f64 = run
             .pag
             .vertex_ids()
-            .map(|v| run.pag.vertex(v).props.get_f64(keys::SELF_TIME))
+            .map(|v| run.pag.metric_f64(v, pag::mkeys::SELF_TIME))
             .sum();
         let err = (sampled - exact_total).abs() / exact_total;
 

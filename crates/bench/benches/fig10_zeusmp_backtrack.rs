@@ -38,14 +38,11 @@ fn main() {
         println!(
             "  {}@p{} ← {}@p{}   (wait {:.1} ms over {} instances)",
             d.name,
-            d.props.get_f64(pag::keys::PROC) as i64,
+            pv.metric_i64(ed.dst, pag::mkeys::PROC).unwrap_or(-1),
             s.name,
-            s.props.get_f64(pag::keys::PROC) as i64,
-            ed.props.get_f64(pag::keys::WAIT_TIME) / 1e3,
-            ed.props
-                .get(pag::keys::COUNT)
-                .and_then(|p| p.as_i64())
-                .unwrap_or(0),
+            pv.metric_i64(ed.src, pag::mkeys::PROC).unwrap_or(-1),
+            pv.emetric_f64(e, pag::mkeys::WAIT_TIME) / 1e3,
+            pv.emetric_i64(e, pag::mkeys::COUNT).unwrap_or(0),
         );
         shown += 1;
         if shown >= 10 {

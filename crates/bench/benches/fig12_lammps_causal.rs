@@ -23,13 +23,12 @@ fn main() {
     let total: f64 = run.data().elapsed.iter().sum();
     let mut rows = Vec::new();
     for &v in &comm_hot.ids {
-        let props = &run.topdown().vertex(v).props;
-        let t = props.get_f64(pag::keys::COMM_TIME);
+        let td = run.topdown();
+        let t = td.metric_f64(v, pag::mkeys::COMM_TIME);
         rows.push(vec![
-            run.topdown().vertex_name(v).to_string(),
-            props
-                .get(pag::keys::DEBUG_INFO)
-                .and_then(|p| p.as_str().map(String::from))
+            td.vertex_name(v).to_string(),
+            td.vstr(v, pag::keys::DEBUG_INFO)
+                .map(String::from)
                 .unwrap_or_default(),
             format!("{:.2}%", 100.0 * t / total),
         ]);
@@ -53,9 +52,7 @@ fn main() {
             format!(
                 "{}@p{}",
                 pag.vertex_name(v),
-                pag.vprop(v, pag::keys::PROC)
-                    .and_then(|p| p.as_i64())
-                    .unwrap_or(-1)
+                pag.metric_i64(v, pag::mkeys::PROC).unwrap_or(-1)
             )
         })
         .collect();

@@ -37,16 +37,13 @@ fn main() {
         println!(
             "  {}@p{}t{} --blocks--> {}@p{}t{}  (wait {:.2} ms × {})",
             s.name,
-            s.props.get_f64(pag::keys::PROC) as i64,
-            s.props.get_f64(pag::keys::THREAD) as i64,
+            pag.metric_i64(ed.src, pag::mkeys::PROC).unwrap_or(-1),
+            pag.metric_i64(ed.src, pag::mkeys::THREAD).unwrap_or(-1),
             dd.name,
-            dd.props.get_f64(pag::keys::PROC) as i64,
-            dd.props.get_f64(pag::keys::THREAD) as i64,
-            ed.props.get_f64(pag::keys::WAIT_TIME) / 1e3,
-            ed.props
-                .get(pag::keys::COUNT)
-                .and_then(|p| p.as_i64())
-                .unwrap_or(0),
+            pag.metric_i64(ed.dst, pag::mkeys::PROC).unwrap_or(-1),
+            pag.metric_i64(ed.dst, pag::mkeys::THREAD).unwrap_or(-1),
+            pag.emetric_f64(e, pag::mkeys::WAIT_TIME) / 1e3,
+            pag.emetric_i64(e, pag::mkeys::COUNT).unwrap_or(0),
         );
         shown += 1;
         if shown >= 8 {

@@ -1,0 +1,47 @@
+//! Parallel vs. serial graph algorithms at `PERFLOW_BENCH_LARGE` scale
+//! (ISSUE 7 tentpole): Louvain (sharded over connected components),
+//! subgraph matching (sharded over depth-0 candidates) and graph
+//! difference (sharded over vertex ranges), all bit-identical to their
+//! serial forms via canonical merge order — see `graphalgo::par`.
+//!
+//! Worker count defaults to the machine's parallelism; override with
+//! `PERFLOW_WORKERS=1` to confirm the identity contract costs nothing.
+
+use bench::pagbench::{chain_pattern, large_metric_pag, sharded_metric_pag};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pag::mkeys;
+
+fn bench_parallel(c: &mut Criterion) {
+    let workers = graphalgo::default_workers();
+    let mut group = c.benchmark_group("graphalgo_parallel");
+    group.sample_size(10);
+    let g = large_metric_pag(24);
+    let h = {
+        let mut h = large_metric_pag(24);
+        for v in h.vertex_ids().collect::<Vec<_>>() {
+            let t = h.metric_f64(v, mkeys::TIME);
+            h.set_metric(v, mkeys::TIME, t * 1.03);
+        }
+        h
+    };
+    let pattern = chain_pattern();
+    let metrics = [pag::keys::TIME, pag::keys::SELF_TIME, pag::keys::WAIT_TIME];
+    // Per-rank shards (disjoint components): the natural Louvain sharding.
+    let shards = sharded_metric_pag(24);
+
+    for w in [1usize, workers] {
+        group.bench_with_input(BenchmarkId::new("louvain", w), &w, |b, &w| {
+            b.iter(|| graphalgo::louvain_parallel(&shards, w))
+        });
+        group.bench_with_input(BenchmarkId::new("subgraph_match", w), &w, |b, &w| {
+            b.iter(|| graphalgo::match_subgraph_parallel(&g, &pattern, None, 0, w))
+        });
+        group.bench_with_input(BenchmarkId::new("graph_difference", w), &w, |b, &w| {
+            b.iter(|| graphalgo::graph_difference_parallel(&g, &h, &metrics, w).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

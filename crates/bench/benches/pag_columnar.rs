@@ -1,0 +1,55 @@
+//! Columnar metric storage vs. the string-keyed PropMap shim, at
+//! `PERFLOW_BENCH_LARGE` scale (ISSUE 7 tentpole): per-vertex metric
+//! reads through the typed `KeyId` accessors are O(1) column lookups,
+//! while the compatibility shim pays string resolution and an owned
+//! `PropValue` per call.
+//!
+//! Besides the criterion output, running this bench with
+//! `PERFLOW_BENCH_JSON_OUT=BENCH_pag.json` re-emits the machine-readable
+//! perf baseline (RunMetrics field vocabulary; covers this suite *and*
+//! the `graphalgo_parallel` suite so the checked-in trajectory is one
+//! file).
+
+use bench::pagbench::{columnar_entries, entries_to_json, large_metric_pag, parallel_entries};
+use criterion::{criterion_group, Criterion};
+use pag::mkeys;
+
+fn bench_columnar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pag_columnar");
+    group.sample_size(10);
+    let g = large_metric_pag(64);
+    group.bench_function("metric_sum_propmap_shim", |b| {
+        b.iter(|| -> f64 {
+            g.vertex_ids()
+                .map(|v| {
+                    g.vprop(v, pag::keys::TIME)
+                        .and_then(|p| p.as_f64())
+                        .unwrap_or(0.0)
+                })
+                .sum()
+        })
+    });
+    group.bench_function("metric_sum_typed", |b| {
+        b.iter(|| -> f64 { g.vertex_ids().map(|v| g.metric_f64(v, mkeys::TIME)).sum() })
+    });
+    group.bench_function("build_large", |b| b.iter(|| large_metric_pag(64)));
+    let bytes = pag::serialize::encode(&g);
+    group.bench_function("encode_pag2", |b| b.iter(|| pag::serialize::encode(&g)));
+    group.bench_function("decode_pag2", |b| {
+        b.iter(|| pag::serialize::decode(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_columnar);
+
+fn main() {
+    benches();
+    if let Ok(path) = std::env::var("PERFLOW_BENCH_JSON_OUT") {
+        let mut entries = columnar_entries(5);
+        entries.extend(parallel_entries(5));
+        let json = entries_to_json(&entries, graphalgo::default_workers());
+        std::fs::write(&path, format!("{json}\n")).expect("cannot write bench json");
+        eprintln!("wrote perf baseline to {path}");
+    }
+}

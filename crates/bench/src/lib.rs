@@ -9,6 +9,8 @@
 //! * `PERFLOW_BENCH_LARGE` — large-scale rank count for the ZeusMP
 //!   study (default 512)
 
+pub mod pagbench;
+
 use std::time::Instant;
 
 use progmodel::Program;

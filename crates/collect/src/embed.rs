@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use pag::{keys, Pag, VertexId};
+use pag::{keys, mkeys, Pag, VertexId};
 use progmodel::Program;
 use simrt::{CtxId, RunData};
 
@@ -407,10 +407,11 @@ pub fn embed_observed(
     pmu.sort_unstable_by_key(|(c, _)| *c);
     for (ctx, agg) in pmu {
         let leaf = *ctx_paths[&ctx].last().expect("path contains root");
-        let props = &mut sp.pag.vertex_mut(leaf).props;
-        props.add_f64(keys::PMU_INSTRUCTIONS, agg.instructions);
-        props.add_f64(keys::PMU_CYCLES, agg.cycles);
-        props.add_f64(keys::PMU_CACHE_MISSES, agg.cache_misses);
+        sp.pag
+            .add_metric(leaf, mkeys::PMU_INSTRUCTIONS, agg.instructions);
+        sp.pag.add_metric(leaf, mkeys::PMU_CYCLES, agg.cycles);
+        sp.pag
+            .add_metric(leaf, mkeys::PMU_CACHE_MISSES, agg.cache_misses);
     }
 
     // 3. Communication statistics → deepest vertex.
@@ -429,21 +430,22 @@ pub fn embed_observed(
             agg.count,
             agg.bytes
         );
-        let props = &mut sp.pag.vertex_mut(v).props;
-        props.set(keys::COMM_INFO, info);
-        props.add_i64(keys::COUNT, agg.count);
-        props.add_i64(keys::COMM_BYTES, agg.bytes as i64);
-        props.add_f64(keys::COMM_TIME, agg.op_time);
-        props.add_f64(keys::WAIT_TIME, agg.wait);
-        props.set(keys::BYTES_PER_PROC, agg.bytes_per_proc);
-        props.set(keys::WAIT_PER_PROC, agg.wait_per_proc);
+        sp.pag.set_vstr(v, keys::COMM_INFO, info);
+        sp.pag.add_metric_i64(v, mkeys::COUNT, agg.count);
+        sp.pag
+            .add_metric_i64(v, mkeys::COMM_BYTES, agg.bytes as i64);
+        sp.pag.add_metric(v, mkeys::COMM_TIME, agg.op_time);
+        sp.pag.add_metric(v, mkeys::WAIT_TIME, agg.wait);
+        sp.pag
+            .set_metric_vec(v, mkeys::BYTES_PER_PROC, agg.bytes_per_proc);
+        sp.pag
+            .set_metric_vec(v, mkeys::WAIT_PER_PROC, agg.wait_per_proc);
     }
 
     // 4. Lock statistics → deepest vertex.
     for (v, (n, w)) in lock_aggs {
-        let props = &mut sp.pag.vertex_mut(v).props;
-        props.add_i64(keys::COUNT, n);
-        props.add_f64(keys::WAIT_TIME, w);
+        sp.pag.add_metric_i64(v, mkeys::COUNT, n);
+        sp.pag.add_metric(v, mkeys::WAIT_TIME, w);
     }
 
     // 5. Degraded-data metadata: per-vertex dropped-sample counts and
@@ -468,9 +470,10 @@ pub fn embed_observed(
     }
     for (&v, &lost) in &dropped_leaf {
         let kept = kept_leaf.get(&v).copied().unwrap_or(0);
-        let props = &mut sp.pag.vertex_mut(v).props;
-        props.add_i64(keys::DROPPED_SAMPLES, lost as i64);
-        props.set(keys::COMPLETENESS, kept as f64 / (kept + lost) as f64);
+        sp.pag
+            .add_metric_i64(v, mkeys::DROPPED_SAMPLES, lost as i64);
+        sp.pag
+            .set_metric(v, mkeys::COMPLETENESS, kept as f64 / (kept + lost) as f64);
     }
     if !data.is_complete() {
         let per_proc_compl: Vec<f64> = (0..data.nranks)
@@ -486,20 +489,24 @@ pub fn embed_observed(
             .map(|(r, s)| format!("rank {r} {s}"))
             .collect::<Vec<_>>()
             .join(", ");
-        let props = &mut sp.pag.vertex_mut(sp.root).props;
-        props.set(
-            keys::COMPLETENESS,
+        let root = sp.root;
+        sp.pag.set_metric(
+            root,
+            mkeys::COMPLETENESS,
             if total_kept + total_lost == 0 {
                 1.0
             } else {
                 total_kept as f64 / (total_kept + total_lost) as f64
             },
         );
-        props.set(keys::COMPLETENESS_PER_PROC, per_proc_compl);
+        sp.pag
+            .set_metric_vec(root, mkeys::COMPLETENESS_PER_PROC, per_proc_compl);
         if total_lost > 0 {
-            props.set(keys::DROPPED_SAMPLES, total_lost as i64);
+            sp.pag
+                .set_metric_i64(root, mkeys::DROPPED_SAMPLES, total_lost as i64);
         }
-        props.set(
+        sp.pag.set_vstr(
+            root,
             keys::RANK_STATUS,
             if status.is_empty() {
                 "degraded collection".to_string()
@@ -512,18 +519,19 @@ pub fn embed_observed(
     // 6. Write time vectors.
     for (v, vec) in per_proc {
         let total: f64 = vec.iter().sum();
-        let props = &mut sp.pag.vertex_mut(v).props;
-        props.set(keys::TIME, total);
-        props.set(keys::TIME_PER_PROC, vec);
+        sp.pag.set_metric(v, mkeys::TIME, total);
+        sp.pag.set_metric_vec(v, mkeys::TIME_PER_PROC, vec);
     }
     for (v, t) in self_time {
-        sp.pag.vertex_mut(v).props.set(keys::SELF_TIME, t);
+        sp.pag.set_metric(v, mkeys::SELF_TIME, t);
     }
     // Root gets the exact elapsed times (not subject to sampling error).
     {
-        let props = &mut sp.pag.vertex_mut(sp.root).props;
-        props.set(keys::TIME, data.elapsed.iter().sum::<f64>());
-        props.set(keys::TIME_PER_PROC, data.elapsed.clone());
+        let root = sp.root;
+        sp.pag
+            .set_metric(root, mkeys::TIME, data.elapsed.iter().sum::<f64>());
+        sp.pag
+            .set_metric_vec(root, mkeys::TIME_PER_PROC, data.elapsed.clone());
     }
     sp.pag.set_num_procs(data.nranks);
     sp.pag.set_threads_per_proc(data.nthreads);
@@ -587,10 +595,8 @@ mod tests {
         let kernel = run.pag.find_by_name("kernel")[0];
         let vec = run
             .pag
-            .vprop(kernel, keys::TIME_PER_PROC)
+            .metric_vec(kernel, mkeys::TIME_PER_PROC)
             .expect("per-proc time")
-            .as_f64_slice()
-            .unwrap()
             .to_vec();
         assert_eq!(vec.len(), 4);
         assert!(
@@ -608,10 +614,9 @@ mod tests {
         let p = imbalanced_prog();
         let run = profile(&p, &RunConfig::new(4)).unwrap();
         let ar = run.pag.find_by_name("MPI_Allreduce")[0];
-        let props = &run.pag.vertex(ar).props;
-        assert!(props.get_f64(keys::WAIT_TIME) > 0.0);
-        assert_eq!(props.get(keys::COUNT).unwrap().as_i64(), Some(8000));
-        let info = props.get(keys::COMM_INFO).unwrap().as_str().unwrap();
+        assert!(run.pag.metric_f64(ar, mkeys::WAIT_TIME) > 0.0);
+        assert_eq!(run.pag.metric_i64(ar, mkeys::COUNT), Some(8000));
+        let info = run.pag.vstr(ar, keys::COMM_INFO).unwrap();
         assert!(info.contains("MPI_Allreduce"), "{info}");
         assert!(info.contains("collective"), "{info}");
     }
@@ -622,9 +627,7 @@ mod tests {
         let run = profile(&p, &RunConfig::new(4)).unwrap();
         let per_proc = run
             .pag
-            .vprop(run.root, keys::TIME_PER_PROC)
-            .unwrap()
-            .as_f64_slice()
+            .metric_vec(run.root, mkeys::TIME_PER_PROC)
             .unwrap()
             .to_vec();
         assert_eq!(per_proc, run.data.elapsed);
@@ -635,13 +638,10 @@ mod tests {
         let p = imbalanced_prog();
         let run = profile(&p, &RunConfig::new(2)).unwrap();
         let kernel = run.pag.find_by_name("kernel")[0];
-        assert!(run.pag.vertex(kernel).props.get_f64(keys::PMU_INSTRUCTIONS) > 0.0);
+        assert!(run.pag.metric_f64(kernel, mkeys::PMU_INSTRUCTIONS) > 0.0);
         // Loop vertex has no direct PMU data.
         let loop_v = run.pag.find_by_name("loop_1")[0];
-        assert_eq!(
-            run.pag.vertex(loop_v).props.get_f64(keys::PMU_INSTRUCTIONS),
-            0.0
-        );
+        assert_eq!(run.pag.metric(loop_v, mkeys::PMU_INSTRUCTIONS), None);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use pag::{keys, CallKind, CommKind, EdgeLabel, Pag, VertexId, VertexLabel, ViewKind};
+use pag::{keys, mkeys, CallKind, CommKind, EdgeLabel, Pag, VertexId, VertexLabel, ViewKind};
 use simrt::CommKindTag;
 
 use crate::embed::ProfiledRun;
@@ -154,11 +154,10 @@ pub fn build_parallel_view(run: &ProfiledRun) -> Pag {
     pairs.sort_by_key(|&((a, b), _)| (a, b));
     for ((src, dst), agg) in pairs {
         let e = pv.add_edge(src, dst, agg.label);
-        let props = &mut pv.edge_mut(e).props;
-        props.set(keys::WAIT_TIME, agg.wait);
-        props.set(keys::COUNT, agg.count);
+        pv.set_emetric(e, mkeys::WAIT_TIME, agg.wait);
+        pv.set_emetric_i64(e, mkeys::COUNT, agg.count);
         if agg.bytes > 0 {
-            props.set(keys::COMM_BYTES, agg.bytes as i64);
+            pv.set_emetric_i64(e, mkeys::COMM_BYTES, agg.bytes as i64);
         }
     }
 
@@ -176,27 +175,26 @@ fn add_flow_vertex(
     let td = &run.pag;
     let data = td.vertex(v);
     let nv = pv.add_vertex(data.label, data.name.clone());
-    let props = &mut pv.vertex_mut(nv).props;
-    props.set(keys::PROC, rank as i64);
-    props.set(keys::THREAD, thread as i64);
-    props.set(keys::TOPDOWN_VERTEX, v.0 as i64);
+    pv.set_metric_i64(nv, mkeys::PROC, rank as i64);
+    pv.set_metric_i64(nv, mkeys::THREAD, thread as i64);
+    pv.set_metric_i64(nv, mkeys::TOPDOWN_VERTEX, v.0 as i64);
     // A rank that crashed or hung still gets a flow (its data up to the
     // fault is real), but every vertex of that flow is marked so analyses
     // and reports can see the flow is partial rather than "fast".
     let status = run.data.status_of(rank);
     if !status.is_completed() {
-        props.set(keys::RANK_STATUS, status.to_string());
+        pv.set_vstr(nv, keys::RANK_STATUS, status.to_string());
         let compl = run.data.rank_completeness(rank);
         if compl < 1.0 {
-            props.set(keys::COMPLETENESS, compl);
+            pv.set_metric(nv, mkeys::COMPLETENESS, compl);
         }
     }
     let t = run.vt_times.get(&(v, rank, thread)).copied().unwrap_or(0.0);
     if t > 0.0 {
-        props.set(keys::TIME, t);
+        pv.set_metric(nv, mkeys::TIME, t);
     }
-    if let Some(d) = data.props.get(keys::DEBUG_INFO) {
-        props.set(keys::DEBUG_INFO, d.clone());
+    if let Some(d) = td.vstr(v, keys::DEBUG_INFO) {
+        pv.set_vstr(nv, keys::DEBUG_INFO, d.to_string());
     }
     nv
 }
@@ -287,7 +285,7 @@ mod tests {
             let d = pv.vertex(ed.dst);
             s.name.as_ref() == "MPI_Isend"
                 && d.name.as_ref() == "MPI_Waitall"
-                && s.props.get(keys::PROC) != d.props.get(keys::PROC)
+                && pv.metric_i64(ed.src, mkeys::PROC) != pv.metric_i64(ed.dst, mkeys::PROC)
         });
         assert!(found);
     }
@@ -303,9 +301,9 @@ mod tests {
         for v in pv.vertex_ids() {
             let d = pv.vertex(v);
             if d.name.as_ref() == "work" {
-                match d.props.get(keys::PROC).and_then(|p| p.as_i64()) {
-                    Some(0) => t0 = Some(d.props.get_f64(keys::TIME)),
-                    Some(3) => t3 = Some(d.props.get_f64(keys::TIME)),
+                match pv.metric_i64(v, mkeys::PROC) {
+                    Some(0) => t0 = Some(pv.metric_f64(v, mkeys::TIME)),
+                    Some(3) => t3 = Some(pv.metric_f64(v, mkeys::TIME)),
                     _ => {}
                 }
             }
@@ -359,7 +357,7 @@ mod tests {
             .edge_ids()
             .filter(|&e| {
                 pv.edge(e).label == EdgeLabel::InterThread
-                    && pv.edge(e).props.get_f64(keys::WAIT_TIME) > 0.0
+                    && pv.emetric_f64(e, mkeys::WAIT_TIME) > 0.0
             })
             .collect();
         assert!(

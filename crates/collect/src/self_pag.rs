@@ -345,7 +345,7 @@ mod tests {
         assert_eq!(core_roots.len(), 2);
         let links: Vec<_> = core_roots
             .iter()
-            .map(|&v| pv.vprop(v, keys::TOPDOWN_VERTEX).cloned())
+            .map(|&v| pv.metric_i64(v, pag::mkeys::TOPDOWN_VERTEX))
             .collect();
         assert_eq!(links[0], links[1]);
         // Lane imbalance data: lane1 (90µs) vs lane0 (100µs total).

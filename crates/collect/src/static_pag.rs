@@ -355,7 +355,7 @@ mod tests {
         let p = sample();
         let sp = static_analysis(&p);
         for v in sp.pag.vertex_ids() {
-            let d = sp.pag.vprop(v, keys::DEBUG_INFO).unwrap().as_str().unwrap();
+            let d = sp.pag.vstr(v, keys::DEBUG_INFO).unwrap();
             assert!(d.starts_with("s.c:"), "bad debug info {d}");
         }
     }

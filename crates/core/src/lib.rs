@@ -70,6 +70,7 @@ pub use graphref::{GraphRef, RunBundle, RunHandle, RunHandleExt};
 pub use interactive::{InteractiveSession, Suggestion};
 pub use metrics::{PassMetric, RunMetrics};
 pub use obs::{Layer, Obs};
+pub use pag::{keys, mkeys, KeyId};
 pub use paradigms::self_analysis::{self_analysis, SelfAnalysisResult};
 pub use pass::{Pass, PassCx};
 pub use report::Report;

@@ -1,7 +1,7 @@
 //! The MPI-profiler paradigm (inspired by mpiP): a statistical profile of
 //! all communication call sites.
 
-use pag::keys;
+use pag::{keys, mkeys};
 
 use crate::graphref::{RunHandle, RunHandleExt};
 use crate::passes::report_pass::format_time_us;
@@ -18,24 +18,19 @@ pub fn mpi_profiler(run: &RunHandle) -> Report {
     ]);
     let mut covered = 0.0;
     for &v in &comm.ids {
-        let props = &pag.vertex(v).props;
         // PMPI-style exact operation time (independent of sampling).
-        let time = props.get_f64(keys::COMM_TIME);
-        let count = props.get(keys::COUNT).and_then(|p| p.as_i64()).unwrap_or(0);
+        let time = pag.metric_f64(v, mkeys::COMM_TIME);
+        let count = pag.metric_i64(v, mkeys::COUNT).unwrap_or(0);
         if count == 0 {
             continue;
         }
         covered += time;
-        let bytes = props
-            .get(keys::COMM_BYTES)
-            .and_then(|p| p.as_i64())
-            .unwrap_or(0);
-        let wait = props.get_f64(keys::WAIT_TIME);
+        let bytes = pag.metric_i64(v, mkeys::COMM_BYTES).unwrap_or(0);
+        let wait = pag.metric_f64(v, mkeys::WAIT_TIME);
         report.push_row(vec![
             pag.vertex_name(v).to_string(),
-            props
-                .get(keys::DEBUG_INFO)
-                .and_then(|p| p.as_str().map(String::from))
+            pag.vstr(v, keys::DEBUG_INFO)
+                .map(String::from)
                 .unwrap_or_default(),
             format_time_us(time),
             format!("{:.2}", 100.0 * time / total),

@@ -13,7 +13,7 @@
 //! propagates, and the non-communication terminals are reported as root
 //! causes.
 
-use pag::keys;
+use pag::{keys, mkeys};
 
 use crate::error::PerFlowError;
 use crate::graphref::{GraphRef, RunHandle, RunHandleExt};
@@ -113,7 +113,7 @@ pub fn scalability_analysis(
                 pag::VertexLabel::Compute
                     | pag::VertexLabel::Loop
                     | pag::VertexLabel::Call(pag::CallKind::Lock)
-            ) && data.props.get_f64(keys::TIME) > 0.0
+            ) && pv.pag().metric_f64(v, mkeys::TIME) > 0.0
         })
         .sort_by(keys::TIME);
     let mut seen_names: std::collections::HashSet<&str> = Default::default();

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use collect::{build_self_pag, SelfPag};
 use obs::Obs;
-use pag::{keys, Pag, PropValue, VertexId};
+use pag::{keys, mkeys, Pag, VertexId};
 
 use crate::builder::GraphBuilder;
 use crate::dataflow::{NodeId, PerFlowGraph};
@@ -185,12 +185,7 @@ pub fn self_analysis(trace: &Obs) -> Result<SelfAnalysisResult, PerFlowError> {
     let mut hotspots: Vec<(String, String, f64)> = Vec::new();
     if let Some(set) = out.of(nodes.hotspot).first().and_then(|v| v.as_vertices()) {
         for &v in &set.ids {
-            let self_us = set
-                .graph
-                .pag()
-                .vprop(v, keys::SELF_TIME)
-                .and_then(PropValue::as_f64)
-                .unwrap_or(0.0);
+            let self_us = set.graph.pag().metric(v, mkeys::SELF_TIME).unwrap_or(0.0);
             // The root and layer vertices carry zero self time; a span
             // with no exclusive work is not a hotspot either.
             if self_us > 0.0 {
@@ -208,12 +203,7 @@ pub fn self_analysis(trace: &Obs) -> Result<SelfAnalysisResult, PerFlowError> {
     {
         for &v in &set.ids {
             let name = set.graph.pag().vertex_name(v).to_string();
-            let proc = set
-                .graph
-                .pag()
-                .vprop(v, keys::PROC)
-                .and_then(PropValue::as_i64)
-                .unwrap_or(-1);
+            let proc = set.graph.pag().metric_i64(v, mkeys::PROC).unwrap_or(-1);
             let flow = usize::try_from(proc)
                 .ok()
                 .and_then(|p| sp.flows.get(p))

@@ -3,7 +3,7 @@
 //! through communications and control/data flow to expose how the bugs
 //! propagate, stopping at collective communications.
 
-use pag::{keys, EdgeId, EdgeLabel, VertexId};
+use pag::{mkeys, EdgeId, EdgeLabel, VertexId};
 
 use crate::error::PerFlowError;
 use crate::pass::{expect_vertices, Pass, PassCx};
@@ -71,8 +71,8 @@ fn pick_in_edge(pag: &pag::Pag, v: VertexId) -> Option<EdgeId> {
         .copied()
         .filter(|&e| pag.edge(e).label.is_inter_process())
         .max_by(|&a, &b| {
-            let wa = pag.edge(a).props.get_f64(keys::WAIT_TIME);
-            let wb = pag.edge(b).props.get_f64(keys::WAIT_TIME);
+            let wa = pag.emetric_f64(a, mkeys::WAIT_TIME);
+            let wb = pag.emetric_f64(b, mkeys::WAIT_TIME);
             wa.total_cmp(&wb)
         });
     if let Some(e) = best_comm {
@@ -150,7 +150,7 @@ mod tests {
         g.add_edge(s1, w1, EdgeLabel::IntraProc);
         g.add_edge(w1, a1, EdgeLabel::IntraProc);
         let cross = g.add_edge(i0, w1, EdgeLabel::InterProcess(CommKind::P2pAsync));
-        g.edge_mut(cross).props.set(keys::WAIT_TIME, 5.0);
+        g.set_emetric(cross, mkeys::WAIT_TIME, 5.0);
         g.set_root(s0);
         GraphRef::Detached(Arc::new(g))
     }

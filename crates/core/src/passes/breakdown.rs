@@ -2,7 +2,7 @@
 //! "whether the cause of imbalance is different message sizes, the load
 //! imbalance before the communications, or others" (§2.2).
 
-use pag::{keys, PropValue, VertexId, VertexStats};
+use pag::{keys, mkeys, VertexId, VertexStats};
 
 use crate::error::PerFlowError;
 use crate::pass::{expect_vertices, Pass, PassCx};
@@ -69,7 +69,7 @@ pub fn breakdown(set: &VertexSet, threshold: f64) -> (VertexSet, Report, Vec<Bre
     let mut rows = Vec::new();
     for &v in &set.ids {
         let time = pag.vertex_time(v).max(1e-12);
-        let wait = pag.vertex(v).props.get_f64(keys::WAIT_TIME);
+        let wait = pag.metric_f64(v, mkeys::WAIT_TIME);
         let wait_fraction = (wait / time).min(1.0);
 
         // The snippet executed immediately before: the previous sibling
@@ -77,23 +77,20 @@ pub fn breakdown(set: &VertexSet, threshold: f64) -> (VertexSet, Report, Vec<Bre
         let pred = preceding_vertex(pag, v);
         let pred_imb = pred
             .and_then(|p| {
-                pag.vprop(p, keys::TIME_PER_PROC)
-                    .and_then(PropValue::as_f64_slice)
+                pag.metric_vec(p, mkeys::TIME_PER_PROC)
                     .and_then(VertexStats::from_slice)
             })
             .map(|s| s.imbalance())
             .unwrap_or(0.0);
 
         let own_imb = pag
-            .vprop(v, keys::TIME_PER_PROC)
-            .and_then(PropValue::as_f64_slice)
+            .metric_vec(v, mkeys::TIME_PER_PROC)
             .and_then(VertexStats::from_slice)
             .map(|s| s.imbalance())
             .unwrap_or(0.0);
         // Do processes move different amounts of data through this call?
         let bytes_imb = pag
-            .vprop(v, keys::BYTES_PER_PROC)
-            .and_then(PropValue::as_f64_slice)
+            .metric_vec(v, mkeys::BYTES_PER_PROC)
             .and_then(VertexStats::from_slice)
             .map(|s| s.imbalance())
             .unwrap_or(0.0);
@@ -115,8 +112,8 @@ pub fn breakdown(set: &VertexSet, threshold: f64) -> (VertexSet, Report, Vec<Bre
         }
         report.push_row(vec![
             pag.vertex_name(v).to_string(),
-            pag.vprop(v, keys::DEBUG_INFO)
-                .and_then(|p| p.as_str().map(String::from))
+            pag.vstr(v, keys::DEBUG_INFO)
+                .map(String::from)
                 .unwrap_or_default(),
             cause.as_str().to_string(),
             format!("{wait_fraction:.2}"),

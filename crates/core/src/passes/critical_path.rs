@@ -1,7 +1,7 @@
 //! Critical-path identification: the heaviest chain of activities through
 //! the parallel view (the *critical path* paradigm's core pass, §4.4).
 
-use pag::{keys, CallKind, EdgeLabel, PropValue, VertexLabel};
+use pag::{mkeys, CallKind, EdgeLabel, VertexLabel};
 
 use crate::error::PerFlowError;
 use crate::pass::{expect_vertices, Pass, PassCx};
@@ -25,8 +25,7 @@ fn forward_only(pag: &pag::Pag) -> impl Fn(pag::EdgeId) -> bool + Copy + '_ {
             EdgeLabel::IntraProc | EdgeLabel::InterProc => true,
             EdgeLabel::InterThread | EdgeLabel::InterProcess(_) => {
                 let pos = |v: pag::VertexId| {
-                    pag.vprop(v, keys::TOPDOWN_VERTEX)
-                        .and_then(PropValue::as_i64)
+                    pag.metric_i64(v, mkeys::TOPDOWN_VERTEX)
                         .unwrap_or(v.0 as i64)
                 };
                 pos(ed.src) < pos(ed.dst)

@@ -5,8 +5,6 @@
 //! `completeness` property in `[0, 1]`, and its metric is multiplied by
 //! it so low-confidence vertices cannot displace well-measured ones.
 
-use pag::PropValue;
-
 use crate::error::PerFlowError;
 use crate::pass::{expect_vertices, Pass, PassCx};
 use crate::set::VertexSet;
@@ -29,8 +27,7 @@ pub fn hotspot(set: &VertexSet, metric: &str, n: usize) -> VertexSet {
 pub(crate) fn completeness(set: &VertexSet, v: pag::VertexId) -> f64 {
     set.graph
         .pag()
-        .vprop(v, pag::keys::COMPLETENESS)
-        .and_then(PropValue::as_f64)
+        .metric(v, pag::mkeys::COMPLETENESS)
         .unwrap_or(1.0)
 }
 

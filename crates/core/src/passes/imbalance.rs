@@ -3,7 +3,7 @@
 //! diverge (parallel view — the black-boxed "imbalanced process vertices"
 //! of Figs. 10 and 12).
 
-use pag::{keys, PropValue, VertexStats};
+use pag::{mkeys, VertexStats};
 
 use crate::error::PerFlowError;
 use crate::pass::{expect_vertices, Pass, PassCx};
@@ -38,10 +38,7 @@ fn imbalance_topdown(set: &VertexSet, threshold: f64) -> VertexSet {
     let pag = set.graph.pag();
     let mut out = VertexSet::new(set.graph.clone(), Vec::new());
     for &v in &set.ids {
-        let Some(vec) = pag
-            .vprop(v, keys::TIME_PER_PROC)
-            .and_then(PropValue::as_f64_slice)
-        else {
+        let Some(vec) = pag.metric_vec(v, mkeys::TIME_PER_PROC) else {
             continue;
         };
         let Some(stats) = VertexStats::from_slice(vec) else {
@@ -61,10 +58,7 @@ fn imbalance_parallel(set: &VertexSet, threshold: f64) -> VertexSet {
     // Group member flow vertices by their top-down original.
     let mut groups: std::collections::BTreeMap<i64, Vec<pag::VertexId>> = Default::default();
     for &v in &set.ids {
-        let td = pag
-            .vprop(v, keys::TOPDOWN_VERTEX)
-            .and_then(PropValue::as_i64)
-            .unwrap_or(-1);
+        let td = pag.metric_i64(v, mkeys::TOPDOWN_VERTEX).unwrap_or(-1);
         groups.entry(td).or_default().push(v);
     }
     let mut out = VertexSet::new(set.graph.clone(), Vec::new());
@@ -125,7 +119,7 @@ impl Pass for ImbalancePass {
 mod tests {
     use super::*;
     use crate::graphref::GraphRef;
-    use pag::{Pag, VertexLabel, ViewKind};
+    use pag::{keys, Pag, VertexLabel, ViewKind};
     use std::sync::Arc;
 
     fn topdown_set(vectors: &[&[f64]]) -> VertexSet {

@@ -26,7 +26,10 @@ pub fn report_sets(title: &str, sets: &[&VertexSet], attrs: &[&str]) -> Report {
                     "label" => pag.vertex(v).label.name().to_string(),
                     "score" => format!("{:.4}", set.score(v)),
                     "time" => format_time_us(set.metric(v, pag::keys::TIME)),
-                    other => pag.vprop(v, other).map(render_prop).unwrap_or_default(),
+                    other => pag
+                        .vprop(v, other)
+                        .map(|p| render_prop(&p))
+                        .unwrap_or_default(),
                 })
                 .collect();
             report.push_row(row);

@@ -6,7 +6,7 @@
 //! statistics the collection module embeds (§3.3): total operation time,
 //! wait time, counts, and the comm-info summary.
 
-use pag::{keys, PropValue, VertexId, VertexStats};
+use pag::{keys, mkeys, VertexId, VertexStats};
 
 use crate::error::PerFlowError;
 use crate::pass::{expect_vertices, Pass, PassCx};
@@ -75,12 +75,10 @@ pub fn wait_states(set: &VertexSet, threshold: f64) -> (VertexSet, Report, Vec<W
     for &v in &set.ids {
         let data = pag.vertex(v);
         let name = data.name.as_ref();
-        let op_time = data.props.get_f64(keys::COMM_TIME);
-        let wait = data.props.get_f64(keys::WAIT_TIME);
-        let imbalance = data
-            .props
-            .get(keys::TIME_PER_PROC)
-            .and_then(PropValue::as_f64_slice)
+        let op_time = pag.metric_f64(v, mkeys::COMM_TIME);
+        let wait = pag.metric_f64(v, mkeys::WAIT_TIME);
+        let imbalance = pag
+            .metric_vec(v, mkeys::TIME_PER_PROC)
             .and_then(VertexStats::from_slice)
             .map(|s| s.imbalance())
             .unwrap_or(0.0);
@@ -112,9 +110,8 @@ pub fn wait_states(set: &VertexSet, threshold: f64) -> (VertexSet, Report, Vec<W
         }
         report.push_row(vec![
             name.to_string(),
-            data.props
-                .get(keys::DEBUG_INFO)
-                .and_then(|p| p.as_str().map(String::from))
+            pag.vstr(v, keys::DEBUG_INFO)
+                .map(String::from)
                 .unwrap_or_default(),
             class.as_str().to_string(),
             format!("{:.1}", 100.0 * wait_fraction),

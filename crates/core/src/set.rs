@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use pag::{EdgeId, PropValue, VertexId, VertexLabel};
+use pag::{EdgeId, KeyId, VertexId, VertexLabel};
 
 use crate::error::PerFlowError;
 use crate::graphref::GraphRef;
@@ -56,26 +56,52 @@ impl VertexSet {
     }
 
     /// Read a metric for a member: `"score"` reads the set's score
-    /// annotation, anything else reads the vertex property.
+    /// annotation, anything else reads the vertex metric column.
     pub fn metric(&self, v: VertexId, metric: &str) -> f64 {
         if metric == "score" {
             self.score(v)
         } else {
-            self.graph
-                .pag()
-                .vprop(v, metric)
-                .and_then(PropValue::as_f64)
-                .unwrap_or(0.0)
+            let pag = self.graph.pag();
+            pag.key_id(metric).map_or(0.0, |k| pag.metric_f64(v, k))
         }
+    }
+
+    /// Read a metric for a member by its resolved column id — the hot-path
+    /// variant of [`metric`](Self::metric) that skips key lookup entirely.
+    pub fn metric_by_key(&self, v: VertexId, key: KeyId) -> f64 {
+        self.graph.pag().metric_f64(v, key)
     }
 
     /// Sort members descending by a metric (ties by id, deterministic).
     /// NaN metrics — possible on degraded runs with corrupted or missing
-    /// performance data — sort last instead of panicking.
+    /// performance data — sort last instead of panicking. The metric name
+    /// is resolved to a column id once, so the comparator never touches
+    /// string keys.
     pub fn sort_by(&self, metric: &str) -> VertexSet {
+        if metric == "score" {
+            let mut out = self.clone();
+            out.ids
+                .sort_by(|&a, &b| pag::desc_nan_last(self.score(a), self.score(b)).then(a.cmp(&b)));
+            return out;
+        }
+        let pag = self.graph.pag();
+        match pag.key_id(metric) {
+            Some(k) => self.sort_by_key(k),
+            None => {
+                // Unknown metric: every value reads 0.0 → id order.
+                let mut out = self.clone();
+                out.ids.sort();
+                out
+            }
+        }
+    }
+
+    /// Sort members descending by a resolved metric column (ties by id).
+    pub fn sort_by_key(&self, key: KeyId) -> VertexSet {
+        let pag = self.graph.pag();
         let mut out = self.clone();
         out.ids.sort_by(|&a, &b| {
-            pag::desc_nan_last(self.metric(a, metric), self.metric(b, metric)).then(a.cmp(&b))
+            pag::desc_nan_last(pag.metric_f64(a, key), pag.metric_f64(b, key)).then(a.cmp(&b))
         });
         out
     }
@@ -99,9 +125,17 @@ impl VertexSet {
         self.retain(|v| self.graph.pag().vertex(v).label == label)
     }
 
-    /// Members whose metric is at least `min`.
+    /// Members whose metric is at least `min`. The name is resolved to a
+    /// column id once, outside the per-member loop.
     pub fn filter_metric(&self, metric: &str, min: f64) -> VertexSet {
-        self.retain(|v| self.metric(v, metric) >= min)
+        if metric == "score" {
+            return self.retain(|v| self.score(v) >= min);
+        }
+        let pag = self.graph.pag();
+        match pag.key_id(metric) {
+            Some(k) => self.retain(|v| pag.metric_f64(v, k) >= min),
+            None => self.retain(|_| 0.0 >= min),
+        }
     }
 
     /// Generic retain.

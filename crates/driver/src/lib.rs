@@ -1,0 +1,593 @@
+//! # Analysis driver
+//!
+//! The reusable layer between a front-end (the CLI today, `perflow-serve`
+//! tomorrow) and the perflow library: workload selection, paradigm
+//! assembly, lint collection and the observed/resilient comm-analysis
+//! session. Front-ends parse arguments and print; everything that decides
+//! *what to run* lives here so it can be driven programmatically.
+
+use perflow::paradigms::{
+    causal_loop_graph, comm_analysis_graph, contention_diagnosis, critical_path_paradigm,
+    diagnosis_graph, iterative_causal, mpi_profiler, scalability_analysis, scalability_graph,
+};
+use perflow::pass::FnPass;
+use perflow::verify::{check_pag, json_escape, lint_program, Diagnostics, Severity};
+use perflow::{
+    CheckpointFile, CheckpointWriter, ExecOptions, ExecPolicy, Obs, PassCache, PerFlow, Report,
+    RetryPolicy, RunHandle, RunHandleExt,
+};
+use progmodel::Program;
+use simrt::RunConfig;
+
+/// A driver-level failure: a human-readable message ready for stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverError(pub String);
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Names of all bundled workloads (canonical names, no aliases).
+pub const WORKLOAD_NAMES: &[&str] = &[
+    "bt",
+    "cg",
+    "ep",
+    "ft",
+    "is",
+    "lu",
+    "mg",
+    "sp",
+    "zeusmp",
+    "zeusmp-fixed",
+    "lammps",
+    "lammps-balanced",
+    "vite",
+    "vite-optimized",
+];
+
+/// Look up a bundled workload by name (a few aliases accepted).
+pub fn workload(name: &str) -> Option<Program> {
+    Some(match name {
+        "bt" => workloads::bt(),
+        "cg" => workloads::cg(),
+        "ep" => workloads::ep(),
+        "ft" => workloads::ft(),
+        "is" => workloads::is(),
+        "lu" => workloads::lu(),
+        "mg" => workloads::mg(),
+        "sp" => workloads::sp(),
+        "zeusmp" | "zmp" => workloads::zeusmp(),
+        "zeusmp-fixed" => workloads::zeusmp_fixed(),
+        "lammps" | "lmp" => workloads::lammps(),
+        "lammps-balanced" => workloads::lammps_balanced(),
+        "vite" => workloads::vite(),
+        "vite-optimized" => workloads::vite_optimized(),
+        _ => return None,
+    })
+}
+
+/// The built-in analysis paradigms a front-end can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Paradigm {
+    /// mpiP-style flat communication profile.
+    MpiProfiler,
+    /// Top-N hotspot report.
+    Hotspot,
+    /// Differential scalability analysis (small vs. large run).
+    Scalability,
+    /// Critical-path extraction over the parallel view.
+    CriticalPath,
+    /// Iterated causal analysis to a fixpoint.
+    Causal,
+    /// Contention diagnosis (low- vs. high-thread run).
+    Contention,
+}
+
+impl Paradigm {
+    /// Every paradigm, in display order.
+    pub const ALL: [Paradigm; 6] = [
+        Paradigm::MpiProfiler,
+        Paradigm::Hotspot,
+        Paradigm::Scalability,
+        Paradigm::CriticalPath,
+        Paradigm::Causal,
+        Paradigm::Contention,
+    ];
+
+    /// Command-line name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Paradigm::MpiProfiler => "mpip",
+            Paradigm::Hotspot => "hotspot",
+            Paradigm::Scalability => "scalability",
+            Paradigm::CriticalPath => "critical-path",
+            Paradigm::Causal => "causal",
+            Paradigm::Contention => "contention",
+        }
+    }
+
+    /// Parse a command-line name.
+    pub fn parse(s: &str) -> Option<Paradigm> {
+        Paradigm::ALL.iter().copied().find(|p| p.name() == s)
+    }
+}
+
+/// Shape of the analysis runs a front-end requests.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Ranks for the main run.
+    pub ranks: u32,
+    /// Ranks for the reference run of differential scalability analysis.
+    pub small_ranks: u32,
+    /// Threads per rank for the main run.
+    pub threads: u32,
+    /// Simulation seed (shared by the main and any reference run).
+    pub seed: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            ranks: 16,
+            small_ranks: 4,
+            threads: 1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The one-line run banner plus the collection summary.
+pub fn run_summary(prog: &Program, run: &RunHandle, cfg: &AnalysisConfig) -> String {
+    format!(
+        "{}: {} ranks × {} threads, top-down PAG {} vertices\n{}",
+        prog.name,
+        cfg.ranks,
+        cfg.threads,
+        run.topdown().num_vertices(),
+        run.data().summary().render()
+    )
+}
+
+/// Assemble and execute `paradigm` against an existing main `run`,
+/// launching any reference runs it needs (scalability, contention), and
+/// return the rendered-ready report.
+pub fn analyze(
+    pflow: &PerFlow,
+    prog: &Program,
+    run: &RunHandle,
+    paradigm: Paradigm,
+    cfg: &AnalysisConfig,
+) -> Result<Report, DriverError> {
+    Ok(match paradigm {
+        Paradigm::MpiProfiler => mpi_profiler(run),
+        Paradigm::Hotspot => {
+            let hot = pflow.hotspot_detection(&run.vertices(), 15);
+            pflow.report(&[&hot], &["name", "label", "debug-info", "time"])
+        }
+        Paradigm::Scalability => {
+            let small = pflow
+                .run(prog, &RunConfig::new(cfg.small_ranks).with_seed(cfg.seed))
+                .map_err(|e| DriverError(format!("small run failed: {e}")))?;
+            scalability_analysis(&small, run, 10, 0.2)
+                .map_err(|e| DriverError(format!("scalability analysis failed: {e}")))?
+                .report
+        }
+        Paradigm::CriticalPath => {
+            critical_path_paradigm(run, 10)
+                .map_err(|e| DriverError(format!("critical-path analysis failed: {e}")))?
+                .report
+        }
+        Paradigm::Causal => {
+            iterative_causal(run, "MPI_*", 8, 5)
+                .map_err(|e| DriverError(format!("causal analysis failed: {e}")))?
+                .1
+        }
+        Paradigm::Contention => {
+            let fast = pflow
+                .run(
+                    prog,
+                    &RunConfig::new(cfg.ranks)
+                        .with_threads(2)
+                        .with_seed(cfg.seed),
+                )
+                .map_err(|e| DriverError(format!("reference run failed: {e}")))?;
+            contention_diagnosis(&fast, run, 10)
+                .map_err(|e| DriverError(format!("contention analysis failed: {e}")))?
+                .report
+        }
+    })
+}
+
+/// Graphviz rendering of the top-25 hotspot set (the CLI's `--dot`).
+pub fn hotspot_dot(pflow: &PerFlow, run: &RunHandle) -> String {
+    let hot = pflow.hotspot_detection(&run.vertices(), 25);
+    Report::set_to_dot(&hot)
+}
+
+// ---------------------------------------------------------------------------
+// Lint
+// ---------------------------------------------------------------------------
+
+/// Diagnostics from linting the program model, every built-in paradigm
+/// PerFlowGraph (instantiated against the run's vertex sets, never
+/// executed), and both PAG views.
+pub struct LintOutcome {
+    /// `(target name, diagnostics)` in a stable order.
+    pub targets: Vec<(&'static str, Diagnostics)>,
+}
+
+impl LintOutcome {
+    /// Total diagnostics of a given severity across all targets.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.targets.iter().map(|(_, d)| d.count(sev)).sum()
+    }
+
+    /// True when no target has errors (lint passes).
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Human-readable rendering, one section per target plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, d) in &self.targets {
+            out.push_str(&format!("== {name} ==\n"));
+            if d.is_empty() {
+                out.push_str("  (clean)\n");
+            } else {
+                for line in d.render_text().lines() {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "lint: {} error(s), {} warning(s), {} info(s) across {} targets",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+            self.targets.len()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering tagged with the workload name.
+    pub fn render_json(&self, workload: &str) -> String {
+        let mut out = format!(
+            "{{\"workload\":\"{}\",\"errors\":{},\"warnings\":{},\"infos\":{},\"targets\":[",
+            json_escape(workload),
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        );
+        for (i, (name, d)) in self.targets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"target\":\"{}\",\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":{}}}",
+                json_escape(name),
+                d.count(Severity::Error),
+                d.count(Severity::Warn),
+                d.count(Severity::Info),
+                d.render_json()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Run the static analyzers over everything lintable for this run.
+pub fn lint(prog: &Program, run: &RunHandle) -> Result<LintOutcome, DriverError> {
+    let mut targets: Vec<(&'static str, Diagnostics)> = vec![("program", lint_program(prog))];
+    let mut graph = |name: &'static str,
+                     built: Result<
+        (perflow::PerFlowGraph, perflow::paradigms::ParadigmGraph),
+        perflow::PerFlowError,
+    >|
+     -> Result<(), DriverError> {
+        let (g, _) =
+            built.map_err(|e| DriverError(format!("{name} graph construction failed: {e}")))?;
+        targets.push((name, g.lint()));
+        Ok(())
+    };
+    graph("graph:comm-analysis", comm_analysis_graph(run.vertices()))?;
+    graph(
+        "graph:scalability",
+        scalability_graph(run.vertices(), run.vertices()),
+    )?;
+    graph("graph:causal-loop", causal_loop_graph(run.vertices()))?;
+    graph(
+        "graph:diagnosis",
+        diagnosis_graph(run.vertices(), run.vertices(), run.parallel_vertices()),
+    )?;
+    targets.push(("pag:top-down", check_pag(run.topdown())));
+    targets.push(("pag:parallel", check_pag(run.parallel())));
+    Ok(LintOutcome { targets })
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint context + digests
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a string — used for report digests and as an ingredient of
+/// [`checkpoint_context`].
+pub fn fnv_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Checkpoint context digest: workload + shape-determining config + the
+/// run's content digest, so a snapshot taken under one configuration
+/// refuses to resume under another.
+pub fn checkpoint_context(workload: &str, cfg: &AnalysisConfig, run: &RunHandle) -> u64 {
+    fnv_words(&[
+        fnv_str(workload),
+        cfg.ranks as u64,
+        cfg.threads as u64,
+        cfg.seed,
+        run.content_digest(),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Observed / resilient comm-analysis session
+// ---------------------------------------------------------------------------
+
+/// Fault-tolerant-scheduler knobs for [`comm_analysis_session`].
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    /// Pass-failure policy (fail fast vs. isolate).
+    pub fail_policy: Option<ExecPolicy>,
+    /// Per-pass deadline.
+    pub pass_timeout_ms: Option<u64>,
+    /// Retry budget per pass.
+    pub retries: Option<u32>,
+    /// Write a checkpoint here after the run.
+    pub checkpoint_out: Option<String>,
+    /// Resume from this checkpoint file.
+    pub resume_in: Option<String>,
+    /// Inject a panicking pass (fault-tolerance demo/testing).
+    pub inject_pass_panic: bool,
+}
+
+impl ResilienceConfig {
+    /// True when any knob is set, i.e. resilient execution was requested.
+    pub fn is_active(&self) -> bool {
+        self.fail_policy.is_some()
+            || self.pass_timeout_ms.is_some()
+            || self.retries.is_some()
+            || self.checkpoint_out.is_some()
+            || self.resume_in.is_some()
+            || self.inject_pass_panic
+    }
+}
+
+/// Outcome of the checkpoint writer, if one was requested.
+pub enum CheckpointStatus {
+    /// The checkpoint was written: `(entries recorded, entries unresumable)`.
+    Written(usize, usize),
+    /// The writer hit an error; the file is incomplete.
+    Incomplete(String),
+}
+
+/// What [`comm_analysis_session`] produced.
+pub struct CommAnalysisOutcome {
+    /// Raw dataflow outputs (metrics, warnings, failure lists, ...).
+    pub outputs: perflow::dataflow::Outputs,
+    /// The rendered comm-analysis report (empty when the report node
+    /// produced nothing, e.g. when it was skipped after a failure).
+    pub report: String,
+    /// Stable digest of the rendered report — lets scripts check that a
+    /// resumed run reproduced the uninterrupted result.
+    pub report_digest: u64,
+    /// `(entries, dropped)` when resuming from a snapshot.
+    pub resumed_from: Option<(usize, usize)>,
+    /// Checkpoint writer status when a checkpoint was requested.
+    pub checkpoint: Option<CheckpointStatus>,
+}
+
+/// Run the standard communication-analysis PerFlowGraph under the
+/// observed (and, when requested, resilient) scheduler so the trace
+/// covers the core layer too.
+pub fn comm_analysis_session(
+    run: &RunHandle,
+    obs: &Obs,
+    res: &ResilienceConfig,
+    context: u64,
+) -> Result<CommAnalysisOutcome, DriverError> {
+    let _app = obs.span(perflow::Layer::App, "comm-analysis-graph", 0);
+    let cache = PassCache::new();
+    let (mut g, nodes) = comm_analysis_graph(run.vertices())
+        .map_err(|e| DriverError(format!("comm-analysis graph construction failed: {e}")))?;
+    if res.inject_pass_panic {
+        g.add_pass(FnPass::new(
+            "injected_panic",
+            0,
+            |_inp: &[perflow::Value]| panic!("injected failure (--inject-pass-panic)"),
+        ));
+    }
+
+    let mut resumed_from = None;
+    let snapshot = match &res.resume_in {
+        Some(path) => {
+            let file = CheckpointFile::load(path)
+                .map_err(|e| DriverError(format!("cannot load checkpoint {path}: {e}")))?;
+            file.expect_context(context)
+                .map_err(|e| DriverError(format!("cannot resume from {path}: {e}")))?;
+            let snap = file.rebind(std::slice::from_ref(run));
+            resumed_from = Some((snap.len(), snap.dropped));
+            Some(snap)
+        }
+        None => None,
+    };
+    let writer = match &res.checkpoint_out {
+        Some(path) => Some(
+            CheckpointWriter::create(path, context)
+                .map_err(|e| DriverError(format!("cannot create checkpoint {path}: {e}")))?,
+        ),
+        None => None,
+    };
+
+    let mut opts = ExecOptions::new().with_cache(&cache).with_obs(obs.clone());
+    if let Some(p) = res.fail_policy {
+        opts = opts.with_policy(p);
+    }
+    if let Some(ms) = res.pass_timeout_ms {
+        opts = opts.with_pass_timeout_ms(ms);
+    }
+    if let Some(n) = res.retries {
+        opts = opts.with_retry(RetryPolicy::new(n));
+    }
+    if let Some(w) = &writer {
+        opts = opts.with_checkpoint(w);
+    }
+    if let Some(s) = &snapshot {
+        opts = opts.with_resume(s);
+    }
+    let outputs = g
+        .execute_with(&opts)
+        .map_err(|e| DriverError(format!("comm-analysis graph failed: {e}")))?;
+    drop(_app);
+
+    let report = outputs
+        .of(nodes.report)
+        .first()
+        .and_then(|v| v.as_report())
+        .map(Report::render)
+        .unwrap_or_default();
+    let report_digest = fnv_str(&report);
+    let checkpoint = writer.map(|w| match w.error() {
+        Some(e) => CheckpointStatus::Incomplete(e.to_string()),
+        None => CheckpointStatus::Written(w.recorded(), w.skipped()),
+    });
+    Ok(CommAnalysisOutcome {
+        outputs,
+        report,
+        report_digest,
+        resumed_from,
+        checkpoint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_lookup_and_aliases() {
+        for name in WORKLOAD_NAMES {
+            assert!(workload(name).is_some(), "missing workload {name}");
+        }
+        assert!(workload("zmp").is_some());
+        assert!(workload("lmp").is_some());
+        assert!(workload("no-such-thing").is_none());
+    }
+
+    #[test]
+    fn paradigm_names_round_trip() {
+        for p in Paradigm::ALL {
+            assert_eq!(Paradigm::parse(p.name()), Some(p));
+        }
+        assert_eq!(Paradigm::parse("bogus"), None);
+    }
+
+    #[test]
+    fn hotspot_analysis_end_to_end() {
+        let pflow = PerFlow::new();
+        let prog = workload("cg").unwrap();
+        let cfg = AnalysisConfig {
+            ranks: 4,
+            ..AnalysisConfig::default()
+        };
+        let run = pflow
+            .run(&prog, &RunConfig::new(cfg.ranks).with_seed(cfg.seed))
+            .unwrap();
+        let report = analyze(&pflow, &prog, &run, Paradigm::Hotspot, &cfg).unwrap();
+        assert!(!report.render().is_empty());
+        assert!(run_summary(&prog, &run, &cfg).contains("4 ranks"));
+    }
+
+    #[test]
+    fn lint_is_clean_on_a_healthy_run() {
+        let pflow = PerFlow::new();
+        let prog = workload("cg").unwrap();
+        let run = pflow.run(&prog, &RunConfig::new(4)).unwrap();
+        let outcome = lint(&prog, &run).unwrap();
+        assert!(outcome.is_clean(), "{}", outcome.render_text());
+        assert!(outcome
+            .render_json("cg")
+            .starts_with("{\"workload\":\"cg\""));
+    }
+
+    #[test]
+    fn checkpoint_context_depends_on_config() {
+        let pflow = PerFlow::new();
+        let prog = workload("cg").unwrap();
+        let run = pflow.run(&prog, &RunConfig::new(4)).unwrap();
+        let a = AnalysisConfig {
+            ranks: 4,
+            ..AnalysisConfig::default()
+        };
+        let b = AnalysisConfig {
+            seed: 7,
+            ..a.clone()
+        };
+        assert_eq!(
+            checkpoint_context("cg", &a, &run),
+            checkpoint_context("cg", &a, &run)
+        );
+        assert_ne!(
+            checkpoint_context("cg", &a, &run),
+            checkpoint_context("cg", &b, &run)
+        );
+        assert_ne!(
+            checkpoint_context("cg", &a, &run),
+            checkpoint_context("bt", &a, &run)
+        );
+    }
+
+    #[test]
+    fn comm_analysis_session_produces_a_report() {
+        let pflow = PerFlow::new();
+        let prog = workload("cg").unwrap();
+        let cfg = AnalysisConfig {
+            ranks: 4,
+            ..AnalysisConfig::default()
+        };
+        let obs = Obs::enabled();
+        let run = pflow
+            .run(
+                &prog,
+                &RunConfig::new(cfg.ranks)
+                    .with_seed(cfg.seed)
+                    .with_obs(obs.clone()),
+            )
+            .unwrap();
+        let ctx = checkpoint_context("cg", &cfg, &run);
+        let out = comm_analysis_session(&run, &obs, &ResilienceConfig::default(), ctx).unwrap();
+        assert!(!out.report.is_empty());
+        assert_eq!(out.report_digest, fnv_str(&out.report));
+        assert!(out.checkpoint.is_none());
+        assert!(out.resumed_from.is_none());
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use pag::{keys, EdgeLabel, Pag, PropValue, VertexId};
+use pag::{keys, mkeys, EdgeLabel, Pag, VertexId};
 
 /// Collapse vertices into super-vertices according to `group_of` (same
 /// key → same super-vertex; `None` drops the vertex). Numeric `time`,
@@ -33,19 +33,18 @@ pub fn coarsen(
         let sv = *group_vertex
             .entry(key)
             .or_insert_with(|| out.add_vertex(data.label, data.name.clone()));
-        let props = &mut out.vertex_mut(sv).props;
-        for metric in [keys::TIME, keys::WAIT_TIME, keys::SELF_TIME] {
-            let x = data.props.get_f64(metric);
+        for metric in [mkeys::TIME, mkeys::WAIT_TIME, mkeys::SELF_TIME] {
+            let x = g.metric_f64(v, metric);
             if x != 0.0 {
-                props.add_f64(metric, x);
+                out.add_metric(sv, metric, x);
             }
         }
-        if let Some(c) = data.props.get(keys::COUNT).and_then(PropValue::as_i64) {
-            props.add_i64(keys::COUNT, c);
+        if let Some(c) = g.metric_i64(v, mkeys::COUNT) {
+            out.add_metric_i64(sv, mkeys::COUNT, c);
         }
-        if let Some(d) = data.props.get(keys::DEBUG_INFO) {
-            if props.get(keys::DEBUG_INFO).is_none() {
-                props.set(keys::DEBUG_INFO, d.clone());
+        if let Some(d) = g.vstr(v, keys::DEBUG_INFO) {
+            if out.vstr(sv, keys::DEBUG_INFO).is_none() {
+                out.set_vstr(sv, keys::DEBUG_INFO, d);
             }
         }
     }
@@ -81,20 +80,15 @@ pub fn coarsen(
             wait: 0.0,
             count: 0,
         });
-        agg.wait += ed.props.get_f64(keys::WAIT_TIME);
-        agg.count += ed
-            .props
-            .get(keys::COUNT)
-            .and_then(PropValue::as_i64)
-            .unwrap_or(1);
+        agg.wait += g.emetric_f64(e, mkeys::WAIT_TIME);
+        agg.count += g.emetric_i64(e, mkeys::COUNT).unwrap_or(1);
     }
     let mut pairs: Vec<((VertexId, VertexId, u8), EAgg)> = eaggs.into_iter().collect();
     pairs.sort_by_key(|&((a, b, t), _)| (a, b, t));
     for ((sv, dv, _), agg) in pairs {
         let e = out.add_edge(sv, dv, agg.label);
-        let props = &mut out.edge_mut(e).props;
-        props.set(keys::WAIT_TIME, agg.wait);
-        props.set(keys::COUNT, agg.count);
+        out.set_emetric(e, mkeys::WAIT_TIME, agg.wait);
+        out.set_emetric_i64(e, mkeys::COUNT, agg.count);
     }
     (out, group_vertex)
 }
@@ -102,11 +96,7 @@ pub fn coarsen(
 /// Collapse a parallel view back onto its top-down skeleton: group by the
 /// `topdown-vertex` property.
 pub fn coarsen_parallel_by_topdown(g: &Pag) -> (Pag, HashMap<i64, VertexId>) {
-    coarsen(
-        g,
-        |v| g.vprop(v, keys::TOPDOWN_VERTEX).and_then(PropValue::as_i64),
-        false,
-    )
+    coarsen(g, |v| g.metric_i64(v, mkeys::TOPDOWN_VERTEX), false)
 }
 
 #[cfg(test)]
@@ -131,7 +121,7 @@ mod tests {
         g.add_edge(ids[0], ids[1], EdgeLabel::IntraProc);
         g.add_edge(ids[2], ids[3], EdgeLabel::IntraProc);
         let ce = g.add_edge(ids[1], ids[2], EdgeLabel::InterProcess(CommKind::P2pAsync));
-        g.edge_mut(ce).props.set(keys::WAIT_TIME, 5.0);
+        g.set_eprop(ce, keys::WAIT_TIME, 5.0);
         g
     }
 
@@ -158,17 +148,17 @@ mod tests {
         let ab = c
             .out_edges(a)
             .iter()
-            .map(|&e| c.edge(e))
-            .find(|e| e.dst == b)
+            .copied()
+            .find(|&e| c.edge(e).dst == b)
             .unwrap();
-        assert_eq!(ab.props.get(keys::COUNT).unwrap().as_i64(), Some(2));
+        assert_eq!(c.emetric_i64(ab, mkeys::COUNT), Some(2));
         let ba = c
             .out_edges(b)
             .iter()
-            .map(|&e| c.edge(e))
-            .find(|e| e.dst == a)
+            .copied()
+            .find(|&e| c.edge(e).dst == a)
             .unwrap();
-        assert_eq!(ba.props.get_f64(keys::WAIT_TIME), 5.0);
+        assert_eq!(c.emetric_f64(ba, mkeys::WAIT_TIME), 5.0);
     }
 
     #[test]
@@ -179,11 +169,7 @@ mod tests {
         let a1 = VertexId(2);
         g.add_edge(a0, a1, EdgeLabel::InterThread);
         let (no_loops, _) = coarsen_parallel_by_topdown(&g);
-        let (with_loops, groups) = coarsen(
-            &g,
-            |v| g.vprop(v, keys::TOPDOWN_VERTEX).and_then(PropValue::as_i64),
-            true,
-        );
+        let (with_loops, groups) = coarsen(&g, |v| g.metric_i64(v, mkeys::TOPDOWN_VERTEX), true);
         assert_eq!(no_loops.num_edges() + 1, with_loops.num_edges());
         let a = groups[&0];
         assert!(with_loops
@@ -198,11 +184,7 @@ mod tests {
         // Keep only group 0.
         let (c, _) = coarsen(
             &g,
-            |v| {
-                g.vprop(v, keys::TOPDOWN_VERTEX)
-                    .and_then(PropValue::as_i64)
-                    .filter(|&t| t == 0)
-            },
+            |v| g.metric_i64(v, mkeys::TOPDOWN_VERTEX).filter(|&t| t == 0),
             false,
         );
         assert_eq!(c.num_vertices(), 1);

@@ -1,0 +1,92 @@
+//! Scoped-thread sharding for parallel graph algorithms.
+//!
+//! The workspace's determinism contract (established by the simulator's
+//! worker pool) is `parallel(N workers) == parallel(1 worker)`: shards are
+//! claimed from an atomic counter by plain scoped threads, but results are
+//! reassembled **in shard order**, so the merged output is bit-identical
+//! for any worker count. Algorithms that shard their work through
+//! [`map_shards`] inherit that contract for free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: the `PERFLOW_WORKERS` environment variable when
+/// set (minimum 1), otherwise the machine's available parallelism.
+pub fn default_workers() -> usize {
+    match std::env::var("PERFLOW_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(w) => w.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Map `f` over shard indices `0..n` using up to `workers` scoped threads
+/// and return the results **in shard order** regardless of which worker
+/// computed what. Shards are claimed dynamically (atomic counter), so
+/// imbalanced shard costs still spread across workers.
+pub fn map_shards<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("graphalgo worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every shard index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_shard_order_for_any_worker_count() {
+        let serial = map_shards(37, 1, |i| i * i);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(map_shards(37, workers, |i| i * i), serial);
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_empty() {
+        assert!(map_shards(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_shards_is_fine() {
+        assert_eq!(map_shards(2, 16, |i| i + 1), vec![1, 2]);
+    }
+}

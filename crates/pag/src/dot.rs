@@ -71,8 +71,8 @@ pub fn to_dot(pag: &Pag, opts: &DotOptions) -> String {
         let data = pag.vertex(v);
         let mut label = format!("{}\\n[{}]", escape_dot(&data.name), data.label.name());
         if opts.show_props {
-            for (k, val) in data.props.iter() {
-                if k == keys::NAME {
+            for (k, val) in pag.prop_entries(v) {
+                if k.as_ref() == keys::NAME {
                     continue;
                 }
                 let _ = write!(label, "\\n{k}={val}");

@@ -4,10 +4,13 @@ use std::sync::Arc;
 
 use crate::ids::{EdgeId, VertexId};
 use crate::label::{EdgeLabel, VertexLabel};
-use crate::props::{keys, PropMap, PropValue};
+use crate::metric::{self, KeyId, KeyTable, MetricColumns, MetricKind, GLOBAL_KEYS};
+use crate::props::{PropMap, PropValue};
 use crate::ViewKind;
 
-/// Data stored on one PAG vertex.
+/// Data stored on one PAG vertex. Numeric metrics live in the owning
+/// [`Pag`]'s columnar storage — see [`Pag::metric`] — so this struct only
+/// carries the label, the name, and string-valued properties.
 #[derive(Debug, Clone)]
 pub struct VertexData {
     /// The kind of code snippet this vertex stands for.
@@ -15,11 +18,12 @@ pub struct VertexData {
     /// Snippet name (function name, `loop_1.1`, `MPI_Send`, …). Shared so
     /// that parallel-view replicas do not duplicate the string.
     pub name: Arc<str>,
-    /// Performance data and metadata.
-    pub props: PropMap,
+    /// String-valued properties (debug info, comm info, rank status).
+    pub(crate) sprops: PropMap,
 }
 
-/// Data stored on one PAG edge.
+/// Data stored on one PAG edge. Numeric metrics live in the owning
+/// [`Pag`]'s columnar storage — see [`Pag::emetric`].
 #[derive(Debug, Clone)]
 pub struct EdgeData {
     /// Source vertex.
@@ -28,12 +32,18 @@ pub struct EdgeData {
     pub dst: VertexId,
     /// The relationship this edge encodes.
     pub label: EdgeLabel,
-    /// Performance data (wait time, bytes, …).
-    pub props: PropMap,
+    /// String-valued properties.
+    pub(crate) sprops: PropMap,
 }
 
 /// A Program Abstraction Graph: a directed property graph describing one
 /// program execution (§3.1).
+///
+/// Numeric vertex/edge metrics are stored column-wise ([`MetricColumns`])
+/// keyed by interned [`KeyId`]s: read with the typed accessors
+/// ([`Pag::metric`], [`Pag::metric_vec`], edge variants) in hot loops, or
+/// through the string-keyed [`Pag::vprop`]/[`Pag::set_vprop`] compat shim
+/// where convenience beats speed.
 #[derive(Debug, Clone)]
 pub struct Pag {
     view: ViewKind,
@@ -45,6 +55,9 @@ pub struct Pag {
     edges: Vec<EdgeData>,
     out_adj: Vec<Vec<EdgeId>>,
     in_adj: Vec<Vec<EdgeId>>,
+    keytab: KeyTable,
+    vmetrics: MetricColumns,
+    emetrics: MetricColumns,
 }
 
 impl Pag {
@@ -60,6 +73,9 @@ impl Pag {
             edges: Vec::new(),
             out_adj: Vec::new(),
             in_adj: Vec::new(),
+            keytab: KeyTable::new(),
+            vmetrics: MetricColumns::new(),
+            emetrics: MetricColumns::new(),
         }
     }
 
@@ -130,10 +146,11 @@ impl Pag {
         self.vertices.push(VertexData {
             label,
             name: name.into(),
-            props: PropMap::new(),
+            sprops: PropMap::new(),
         });
         self.out_adj.push(Vec::new());
         self.in_adj.push(Vec::new());
+        self.vmetrics.push_row();
         id
     }
 
@@ -146,10 +163,11 @@ impl Pag {
             src,
             dst,
             label,
-            props: PropMap::new(),
+            sprops: PropMap::new(),
         });
         self.out_adj[src.index()].push(id);
         self.in_adj[dst.index()].push(id);
+        self.emetrics.push_row();
         id
     }
 
@@ -229,8 +247,9 @@ impl Pag {
     }
 
     /// Convenience: inclusive time of a vertex (0.0 if not recorded).
+    #[inline]
     pub fn vertex_time(&self, v: VertexId) -> f64 {
-        self.vertex(v).props.get_f64(keys::TIME)
+        self.metric_f64(v, metric::keys::TIME)
     }
 
     /// All vertices whose name matches a glob pattern (`*` wildcard),
@@ -248,14 +267,11 @@ impl Pag {
             .collect()
     }
 
-    /// Sum of inclusive `time` over vertices that carry it. On the top-down
-    /// view this over-counts nested snippets; use the root time for total
-    /// program time instead.
+    /// Sum of inclusive `time` over vertices that carry it (a single
+    /// columnar scan). On the top-down view this over-counts nested
+    /// snippets; use the root time for total program time instead.
     pub fn sum_time(&self) -> f64 {
-        self.vertices
-            .iter()
-            .map(|v| v.props.get_f64(keys::TIME))
-            .sum()
+        self.vmetrics.sum(metric::keys::TIME)
     }
 
     /// Total program time: the root vertex's inclusive time.
@@ -263,14 +279,349 @@ impl Pag {
         self.root.map(|r| self.vertex_time(r)).unwrap_or(0.0)
     }
 
-    /// Set a property on a vertex (builder-style helper).
-    pub fn set_vprop(&mut self, v: VertexId, key: &str, value: impl Into<PropValue>) {
-        self.vertex_mut(v).props.set(key, value);
+    // ----- typed metric accessors (columnar hot path) -----
+
+    /// The key interner of this PAG (global keys + per-PAG user keys).
+    pub fn key_table(&self) -> &KeyTable {
+        &self.keytab
     }
 
-    /// Read a property from a vertex.
-    pub fn vprop(&self, v: VertexId, key: &str) -> Option<&PropValue> {
-        self.vertex(v).props.get(key)
+    /// Resolve a wire name to a `KeyId` without interning. Resolve once
+    /// outside a loop, then use the typed accessors inside it.
+    #[inline]
+    pub fn key_id(&self, name: &str) -> Option<KeyId> {
+        self.keytab.resolve(name)
+    }
+
+    /// Resolve a wire name, interning it as a user key if unknown.
+    pub fn intern_key(&mut self, name: &str) -> KeyId {
+        self.keytab.intern(name)
+    }
+
+    /// Wire name of an interned key.
+    pub fn key_name(&self, k: KeyId) -> &str {
+        self.keytab.name(k)
+    }
+
+    /// Columnar vertex metrics (for whole-column scans).
+    pub fn vmetric_columns(&self) -> &MetricColumns {
+        &self.vmetrics
+    }
+
+    /// Columnar edge metrics.
+    pub fn emetric_columns(&self) -> &MetricColumns {
+        &self.emetrics
+    }
+
+    pub(crate) fn vmetrics_mut(&mut self) -> &mut MetricColumns {
+        &mut self.vmetrics
+    }
+
+    pub(crate) fn emetrics_mut(&mut self) -> &mut MetricColumns {
+        &mut self.emetrics
+    }
+
+    #[inline]
+    fn int_kinded(k: KeyId, write_int: bool) -> bool {
+        if k.is_global() {
+            matches!(GLOBAL_KEYS[k.index()].1, MetricKind::I64)
+        } else {
+            write_int
+        }
+    }
+
+    /// Scalar vertex metric; `None` if never set.
+    #[inline]
+    pub fn metric(&self, v: VertexId, k: KeyId) -> Option<f64> {
+        self.vmetrics.get(k, v.index())
+    }
+
+    /// Scalar vertex metric, `0.0` if absent.
+    #[inline]
+    pub fn metric_f64(&self, v: VertexId, k: KeyId) -> f64 {
+        self.vmetrics.get(k, v.index()).unwrap_or(0.0)
+    }
+
+    /// Integer vertex metric; `None` if absent or float-kinded.
+    #[inline]
+    pub fn metric_i64(&self, v: VertexId, k: KeyId) -> Option<i64> {
+        let x = self.vmetrics.get(k, v.index())?;
+        self.vmetrics
+            .scalar_col(k)
+            .is_some_and(|c| c.is_int)
+            .then_some(x as i64)
+    }
+
+    /// Set a scalar (float) vertex metric.
+    #[inline]
+    pub fn set_metric(&mut self, v: VertexId, k: KeyId, value: f64) {
+        self.vmetrics
+            .set(k, v.index(), value, Self::int_kinded(k, false));
+    }
+
+    /// Set an integer vertex metric.
+    #[inline]
+    pub fn set_metric_i64(&mut self, v: VertexId, k: KeyId, value: i64) {
+        self.vmetrics
+            .set(k, v.index(), value as f64, Self::int_kinded(k, true));
+    }
+
+    /// Add `delta` to a scalar vertex metric (absent counts as zero).
+    #[inline]
+    pub fn add_metric(&mut self, v: VertexId, k: KeyId, delta: f64) {
+        self.vmetrics
+            .add(k, v.index(), delta, Self::int_kinded(k, false));
+    }
+
+    /// Add `delta` to an integer vertex metric (absent counts as zero).
+    #[inline]
+    pub fn add_metric_i64(&mut self, v: VertexId, k: KeyId, delta: i64) {
+        self.vmetrics
+            .add(k, v.index(), delta as f64, Self::int_kinded(k, true));
+    }
+
+    /// Vector vertex metric (per-process values).
+    #[inline]
+    pub fn metric_vec(&self, v: VertexId, k: KeyId) -> Option<&[f64]> {
+        self.vmetrics.get_vec(k, v.index()).map(|a| a.as_ref())
+    }
+
+    /// Set a vector vertex metric.
+    #[inline]
+    pub fn set_metric_vec(&mut self, v: VertexId, k: KeyId, value: impl Into<Arc<[f64]>>) {
+        self.vmetrics.set_vec(k, v.index(), value.into());
+    }
+
+    /// Scalar edge metric; `None` if never set.
+    #[inline]
+    pub fn emetric(&self, e: EdgeId, k: KeyId) -> Option<f64> {
+        self.emetrics.get(k, e.index())
+    }
+
+    /// Scalar edge metric, `0.0` if absent.
+    #[inline]
+    pub fn emetric_f64(&self, e: EdgeId, k: KeyId) -> f64 {
+        self.emetrics.get(k, e.index()).unwrap_or(0.0)
+    }
+
+    /// Integer edge metric; `None` if absent or float-kinded.
+    #[inline]
+    pub fn emetric_i64(&self, e: EdgeId, k: KeyId) -> Option<i64> {
+        let x = self.emetrics.get(k, e.index())?;
+        self.emetrics
+            .scalar_col(k)
+            .is_some_and(|c| c.is_int)
+            .then_some(x as i64)
+    }
+
+    /// Set a scalar (float) edge metric.
+    #[inline]
+    pub fn set_emetric(&mut self, e: EdgeId, k: KeyId, value: f64) {
+        self.emetrics
+            .set(k, e.index(), value, Self::int_kinded(k, false));
+    }
+
+    /// Set an integer edge metric.
+    #[inline]
+    pub fn set_emetric_i64(&mut self, e: EdgeId, k: KeyId, value: i64) {
+        self.emetrics
+            .set(k, e.index(), value as f64, Self::int_kinded(k, true));
+    }
+
+    /// Add `delta` to a scalar edge metric (absent counts as zero).
+    #[inline]
+    pub fn add_emetric(&mut self, e: EdgeId, k: KeyId, delta: f64) {
+        self.emetrics
+            .add(k, e.index(), delta, Self::int_kinded(k, false));
+    }
+
+    /// Vector edge metric.
+    #[inline]
+    pub fn emetric_vec(&self, e: EdgeId, k: KeyId) -> Option<&[f64]> {
+        self.emetrics.get_vec(k, e.index()).map(|a| a.as_ref())
+    }
+
+    /// Set a vector edge metric.
+    #[inline]
+    pub fn set_emetric_vec(&mut self, e: EdgeId, k: KeyId, value: impl Into<Arc<[f64]>>) {
+        self.emetrics.set_vec(k, e.index(), value.into());
+    }
+
+    // ----- string properties -----
+
+    /// String property of a vertex (debug info, comm info, …).
+    pub fn vstr(&self, v: VertexId, key: &str) -> Option<&str> {
+        self.vertex(v).sprops.get(key).and_then(|p| p.as_str())
+    }
+
+    /// Set a string property on a vertex.
+    pub fn set_vstr(&mut self, v: VertexId, key: &str, value: impl Into<Arc<str>>) {
+        self.vertex_mut(v).sprops.set(key, value.into());
+    }
+
+    /// String property of an edge.
+    pub fn estr(&self, e: EdgeId, key: &str) -> Option<&str> {
+        self.edge(e).sprops.get(key).and_then(|p| p.as_str())
+    }
+
+    /// Set a string property on an edge.
+    pub fn set_estr(&mut self, e: EdgeId, key: &str, value: impl Into<Arc<str>>) {
+        self.edge_mut(e).sprops.set(key, value.into());
+    }
+
+    // ----- string-keyed compat shim -----
+
+    fn shim_get(
+        &self,
+        sprops: &PropMap,
+        cols: &MetricColumns,
+        row: usize,
+        key: &str,
+    ) -> Option<PropValue> {
+        if let Some(k) = self.keytab.resolve(key) {
+            if let Some(x) = cols.get(k, row) {
+                let is_int = cols.scalar_col(k).is_some_and(|c| c.is_int);
+                return Some(if is_int {
+                    PropValue::Int(x as i64)
+                } else {
+                    PropValue::Float(x)
+                });
+            }
+            if let Some(xs) = cols.get_vec(k, row) {
+                return Some(PropValue::VecF64(xs.clone()));
+            }
+        }
+        sprops.get(key).cloned()
+    }
+
+    /// Set a property on a vertex by wire name. Numeric values are routed
+    /// into the metric columns (interning the key), strings into the
+    /// per-vertex string map; the two stores never hold the same key at
+    /// once. Prefer the typed setters in hot loops.
+    pub fn set_vprop(&mut self, v: VertexId, key: &str, value: impl Into<PropValue>) {
+        let row = v.index();
+        match value.into() {
+            PropValue::Int(i) => {
+                let k = self.keytab.intern(key);
+                self.vertices[row].sprops.remove(key);
+                self.vmetrics
+                    .set(k, row, i as f64, Self::int_kinded(k, true));
+            }
+            PropValue::Float(f) => {
+                let k = self.keytab.intern(key);
+                self.vertices[row].sprops.remove(key);
+                self.vmetrics.set(k, row, f, Self::int_kinded(k, false));
+            }
+            PropValue::VecF64(xs) => {
+                let k = self.keytab.intern(key);
+                self.vertices[row].sprops.remove(key);
+                self.vmetrics.set_vec(k, row, xs);
+            }
+            PropValue::Str(s) => {
+                if let Some(k) = self.keytab.resolve(key) {
+                    self.vmetrics.remove(k, row);
+                }
+                self.vertices[row].sprops.set(key, s);
+            }
+        }
+    }
+
+    /// Read a vertex property by wire name (metric columns first, then
+    /// string properties). Returns an owned value; prefer the typed
+    /// accessors in hot loops.
+    pub fn vprop(&self, v: VertexId, key: &str) -> Option<PropValue> {
+        self.shim_get(&self.vertex(v).sprops, &self.vmetrics, v.index(), key)
+    }
+
+    /// Remove a vertex property by wire name (either store); true if
+    /// something was removed.
+    pub fn remove_vprop(&mut self, v: VertexId, key: &str) -> bool {
+        let row = v.index();
+        let mut removed = false;
+        if let Some(k) = self.keytab.resolve(key) {
+            removed |= self.vmetrics.remove(k, row);
+        }
+        removed |= self.vertices[row].sprops.remove(key).is_some();
+        removed
+    }
+
+    /// Set an edge property by wire name (shim; see [`Pag::set_vprop`]).
+    pub fn set_eprop(&mut self, e: EdgeId, key: &str, value: impl Into<PropValue>) {
+        let row = e.index();
+        match value.into() {
+            PropValue::Int(i) => {
+                let k = self.keytab.intern(key);
+                self.edges[row].sprops.remove(key);
+                self.emetrics
+                    .set(k, row, i as f64, Self::int_kinded(k, true));
+            }
+            PropValue::Float(f) => {
+                let k = self.keytab.intern(key);
+                self.edges[row].sprops.remove(key);
+                self.emetrics.set(k, row, f, Self::int_kinded(k, false));
+            }
+            PropValue::VecF64(xs) => {
+                let k = self.keytab.intern(key);
+                self.edges[row].sprops.remove(key);
+                self.emetrics.set_vec(k, row, xs);
+            }
+            PropValue::Str(s) => {
+                if let Some(k) = self.keytab.resolve(key) {
+                    self.emetrics.remove(k, row);
+                }
+                self.edges[row].sprops.set(key, s);
+            }
+        }
+    }
+
+    /// Read an edge property by wire name (shim; owned value).
+    pub fn eprop(&self, e: EdgeId, key: &str) -> Option<PropValue> {
+        self.shim_get(&self.edge(e).sprops, &self.emetrics, e.index(), key)
+    }
+
+    fn merged_entries(
+        &self,
+        sprops: &PropMap,
+        cols: &MetricColumns,
+        row: usize,
+    ) -> Vec<(Arc<str>, PropValue)> {
+        let mut out: Vec<(Arc<str>, PropValue)> = sprops
+            .iter()
+            .map(|(k, v)| (Arc::from(k), v.clone()))
+            .collect();
+        for ki in 0..self.keytab.len() {
+            let k = KeyId(ki as u32);
+            if let Some(x) = cols.get(k, row) {
+                let is_int = cols.scalar_col(k).is_some_and(|c| c.is_int);
+                out.push((
+                    Arc::from(self.keytab.name(k)),
+                    if is_int {
+                        PropValue::Int(x as i64)
+                    } else {
+                        PropValue::Float(x)
+                    },
+                ));
+            } else if let Some(xs) = cols.get_vec(k, row) {
+                out.push((
+                    Arc::from(self.keytab.name(k)),
+                    PropValue::VecF64(xs.clone()),
+                ));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// All properties of a vertex — string properties and metrics merged —
+    /// as `(wire name, value)` pairs in key order. For rendering and
+    /// serialization, not for hot loops.
+    pub fn prop_entries(&self, v: VertexId) -> Vec<(Arc<str>, PropValue)> {
+        self.merged_entries(&self.vertex(v).sprops, &self.vmetrics, v.index())
+    }
+
+    /// All properties of an edge in key order (see [`Pag::prop_entries`]).
+    pub fn eprop_entries(&self, e: EdgeId) -> Vec<(Arc<str>, PropValue)> {
+        self.merged_entries(&self.edge(e).sprops, &self.emetrics, e.index())
     }
 
     /// Extract the subgraph induced by `vertices`: the selected vertices
@@ -298,14 +649,28 @@ impl Pag {
             }
             let data = self.vertex(v);
             let nv = out.add_vertex(data.label, data.name.clone());
-            out.vertex_mut(nv).props = data.props.clone();
+            out.vertex_mut(nv).sprops = data.sprops.clone();
+            out.vmetrics.copy_row(
+                &mut out.keytab,
+                nv.index(),
+                &self.vmetrics,
+                &self.keytab,
+                v.index(),
+            );
             map.insert(v, nv);
         }
         for e in self.edge_ids() {
             let ed = self.edge(e);
             if let (Some(&ns), Some(&nd)) = (map.get(&ed.src), map.get(&ed.dst)) {
                 let ne = out.add_edge(ns, nd, ed.label);
-                out.edge_mut(ne).props = ed.props.clone();
+                out.edge_mut(ne).sprops = ed.sprops.clone();
+                out.emetrics.copy_row(
+                    &mut out.keytab,
+                    ne.index(),
+                    &self.emetrics,
+                    &self.keytab,
+                    e.index(),
+                );
             }
         }
         if let Some(r) = self.root {
@@ -355,6 +720,19 @@ impl Pag {
                 problems.push(format!("root {r} out of range"));
             }
         }
+        if self.vmetrics.rows() != nv {
+            problems.push(format!(
+                "vertex metric columns hold {} rows for {nv} vertices",
+                self.vmetrics.rows()
+            ));
+        }
+        if self.emetrics.rows() != self.edges.len() {
+            problems.push(format!(
+                "edge metric columns hold {} rows for {} edges",
+                self.emetrics.rows(),
+                self.edges.len()
+            ));
+        }
         problems
     }
 
@@ -372,6 +750,8 @@ impl Pag {
                 .map(|v| v.capacity() * size_of::<EdgeId>())
                 .sum::<usize>();
         }
+        bytes += self.vmetrics.mem_footprint();
+        bytes += self.emetrics.mem_footprint();
         bytes
     }
 }
@@ -417,6 +797,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
 mod tests {
     use super::*;
     use crate::label::{CallKind, CommKind};
+    use crate::props::keys;
 
     fn tiny() -> Pag {
         let mut g = Pag::new(ViewKind::TopDown, "tiny");
@@ -495,10 +876,73 @@ mod tests {
             EdgeLabel::InterProcess(CommKind::P2pAsync),
         );
         assert_eq!(g.edge(e).label, EdgeLabel::InterProcess(CommKind::P2pAsync));
-        g.edge_mut(e).props.set(keys::COMM_BYTES, 1024i64);
+        g.set_eprop(e, keys::COMM_BYTES, 1024i64);
+        assert_eq!(g.eprop(e, keys::COMM_BYTES).unwrap().as_i64(), Some(1024));
+        assert_eq!(g.emetric_i64(e, metric::keys::COMM_BYTES), Some(1024));
+    }
+
+    #[test]
+    fn typed_accessors_and_shim_agree() {
+        let mut g = tiny();
+        let v = VertexId(0);
+        g.set_metric(v, metric::keys::TIME, 2.5);
+        g.set_metric_i64(v, metric::keys::COUNT, 9);
+        g.set_metric_vec(v, metric::keys::TIME_PER_PROC, vec![1.0, 1.5]);
+        g.set_vstr(v, keys::DEBUG_INFO, "a.c:1");
+        // Shim sees the columns.
+        assert_eq!(g.vprop(v, keys::TIME), Some(PropValue::Float(2.5)));
+        assert_eq!(g.vprop(v, keys::COUNT), Some(PropValue::Int(9)));
         assert_eq!(
-            g.edge(e).props.get(keys::COMM_BYTES).unwrap().as_i64(),
-            Some(1024)
+            g.vprop(v, keys::TIME_PER_PROC)
+                .unwrap()
+                .as_f64_slice()
+                .unwrap(),
+            &[1.0, 1.5]
+        );
+        // Columns see shim writes.
+        g.set_vprop(v, keys::WAIT_TIME, 0.25);
+        assert_eq!(g.metric(v, metric::keys::WAIT_TIME), Some(0.25));
+        // User keys intern on first shim write.
+        g.set_vprop(v, "my-metric", 7.0);
+        let k = g.key_id("my-metric").unwrap();
+        assert!(!k.is_global());
+        assert_eq!(g.metric(v, k), Some(7.0));
+        assert_eq!(g.key_name(k), "my-metric");
+        // Strings stay out of the columns.
+        assert_eq!(g.vstr(v, keys::DEBUG_INFO), Some("a.c:1"));
+        assert!(g.key_id(keys::DEBUG_INFO).is_none());
+        // remove_vprop clears either store.
+        assert!(g.remove_vprop(v, keys::COUNT));
+        assert_eq!(g.metric(v, metric::keys::COUNT), None);
+        // Merged entries are sorted and complete.
+        let names: Vec<String> = g
+            .prop_entries(v)
+            .iter()
+            .map(|(k, _)| k.to_string())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(names.contains(&"debug-info".to_string()));
+        assert!(names.contains(&"my-metric".to_string()));
+        assert!(names.contains(&"time-per-proc".to_string()));
+    }
+
+    #[test]
+    fn shim_replaces_across_stores() {
+        let mut g = tiny();
+        let v = VertexId(0);
+        g.set_vprop(v, "x", 1.0);
+        g.set_vprop(v, "x", "now a string");
+        assert_eq!(g.vprop(v, "x"), Some(PropValue::from("now a string")));
+        g.set_vprop(v, "x", 2i64);
+        assert_eq!(g.vprop(v, "x"), Some(PropValue::Int(2)));
+        assert_eq!(
+            g.prop_entries(v)
+                .iter()
+                .filter(|(k, _)| k.as_ref() == "x")
+                .count(),
+            1
         );
     }
 

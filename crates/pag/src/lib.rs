@@ -28,6 +28,7 @@ pub mod dot;
 pub mod graph;
 pub mod ids;
 pub mod label;
+pub mod metric;
 pub mod ord;
 pub mod props;
 pub mod serialize;
@@ -37,9 +38,14 @@ pub use dot::escape_dot;
 pub use graph::{EdgeData, Pag, VertexData};
 pub use ids::{EdgeId, ProcId, ThreadId, VertexId};
 pub use label::{CallKind, CommKind, EdgeLabel, VertexLabel};
+pub use metric::{KeyId, KeyTable, MetricColumns, MetricKind};
 pub use ord::{desc_nan_last, nan_smallest};
 pub use props::{keys, PropMap, PropValue};
 pub use stats::VertexStats;
+
+/// Typed ids for the well-known metric keys (columnar hot path); the
+/// matching wire names live in [`props::keys`].
+pub use metric::keys as mkeys;
 
 /// Which view of the program a PAG instance represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

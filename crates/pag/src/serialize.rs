@@ -2,9 +2,25 @@
 //!
 //! The paper's "space cost" (Table 1) is the storage size of PAGs on disk.
 //! This module implements a self-describing length-prefixed binary format
-//! (magic `PAG1`) with no external dependencies. Strings are deduplicated
-//! through a string table so that parallel views — where every process
-//! replicates the same vertex names — stay compact.
+//! with no external dependencies. Strings are deduplicated through a string
+//! table so that parallel views — where every process replicates the same
+//! vertex names — stay compact.
+//!
+//! Two wire formats exist:
+//!
+//! * **`PAG2`** (current, written by [`encode`]): vertex/edge records carry
+//!   only labels, names and string properties; numeric metrics are written
+//!   as *columnar sections* mirroring the in-memory [`MetricColumns`]
+//!   layout — per key: a presence bitmap plus the packed present values.
+//!   Sparse metrics therefore cost one bit per absent row instead of a
+//!   keyed entry per vertex.
+//! * **`PAG1`** (legacy, written by [`encode_v1`]): every vertex/edge
+//!   carries a full key→value property list. [`decode`] accepts both magics
+//!   so snapshots written before the columnar storage landed keep loading.
+//!
+//! Both decode paths reject input with bytes left over after a well-formed
+//! payload ([`DecodeError::TrailingBytes`]) so torn or concatenated
+//! snapshots fail loudly instead of silently dropping data.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,15 +28,17 @@ use std::sync::Arc;
 use crate::graph::{EdgeData, Pag, VertexData};
 use crate::ids::{EdgeId, VertexId};
 use crate::label::{CallKind, CommKind, EdgeLabel, VertexLabel};
+use crate::metric::{KeyId, MetricColumns};
 use crate::props::{PropMap, PropValue};
 use crate::ViewKind;
 
-const MAGIC: &[u8; 4] = b"PAG1";
+const MAGIC_V1: &[u8; 4] = b"PAG1";
+const MAGIC_V2: &[u8; 4] = b"PAG2";
 
 /// Errors produced while decoding a serialized PAG.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
-    /// Input does not start with the `PAG1` magic.
+    /// Input does not start with the `PAG1`/`PAG2` magic.
     BadMagic,
     /// Input ended before the structure was complete.
     Truncated,
@@ -28,8 +46,11 @@ pub enum DecodeError {
     BadTag(u8),
     /// A string was not valid UTF-8.
     BadUtf8,
-    /// A string-table or vertex index was out of range.
+    /// A string-table, vertex or row index was out of range.
     BadIndex,
+    /// Input continued after a well-formed payload (torn or concatenated
+    /// snapshot).
+    TrailingBytes,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -40,6 +61,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadTag(t) => write!(f, "unknown tag byte {t}"),
             DecodeError::BadUtf8 => write!(f, "invalid UTF-8 string"),
             DecodeError::BadIndex => write!(f, "index out of range"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after payload"),
         }
     }
 }
@@ -91,27 +113,22 @@ impl Encoder {
         self.u32(id);
     }
 
-    fn props(&mut self, props: &PropMap) {
-        self.u32(props.len() as u32);
-        // Collect first to avoid borrowing issues with interning.
-        let entries: Vec<(Arc<str>, PropValue)> = props
-            .iter()
-            .map(|(k, v)| (Arc::from(k), v.clone()))
-            .collect();
+    fn props(&mut self, entries: &[(Arc<str>, PropValue)]) {
+        self.u32(entries.len() as u32);
         for (k, v) in entries {
-            self.str_ref(&k);
+            self.str_ref(k);
             match v {
                 PropValue::Int(i) => {
                     self.u8(0);
-                    self.u64(i as u64);
+                    self.u64(*i as u64);
                 }
                 PropValue::Float(f) => {
                     self.u8(1);
-                    self.f64(f);
+                    self.f64(*f);
                 }
                 PropValue::Str(s) => {
                     self.u8(2);
-                    self.str_ref(&s);
+                    self.str_ref(s);
                 }
                 PropValue::VecF64(xs) => {
                     self.u8(3);
@@ -123,6 +140,69 @@ impl Encoder {
             }
         }
     }
+
+    /// One columnar metric section (vertex or edge metrics).
+    fn columns(&mut self, pag: &Pag, cols: &MetricColumns) {
+        // Group present values per key, in key order (for_each_* visit in
+        // key-major, row-ascending order).
+        type ScalarCol = (KeyId, bool, Vec<(u32, f64)>);
+        let mut scalars: Vec<ScalarCol> = Vec::new();
+        cols.for_each_scalar(|k, is_int, row, x| match scalars.last_mut() {
+            Some((lk, _, vs)) if *lk == k => vs.push((row as u32, x)),
+            _ => scalars.push((k, is_int, vec![(row as u32, x)])),
+        });
+        self.u32(scalars.len() as u32);
+        for (k, is_int, vs) in scalars {
+            let name: Arc<str> = Arc::from(pag.key_name(k));
+            self.str_ref(&name);
+            self.u8(is_int as u8);
+            let rows_used = vs.last().map(|&(r, _)| r + 1).unwrap_or(0);
+            self.u32(rows_used);
+            let mut bitmap = vec![0u8; rows_used.div_ceil(8) as usize];
+            for &(r, _) in &vs {
+                bitmap[(r / 8) as usize] |= 1 << (r % 8);
+            }
+            self.buf.extend_from_slice(&bitmap);
+            for &(_, x) in &vs {
+                self.f64(x);
+            }
+        }
+        type VecCol = (KeyId, Vec<(u32, Arc<[f64]>)>);
+        let mut vecs: Vec<VecCol> = Vec::new();
+        cols.for_each_vec(|k, row, xs| match vecs.last_mut() {
+            Some((lk, vs)) if *lk == k => vs.push((row as u32, xs.clone())),
+            _ => vecs.push((k, vec![(row as u32, xs.clone())])),
+        });
+        self.u32(vecs.len() as u32);
+        for (k, vs) in vecs {
+            let name: Arc<str> = Arc::from(pag.key_name(k));
+            self.str_ref(&name);
+            self.u32(vs.len() as u32);
+            for (r, xs) in vs {
+                self.u32(r);
+                self.u32(xs.len() as u32);
+                for x in xs.iter() {
+                    self.f64(*x);
+                }
+            }
+        }
+    }
+
+    fn assemble(self, magic: &[u8; 4]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.buf.len() + 1024);
+        out.extend_from_slice(magic);
+        out.extend_from_slice(&(self.strings.len() as u32).to_le_bytes());
+        for s in &self.strings {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        out.extend_from_slice(&self.buf);
+        out
+    }
+}
+
+fn propmap_entries(p: &PropMap) -> Vec<(Arc<str>, PropValue)> {
+    p.iter().map(|(k, v)| (Arc::from(k), v.clone())).collect()
 }
 
 fn vertex_label_tag(l: VertexLabel) -> u8 {
@@ -185,11 +265,7 @@ fn edge_label_from_tag(t: u8) -> Result<EdgeLabel, DecodeError> {
     })
 }
 
-/// Serialize a PAG into a byte buffer.
-pub fn encode(pag: &Pag) -> Vec<u8> {
-    let mut enc = Encoder::new();
-    // Body (everything after header) is built first so the string table can
-    // be emitted up front.
+fn encode_header(enc: &mut Encoder, pag: &Pag) {
     enc.u8(match pag.view() {
         ViewKind::TopDown => 0,
         ViewKind::Parallel => 1,
@@ -205,13 +281,19 @@ pub fn encode(pag: &Pag) -> Vec<u8> {
         }
         None => enc.u8(0),
     }
+}
+
+/// Serialize a PAG into the current (`PAG2`, columnar) wire format.
+pub fn encode(pag: &Pag) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    encode_header(&mut enc, pag);
     enc.u32(pag.num_vertices() as u32);
     for v in pag.vertex_ids() {
         let data: &VertexData = pag.vertex(v);
         enc.u8(vertex_label_tag(data.label));
         let n = Arc::clone(&data.name);
         enc.str_ref(&n);
-        enc.props(&data.props);
+        enc.props(&propmap_entries(&data.sprops));
     }
     enc.u32(pag.num_edges() as u32);
     for e in pag.edge_ids() {
@@ -219,19 +301,37 @@ pub fn encode(pag: &Pag) -> Vec<u8> {
         enc.u32(data.src.0);
         enc.u32(data.dst.0);
         enc.u8(edge_label_tag(data.label));
-        enc.props(&data.props);
+        enc.props(&propmap_entries(&data.sprops));
     }
+    enc.columns(pag, pag.vmetric_columns());
+    enc.columns(pag, pag.emetric_columns());
+    enc.assemble(MAGIC_V2)
+}
 
-    // Assemble: magic + string table + body.
-    let mut out = Vec::with_capacity(enc.buf.len() + 1024);
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&(enc.strings.len() as u32).to_le_bytes());
-    for s in &enc.strings {
-        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
-        out.extend_from_slice(s.as_bytes());
+/// Serialize a PAG into the legacy `PAG1` wire format (full per-vertex
+/// property lists, metrics merged back in). Kept for compatibility tests
+/// and for producing snapshots older readers can load; byte-identical to
+/// what the pre-columnar encoder produced for the same logical graph.
+pub fn encode_v1(pag: &Pag) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    encode_header(&mut enc, pag);
+    enc.u32(pag.num_vertices() as u32);
+    for v in pag.vertex_ids() {
+        let data: &VertexData = pag.vertex(v);
+        enc.u8(vertex_label_tag(data.label));
+        let n = Arc::clone(&data.name);
+        enc.str_ref(&n);
+        enc.props(&pag.prop_entries(v));
     }
-    out.extend_from_slice(&enc.buf);
-    out
+    enc.u32(pag.num_edges() as u32);
+    for e in pag.edge_ids() {
+        let data: &EdgeData = pag.edge(e);
+        enc.u32(data.src.0);
+        enc.u32(data.dst.0);
+        enc.u8(edge_label_tag(data.label));
+        enc.props(&pag.eprop_entries(e));
+    }
+    enc.assemble(MAGIC_V1)
 }
 
 // ---------------------------------------------------------------- decoding
@@ -291,25 +391,86 @@ impl<'a> Decoder<'a> {
         }
         Ok(map)
     }
+
+    fn string_table(&mut self) -> Result<(), DecodeError> {
+        let nstrings = self.u32()?;
+        for _ in 0..nstrings {
+            let len = self.u32()? as usize;
+            let raw = self.take(len)?;
+            let s = std::str::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)?;
+            self.strings.push(Arc::from(s));
+        }
+        Ok(())
+    }
+
+    /// One columnar metric section; `edges` selects edge vs vertex columns.
+    fn columns(&mut self, pag: &mut Pag, edges: bool, rows: usize) -> Result<(), DecodeError> {
+        let nscalar = self.u32()?;
+        for _ in 0..nscalar {
+            let name = self.str_ref()?;
+            let is_int = match self.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            let rows_used = self.u32()? as usize;
+            if rows_used > rows {
+                return Err(DecodeError::BadIndex);
+            }
+            let bitmap = self.take(rows_used.div_ceil(8))?.to_vec();
+            let key = pag.intern_key(&name);
+            for row in 0..rows_used {
+                if bitmap[row / 8] & (1 << (row % 8)) != 0 {
+                    let x = self.f64()?;
+                    if edges {
+                        pag.emetrics_mut().set(key, row, x, is_int);
+                    } else {
+                        pag.vmetrics_mut().set(key, row, x, is_int);
+                    }
+                }
+            }
+        }
+        let nvec = self.u32()?;
+        for _ in 0..nvec {
+            let name = self.str_ref()?;
+            let key = pag.intern_key(&name);
+            let nentries = self.u32()?;
+            for _ in 0..nentries {
+                let row = self.u32()? as usize;
+                if row >= rows {
+                    return Err(DecodeError::BadIndex);
+                }
+                let len = self.u32()? as usize;
+                let mut xs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    xs.push(self.f64()?);
+                }
+                let xs: Arc<[f64]> = Arc::from(xs.into_boxed_slice());
+                if edges {
+                    pag.emetrics_mut().set_vec(key, row, xs);
+                } else {
+                    pag.vmetrics_mut().set_vec(key, row, xs);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Deserialize a PAG from bytes produced by [`encode`].
+/// Deserialize a PAG from bytes produced by [`encode`] (`PAG2`) or by the
+/// legacy [`encode_v1`] (`PAG1`). Rejects trailing bytes.
 pub fn decode(bytes: &[u8]) -> Result<Pag, DecodeError> {
-    if bytes.len() < 4 || &bytes[..4] != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
+    let v2 = match bytes.get(..4) {
+        Some(m) if m == MAGIC_V2 => true,
+        Some(m) if m == MAGIC_V1 => false,
+        _ => return Err(DecodeError::BadMagic),
+    };
     let mut dec = Decoder {
         buf: bytes,
         pos: 4,
         strings: Vec::new(),
     };
-    let nstrings = dec.u32()?;
-    for _ in 0..nstrings {
-        let len = dec.u32()? as usize;
-        let raw = dec.take(len)?;
-        let s = std::str::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)?;
-        dec.strings.push(Arc::from(s));
-    }
+    dec.string_table()?;
 
     let view = match dec.u8()? {
         0 => ViewKind::TopDown,
@@ -333,7 +494,16 @@ pub fn decode(bytes: &[u8]) -> Result<Pag, DecodeError> {
         let label = vertex_label_from_tag(dec.u8()?)?;
         let vname = dec.str_ref()?;
         let v = pag.add_vertex(label, vname);
-        pag.vertex_mut(v).props = dec.props()?;
+        let props = dec.props()?;
+        if v2 {
+            pag.vertex_mut(v).sprops = props;
+        } else {
+            // Legacy payload: metrics live in the property list — route
+            // them through the shim into the columns.
+            for (k, value) in props.iter() {
+                pag.set_vprop(v, k, value.clone());
+            }
+        }
     }
     let ne = dec.u32()? as usize;
     for _ in 0..ne {
@@ -344,13 +514,27 @@ pub fn decode(bytes: &[u8]) -> Result<Pag, DecodeError> {
         }
         let label = edge_label_from_tag(dec.u8()?)?;
         let e: EdgeId = pag.add_edge(src, dst, label);
-        pag.edge_mut(e).props = dec.props()?;
+        let props = dec.props()?;
+        if v2 {
+            pag.edge_mut(e).sprops = props;
+        } else {
+            for (k, value) in props.iter() {
+                pag.set_eprop(e, k, value.clone());
+            }
+        }
+    }
+    if v2 {
+        dec.columns(&mut pag, false, nv)?;
+        dec.columns(&mut pag, true, ne)?;
     }
     if let Some(r) = root {
         if r.index() >= nv {
             return Err(DecodeError::BadIndex);
         }
         pag.set_root(r);
+    }
+    if dec.pos != bytes.len() {
+        return Err(DecodeError::TrailingBytes);
     }
     Ok(pag)
 }
@@ -377,15 +561,11 @@ mod tests {
         g.set_vprop(a, keys::COUNT, 7i64);
         g.set_vprop(b, keys::DEBUG_INFO, "main.c:42");
         g.set_vprop(b, keys::TIME_PER_PROC, vec![1.0, 2.0, 3.0, 4.0]);
-        g.edge_mut(e).props.set(keys::COMM_BYTES, 4096i64);
+        g.set_eprop(e, keys::COMM_BYTES, 4096i64);
         g
     }
 
-    #[test]
-    fn roundtrip_preserves_everything() {
-        let g = sample();
-        let bytes = encode(&g);
-        let h = decode(&bytes).unwrap();
+    fn check_sample(h: &Pag) {
         assert_eq!(h.view(), ViewKind::Parallel);
         assert_eq!(h.name(), "ser-sample");
         assert_eq!(h.num_procs(), 4);
@@ -412,7 +592,56 @@ mod tests {
         );
         let e = h.edge(EdgeId(0));
         assert_eq!(e.label, EdgeLabel::InterProcess(CommKind::P2pSync));
-        assert_eq!(e.props.get(keys::COMM_BYTES).unwrap().as_i64(), Some(4096));
+        assert_eq!(
+            h.eprop(EdgeId(0), keys::COMM_BYTES).unwrap().as_i64(),
+            Some(4096)
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let bytes = encode(&g);
+        assert_eq!(&bytes[..4], MAGIC_V2);
+        check_sample(&decode(&bytes).unwrap());
+    }
+
+    #[test]
+    fn v1_roundtrip_preserves_everything() {
+        let g = sample();
+        let bytes = encode_v1(&g);
+        assert_eq!(&bytes[..4], MAGIC_V1);
+        check_sample(&decode(&bytes).unwrap());
+    }
+
+    #[test]
+    fn v1_and_v2_decode_to_same_graph() {
+        let g = sample();
+        let via_v1 = decode(&encode_v1(&g)).unwrap();
+        let via_v2 = decode(&encode(&g)).unwrap();
+        // Same logical content → same canonical v1 bytes.
+        assert_eq!(encode_v1(&via_v1), encode_v1(&via_v2));
+    }
+
+    #[test]
+    fn nan_and_inf_survive_both_formats() {
+        let mut g = Pag::new(ViewKind::TopDown, "nan");
+        let v = g.add_vertex(VertexLabel::Compute, "k");
+        g.set_vprop(v, keys::TIME, f64::NAN);
+        g.set_vprop(v, keys::WAIT_TIME, f64::NEG_INFINITY);
+        g.set_vprop(v, keys::TIME_PER_PROC, vec![f64::INFINITY, f64::NAN]);
+        for bytes in [encode(&g), encode_v1(&g)] {
+            let h = decode(&bytes).unwrap();
+            assert!(h.vertex_time(VertexId(0)).is_nan());
+            assert_eq!(
+                h.vprop(VertexId(0), keys::WAIT_TIME).unwrap().as_f64(),
+                Some(f64::NEG_INFINITY)
+            );
+            let xs = h.vprop(VertexId(0), keys::TIME_PER_PROC).unwrap();
+            let xs = xs.as_f64_slice().unwrap();
+            assert_eq!(xs[0], f64::INFINITY);
+            assert!(xs[1].is_nan());
+        }
     }
 
     #[test]
@@ -423,14 +652,27 @@ mod tests {
 
     #[test]
     fn truncation_rejected() {
-        let bytes = encode(&sample());
-        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
-            let err = decode(&bytes[..cut]).unwrap_err();
-            assert!(
-                matches!(err, DecodeError::Truncated | DecodeError::BadIndex),
-                "cut at {cut} gave {err:?}"
-            );
+        for bytes in [encode(&sample()), encode_v1(&sample())] {
+            for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+                let err = decode(&bytes[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, DecodeError::Truncated | DecodeError::BadIndex),
+                    "cut at {cut} gave {err:?}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        for mut bytes in [encode(&sample()), encode_v1(&sample())] {
+            bytes.push(0);
+            assert!(matches!(decode(&bytes), Err(DecodeError::TrailingBytes)));
+        }
+        // Two concatenated snapshots are not one snapshot.
+        let mut twice = encode(&sample());
+        twice.extend_from_slice(&encode(&sample()));
+        assert!(matches!(decode(&twice), Err(DecodeError::TrailingBytes)));
     }
 
     #[test]
@@ -450,11 +692,30 @@ mod tests {
     }
 
     #[test]
+    fn columnar_beats_v1_on_dense_metrics() {
+        // A parallel-view-shaped graph where every vertex carries the same
+        // four metrics: v2 stores four columns instead of 4N keyed entries.
+        let mut g = Pag::new(ViewKind::Parallel, "dense");
+        for i in 0..500 {
+            let v = g.add_vertex(VertexLabel::Compute, "work");
+            g.set_vprop(v, keys::TIME, i as f64);
+            g.set_vprop(v, keys::SELF_TIME, i as f64 * 0.5);
+            g.set_vprop(v, keys::COUNT, i as i64);
+            g.set_vprop(v, keys::PROC, (i % 8) as i64);
+        }
+        let v2 = encode(&g).len();
+        let v1 = encode_v1(&g).len();
+        assert!(v2 < v1, "columnar {v2} >= row-wise {v1}");
+    }
+
+    #[test]
     fn empty_graph_roundtrips() {
         let g = Pag::new(ViewKind::TopDown, "empty");
         let h = decode(&encode(&g)).unwrap();
         assert_eq!(h.num_vertices(), 0);
         assert_eq!(h.num_edges(), 0);
         assert_eq!(h.root(), None);
+        let h1 = decode(&encode_v1(&g)).unwrap();
+        assert_eq!(h1.num_vertices(), 0);
     }
 }

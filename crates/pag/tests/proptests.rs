@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use pag::{
-    graph::glob_match, keys, CallKind, CommKind, EdgeLabel, Pag, PropValue, VertexId, VertexLabel,
+    graph::glob_match, keys, CallKind, CommKind, EdgeLabel, Pag, VertexId, VertexLabel,
     VertexStats, ViewKind,
 };
 
@@ -69,7 +69,7 @@ fn build(spec: &GraphSpec) -> Pag {
     }
     for (a, b, label, bytes) in &spec.edges {
         let e = g.add_edge(VertexId(*a as u32), VertexId(*b as u32), *label);
-        g.edge_mut(e).props.set(keys::COMM_BYTES, *bytes);
+        g.set_eprop(e, keys::COMM_BYTES, *bytes);
     }
     g
 }
@@ -90,8 +90,8 @@ proptest! {
             prop_assert_eq!(h.vertex(v).label, g.vertex(v).label);
             prop_assert_eq!(h.vertex_name(v), g.vertex_name(v));
             prop_assert_eq!(h.vertex_time(v), g.vertex_time(v));
-            let a = g.vprop(v, keys::TIME_PER_PROC).and_then(PropValue::as_f64_slice);
-            let b = h.vprop(v, keys::TIME_PER_PROC).and_then(PropValue::as_f64_slice);
+            let a = g.metric_vec(v, pag::mkeys::TIME_PER_PROC);
+            let b = h.metric_vec(v, pag::mkeys::TIME_PER_PROC);
             prop_assert_eq!(a, b);
         }
         for e in g.edge_ids() {

@@ -20,7 +20,7 @@
 //! per-vertex findings are summarized: one diagnostic per (code, key)
 //! naming the offender count and the first offender.
 
-use pag::{keys, Pag, PropValue, VertexId, ViewKind};
+use pag::{keys, mkeys, KeyId, Pag, VertexId, ViewKind};
 
 use crate::codes;
 use crate::diag::{Anchor, Diagnostics, Severity};
@@ -28,24 +28,24 @@ use crate::diag::{Anchor, Diagnostics, Severity};
 /// Scalar metric keys that must be finite and non-negative wherever they
 /// appear. `diff-time` is deliberately absent: differential analysis
 /// legitimately produces negative deltas.
-const SCALAR_AUDIT: &[&str] = &[
-    keys::TIME,
-    keys::SELF_TIME,
-    keys::COUNT,
-    keys::PMU_INSTRUCTIONS,
-    keys::PMU_CYCLES,
-    keys::PMU_CACHE_MISSES,
-    keys::COMM_BYTES,
-    keys::COMM_TIME,
-    keys::WAIT_TIME,
+const SCALAR_AUDIT: &[KeyId] = &[
+    mkeys::TIME,
+    mkeys::SELF_TIME,
+    mkeys::COUNT,
+    mkeys::PMU_INSTRUCTIONS,
+    mkeys::PMU_CYCLES,
+    mkeys::PMU_CACHE_MISSES,
+    mkeys::COMM_BYTES,
+    mkeys::COMM_TIME,
+    mkeys::WAIT_TIME,
 ];
 
 /// Per-process vector keys whose every element must be finite and
 /// non-negative.
-const VECTOR_AUDIT: &[&str] = &[
-    keys::TIME_PER_PROC,
-    keys::BYTES_PER_PROC,
-    keys::WAIT_PER_PROC,
+const VECTOR_AUDIT: &[KeyId] = &[
+    mkeys::TIME_PER_PROC,
+    mkeys::BYTES_PER_PROC,
+    mkeys::WAIT_PER_PROC,
 ];
 
 fn vanchor(g: &Pag, v: VertexId) -> Anchor {
@@ -175,11 +175,13 @@ pub fn check_pag(g: &Pag) -> Diagnostics {
 /// PF0106 — audited metrics must be finite and non-negative. One
 /// summary diagnostic per offending key.
 fn audit_metrics(g: &Pag, d: &mut Diagnostics) {
+    // Columnar scan: one pass per audited key over its metric column,
+    // never touching string keys or per-vertex property lists.
     for &key in SCALAR_AUDIT {
         let mut count = 0usize;
         let mut first: Option<(VertexId, f64)> = None;
         for v in g.vertex_ids() {
-            if let Some(x) = g.vprop(v, key).and_then(PropValue::as_f64) {
+            if let Some(x) = g.metric(v, key) {
                 if !x.is_finite() || x < 0.0 {
                     count += 1;
                     first.get_or_insert((v, x));
@@ -187,12 +189,13 @@ fn audit_metrics(g: &Pag, d: &mut Diagnostics) {
             }
         }
         if let Some((v, x)) = first {
+            let name = g.key_name(key);
             d.push(
                 codes::BAD_METRIC,
                 Severity::Warn,
                 vanchor(g, v),
                 format!(
-                    "metric `{key}` is negative/NaN/infinite at {count} vertex(es); first: {x}"
+                    "metric `{name}` is negative/NaN/infinite at {count} vertex(es); first: {x}"
                 ),
             );
         }
@@ -201,7 +204,7 @@ fn audit_metrics(g: &Pag, d: &mut Diagnostics) {
         let mut count = 0usize;
         let mut first: Option<(VertexId, f64)> = None;
         for v in g.vertex_ids() {
-            if let Some(xs) = g.vprop(v, key).and_then(PropValue::as_f64_slice) {
+            if let Some(xs) = g.metric_vec(v, key) {
                 if let Some(&x) = xs.iter().find(|x| !x.is_finite() || **x < 0.0) {
                     count += 1;
                     first.get_or_insert((v, x));
@@ -209,12 +212,13 @@ fn audit_metrics(g: &Pag, d: &mut Diagnostics) {
             }
         }
         if let Some((v, x)) = first {
+            let name = g.key_name(key);
             d.push(
                 codes::BAD_METRIC,
                 Severity::Warn,
                 vanchor(g, v),
                 format!(
-                    "metric `{key}` is negative/NaN/infinite at {count} vertex(es); first: {x}"
+                    "metric `{name}` is negative/NaN/infinite at {count} vertex(es); first: {x}"
                 ),
             );
         }
@@ -227,7 +231,7 @@ fn audit_metrics(g: &Pag, d: &mut Diagnostics) {
 fn audit_completeness(g: &Pag, d: &mut Diagnostics) {
     let procs = g.num_procs() as usize;
     for v in g.vertex_ids() {
-        if let Some(x) = g.vprop(v, keys::COMPLETENESS).and_then(PropValue::as_f64) {
+        if let Some(x) = g.metric(v, mkeys::COMPLETENESS) {
             if !x.is_finite() || !(0.0..=1.0).contains(&x) {
                 d.push(
                     codes::BAD_COMPLETENESS,
@@ -240,10 +244,7 @@ fn audit_completeness(g: &Pag, d: &mut Diagnostics) {
                 );
             }
         }
-        if let Some(xs) = g
-            .vprop(v, keys::COMPLETENESS_PER_PROC)
-            .and_then(PropValue::as_f64_slice)
-        {
+        if let Some(xs) = g.metric_vec(v, mkeys::COMPLETENESS_PER_PROC) {
             if xs.len() != procs {
                 d.push(
                     codes::COMPLETENESS_SHAPE,
@@ -279,7 +280,7 @@ fn audit_completeness(g: &Pag, d: &mut Diagnostics) {
 /// incomplete. Info-level: the data is still usable, just labeled.
 fn audit_truncation(g: &Pag, d: &mut Diagnostics) {
     for v in g.vertex_ids() {
-        if let Some(n) = g.vprop(v, keys::DROPPED_SPANS).and_then(PropValue::as_f64) {
+        if let Some(n) = g.metric(v, mkeys::DROPPED_SPANS) {
             if n > 0.0 {
                 d.push(
                     codes::TRUNCATED_OBSERVATION,

@@ -52,4 +52,21 @@ fn main() {
     if let Some(perflow::Value::Report(bd)) = out.of(v_bd.id()).get(1) {
         println!("{}", bd.render());
     }
+
+    // Inspect the detected vertices directly with the typed metric API:
+    // keys are interned `KeyId`s (`perflow::mkeys`), so reads are O(1)
+    // column lookups rather than string-keyed property searches.
+    if let Some(perflow::Value::Vertices(imb)) = out.of(v_imb.id()).first() {
+        let pag = imb.graph.pag();
+        println!("imbalanced communication calls (typed accessors):");
+        for &v in &imb.ids {
+            println!(
+                "  {:<12} time {:8.2} ms  wait {:8.2} ms  ×{}",
+                pag.vertex_name(v),
+                pag.metric_f64(v, perflow::mkeys::TIME) / 1e3,
+                pag.metric_f64(v, perflow::mkeys::WAIT_TIME) / 1e3,
+                pag.metric_i64(v, perflow::mkeys::COUNT).unwrap_or(0),
+            );
+        }
+    }
 }

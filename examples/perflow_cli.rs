@@ -1,6 +1,10 @@
 //! `perflow-cli` — run any bundled workload under any built-in paradigm
 //! from the command line.
 //!
+//! This binary is a thin argument parser over the [`driver`] crate, which
+//! owns workload selection, paradigm assembly and report rendering (and
+//! will also back `perflow-serve`).
+//!
 //! ```sh
 //! cargo run --release --bin perflow-cli -- list
 //! cargo run --release --bin perflow-cli -- zeusmp --paradigm scalability --ranks 64
@@ -11,15 +15,8 @@
 //! cargo run --release --bin perflow-cli -- cg --ranks 8 --crash 5@10000 --sample-loss 0.1
 //! ```
 
-use perflow::paradigms::{
-    causal_loop_graph, comm_analysis_graph, contention_diagnosis, critical_path_paradigm,
-    diagnosis_graph, iterative_causal, mpi_profiler, scalability_analysis, scalability_graph,
-};
-use perflow::pass::FnPass;
-use perflow::{
-    CheckpointFile, CheckpointWriter, ExecOptions, ExecPolicy, Obs, PassCache, PerFlow, Report,
-    RetryPolicy, RunHandle, RunHandleExt,
-};
+use driver::{AnalysisConfig, CheckpointStatus, Paradigm, ResilienceConfig, WORKLOAD_NAMES};
+use perflow::{ExecPolicy, Obs, PerFlow};
 use simrt::{FaultPlan, RunConfig};
 
 fn usage() -> ! {
@@ -36,114 +33,6 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
-/// FNV-1a over a sequence of 64-bit words — used to derive the
-/// checkpoint context digest from the CLI configuration, so a snapshot
-/// taken under one workload/config refuses to resume under another.
-fn fnv_words(words: &[u64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for w in words {
-        for b in w.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
-/// FNV-1a over a string (feeds [`fnv_words`]).
-fn fnv_str(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// `--lint` / `--lint-json`: run the static analyzers over the program
-/// model, every built-in paradigm PerFlowGraph (instantiated against the
-/// run's vertex sets, never executed), and both PAG views. Exits 0 when
-/// no target has errors, 1 otherwise.
-fn run_lint(prog: &progmodel::Program, run: &RunHandle, workload: &str, json: bool) -> ! {
-    use perflow::verify::{check_pag, json_escape, lint_program, Diagnostics, Severity};
-
-    let mut targets: Vec<(&str, Diagnostics)> = vec![("program", lint_program(prog))];
-    let graph = |name: &'static str,
-                 built: Result<
-        (perflow::PerFlowGraph, perflow::paradigms::ParadigmGraph),
-        perflow::PerFlowError,
-    >| {
-        let (g, _) = built.unwrap_or_else(|e| {
-            eprintln!("{name} graph construction failed: {e}");
-            std::process::exit(1)
-        });
-        (name, g.lint())
-    };
-    targets.push(graph(
-        "graph:comm-analysis",
-        comm_analysis_graph(run.vertices()),
-    ));
-    targets.push(graph(
-        "graph:scalability",
-        scalability_graph(run.vertices(), run.vertices()),
-    ));
-    targets.push(graph(
-        "graph:causal-loop",
-        causal_loop_graph(run.vertices()),
-    ));
-    targets.push(graph(
-        "graph:diagnosis",
-        diagnosis_graph(run.vertices(), run.vertices(), run.parallel_vertices()),
-    ));
-    targets.push(("pag:top-down", check_pag(run.topdown())));
-    targets.push(("pag:parallel", check_pag(run.parallel())));
-
-    let count = |sev: Severity| -> usize { targets.iter().map(|(_, d)| d.count(sev)).sum() };
-    let (errors, warnings, infos) = (
-        count(Severity::Error),
-        count(Severity::Warn),
-        count(Severity::Info),
-    );
-
-    if json {
-        let mut out = format!(
-            "{{\"workload\":\"{}\",\"errors\":{errors},\"warnings\":{warnings},\"infos\":{infos},\"targets\":[",
-            json_escape(workload)
-        );
-        for (i, (name, d)) in targets.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"target\":\"{}\",\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":{}}}",
-                json_escape(name),
-                d.count(Severity::Error),
-                d.count(Severity::Warn),
-                d.count(Severity::Info),
-                d.render_json()
-            ));
-        }
-        out.push_str("]}");
-        println!("{out}");
-    } else {
-        for (name, d) in &targets {
-            println!("== {name} ==");
-            if d.is_empty() {
-                println!("  (clean)");
-            } else {
-                for line in d.render_text().lines() {
-                    println!("  {line}");
-                }
-            }
-        }
-        println!(
-            "lint: {errors} error(s), {warnings} warning(s), {infos} info(s) across {} targets",
-            targets.len()
-        );
-    }
-    std::process::exit(if errors > 0 { 1 } else { 0 })
-}
-
 /// Parse a `RANK@VALUE` fault operand (e.g. `--crash 5@10000`).
 fn rank_at(flag: &str, s: &str) -> (u32, f64) {
     let parsed = s
@@ -155,24 +44,9 @@ fn rank_at(flag: &str, s: &str) -> (u32, f64) {
     })
 }
 
-fn workload(name: &str) -> Option<progmodel::Program> {
-    Some(match name {
-        "bt" => workloads::bt(),
-        "cg" => workloads::cg(),
-        "ep" => workloads::ep(),
-        "ft" => workloads::ft(),
-        "is" => workloads::is(),
-        "lu" => workloads::lu(),
-        "mg" => workloads::mg(),
-        "sp" => workloads::sp(),
-        "zeusmp" | "zmp" => workloads::zeusmp(),
-        "zeusmp-fixed" => workloads::zeusmp_fixed(),
-        "lammps" | "lmp" => workloads::lammps(),
-        "lammps-balanced" => workloads::lammps_balanced(),
-        "vite" => workloads::vite(),
-        "vite-optimized" => workloads::vite_optimized(),
-        _ => return None,
-    })
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("{e}");
+    std::process::exit(1)
 }
 
 fn main() {
@@ -180,38 +54,21 @@ fn main() {
     let Some(target) = args.first() else { usage() };
     if target == "list" {
         println!("workloads:");
-        for n in [
-            "bt",
-            "cg",
-            "ep",
-            "ft",
-            "is",
-            "lu",
-            "mg",
-            "sp",
-            "zeusmp",
-            "zeusmp-fixed",
-            "lammps",
-            "lammps-balanced",
-            "vite",
-            "vite-optimized",
-        ] {
+        for n in WORKLOAD_NAMES {
             println!("  {n}");
         }
-        println!("paradigms: mpip hotspot scalability critical-path causal contention");
+        let names: Vec<&str> = Paradigm::ALL.iter().map(|p| p.name()).collect();
+        println!("paradigms: {}", names.join(" "));
         return;
     }
-    let Some(prog) = workload(target) else {
+    let Some(prog) = driver::workload(target) else {
         eprintln!("unknown workload `{target}` (try `list`)");
         std::process::exit(2);
     };
 
     // Flag parsing.
-    let mut paradigm = "hotspot".to_string();
-    let mut ranks = 16u32;
-    let mut small_ranks = 4u32;
-    let mut threads = 1u32;
-    let mut seed = 0x5EEDu64;
+    let mut cfg = AnalysisConfig::default();
+    let mut paradigm = Paradigm::Hotspot;
     let mut dot = false;
     let mut trace_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
@@ -222,12 +79,7 @@ fn main() {
     let mut self_analyze = false;
     let mut lint = false;
     let mut lint_json = false;
-    let mut fail_policy: Option<ExecPolicy> = None;
-    let mut pass_timeout_ms: Option<u64> = None;
-    let mut retries: Option<u32> = None;
-    let mut checkpoint_out: Option<String> = None;
-    let mut resume_in: Option<String> = None;
-    let mut inject_pass_panic = false;
+    let mut res = ResilienceConfig::default();
     let mut faults = FaultPlan::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -240,13 +92,19 @@ fn main() {
                 .clone()
         };
         match flag.as_str() {
-            "--paradigm" => paradigm = val("--paradigm"),
-            "--ranks" => ranks = val("--ranks").parse().unwrap_or_else(|_| usage()),
-            "--small-ranks" => {
-                small_ranks = val("--small-ranks").parse().unwrap_or_else(|_| usage())
+            "--paradigm" => {
+                let v = val("--paradigm");
+                paradigm = Paradigm::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown paradigm {v}");
+                    usage()
+                });
             }
-            "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
-            "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--ranks" => cfg.ranks = val("--ranks").parse().unwrap_or_else(|_| usage()),
+            "--small-ranks" => {
+                cfg.small_ranks = val("--small-ranks").parse().unwrap_or_else(|_| usage())
+            }
+            "--threads" => cfg.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--dot" => dot = true,
             "--trace-out" => trace_out = Some(val("--trace-out")),
             "--prom-out" => prom_out = Some(val("--prom-out")),
@@ -259,18 +117,19 @@ fn main() {
             "--lint-json" => lint_json = true,
             "--fail-policy" => {
                 let v = val("--fail-policy");
-                fail_policy = Some(ExecPolicy::parse(&v).unwrap_or_else(|| {
+                res.fail_policy = Some(ExecPolicy::parse(&v).unwrap_or_else(|| {
                     eprintln!("--fail-policy expects `failfast` or `isolate`, got `{v}`");
                     std::process::exit(2)
                 }));
             }
             "--pass-timeout-ms" => {
-                pass_timeout_ms = Some(val("--pass-timeout-ms").parse().unwrap_or_else(|_| usage()))
+                res.pass_timeout_ms =
+                    Some(val("--pass-timeout-ms").parse().unwrap_or_else(|_| usage()))
             }
-            "--retries" => retries = Some(val("--retries").parse().unwrap_or_else(|_| usage())),
-            "--checkpoint" => checkpoint_out = Some(val("--checkpoint")),
-            "--resume" => resume_in = Some(val("--resume")),
-            "--inject-pass-panic" => inject_pass_panic = true,
+            "--retries" => res.retries = Some(val("--retries").parse().unwrap_or_else(|_| usage())),
+            "--checkpoint" => res.checkpoint_out = Some(val("--checkpoint")),
+            "--resume" => res.resume_in = Some(val("--resume")),
+            "--inject-pass-panic" => res.inject_pass_panic = true,
             "--crash" => {
                 let (r, t) = rank_at("--crash", &val("--crash"));
                 faults = faults.crash_rank(r, t);
@@ -321,209 +180,83 @@ fn main() {
     } else {
         Obs::disabled()
     };
-    let cfg = RunConfig::new(ranks)
-        .with_threads(threads)
-        .with_seed(seed)
+    let run_cfg = RunConfig::new(cfg.ranks)
+        .with_threads(cfg.threads)
+        .with_seed(cfg.seed)
         .with_faults(faults)
         .with_obs(obs.clone());
-    let run = pflow.run(&prog, &cfg).unwrap_or_else(|e| {
-        eprintln!("run failed: {e}");
-        std::process::exit(1);
-    });
-    if lint || lint_json {
-        run_lint(&prog, &run, target, lint_json);
-    }
-    println!(
-        "{}: {} ranks × {} threads, top-down PAG {} vertices",
-        prog.name,
-        ranks,
-        threads,
-        run.topdown().num_vertices()
-    );
-    print!("{}", run.data().summary().render());
+    let run = pflow
+        .run(&prog, &run_cfg)
+        .unwrap_or_else(|e| fail(format!("run failed: {e}")));
 
-    let report: Report = match paradigm.as_str() {
-        "mpip" => mpi_profiler(&run),
-        "hotspot" => {
-            let hot = pflow.hotspot_detection(&run.vertices(), 15);
-            pflow.report(&[&hot], &["name", "label", "debug-info", "time"])
+    if lint || lint_json {
+        let outcome = driver::lint(&prog, &run).unwrap_or_else(|e| fail(e));
+        if lint_json {
+            println!("{}", outcome.render_json(target));
+        } else {
+            println!("{}", outcome.render_text());
         }
-        "scalability" => {
-            let small = pflow
-                .run(&prog, &RunConfig::new(small_ranks).with_seed(seed))
-                .expect("small run failed");
-            scalability_analysis(&small, &run, 10, 0.2)
-                .unwrap_or_else(|e| {
-                    eprintln!("scalability analysis failed: {e}");
-                    std::process::exit(1)
-                })
-                .report
-        }
-        "critical-path" => {
-            critical_path_paradigm(&run, 10)
-                .unwrap_or_else(|e| {
-                    eprintln!("critical-path analysis failed: {e}");
-                    std::process::exit(1)
-                })
-                .report
-        }
-        "causal" => {
-            iterative_causal(&run, "MPI_*", 8, 5)
-                .unwrap_or_else(|e| {
-                    eprintln!("causal analysis failed: {e}");
-                    std::process::exit(1)
-                })
-                .1
-        }
-        "contention" => {
-            let fast = pflow
-                .run(
-                    &prog,
-                    &RunConfig::new(ranks).with_threads(2).with_seed(seed),
-                )
-                .expect("reference run failed");
-            contention_diagnosis(&fast, &run, 10)
-                .unwrap_or_else(|e| {
-                    eprintln!("contention analysis failed: {e}");
-                    std::process::exit(1)
-                })
-                .report
-        }
-        other => {
-            eprintln!("unknown paradigm {other}");
-            usage()
-        }
-    };
+        std::process::exit(if outcome.is_clean() { 0 } else { 1 });
+    }
+
+    print!("{}", driver::run_summary(&prog, &run, &cfg));
+    let report = driver::analyze(&pflow, &prog, &run, paradigm, &cfg).unwrap_or_else(|e| fail(e));
     println!("\n{}", report.render());
 
-    let resilient = fail_policy.is_some()
-        || pass_timeout_ms.is_some()
-        || retries.is_some()
-        || checkpoint_out.is_some()
-        || resume_in.is_some()
-        || inject_pass_panic;
-    if obs.is_enabled() || resilient {
-        // Run the standard communication-analysis PerFlowGraph under the
-        // observed (and, when requested, resilient) scheduler so the
-        // trace covers the core layer too.
-        let _app = obs.span(perflow::Layer::App, "comm-analysis-graph", 0);
-        let cache = PassCache::new();
-        let (mut g, nodes) = comm_analysis_graph(run.vertices()).unwrap_or_else(|e| {
-            eprintln!("comm-analysis graph construction failed: {e}");
-            std::process::exit(1)
-        });
-        if inject_pass_panic {
-            g.add_pass(FnPass::new(
-                "injected_panic",
-                0,
-                |_inp: &[perflow::Value]| panic!("injected failure (--inject-pass-panic)"),
-            ));
-        }
-
-        // Checkpoint context: workload + shape-determining config + the
-        // run's content digest. A snapshot only resumes under the exact
-        // configuration that produced it.
-        let ctx = fnv_words(&[
-            fnv_str(target),
-            ranks as u64,
-            threads as u64,
-            seed,
-            run.content_digest(),
-        ]);
-        let snapshot = resume_in.as_ref().map(|path| {
-            let file = CheckpointFile::load(path).unwrap_or_else(|e| {
-                eprintln!("cannot load checkpoint {path}: {e}");
-                std::process::exit(1)
-            });
-            file.expect_context(ctx).unwrap_or_else(|e| {
-                eprintln!("cannot resume from {path}: {e}");
-                std::process::exit(1)
-            });
-            let snap = file.rebind(std::slice::from_ref(&run));
+    if obs.is_enabled() || res.is_active() {
+        let resilient = res.is_active();
+        let ctx = driver::checkpoint_context(target, &cfg, &run);
+        let out = driver::comm_analysis_session(&run, &obs, &res, ctx).unwrap_or_else(|e| fail(e));
+        if let Some((entries, dropped)) = out.resumed_from {
             eprintln!(
-                "resuming from {path}: {} entr{} ({} dropped)",
-                snap.len(),
-                if snap.len() == 1 { "y" } else { "ies" },
-                snap.dropped
+                "resumed from {}: {} entr{} ({} dropped)",
+                res.resume_in.as_deref().unwrap_or_default(),
+                entries,
+                if entries == 1 { "y" } else { "ies" },
+                dropped
             );
-            snap
-        });
-        let writer = checkpoint_out.as_ref().map(|path| {
-            CheckpointWriter::create(path, ctx).unwrap_or_else(|e| {
-                eprintln!("cannot create checkpoint {path}: {e}");
-                std::process::exit(1)
-            })
-        });
-
-        let mut opts = ExecOptions::new().with_cache(&cache).with_obs(obs.clone());
-        if let Some(p) = fail_policy {
-            opts = opts.with_policy(p);
         }
-        if let Some(ms) = pass_timeout_ms {
-            opts = opts.with_pass_timeout_ms(ms);
-        }
-        if let Some(n) = retries {
-            opts = opts.with_retry(RetryPolicy::new(n));
-        }
-        if let Some(w) = &writer {
-            opts = opts.with_checkpoint(w);
-        }
-        if let Some(s) = &snapshot {
-            opts = opts.with_resume(s);
-        }
-        let out = g.execute_with(&opts).unwrap_or_else(|e| {
-            eprintln!("comm-analysis graph failed: {e}");
-            std::process::exit(1)
-        });
-        drop(_app);
-
         if resilient {
-            let rendered = out
-                .of(nodes.report)
-                .first()
-                .and_then(|v| v.as_report())
-                .map(Report::render)
-                .unwrap_or_default();
-            if !rendered.is_empty() {
-                println!("\n{rendered}");
+            if !out.report.is_empty() {
+                println!("\n{}", out.report);
             }
             // Stable digest of the rendered report: lets scripts check
             // that a resumed run reproduced the uninterrupted result.
-            println!("comm-analysis report digest: {:016x}", fnv_str(&rendered));
-            for w in &out.warnings {
+            println!("comm-analysis report digest: {:016x}", out.report_digest);
+            for w in &out.outputs.warnings {
                 println!("warning: {w}");
             }
             println!(
                 "resilience: {} failed, {} skipped, {} resumed{}",
-                out.failures.len(),
-                out.skipped.len(),
-                out.resumed,
-                if out.degraded() { " (degraded)" } else { "" }
+                out.outputs.failures.len(),
+                out.outputs.skipped.len(),
+                out.outputs.resumed,
+                if out.outputs.degraded() {
+                    " (degraded)"
+                } else {
+                    ""
+                }
             );
-        } else {
-            debug_assert!(!out.of(nodes.report).is_empty());
         }
-        if let (Some(path), Some(w)) = (&checkpoint_out, &writer) {
-            match w.error() {
-                Some(e) => eprintln!("checkpoint {path} incomplete: {e}"),
-                None => eprintln!(
-                    "wrote checkpoint to {path} ({} recorded, {} unresumable)",
-                    w.recorded(),
-                    w.skipped()
+        if let (Some(path), Some(status)) = (&res.checkpoint_out, &out.checkpoint) {
+            match status {
+                CheckpointStatus::Incomplete(e) => {
+                    eprintln!("checkpoint {path} incomplete: {e}")
+                }
+                CheckpointStatus::Written(recorded, skipped) => eprintln!(
+                    "wrote checkpoint to {path} ({recorded} recorded, {skipped} unresumable)"
                 ),
             }
         }
         if metrics {
-            print!("\n{}", out.metrics.render());
+            print!("\n{}", out.outputs.metrics.render());
         }
         if metrics_json {
-            println!("{}", out.metrics.render_json());
+            println!("{}", out.outputs.metrics.render_json());
         }
         let write_file = |path: &String, what: &str, contents: String| {
-            std::fs::write(path, contents).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1)
-            });
+            std::fs::write(path, contents)
+                .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
             eprintln!("wrote {what} to {path}");
         };
         if let Some(path) = &trace_out {
@@ -541,23 +274,18 @@ fn main() {
             write_file(path, "folded engine stacks", obs.folded_stacks());
         }
         if self_analyze {
-            let sa = perflow::self_analysis(&obs).unwrap_or_else(|e| {
-                eprintln!("self-analysis failed: {e}");
-                std::process::exit(1)
-            });
+            let sa = perflow::self_analysis(&obs)
+                .unwrap_or_else(|e| fail(format!("self-analysis failed: {e}")));
             println!("\n{}", sa.render());
         }
     }
     if let Some(path) = &app_folded_out {
-        std::fs::write(path, collect::folded_samples(&prog, run.data())).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1)
-        });
+        std::fs::write(path, collect::folded_samples(&prog, run.data()))
+            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
         eprintln!("wrote folded application stacks to {path}");
     }
 
     if dot {
-        let hot = pflow.hotspot_detection(&run.vertices(), 25);
-        println!("{}", Report::set_to_dot(&hot));
+        println!("{}", driver::hotspot_dot(&pflow, &run));
     }
 }

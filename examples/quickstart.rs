@@ -60,13 +60,25 @@ fn main() {
         pv.num_edges()
     );
 
-    // 5. A first analysis: hotspots, then imbalance.
+    // 5. Read metrics through the typed accessors. Metric keys are
+    //    interned `KeyId`s (re-exported as `perflow::mkeys`), so the hot
+    //    path never hashes a string — `metric_f64` is an O(1) column
+    //    lookup. Prefer this over the old stringly
+    //    `vprop(v, "time")`-style access, which survives only as a
+    //    compatibility shim.
+    let total: f64 = td
+        .vertex_ids()
+        .map(|v| td.metric_f64(v, perflow::mkeys::SELF_TIME))
+        .sum();
+    println!("total self time (typed accessors): {:.2} ms", total / 1e3);
+
+    // 6. A first analysis: hotspots, then imbalance.
     let hot = pflow.hotspot_detection(&run.vertices(), 5);
     let imb = pflow.imbalance_analysis(&hot, 0.2);
     let report = pflow.report(&[&imb], &["name", "debug-info", "time", "score"]);
     println!("\n{}", report.render());
 
-    // 6. Graphical output (DOT) of the hot subgraph.
+    // 7. Graphical output (DOT) of the hot subgraph.
     let dot = perflow::Report::set_to_dot(&hot);
     println!("(DOT output: {} bytes — pipe to `dot -Tsvg`)", dot.len());
 }

@@ -62,7 +62,7 @@ fn sampled_times_are_close_to_exact_elapsed() {
     let total_sampled: f64 = run
         .topdown()
         .vertex_ids()
-        .map(|v| run.topdown().vertex(v).props.get_f64(pag::keys::SELF_TIME))
+        .map(|v| run.topdown().metric_f64(v, pag::mkeys::SELF_TIME))
         .sum();
     let rel = (total_sampled - total_exact).abs() / total_exact;
     assert!(rel < 0.05, "sampling error too large: {rel}");
@@ -80,7 +80,7 @@ fn serialization_roundtrips_profiled_pags() {
     // Spot-check a property-laden vertex.
     let ar = back.find_by_name("MPI_Allreduce");
     assert_eq!(ar.len(), 1);
-    assert!(back.vertex(ar[0]).props.get(pag::keys::COMM_INFO).is_some());
+    assert!(back.vstr(ar[0], pag::keys::COMM_INFO).is_some());
 
     // The parallel view also roundtrips.
     let pv_bytes = pag::serialize::encode(run.parallel());

@@ -143,11 +143,7 @@ fn critical_path_ignores_nan_weighted_endpoints() {
     let cp = graphalgo::critical_path(
         &g,
         |_| true,
-        |v| {
-            g.vprop(v, keys::TIME)
-                .and_then(pag::PropValue::as_f64)
-                .unwrap_or(0.0)
-        },
+        |v| g.metric(v, pag::mkeys::TIME).unwrap_or(0.0),
     )
     .expect("NaN weights must not make critical_path fail");
     // The NaN vertex poisons paths through it; the best clean endpoint

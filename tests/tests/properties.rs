@@ -112,8 +112,7 @@ proptest! {
         prop_assert_eq!(order.len(), run.pag.num_vertices());
         // Per-proc vectors have exactly nranks entries.
         for v in run.pag.vertex_ids() {
-            if let Some(vec) = run.pag.vprop(v, pag::keys::TIME_PER_PROC)
-                .and_then(|p| p.as_f64_slice()) {
+            if let Some(vec) = run.pag.metric_vec(v, pag::mkeys::TIME_PER_PROC) {
                 prop_assert_eq!(vec.len(), rp.nranks as usize);
             }
         }
