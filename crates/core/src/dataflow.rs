@@ -503,6 +503,8 @@ impl PerFlowGraph {
                 CacheStats {
                     hits: s1.hits - s0.hits,
                     misses: s1.misses - s0.misses,
+                    evictions: s1.evictions - s0.evictions,
+                    coalesced: s1.coalesced - s0.coalesced,
                 }
             });
             let passes: Vec<PassMetric> = st.node_metrics.into_iter().flatten().collect();
@@ -678,11 +680,24 @@ impl PerFlowGraph {
             } else {
                 None
             };
-            let cache_key = cache.map(|_| PassCache::key(pass, &inputs));
-            let cached = cache.and_then(|c| c.get(cache_key.unwrap()));
+            // Probe the cache: a hit clones the payload pointer (the
+            // deep clone below happens off the cache lock); a miss hands
+            // this worker the single-flight fill guard, so concurrent
+            // probes of the same key wait for our fill instead of
+            // re-running the pass or double-counting the miss.
+            let mut fill = None;
+            let cached = cache.map(|c| c.probe(PassCache::key(pass, &inputs)));
+            let cached = match cached {
+                Some(crate::cache::Probe::Hit(r)) => Some(r),
+                Some(crate::cache::Probe::Miss(g)) => {
+                    fill = Some(g);
+                    None
+                }
+                None => None,
+            };
             let result: NodeResult = if let Some(r) = cached {
                 cache_hit = true;
-                Ok(r)
+                Ok((r.outputs.clone(), r.trail.clone()))
             } else if let Some(r) =
                 stable_key.and_then(|k| opts.resume.and_then(|snap| snap.get(k)))
             {
@@ -722,15 +737,16 @@ impl PerFlowGraph {
                 // Fill the cache from executed *and* resumed results, and
                 // append every stable-keyed success to the snapshot —
                 // a resumed run rewrites a complete checkpoint file.
-                if !cache_hit {
-                    if let (Some(c), Some(k)) = (cache, cache_key) {
-                        c.put(k, outs.clone(), trail.clone(), Arc::clone(pass));
-                    }
+                if let Some(g) = fill.take() {
+                    g.fill(outs.clone(), trail.clone(), Arc::clone(pass));
                 }
                 if let (Some(w), Some(k)) = (opts.checkpoint, stable_key) {
                     w.record(k, outs, trail);
                 }
             }
+            // A failed pass abandons its fill guard, promoting one
+            // coalesced waiter (if any) to run the pass itself.
+            drop(fill);
             let end_us = obs.now_us();
             if observed {
                 let name = pass.name();

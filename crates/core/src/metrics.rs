@@ -214,7 +214,11 @@ mod tests {
                     dispatch_seq: 1,
                 },
             ],
-            cache: Some(CacheStats { hits: 1, misses: 1 }),
+            cache: Some(CacheStats {
+                hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            }),
             total_wall_us: 40.0,
             workers: 2,
             worker_busy_us: vec![10.0, 30.0],

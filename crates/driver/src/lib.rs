@@ -349,6 +349,38 @@ pub fn checkpoint_context(workload: &str, cfg: &AnalysisConfig, run: &RunHandle)
     ])
 }
 
+/// Content fingerprint of the *simulation* a front-end is about to
+/// request: everything that shapes [`PerFlow::run`]'s deterministic
+/// output for `workload` under `cfg`. Two submissions with equal sim
+/// fingerprints produce byte-identical [`simrt::RunData`], so a server
+/// can reuse a cached run handle instead of re-simulating.
+pub fn sim_fingerprint(workload: &str, cfg: &AnalysisConfig) -> u64 {
+    fnv_words(&[
+        fnv_str(workload),
+        cfg.ranks as u64,
+        cfg.threads as u64,
+        cfg.seed,
+    ])
+}
+
+/// Content fingerprint of "`paradigm` applied to this run under `cfg`":
+/// the run's [`RunData::digest`](simrt::RunData) (via
+/// [`RunBundle::content_digest`](perflow::RunBundle::content_digest))
+/// plus every knob that shapes the report, including the reference-run
+/// configuration paradigms like scalability and contention launch
+/// internally. Keys a report cache: equal fingerprints guarantee a
+/// byte-identical rendered report.
+pub fn report_fingerprint(paradigm: Paradigm, cfg: &AnalysisConfig, run: &RunHandle) -> u64 {
+    fnv_words(&[
+        run.content_digest(),
+        fnv_str(paradigm.name()),
+        cfg.ranks as u64,
+        cfg.small_ranks as u64,
+        cfg.threads as u64,
+        cfg.seed,
+    ])
+}
+
 // ---------------------------------------------------------------------------
 // Observed / resilient comm-analysis session
 // ---------------------------------------------------------------------------
@@ -368,6 +400,11 @@ pub struct ResilienceConfig {
     pub resume_in: Option<String>,
     /// Inject a panicking pass (fault-tolerance demo/testing).
     pub inject_pass_panic: bool,
+    /// Bound the session's pass-result cache to this many entries (LRU
+    /// eviction). `None` keeps the cache unbounded — the right default
+    /// for a one-shot CLI run, while long-lived daemons set a cap so the
+    /// cache cannot grow without bound across jobs.
+    pub cache_capacity: Option<usize>,
 }
 
 impl ResilienceConfig {
@@ -379,6 +416,7 @@ impl ResilienceConfig {
             || self.checkpoint_out.is_some()
             || self.resume_in.is_some()
             || self.inject_pass_panic
+            || self.cache_capacity.is_some()
     }
 }
 
@@ -408,15 +446,35 @@ pub struct CommAnalysisOutcome {
 
 /// Run the standard communication-analysis PerFlowGraph under the
 /// observed (and, when requested, resilient) scheduler so the trace
-/// covers the core layer too.
+/// covers the core layer too. Uses a private cache sized by
+/// [`ResilienceConfig::cache_capacity`]; daemons that want pass-result
+/// reuse *across* sessions call
+/// [`comm_analysis_session_with_cache`] with a shared cache instead.
 pub fn comm_analysis_session(
     run: &RunHandle,
     obs: &Obs,
     res: &ResilienceConfig,
     context: u64,
 ) -> Result<CommAnalysisOutcome, DriverError> {
+    let cache = match res.cache_capacity {
+        Some(cap) => PassCache::with_capacity(cap),
+        None => PassCache::new(),
+    };
+    comm_analysis_session_with_cache(run, obs, res, context, &cache)
+}
+
+/// [`comm_analysis_session`] against a caller-owned [`PassCache`]: the
+/// pass results of this session land in (and replay from) `cache`, so a
+/// long-lived front-end sharing one bounded cache answers repeated
+/// identical sessions without re-running any pass.
+pub fn comm_analysis_session_with_cache(
+    run: &RunHandle,
+    obs: &Obs,
+    res: &ResilienceConfig,
+    context: u64,
+    cache: &PassCache,
+) -> Result<CommAnalysisOutcome, DriverError> {
     let _app = obs.span(perflow::Layer::App, "comm-analysis-graph", 0);
-    let cache = PassCache::new();
     let (mut g, nodes) = comm_analysis_graph(run.vertices())
         .map_err(|e| DriverError(format!("comm-analysis graph construction failed: {e}")))?;
     if res.inject_pass_panic {
@@ -448,7 +506,7 @@ pub fn comm_analysis_session(
         None => None,
     };
 
-    let mut opts = ExecOptions::new().with_cache(&cache).with_obs(obs.clone());
+    let mut opts = ExecOptions::new().with_cache(cache).with_obs(obs.clone());
     if let Some(p) = res.fail_policy {
         opts = opts.with_policy(p);
     }

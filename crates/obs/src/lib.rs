@@ -60,6 +60,32 @@ pub mod names {
     pub const PASS_RESUME_HIT: &str = "core.pass.resume_hit";
     /// Histogram: backoff latency (ms) inserted before each retry.
     pub const PASS_RETRY_LATENCY_MS: &str = "core.pass.retry_latency_ms";
+
+    // `perflow-serve` daemon instruments (exposed via `/metrics`).
+
+    /// Counter: HTTP requests handled (any route, any status).
+    pub const SERVE_HTTP_REQUESTS: &str = "serve.http.requests";
+    /// Counter: jobs accepted onto the queue.
+    pub const SERVE_JOBS_SUBMITTED: &str = "serve.jobs.submitted";
+    /// Counter: jobs that finished with a report.
+    pub const SERVE_JOBS_COMPLETED: &str = "serve.jobs.completed";
+    /// Counter: jobs that finished with an error.
+    pub const SERVE_JOBS_FAILED: &str = "serve.jobs.failed";
+    /// Counter: submissions rejected by a per-tenant quota (HTTP 429).
+    pub const SERVE_REJECT_QUOTA: &str = "serve.jobs.rejected_quota";
+    /// Counter: submissions rejected because the queue was full or the
+    /// server was draining (HTTP 503).
+    pub const SERVE_REJECT_FULL: &str = "serve.jobs.rejected_full";
+    /// Counter: jobs answered from the fingerprint-keyed report cache.
+    pub const SERVE_REPORT_CACHE_HIT: &str = "serve.report_cache.hit";
+    /// Counter: jobs that had to compute their report.
+    pub const SERVE_REPORT_CACHE_MISS: &str = "serve.report_cache.miss";
+    /// Counter: simulations reused from the run cache.
+    pub const SERVE_RUN_CACHE_HIT: &str = "serve.run_cache.hit";
+    /// Counter: simulations that had to execute.
+    pub const SERVE_RUN_CACHE_MISS: &str = "serve.run_cache.miss";
+    /// Gauge: jobs currently queued (not yet running).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
 }
 
 use std::borrow::Cow;

@@ -1,0 +1,262 @@
+//! Minimal HTTP/1.1 framing over `std::net`: request parsing with hard
+//! size limits and plain response writing. One request per connection
+//! (`Connection: close`) — the daemon's clients are scripts and tests,
+//! not browsers holding keep-alive pools.
+
+use std::io::{BufRead, Write};
+
+/// Request-line length / header-count / body-size caps. Oversized
+/// requests are rejected before allocation, so a hostile client cannot
+/// balloon a long-lived daemon.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers accepted.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum request-body size in bytes.
+pub const MAX_BODY: usize = 256 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (without `?`), empty when absent.
+    pub query: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed, mapped to a response status.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed framing → 400.
+    Bad(String),
+    /// A size limit tripped → 413.
+    TooLarge(String),
+    /// The socket died mid-request.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Bad(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// Human-readable reason.
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::Bad(m) | HttpError::TooLarge(m) | HttpError::Io(m) => m,
+        }
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::TooLarge("line too long".into()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Bad("non-utf8 header".into()))
+}
+
+impl Request {
+    /// Read one request from `r`.
+    pub fn read_from(r: &mut impl BufRead) -> Result<Request, HttpError> {
+        let start = read_line(r)?;
+        if start.is_empty() {
+            return Err(HttpError::Io("empty request".into()));
+        }
+        let mut parts = start.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| HttpError::Bad("missing method".into()))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::Bad("missing request target".into()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Bad("missing HTTP version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Bad(format!("unsupported version {version}")));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(r)?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::TooLarge("too many headers".into()));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Bad(format!("malformed header `{line}`")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let mut req = Request {
+            method,
+            path,
+            query,
+            headers,
+            body: Vec::new(),
+        };
+        if let Some(len) = req.header("content-length") {
+            let len: usize = len
+                .parse()
+                .map_err(|_| HttpError::Bad("bad content-length".into()))?;
+            if len > MAX_BODY {
+                return Err(HttpError::TooLarge(format!("body of {len} bytes")));
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body)
+                .map_err(|e| HttpError::Io(format!("short body: {e}")))?;
+            req.body = body;
+        }
+        Ok(req)
+    }
+
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request body as UTF-8 text.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::Bad("non-utf8 body".into()))
+    }
+}
+
+/// The reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a complete response and flush. Errors are ignored beyond the
+/// return value — the peer may already be gone.
+pub fn respond(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        body
+    )?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /jobs?x=1 HTTP/1.1\r\nHost: localhost\r\nX-Api-Key: t1\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("x-api-key"), Some("t1"));
+        assert_eq!(req.body_str().unwrap(), "abcd");
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = parse("GET / HTTP/1.1\r\nX-API-Key: K\r\n\r\n").unwrap();
+        assert_eq!(req.header("x-api-key"), Some("K"));
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        assert_eq!(parse("GARBAGE\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(
+            parse("GET / HTTP/9.9\r\n\r\n").unwrap_err().status(),
+            400,
+            "unsupported version"
+        );
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse(&raw).unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        respond(&mut out, 200, "application/json", "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Bounded job queue with FIFO-within-priority scheduling.
+//!
+//! Jobs are ordered by `(priority descending, arrival ascending)`: a
+//! higher-priority job always dispatches first, and equal-priority jobs
+//! dispatch in submission order. The queue is a rendezvous for the
+//! accept threads (push) and the executor pool (blocking pop); closing
+//! it drains — pops keep returning queued items until the queue is
+//! empty, then return `None` so workers can exit.
+
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+
+/// Push failure: the queue is at capacity or shutting down.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `capacity` undispatched jobs.
+    Full,
+    /// [`JobQueue::close`] was called; no new work is accepted.
+    Closed,
+}
+
+struct State<T> {
+    /// `(priority desc, seq asc) → item`; `iter().next()` is the head.
+    items: BTreeMap<(Reverse<u8>, u64), T>,
+    seq: u64,
+    closed: bool,
+}
+
+/// A bounded, closable priority queue (see module docs).
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue holding at most `capacity` undispatched items.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                items: BTreeMap::new(),
+                seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueue `item` at `priority` (higher dispatches first). Returns
+    /// the queue depth after the push.
+    pub fn push(&self, priority: u8, item: T) -> Result<usize, PushError> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        let seq = st.seq;
+        st.seq += 1;
+        st.items.insert((Reverse(priority), seq), item);
+        let depth = st.items.len();
+        drop(st);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue the highest-priority, oldest item, blocking while the
+    /// queue is open and empty. Returns `None` only when the queue is
+    /// closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some((&key, _)) = st.items.iter().next() {
+                return st.items.remove(&key);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Stop accepting work and wake every blocked popper. Already-queued
+    /// items still drain through [`JobQueue::pop`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of undispatched items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_priority() {
+        let q = JobQueue::new(16);
+        q.push(1, "low-a").unwrap();
+        q.push(5, "high-a").unwrap();
+        q.push(1, "low-b").unwrap();
+        q.push(5, "high-b").unwrap();
+        q.push(9, "urgent").unwrap();
+        let order: Vec<_> = (0..5).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(order, ["urgent", "high-a", "high-b", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn bounded_and_closable() {
+        let q = JobQueue::new(2);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        assert_eq!(q.push(0, 3), Err(PushError::Full));
+        q.close();
+        assert_eq!(q.push(9, 4), Err(PushError::Closed));
+        // Close drains: queued items still pop, then None.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_close() {
+        let q = Arc::new(JobQueue::new(8));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || (q.pop(), q.pop()))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(0, 42).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), (Some(42), None));
+    }
+}

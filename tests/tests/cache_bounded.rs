@@ -1,0 +1,195 @@
+//! Bounded pass-cache semantics under the parallel scheduler: a
+//! capacity-limited, single-flight [`PassCache`] must never change
+//! *what* a graph computes — only how much of it replays from memory —
+//! at any worker count.
+
+use perflow::pass::FnPass;
+use perflow::{ExecOptions, PassCache, PerFlowGraph, Value};
+
+/// A deterministic 12-node graph: 4 sources fan into chains of
+/// arithmetic passes that join into one sink.
+fn build_graph() -> (PerFlowGraph, perflow::NodeId) {
+    let mut g = PerFlowGraph::new();
+    let sources: Vec<_> = (0..4)
+        .map(|i| g.add_source(Value::Num(i as f64 + 1.0)))
+        .collect();
+    let mut stage = Vec::new();
+    for (i, &s) in sources.iter().enumerate() {
+        let scale = g.add_pass(FnPass::new(
+            format!("scale{i}"),
+            1,
+            move |inp: &[Value]| {
+                let Value::Num(n) = inp[0] else {
+                    unreachable!("sources emit nums")
+                };
+                Ok(vec![Value::Num(n * 3.0 + i as f64)])
+            },
+        ));
+        g.pipe(s, scale).unwrap();
+        stage.push(scale);
+    }
+    let join2 = |g: &mut PerFlowGraph, name: &str, a, b| {
+        let n = g.add_pass(FnPass::new(name, 2, |inp: &[Value]| {
+            let (Value::Num(x), Value::Num(y)) = (&inp[0], &inp[1]) else {
+                unreachable!("joins receive nums")
+            };
+            Ok(vec![Value::Num(x * 7.0 + y)])
+        }));
+        g.connect(a, 0, n, 0).unwrap();
+        g.connect(b, 0, n, 1).unwrap();
+        n
+    };
+    let left = join2(&mut g, "joinL", stage[0], stage[1]);
+    let right = join2(&mut g, "joinR", stage[2], stage[3]);
+    let sink = join2(&mut g, "sink", left, right);
+    (g, sink)
+}
+
+fn sink_value(out: &perflow::dataflow::Outputs, sink: perflow::NodeId) -> f64 {
+    match out.of(sink) {
+        [Value::Num(n)] => *n,
+        other => panic!("unexpected sink output {other:?}"),
+    }
+}
+
+#[test]
+fn bounded_cache_is_digest_identical_at_any_worker_count() {
+    let (g, sink) = build_graph();
+    let baseline = sink_value(&g.execute().unwrap(), sink);
+    for capacity in [1, 2, 4, 64] {
+        let cache = PassCache::with_capacity(capacity);
+        for workers in [1, 2, 4, 8] {
+            let out = g
+                .execute_with(&ExecOptions::new().with_cache(&cache).with_workers(workers))
+                .unwrap();
+            assert_eq!(
+                sink_value(&out, sink),
+                baseline,
+                "cap {capacity}, {workers} workers"
+            );
+        }
+        let stats = cache.stats();
+        if capacity >= 11 {
+            // The whole graph fits: the 3 re-executions replay entirely.
+            assert_eq!(stats.misses, 11, "cap {capacity}: {stats:?}");
+            assert_eq!(stats.hits, 3 * 11, "cap {capacity}: {stats:?}");
+        } else {
+            assert!(
+                stats.evictions > 0,
+                "an 11-pass graph must evict at cap {capacity}: {stats:?}"
+            );
+        }
+        assert!(cache.len() <= capacity, "cache exceeded its capacity");
+    }
+}
+
+#[test]
+fn concurrent_executions_share_one_bounded_cache() {
+    let (g, sink) = build_graph();
+    let baseline = sink_value(&g.execute().unwrap(), sink);
+    let cache = PassCache::with_capacity(3);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for workers in [1, 4] {
+                    let out = g
+                        .execute_with(&ExecOptions::new().with_cache(&cache).with_workers(workers))
+                        .unwrap();
+                    assert_eq!(sink_value(&out, sink), baseline);
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    // Accounting stays coherent under contention: every probe is
+    // exactly one of hit or miss (8 threads × 2 executions × 11 nodes),
+    // and eviction can never exceed fills.
+    assert_eq!(stats.hits + stats.misses, 8 * 2 * 11, "{stats:?}");
+    assert!(
+        stats.misses >= 11,
+        "cold passes miss at least once: {stats:?}"
+    );
+    assert!(stats.evictions <= stats.misses, "{stats:?}");
+    assert!(cache.len() <= 3);
+}
+
+#[test]
+fn comm_session_reports_are_identical_across_cache_capacities() {
+    let prog = driver::workload("cg").expect("cg workload");
+    let pflow = perflow::PerFlow::new();
+    let cfg = driver::AnalysisConfig {
+        ranks: 4,
+        small_ranks: 2,
+        threads: 2,
+        seed: 7,
+    };
+    let run = pflow
+        .run(
+            &prog,
+            &simrt::RunConfig::new(cfg.ranks)
+                .with_threads(cfg.threads)
+                .with_seed(cfg.seed),
+        )
+        .unwrap();
+    let obs = perflow::Obs::default();
+    let ctx = driver::checkpoint_context("cg", &cfg, &run);
+
+    let digest_with = |capacity: Option<usize>| {
+        let res = driver::ResilienceConfig {
+            cache_capacity: capacity,
+            ..Default::default()
+        };
+        driver::comm_analysis_session(&run, &obs, &res, ctx)
+            .unwrap()
+            .report_digest
+    };
+    let baseline = digest_with(None);
+    for cap in [1, 2, 8] {
+        assert_eq!(
+            digest_with(Some(cap)),
+            baseline,
+            "cache capacity {cap} changed the comm report"
+        );
+    }
+}
+
+#[test]
+fn shared_cache_replays_a_repeated_comm_session() {
+    let prog = driver::workload("cg").expect("cg workload");
+    let pflow = perflow::PerFlow::new();
+    let cfg = driver::AnalysisConfig {
+        ranks: 4,
+        small_ranks: 2,
+        threads: 2,
+        seed: 11,
+    };
+    let run = pflow
+        .run(
+            &prog,
+            &simrt::RunConfig::new(cfg.ranks)
+                .with_threads(cfg.threads)
+                .with_seed(cfg.seed),
+        )
+        .unwrap();
+    let obs = perflow::Obs::default();
+    let res = driver::ResilienceConfig::default();
+    let ctx = driver::checkpoint_context("cg", &cfg, &run);
+    let cache = PassCache::with_capacity(64);
+
+    let cold = driver::comm_analysis_session_with_cache(&run, &obs, &res, ctx, &cache).unwrap();
+    let cold_stats = cache.stats();
+    assert!(cold_stats.misses > 0);
+    let warm = driver::comm_analysis_session_with_cache(&run, &obs, &res, ctx, &cache).unwrap();
+    let warm_stats = cache.stats();
+
+    assert_eq!(warm.report, cold.report, "cached replay changed the report");
+    assert_eq!(warm.report_digest, cold.report_digest);
+    assert!(
+        warm_stats.hits > cold_stats.hits,
+        "second session should replay from the shared cache: {cold_stats:?} -> {warm_stats:?}"
+    );
+    assert_eq!(
+        warm_stats.misses, cold_stats.misses,
+        "second identical session should add no misses"
+    );
+}

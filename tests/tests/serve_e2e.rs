@@ -1,0 +1,297 @@
+//! End-to-end exercise of the `perflow-serve` daemon over real sockets:
+//! concurrent multi-tenant submissions, quota enforcement, the
+//! fingerprint-keyed report cache, and graceful drain.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use serve::json::Json;
+use serve::{Server, ServerConfig};
+
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    match body {
+        Some(b) => req.push_str(&format!("Content-Length: {}\r\n\r\n{b}", b.len())),
+        None => req.push_str("\r\n"),
+    }
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn submit(addr: SocketAddr, key: &str, spec: &str) -> (u16, Json) {
+    let (status, body) = http(addr, "POST", "/jobs", &[("X-Api-Key", key)], Some(spec));
+    (status, Json::parse(&body).expect("JSON response"))
+}
+
+/// Poll `GET /jobs/:id` until it settles; panics after `secs`.
+fn wait_done(addr: SocketAddr, key: &str, id: u64, secs: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        let (status, body) = http(
+            addr,
+            "GET",
+            &format!("/jobs/{id}"),
+            &[("X-Api-Key", key)],
+            None,
+        );
+        assert_eq!(status, 200, "job {id} lookup: {body}");
+        let j = Json::parse(&body).unwrap();
+        match j.get("status").and_then(Json::as_str) {
+            Some("done") | Some("failed") => return j,
+            _ if Instant::now() > deadline => panic!("job {id} never settled: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn job_spec(workload: &str) -> String {
+    format!(r#"{{"workload":"{workload}","paradigm":"hotspot","ranks":2,"threads":2,"seed":3}}"#)
+}
+
+#[test]
+fn eight_concurrent_distinct_workloads_complete() {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let workloads = ["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"];
+    let ids: Vec<(String, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                s.spawn(move || {
+                    let (status, j) = submit(addr, "tenant-a", &job_spec(w));
+                    assert_eq!(status, 202, "{w}: {}", j.render());
+                    (w.to_string(), j.get("id").and_then(Json::as_u64).unwrap())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(ids.len(), 8);
+
+    let mut digests = Vec::new();
+    for (w, id) in &ids {
+        let j = wait_done(addr, "tenant-a", *id, 60);
+        assert_eq!(
+            j.get("status").and_then(Json::as_str),
+            Some("done"),
+            "{w}: {}",
+            j.render()
+        );
+        assert_eq!(j.get("workload").and_then(Json::as_str), Some(w.as_str()));
+        let report = j.get("report").and_then(Json::as_str).unwrap();
+        assert!(!report.is_empty(), "{w} produced an empty report");
+        digests.push(
+            j.get("report_digest")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+    // Distinct workloads produce distinct reports.
+    let mut unique = digests.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), digests.len(), "digest collision: {digests:?}");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn per_tenant_quota_is_enforced() {
+    // One worker + held jobs keep tenant-a's submissions active.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        tenant_quota: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let held = r#"{"workload":"ep","paradigm":"hotspot","ranks":2,"threads":2,"hold_ms":400}"#;
+
+    let (s1, j1) = submit(addr, "tenant-a", held);
+    let (s2, _) = submit(addr, "tenant-a", held);
+    assert_eq!((s1, s2), (202, 202));
+    // Third active job for the same tenant trips the quota.
+    let (s3, j3) = submit(addr, "tenant-a", held);
+    assert_eq!(s3, 429, "{}", j3.render());
+    assert_eq!(j3.get("quota").and_then(Json::as_u64), Some(2));
+    // A different tenant is unaffected.
+    let (s4, j4) = submit(addr, "tenant-b", &job_spec("cg"));
+    assert_eq!(s4, 202, "{}", j4.render());
+
+    // Once tenant-a's jobs settle, its quota slot frees up.
+    let id1 = j1.get("id").and_then(Json::as_u64).unwrap();
+    wait_done(addr, "tenant-a", id1, 60);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (s, j) = submit(addr, "tenant-a", &job_spec("is"));
+        if s == 202 {
+            break;
+        }
+        assert_eq!(s, 429, "{}", j.render());
+        assert!(Instant::now() < deadline, "quota slot never freed");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn repeated_identical_submission_is_served_from_the_report_cache() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let spec = r#"{"workload":"cg","paradigm":"comm","ranks":4,"threads":2,"seed":9}"#;
+
+    let (s1, j1) = submit(addr, "t", spec);
+    assert_eq!(s1, 202);
+    let cold = wait_done(addr, "t", j1.get("id").and_then(Json::as_u64).unwrap(), 60);
+    assert_eq!(cold.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false));
+
+    let (s2, j2) = submit(addr, "t", spec);
+    assert_eq!(s2, 202);
+    let warm = wait_done(addr, "t", j2.get("id").and_then(Json::as_u64).unwrap(), 60);
+    assert_eq!(
+        warm.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "identical resubmission should come from the report cache: {}",
+        warm.render()
+    );
+    // Byte-identical report, identical digest.
+    assert_eq!(
+        warm.get("report").and_then(Json::as_str),
+        cold.get("report").and_then(Json::as_str)
+    );
+    assert_eq!(
+        warm.get("report_digest").and_then(Json::as_str),
+        cold.get("report_digest").and_then(Json::as_str)
+    );
+
+    // The hit is visible in /metrics.
+    let (ms, metrics) = http(addr, "GET", "/metrics", &[], None);
+    assert_eq!(ms, 200);
+    let hit_line = metrics
+        .lines()
+        .find(|l| l.starts_with("perflow_serve_report_cache_hit_total"))
+        .unwrap_or_else(|| panic!("no report-cache hit counter in:\n{metrics}"));
+    let hits: f64 = hit_line.split(' ').next_back().unwrap().parse().unwrap();
+    assert!(hits >= 1.0, "{hit_line}");
+    assert!(metrics.contains("perflow_serve_jobs_submitted_total 2"));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.report_cache_hits, 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_and_running_jobs() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let held = r#"{"workload":"ep","paradigm":"hotspot","ranks":2,"threads":2,"hold_ms":150}"#;
+    for _ in 0..3 {
+        let (s, j) = submit(addr, "t", held);
+        assert_eq!(s, 202, "{}", j.render());
+    }
+    let (s, j) = http(addr, "POST", "/shutdown", &[], None);
+    assert_eq!(s, 202, "{j}");
+    assert_eq!(
+        Json::parse(&j)
+            .unwrap()
+            .get("status")
+            .and_then(Json::as_str),
+        Some("draining")
+    );
+    // The drain finishes every accepted job before the server exits.
+    let stats = server.wait();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+    // The listener is gone afterwards.
+    assert!(TcpStream::connect(addr).is_err(), "listener survived drain");
+}
+
+#[test]
+fn api_keys_and_tenant_isolation() {
+    let server = Server::start(ServerConfig {
+        api_keys: vec!["alpha".into(), "beta".into()],
+        admin_key: Some("root".into()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let (s, _) = http(addr, "POST", "/jobs", &[], Some(&job_spec("cg")));
+    assert_eq!(s, 401, "keyless submission must be rejected");
+    let (s, _) = http(
+        addr,
+        "POST",
+        "/jobs",
+        &[("X-Api-Key", "nope")],
+        Some(&job_spec("cg")),
+    );
+    assert_eq!(s, 401);
+
+    let (s, j) = submit(addr, "alpha", &job_spec("cg"));
+    assert_eq!(s, 202, "{}", j.render());
+    let id = j.get("id").and_then(Json::as_u64).unwrap();
+    wait_done(addr, "alpha", id, 60);
+    // Another tenant cannot even observe the job's existence.
+    let (s, _) = http(
+        addr,
+        "GET",
+        &format!("/jobs/{id}"),
+        &[("X-Api-Key", "beta")],
+        None,
+    );
+    assert_eq!(s, 404);
+
+    // Bad submissions are rejected with a reason.
+    let (s, body) = http(
+        addr,
+        "POST",
+        "/jobs",
+        &[("X-Api-Key", "alpha")],
+        Some(r#"{"workload":"no-such-workload"}"#),
+    );
+    assert_eq!(s, 400);
+    assert!(body.contains("unknown workload"), "{body}");
+
+    // Shutdown needs the admin key.
+    let (s, _) = http(addr, "POST", "/shutdown", &[("X-Api-Key", "alpha")], None);
+    assert_eq!(s, 403);
+    let (s, _) = http(addr, "POST", "/shutdown", &[("X-Admin-Key", "root")], None);
+    assert_eq!(s, 202);
+    let stats = server.wait();
+    assert_eq!(stats.completed, 1);
+}
