@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod paradigms;
 pub mod pass;
 pub mod passes;
+pub mod query_exec;
 pub mod report;
 pub mod set;
 pub mod value;
@@ -73,6 +74,8 @@ pub use obs::{Layer, Obs};
 pub use pag::{keys, mkeys, KeyId};
 pub use paradigms::self_analysis::{self_analysis, SelfAnalysisResult};
 pub use pass::{Pass, PassCx};
+pub use query;
+pub use query_exec::{execute_query, QueryOutput};
 pub use report::Report;
 pub use set::{EdgeSet, VertexSet};
 pub use value::Value;

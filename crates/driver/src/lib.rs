@@ -11,10 +11,12 @@ use perflow::paradigms::{
     diagnosis_graph, iterative_causal, mpi_profiler, scalability_analysis, scalability_graph,
 };
 use perflow::pass::FnPass;
-use perflow::verify::{check_pag, json_escape, lint_program, Diagnostics, Severity};
+use perflow::verify::{
+    check_pag, json_escape, lint_program, lint_query_text, Diagnostics, Severity,
+};
 use perflow::{
-    CheckpointFile, CheckpointWriter, ExecOptions, ExecPolicy, Obs, PassCache, PerFlow, Report,
-    RetryPolicy, RunHandle, RunHandleExt,
+    execute_query, CheckpointFile, CheckpointWriter, ExecOptions, ExecPolicy, Obs, PassCache,
+    PerFlow, Report, RetryPolicy, RunHandle, RunHandleExt,
 };
 use progmodel::Program;
 use simrt::RunConfig;
@@ -311,6 +313,99 @@ pub fn lint(prog: &Program, run: &RunHandle) -> Result<LintOutcome, DriverError>
 }
 
 // ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+/// Statically analyze query text without executing anything: parse
+/// errors surface as `PF0300`, everything else comes from the PF03xx
+/// semantic analyzer over the static schema of the query's own view.
+pub fn check_query(text: &str) -> Diagnostics {
+    lint_query_text(text).1
+}
+
+/// What [`run_query`] produced: the lint findings plus — only when the
+/// lint found no errors — the executed report.
+pub struct QueryOutcome {
+    /// The query text as submitted.
+    pub query: String,
+    /// PF03xx findings (always populated; may be warnings only).
+    pub diagnostics: Diagnostics,
+    /// The report, absent when lint errors blocked execution.
+    pub report: Option<Report>,
+}
+
+impl QueryOutcome {
+    /// True when the query executed (no lint errors).
+    pub fn executed(&self) -> bool {
+        self.report.is_some()
+    }
+
+    /// Human-readable rendering: diagnostics first (if any), then the
+    /// report or a refusal note.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.diagnostics.is_empty() {
+            out.push_str(&self.diagnostics.render_text());
+        }
+        match &self.report {
+            Some(r) => out.push_str(&r.render()),
+            None => out.push_str(&format!(
+                "query rejected by static analysis ({}); nothing was executed\n",
+                self.diagnostics.summary()
+            )),
+        }
+        out
+    }
+
+    /// Machine-readable rendering tagged with the workload name.
+    pub fn render_json(&self, workload: &str) -> String {
+        let report = match &self.report {
+            Some(r) => format!("\"{}\"", json_escape(&r.render())),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"workload\":\"{}\",\"query\":\"{}\",\"executed\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":{},\"report\":{}}}",
+            json_escape(workload),
+            json_escape(&self.query),
+            self.executed(),
+            self.diagnostics.count(Severity::Error),
+            self.diagnostics.count(Severity::Warn),
+            self.diagnostics.render_json(),
+            report,
+        )
+    }
+}
+
+/// Lint `text` and — only when clean of errors — execute it against
+/// `run`. An invalid query never reaches the evaluator, so the
+/// rejection path runs no pass at all.
+pub fn run_query(run: &RunHandle, text: &str) -> Result<QueryOutcome, DriverError> {
+    let (parsed, diagnostics) = lint_query_text(text);
+    if diagnostics.has_errors() {
+        return Ok(QueryOutcome {
+            query: text.to_string(),
+            diagnostics,
+            report: None,
+        });
+    }
+    let q = parsed.expect("lint without errors implies a parsed query");
+    let report = execute_query(&q, run)
+        .map_err(|e| DriverError(format!("query execution failed: {e}")))?
+        .into_report();
+    Ok(QueryOutcome {
+        query: text.to_string(),
+        diagnostics,
+        report: Some(report),
+    })
+}
+
+/// Content fingerprint of "`text` applied to this run" — keys a report
+/// cache exactly like [`report_fingerprint`] does for paradigms.
+pub fn query_fingerprint(run: &RunHandle, text: &str) -> u64 {
+    fnv_words(&[run.content_digest(), fnv_str(text)])
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint context + digests
 // ---------------------------------------------------------------------------
 
@@ -583,6 +678,84 @@ mod tests {
         let report = analyze(&pflow, &prog, &run, Paradigm::Hotspot, &cfg).unwrap();
         assert!(!report.render().is_empty());
         assert!(run_summary(&prog, &run, &cfg).contains("4 ranks"));
+    }
+
+    #[test]
+    fn query_hotspot_digest_matches_paradigm() {
+        let pflow = PerFlow::new();
+        let prog = workload("cg").unwrap();
+        let cfg = AnalysisConfig {
+            ranks: 4,
+            ..AnalysisConfig::default()
+        };
+        let run = pflow
+            .run(&prog, &RunConfig::new(cfg.ranks).with_seed(cfg.seed))
+            .unwrap();
+        let paradigm = analyze(&pflow, &prog, &run, Paradigm::Hotspot, &cfg).unwrap();
+        let out = run_query(
+            &run,
+            "from vertices | score time | sort score desc nan_last | top 15 \
+             | select name, label, debug-info, time",
+        )
+        .unwrap();
+        assert!(out.executed(), "{}", out.render_text());
+        assert!(out.diagnostics.is_empty(), "{}", out.render_text());
+        assert_eq!(
+            fnv_str(&out.report.as_ref().unwrap().render()),
+            fnv_str(&paradigm.render()),
+            "query-built hotspot must digest identically to the paradigm"
+        );
+    }
+
+    #[test]
+    fn invalid_query_is_rejected_without_execution() {
+        let pflow = PerFlow::new();
+        let prog = workload("cg").unwrap();
+        let run = pflow.run(&prog, &RunConfig::new(4)).unwrap();
+        let out = run_query(&run, "from vertices | filter tme > 5").unwrap();
+        assert!(!out.executed());
+        assert!(out.report.is_none());
+        assert!(out.diagnostics.has_errors());
+        assert!(
+            out.render_text().contains("PF0301"),
+            "{}",
+            out.render_text()
+        );
+        assert!(out.render_text().contains("nothing was executed"));
+        let json = out.render_json("cg");
+        assert!(json.contains("\"executed\":false"), "{json}");
+        assert!(json.contains("\"report\":null"), "{json}");
+        assert!(json.contains("PF0301"), "{json}");
+        // Rejection is deterministic: same text, same rendering.
+        let again = run_query(&run, "from vertices | filter tme > 5").unwrap();
+        assert_eq!(out.render_json("cg"), again.render_json("cg"));
+    }
+
+    #[test]
+    fn check_query_is_pure_static_analysis() {
+        assert!(
+            check_query("from vertices | sort time desc nan_last | top 5 | select name, time")
+                .is_empty()
+        );
+        let d = check_query("from vertices | fliter time > 5");
+        assert!(d.has_errors());
+        assert_eq!(d.items()[0].code, "PF0300");
+        // Warnings alone don't block execution.
+        let d = check_query("from vertices | sort time desc");
+        assert!(!d.has_errors());
+        assert_eq!(d.items()[0].code, "PF0304");
+    }
+
+    #[test]
+    fn query_fingerprint_keys_on_run_and_text() {
+        let pflow = PerFlow::new();
+        let prog = workload("cg").unwrap();
+        let run = pflow.run(&prog, &RunConfig::new(4)).unwrap();
+        let a = query_fingerprint(&run, "from vertices | top 3");
+        assert_eq!(a, query_fingerprint(&run, "from vertices | top 3"));
+        assert_ne!(a, query_fingerprint(&run, "from vertices | top 4"));
+        let other = pflow.run(&prog, &RunConfig::new(8)).unwrap();
+        assert_ne!(a, query_fingerprint(&other, "from vertices | top 3"));
     }
 
     #[test]

@@ -317,6 +317,13 @@ impl Pag {
         &mut self.vmetrics
     }
 
+    /// Test-only escape hatch for corrupting the vertex metric store so
+    /// verifier invariant checks (PF0111) have a firing fixture.
+    #[doc(hidden)]
+    pub fn vmetric_columns_for_test(&mut self) -> &mut MetricColumns {
+        &mut self.vmetrics
+    }
+
     pub(crate) fn emetrics_mut(&mut self) -> &mut MetricColumns {
         &mut self.emetrics
     }

@@ -38,7 +38,7 @@ pub use dot::escape_dot;
 pub use graph::{EdgeData, Pag, VertexData};
 pub use ids::{EdgeId, ProcId, ThreadId, VertexId};
 pub use label::{CallKind, CommKind, EdgeLabel, VertexLabel};
-pub use metric::{KeyId, KeyTable, MetricColumns, MetricKind};
+pub use metric::{ColumnFault, KeyId, KeyTable, MetricColumns, MetricKind, GLOBAL_KEYS};
 pub use ord::{desc_nan_last, nan_smallest};
 pub use props::{keys, PropMap, PropValue};
 pub use stats::VertexStats;

@@ -219,7 +219,15 @@ pub struct ScalarCol {
 impl ScalarCol {
     #[inline]
     fn has(&self, row: usize) -> bool {
-        row < self.data.len() && self.present[row >> 6] & (1u64 << (row & 63)) != 0
+        // `get` rather than indexing: a presence bitmap shorter than the
+        // value vector (audit fault `PresenceLen`) must read as "absent",
+        // not panic — the checker still has to walk such a store to
+        // report it.
+        row < self.data.len()
+            && self
+                .present
+                .get(row >> 6)
+                .is_some_and(|w| w & (1u64 << (row & 63)) != 0)
     }
 
     #[inline]
@@ -241,6 +249,29 @@ impl ScalarCol {
 #[derive(Debug, Clone, Default, PartialEq)]
 struct VecCol {
     data: Vec<Option<Arc<[f64]>>>,
+}
+
+/// A structural fault in the columnar store, found by
+/// [`MetricColumns::audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnFault {
+    /// A scalar column's presence bitmap has the wrong number of words
+    /// for its value count (memory corruption or a buggy mutation path).
+    PresenceLen {
+        /// The affected column.
+        key: KeyId,
+        /// Number of stored values.
+        data_len: usize,
+        /// Number of 64-bit presence words actually held.
+        present_words: usize,
+    },
+    /// A column exists at an index the owning key table never interned.
+    UnknownKey {
+        /// The orphaned column id.
+        key: KeyId,
+        /// `"scalar"` or `"vector"`.
+        column: &'static str,
+    },
 }
 
 /// Columnar metric storage for one id space (vertices or edges) of a PAG.
@@ -447,6 +478,49 @@ impl MetricColumns {
                 };
                 self.set_vec(dk, dst_row, v.clone());
             }
+        }
+    }
+
+    /// Audit the store's structural invariants against a key table of
+    /// `known_keys` entries. Returns every fault found; used by
+    /// `verify::check_pag` (PF0111 / PF0112).
+    pub fn audit(&self, known_keys: usize) -> Vec<ColumnFault> {
+        let mut faults = Vec::new();
+        for (ki, col) in self.scalars.iter().enumerate() {
+            let Some(col) = col else { continue };
+            let expected = col.data.len().div_ceil(64);
+            if col.present.len() != expected {
+                faults.push(ColumnFault::PresenceLen {
+                    key: KeyId(ki as u32),
+                    data_len: col.data.len(),
+                    present_words: col.present.len(),
+                });
+            }
+            if ki >= known_keys {
+                faults.push(ColumnFault::UnknownKey {
+                    key: KeyId(ki as u32),
+                    column: "scalar",
+                });
+            }
+        }
+        for (ki, col) in self.vecs.iter().enumerate() {
+            if col.is_some() && ki >= known_keys {
+                faults.push(ColumnFault::UnknownKey {
+                    key: KeyId(ki as u32),
+                    column: "vector",
+                });
+            }
+        }
+        faults
+    }
+
+    /// Test-only hook: truncate a scalar column's presence bitmap so the
+    /// PF0111 invariant check has something to fire on. Hidden because
+    /// no real code path can produce this state.
+    #[doc(hidden)]
+    pub fn corrupt_presence_for_test(&mut self, key: KeyId) {
+        if let Some(Some(col)) = self.scalars.get_mut(key.index()) {
+            col.present.pop();
         }
     }
 

@@ -1,0 +1,47 @@
+//! `query` — a small typed query language over the PAG.
+//!
+//! ROADMAP item 4 (after Cankur et al., "Automated Programmatic
+//! Performance Analysis"): tool output should be *queryable data*, so
+//! users can ask ad-hoc questions ("top 5 functions by wait time on
+//! ranks where imbalance > 2×") without authoring a PerFlowGraph. This
+//! crate is the front half of that layer:
+//!
+//! - [`lexer`] / [`parser`] turn query text into a typed [`Query`] AST
+//!   (pipeline stages: `from`, `filter`, `score`, `sort`, `top`, `join`,
+//!   `select`, `sum`, `group`);
+//! - [`Query::render`] emits the canonical text form, an exact inverse
+//!   of parsing (proptested over hostile metric names);
+//! - [`Schema`] types every referencable name (scalar vs vector metric
+//!   vs string attribute) against the interned global key table, and
+//!   records which PAG view materializes each column.
+//!
+//! The back half lives elsewhere by design: `verify::lint_query` runs
+//! the PF03xx static semantic analysis over (AST, schema) pairs, and
+//! `perflow::query_exec` evaluates linted queries against a run. This
+//! crate depends only on `pag`, so every layer above can lint queries
+//! without pulling in the engine.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod schema;
+
+pub use ast::{CmpOp, Field, JoinKind, NanPolicy, Order, Query, Stage, Value, View};
+pub use schema::{Schema, Ty};
+
+/// A lexical or syntactic error, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query text.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}

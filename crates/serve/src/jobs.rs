@@ -15,21 +15,25 @@ use perflow::ExecPolicy;
 use crate::json::{obj, Json};
 
 /// What kind of analysis a job runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobKind {
     /// One of the driver's built-in paradigms.
     Paradigm(Paradigm),
     /// The observed/resilient comm-analysis session (shares the
     /// server's bounded pass cache across jobs).
     Comm,
+    /// A perflow-query program, statically linted before admission
+    /// (`POST /query`). The string is the query text.
+    Query(String),
 }
 
 impl JobKind {
-    /// Wire name, matching [`Paradigm::name`] plus `comm`.
+    /// Wire name, matching [`Paradigm::name`] plus `comm` / `query`.
     pub fn name(&self) -> &'static str {
         match self {
             JobKind::Paradigm(p) => p.name(),
             JobKind::Comm => "comm",
+            JobKind::Query(_) => "query",
         }
     }
 
@@ -79,9 +83,19 @@ impl JobSpec {
         if driver::workload(&workload).is_none() {
             return Err(format!("unknown workload `{workload}`"));
         }
-        let kind = match v.get("paradigm") {
-            None => JobKind::Paradigm(Paradigm::Hotspot),
-            Some(p) => {
+        let kind = match (v.get("query"), v.get("paradigm")) {
+            (Some(_), Some(_)) => {
+                return Err("`query` and `paradigm` are mutually exclusive".into());
+            }
+            (Some(q), None) => {
+                let text = q.as_str().ok_or("`query` must be a string")?;
+                if text.trim().is_empty() {
+                    return Err("`query` must not be empty".into());
+                }
+                JobKind::Query(text.to_string())
+            }
+            (None, None) => JobKind::Paradigm(Paradigm::Hotspot),
+            (None, Some(p)) => {
                 let name = p.as_str().ok_or("`paradigm` must be a string")?;
                 JobKind::parse(name).ok_or_else(|| format!("unknown paradigm `{name}`"))?
             }
@@ -233,6 +247,9 @@ impl JobRecord {
             ("seed", Json::Num(self.spec.cfg.seed as f64)),
             ("tenant", Json::Str(self.tenant.clone())),
         ];
+        if let JobKind::Query(text) = &self.spec.kind {
+            fields.push(("query", Json::Str(text.clone())));
+        }
         if let Some(r) = &self.result {
             fields.push(("cached", Json::Bool(r.cached)));
             fields.push((
@@ -413,12 +430,37 @@ mod tests {
             r#"{"workload":"cg","hold_ms":999999}"#,
             r#"{"workload":"cg","fail_policy":"explode"}"#,
             r#"{"workload":"cg","seed":-1}"#,
+            r#"{"workload":"cg","query":"from vertices","paradigm":"hotspot"}"#,
+            r#"{"workload":"cg","query":42}"#,
+            r#"{"workload":"cg","query":"   "}"#,
         ] {
             assert!(
                 JobSpec::from_json(&Json::parse(bad).unwrap()).is_err(),
                 "accepted bad spec {bad}"
             );
         }
+    }
+
+    #[test]
+    fn query_spec_parses_and_round_trips() {
+        let ok = JobSpec::from_json(
+            &Json::parse(r#"{"workload":"cg","query":"from vertices | sum time"}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            ok.kind,
+            JobKind::Query("from vertices | sum time".to_string())
+        );
+        assert_eq!(ok.kind.name(), "query");
+
+        let reg = JobRegistry::default();
+        let rec = reg.admit("t1", ok, 1).unwrap();
+        let j = reg.get(rec.id).unwrap().to_json(false);
+        assert_eq!(j.get("paradigm").and_then(Json::as_str), Some("query"));
+        assert_eq!(
+            j.get("query").and_then(Json::as_str),
+            Some("from vertices | sum time")
+        );
     }
 
     #[test]

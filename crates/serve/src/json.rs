@@ -132,22 +132,12 @@ impl Json {
 }
 
 /// JSON string escaping (control characters, quote, backslash).
+///
+/// Delegates to [`obs::json_escape`] — the workspace keeps exactly one
+/// escaper (verify re-exports the same one) so serve, verify and obs
+/// can never drift on what a hostile string renders as.
 pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    obs::json_escape(s)
 }
 
 /// Shorthand for building an object literal in code.

@@ -10,6 +10,7 @@
 //! | Route | Meaning |
 //! |---|---|
 //! | `POST /jobs` | Submit a job (JSON body: `workload`, `paradigm`, `ranks`, `threads`, `seed`, `priority`, resilience knobs). 202 + job id. |
+//! | `POST /query` | Submit a perflow-query job (body adds a required `query` string). The query is statically linted (PF03xx) **before** admission: lint errors are a 400 with the diagnostics as JSON and nothing is enqueued or executed. 202 + job id otherwise. |
 //! | `GET /jobs/:id` | Job status; includes the report, its digest and `cached` once done. |
 //! | `GET /jobs` | The calling tenant's jobs (no report bodies). |
 //! | `GET /metrics` | Prometheus text exposition of the whole engine + daemon. |
@@ -315,6 +316,7 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
                     Json::Arr(
                         [
                             "POST /jobs",
+                            "POST /query",
                             "GET /jobs",
                             "GET /jobs/:id",
                             "GET /metrics",
@@ -344,7 +346,8 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
             shared.tick_queue_gauge();
             (200, "text/plain; version=0.0.4", shared.obs.prometheus())
         }
-        ("POST", "/jobs") => submit(shared, req),
+        ("POST", "/jobs") => submit(shared, req, false),
+        ("POST", "/query") => submit(shared, req, true),
         ("GET", "/jobs") => match authenticate(shared, req) {
             Err((status, body)) => (status, "application/json", body),
             Ok(tenant) => {
@@ -383,14 +386,17 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
                 .render(),
             )
         }
-        (_, "/jobs") | (_, "/metrics") | (_, "/healthz") | (_, "/shutdown") | (_, "/") => {
-            (405, "application/json", err_body("method not allowed"))
-        }
+        (_, "/jobs")
+        | (_, "/query")
+        | (_, "/metrics")
+        | (_, "/healthz")
+        | (_, "/shutdown")
+        | (_, "/") => (405, "application/json", err_body("method not allowed")),
         _ => (404, "application/json", err_body("not found")),
     }
 }
 
-fn submit(shared: &Arc<Shared>, req: &Request) -> Response {
+fn submit(shared: &Arc<Shared>, req: &Request, require_query: bool) -> Response {
     let tenant = match authenticate(shared, req) {
         Ok(t) => t,
         Err((status, body)) => return (status, "application/json", body),
@@ -411,6 +417,29 @@ fn submit(shared: &Arc<Shared>, req: &Request) -> Response {
         Ok(s) => s,
         Err(e) => return (400, "application/json", err_body(e)),
     };
+    if require_query && !matches!(spec.kind, JobKind::Query(_)) {
+        return (
+            400,
+            "application/json",
+            err_body("missing required string field `query`"),
+        );
+    }
+    // Static gate: a query job never reaches the queue with lint
+    // errors, so executors only ever see verified query programs.
+    if let JobKind::Query(text) = &spec.kind {
+        let d = driver::check_query(text);
+        if d.has_errors() {
+            return (
+                400,
+                "application/json",
+                format!(
+                    "{{\"error\":\"invalid query\",\"summary\":\"{}\",\"diagnostics\":{}}}",
+                    json::escape(&d.summary()),
+                    d.render_json()
+                ),
+            );
+        }
+    }
     let record = match shared
         .registry
         .admit(&tenant, spec, shared.cfg.tenant_quota)
@@ -534,8 +563,8 @@ fn execute(shared: &Arc<Shared>, record: &JobRecord) -> Result<JobResult, String
         }
     };
 
-    let report_fp = match spec.kind {
-        JobKind::Paradigm(p) => driver::report_fingerprint(p, &spec.cfg, &run),
+    let report_fp = match &spec.kind {
+        JobKind::Paradigm(p) => driver::report_fingerprint(*p, &spec.cfg, &run),
         // The comm session's report depends on the run plus the
         // resilience knobs that can degrade it.
         JobKind::Comm => fnv_str(&format!(
@@ -545,6 +574,7 @@ fn execute(shared: &Arc<Shared>, record: &JobRecord) -> Result<JobResult, String
             spec.resilience.retries,
             spec.resilience.pass_timeout_ms,
         )),
+        JobKind::Query(text) => driver::query_fingerprint(&run, text),
     };
     if let Some(hit) = shared.report_cache.get(report_fp) {
         obs.count(names::SERVE_REPORT_CACHE_HIT, 1);
@@ -556,11 +586,25 @@ fn execute(shared: &Arc<Shared>, record: &JobRecord) -> Result<JobResult, String
     }
     obs.count(names::SERVE_REPORT_CACHE_MISS, 1);
 
-    let (report, report_digest) = match spec.kind {
+    let (report, report_digest) = match &spec.kind {
         JobKind::Paradigm(p) => {
-            let rendered = driver::analyze(&shared.pflow, &prog, &run, p, &spec.cfg)
+            let rendered = driver::analyze(&shared.pflow, &prog, &run, *p, &spec.cfg)
                 .map_err(|e| e.to_string())?
                 .render();
+            let digest = fnv_str(&rendered);
+            (rendered, digest)
+        }
+        JobKind::Query(text) => {
+            // Submission already linted the query; a rejection here
+            // means the text was tampered with between admit and run.
+            let out = driver::run_query(&run, text).map_err(|e| e.to_string())?;
+            if !out.executed() {
+                return Err(format!(
+                    "query rejected by static analysis ({})",
+                    out.diagnostics.summary()
+                ));
+            }
+            let rendered = out.render_text();
             let digest = fnv_str(&rendered);
             (rendered, digest)
         }

@@ -73,6 +73,13 @@ pub enum Anchor {
         /// Function name.
         name: String,
     },
+    /// One query pipeline stage, by position and keyword.
+    Stage {
+        /// Zero-based stage index within the pipeline.
+        index: usize,
+        /// The stage keyword (`filter`, `sort`, ...).
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for Anchor {
@@ -83,6 +90,7 @@ impl fmt::Display for Anchor {
             Anchor::Vertex { id, name } => write!(f, "vertex {id} (`{name}`)"),
             Anchor::Edge { id } => write!(f, "edge {id}"),
             Anchor::Func { id, name } => write!(f, "function {id} (`{name}`)"),
+            Anchor::Stage { index, op } => write!(f, "stage {index} (`{op}`)"),
         }
     }
 }
@@ -130,6 +138,9 @@ impl Diagnostic {
                 "{{\"kind\":\"function\",\"id\":{id},\"name\":\"{}\"}}",
                 json_escape(name)
             ),
+            Anchor::Stage { index, op } => {
+                format!("{{\"kind\":\"stage\",\"index\":{index},\"op\":\"{op}\"}}")
+            }
         };
         format!(
             "{{\"code\":\"{}\",\"severity\":\"{}\",\"anchor\":{},\"message\":\"{}\"}}",

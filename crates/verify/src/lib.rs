@@ -21,26 +21,35 @@
 //!   consistency from the fault-injection path.
 //! * **Program-model lint** ([`lint_program`]) warns about dead
 //!   (entry-unreachable) functions in a [`progmodel::Program`].
+//! * **Query semantic analysis** ([`lint_query`]) type-checks a parsed
+//!   [`query::Query`] against a [`query::Schema`] before anything
+//!   executes: unknown metric/field names with nearest-key suggestions,
+//!   scalar/vector/string type mismatches, predicates over columns
+//!   provably absent in the target view, NaN-unsafe orderings,
+//!   contradictory (provably-empty) filter chains, and deprecated
+//!   string-keyed `shim:` access (the PF03xx family).
 //!
 //! Every diagnostic carries a stable code (`PF0001`, …), a severity, and
 //! a source anchor (graph node, PAG vertex/edge, or function); emission
 //! order is fully deterministic (sorted by code, anchor, message) and
 //! renders both as human-readable text and machine-readable JSON.
 //!
-//! The crate deliberately depends only on `pag`, `progmodel` and the
-//! zero-dependency `obs` (for the shared JSON escaping helper): the
-//! dataflow engine hands it a plain structural snapshot
+//! The crate deliberately depends only on `pag`, `query`, `progmodel`
+//! and the zero-dependency `obs` (for the shared JSON escaping helper):
+//! the dataflow engine hands it a plain structural snapshot
 //! ([`GraphShape`]), so `core` can depend on `verify` without a cycle.
 
 pub mod diag;
 pub mod graph;
 pub mod pag_check;
 pub mod program_lint;
+pub mod query_lint;
 
 pub use diag::{json_escape, Anchor, Diagnostic, Diagnostics, Severity};
 pub use graph::{lint_checkpoint, lint_graph, GraphShape, NodeShape, WireShape};
 pub use pag_check::check_pag;
 pub use program_lint::lint_program;
+pub use query_lint::{lint_query, lint_query_text};
 
 /// Stable diagnostic codes emitted by the analyzers in this crate.
 ///
@@ -93,7 +102,31 @@ pub mod codes {
     /// Observation was truncated: the span cap was hit and spans were
     /// dropped, so the PAG is knowingly incomplete (info).
     pub const TRUNCATED_OBSERVATION: &str = "PF0110";
+    /// Columnar store: a scalar column's presence bitmap disagrees with
+    /// its value count (error).
+    pub const PRESENCE_SHAPE: &str = "PF0111";
+    /// Columnar store: a column exists for a `KeyId` the key table never
+    /// interned (error).
+    pub const UNKNOWN_COLUMN_KEY: &str = "PF0112";
 
     /// Function unreachable from the program entry (warning).
     pub const DEAD_FUNCTION: &str = "PF0201";
+
+    /// Query does not parse (error).
+    pub const QUERY_SYNTAX: &str = "PF0300";
+    /// Query references a metric/field no view defines (error).
+    pub const QUERY_UNKNOWN_FIELD: &str = "PF0301";
+    /// Query applies an operation to a value of the wrong type (error).
+    pub const QUERY_TYPE_MISMATCH: &str = "PF0302";
+    /// Query reads a column provably absent in its target view (error).
+    pub const QUERY_ABSENT_COLUMN: &str = "PF0303";
+    /// Sort over a NaN-capable metric without an explicit `nan_last` /
+    /// `nan_first` policy (warning; execution defaults to
+    /// `pag::ord::desc_nan_last` semantics).
+    pub const QUERY_NAN_ORDER: &str = "PF0304";
+    /// Filter chain is provably empty — contradictory predicates or
+    /// `top 0` (error).
+    pub const QUERY_EMPTY_RESULT: &str = "PF0305";
+    /// Deprecated string-keyed `shim:` property access (warning).
+    pub const QUERY_SHIM_ACCESS: &str = "PF0306";
 }

@@ -14,7 +14,11 @@
 //!   volumes) are finite and non-negative (`PF0106`);
 //! * completeness metadata written by the degraded-collection path is a
 //!   finite fraction in `[0, 1]` (`PF0107`) with per-process vectors of
-//!   the right length (`PF0108`).
+//!   the right length (`PF0108`);
+//! * the columnar metric store is internally consistent: every scalar
+//!   column's presence bitmap matches its value count (`PF0111`) and no
+//!   column exists for a `KeyId` the key table never interned
+//!   (`PF0112`).
 //!
 //! Large PAGs can violate one rule at thousands of vertices, so
 //! per-vertex findings are summarized: one diagnostic per (code, key)
@@ -165,11 +169,67 @@ pub fn check_pag(g: &Pag) -> Diagnostics {
         }
     }
 
+    // Columnar-store faults first: a corrupt presence bitmap makes every
+    // value read on that column unreliable, so report the corruption
+    // before the value audits below interpret what they see.
+    audit_columns(g, &mut d);
     audit_metrics(g, &mut d);
     audit_completeness(g, &mut d);
     audit_truncation(g, &mut d);
 
     d.finish()
+}
+
+/// PF0111 / PF0112 — columnar-store invariants. The query layer and the
+/// parallel graph algorithms read presence bitmaps word-at-a-time, so a
+/// bitmap whose word count disagrees with its value count is memory
+/// corruption waiting to be dereferenced; an orphan column (one whose
+/// `KeyId` the key table never interned) can never be named by a pass or
+/// a query and signals a serialization or mutation bug.
+fn audit_columns(g: &Pag, d: &mut Diagnostics) {
+    let known = g.key_table().len();
+    for (columns, space) in [
+        (g.vmetric_columns(), "vertex"),
+        (g.emetric_columns(), "edge"),
+    ] {
+        for fault in columns.audit(known) {
+            match fault {
+                pag::ColumnFault::PresenceLen {
+                    key,
+                    data_len,
+                    present_words,
+                } => {
+                    let expected = data_len.div_ceil(64);
+                    let name = if key.index() < known {
+                        format!("`{}`", g.key_name(key))
+                    } else {
+                        format!("key {}", key.0)
+                    };
+                    d.push(
+                        codes::PRESENCE_SHAPE,
+                        Severity::Error,
+                        Anchor::Graph,
+                        format!(
+                            "{space} metric column {name} holds {data_len} value(s) but \
+                             {present_words} presence word(s); expected {expected}"
+                        ),
+                    );
+                }
+                pag::ColumnFault::UnknownKey { key, column } => {
+                    d.push(
+                        codes::UNKNOWN_COLUMN_KEY,
+                        Severity::Error,
+                        Anchor::Graph,
+                        format!(
+                            "{space} {column} column exists for key {} but the key table \
+                             only interns {known} key(s)",
+                            key.0
+                        ),
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// PF0106 — audited metrics must be finite and non-negative. One
@@ -477,6 +537,43 @@ mod tests {
         g.set_vprop(VertexId(0), keys::COMPLETENESS, 0.75);
         g.set_vprop(VertexId(0), keys::COMPLETENESS_PER_PROC, vec![1.0, 0.5]);
         assert!(check_pag(&g).is_empty());
+    }
+
+    #[test]
+    fn pf0111_presence_bitmap_length_mismatch() {
+        let mut g = tree();
+        g.set_vprop(VertexId(0), keys::TIME, 1.0);
+        assert!(check_pag(&g).is_empty());
+        // Simulate corruption: drop one presence word out from under the
+        // `time` column's values.
+        g.vmetric_columns_for_test()
+            .corrupt_presence_for_test(mkeys::TIME);
+        let d = check_pag(&g);
+        let m = d
+            .items()
+            .iter()
+            .find(|x| x.code == codes::PRESENCE_SHAPE)
+            .unwrap();
+        assert_eq!(m.severity, Severity::Error);
+        assert!(m.message.contains("`time`"), "{}", m.message);
+        assert!(m.message.contains("0 presence word(s)"), "{}", m.message);
+        assert!(m.message.contains("expected 1"), "{}", m.message);
+    }
+
+    #[test]
+    fn pf0112_column_for_uninterned_key() {
+        let mut g = tree();
+        // Write through a KeyId the key table never handed out.
+        g.set_metric(VertexId(0), KeyId(999), 1.0);
+        let d = check_pag(&g);
+        let m = d
+            .items()
+            .iter()
+            .find(|x| x.code == codes::UNKNOWN_COLUMN_KEY)
+            .unwrap();
+        assert_eq!(m.severity, Severity::Error);
+        assert!(m.message.contains("key 999"), "{}", m.message);
+        assert!(m.message.contains("scalar column"), "{}", m.message);
     }
 
     #[test]

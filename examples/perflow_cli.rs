@@ -13,6 +13,8 @@
 //! cargo run --release --bin perflow-cli -- lammps --paradigm causal --ranks 32
 //! cargo run --release --bin perflow-cli -- bt --paradigm critical-path --dot
 //! cargo run --release --bin perflow-cli -- cg --ranks 8 --crash 5@10000 --sample-loss 0.1
+//! cargo run --release --bin perflow-cli -- cg --query 'from vertices | sort time desc nan_last | top 5 | select name, time'
+//! cargo run --release --bin perflow-cli -- cg --check-query 'from vertices | filter tme > 5'
 //! ```
 
 use driver::{AnalysisConfig, CheckpointStatus, Paradigm, ResilienceConfig, WORKLOAD_NAMES};
@@ -24,6 +26,7 @@ fn usage() -> ! {
         "usage: perflow-cli <workload|list> [--paradigm mpip|hotspot|scalability|critical-path|causal|contention]\n\
          \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]\n\
          \x20                [--trace-out FILE] [--metrics] [--metrics-json] [--lint] [--lint-json]\n\
+         \x20                [--query QUERY] [--check-query QUERY] [--query-json]\n\
          \x20                [--self-analyze] [--prom-out FILE] [--folded-out FILE] [--app-folded-out FILE]\n\
          \x20                [--fail-policy failfast|isolate] [--pass-timeout-ms N] [--retries N]\n\
          \x20                [--cache-capacity N]\n\
@@ -35,6 +38,21 @@ fn usage() -> ! {
 }
 
 /// Parse a `RANK@VALUE` fault operand (e.g. `--crash 5@10000`).
+/// Lint a query (`--check-query`), print the findings, and exit —
+/// code 1 iff the analyzer found error-level findings.
+fn check_query_exit(qtext: &str, json: bool) -> ! {
+    let d = driver::check_query(qtext);
+    if json {
+        println!("{}", d.render_json());
+    } else if d.is_empty() {
+        println!("query ok: no findings");
+    } else {
+        print!("{}", d.render_text());
+        println!("{}", d.summary());
+    }
+    std::process::exit(if d.has_errors() { 1 } else { 0 });
+}
+
 fn rank_at(flag: &str, s: &str) -> (u32, f64) {
     let parsed = s
         .split_once('@')
@@ -62,6 +80,15 @@ fn main() {
         println!("paradigms: {}", names.join(" "));
         return;
     }
+    // `--check-query` is pure static analysis — no workload, no
+    // simulation — so it also works with the positional omitted.
+    if target == "--check-query" {
+        let Some(qtext) = args.get(1) else {
+            eprintln!("--check-query needs a value");
+            std::process::exit(2);
+        };
+        check_query_exit(qtext, args.iter().any(|a| a == "--query-json"));
+    }
     let Some(prog) = driver::workload(target) else {
         eprintln!("unknown workload `{target}` (try `list`)");
         std::process::exit(2);
@@ -80,6 +107,9 @@ fn main() {
     let mut self_analyze = false;
     let mut lint = false;
     let mut lint_json = false;
+    let mut query: Option<String> = None;
+    let mut check_query: Option<String> = None;
+    let mut query_json = false;
     let mut res = ResilienceConfig::default();
     let mut faults = FaultPlan::new();
     let mut it = args[1..].iter();
@@ -116,6 +146,9 @@ fn main() {
             "--self-analyze" => self_analyze = true,
             "--lint" => lint = true,
             "--lint-json" => lint_json = true,
+            "--query" => query = Some(val("--query")),
+            "--check-query" => check_query = Some(val("--check-query")),
+            "--query-json" => query_json = true,
             "--fail-policy" => {
                 let v = val("--fail-policy");
                 res.fail_policy = Some(ExecPolicy::parse(&v).unwrap_or_else(|| {
@@ -173,6 +206,12 @@ fn main() {
         }
     }
 
+    // Pure static analysis: lint the query and exit before any
+    // simulation runs (exit 1 iff the analyzer found errors).
+    if let Some(qtext) = &check_query {
+        check_query_exit(qtext, query_json);
+    }
+
     let pflow = PerFlow::new();
     let observed = trace_out.is_some()
         || prom_out.is_some()
@@ -202,6 +241,18 @@ fn main() {
             println!("{}", outcome.render_text());
         }
         std::process::exit(if outcome.is_clean() { 0 } else { 1 });
+    }
+
+    if let Some(qtext) = &query {
+        // Lint gates execution: an invalid query is rejected here and
+        // never reaches the evaluator.
+        let out = driver::run_query(&run, qtext).unwrap_or_else(|e| fail(e));
+        if query_json {
+            println!("{}", out.render_json(target));
+        } else {
+            print!("{}", out.render_text());
+        }
+        std::process::exit(if out.diagnostics.has_errors() { 1 } else { 0 });
     }
 
     print!("{}", driver::run_summary(&prog, &run, &cfg));

@@ -212,6 +212,107 @@ fn repeated_identical_submission_is_served_from_the_report_cache() {
 }
 
 #[test]
+fn query_endpoint_lints_before_enqueue_and_matches_the_paradigm() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // A typo'd metric is rejected 400 with PF03xx diagnostics before
+    // anything is admitted: the lint runs pre-enqueue, so no job
+    // record exists and no pass executes.
+    let bad = r#"{"workload":"cg","ranks":2,"threads":2,"seed":3,
+                  "query":"from vertices | filter tme > 10 | select name"}"#;
+    let (s, body) = http(addr, "POST", "/query", &[("X-Api-Key", "t")], Some(bad));
+    assert_eq!(s, 400, "{body}");
+    let j = Json::parse(&body).expect("diagnostics body must be valid JSON");
+    assert_eq!(j.get("error").and_then(Json::as_str), Some("invalid query"));
+    assert!(body.contains("PF0301"), "{body}");
+    assert!(body.contains("did you mean `time`"), "{body}");
+    let (_, jobs) = http(addr, "GET", "/jobs", &[("X-Api-Key", "t")], None);
+    assert_eq!(jobs.trim(), r#"{"jobs":[]}"#, "rejected query was enqueued");
+
+    // The same lint gates query specs on the generic /jobs route too.
+    let (s, body) = http(addr, "POST", "/jobs", &[("X-Api-Key", "t")], Some(bad));
+    assert_eq!(s, 400, "{body}");
+    assert!(body.contains("PF0301"), "{body}");
+
+    // /query without a query field is a 400, not a default paradigm.
+    let (s, body) = http(
+        addr,
+        "POST",
+        "/query",
+        &[("X-Api-Key", "t")],
+        Some(&job_spec("cg")),
+    );
+    assert_eq!(s, 400, "{body}");
+    assert!(
+        body.contains("missing required string field `query`"),
+        "{body}"
+    );
+
+    // A clean query executes and digests identically to the built-in
+    // hotspot paradigm over the same run shape.
+    let query_spec = r#"{"workload":"cg","ranks":2,"threads":2,"seed":3,
+        "query":"from vertices | score time | sort score desc nan_last | top 15 | select name, label, debug-info, time"}"#;
+    let (s, j) = http(
+        addr,
+        "POST",
+        "/query",
+        &[("X-Api-Key", "t")],
+        Some(query_spec),
+    );
+    assert_eq!(s, 202, "{j}");
+    let qid = Json::parse(&j)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let qjob = wait_done(addr, "t", qid, 60);
+    assert_eq!(
+        qjob.get("status").and_then(Json::as_str),
+        Some("done"),
+        "{}",
+        qjob.render()
+    );
+    assert_eq!(qjob.get("paradigm").and_then(Json::as_str), Some("query"));
+    assert!(qjob.get("query").and_then(Json::as_str).is_some());
+
+    let (s, j) = submit(addr, "t", &job_spec("cg"));
+    assert_eq!(s, 202, "{}", j.render());
+    let pid = j.get("id").and_then(Json::as_u64).unwrap();
+    let pjob = wait_done(addr, "t", pid, 60);
+    assert_eq!(
+        qjob.get("report_digest").and_then(Json::as_str),
+        pjob.get("report_digest").and_then(Json::as_str),
+        "query-built hotspot must digest identically to the paradigm\nquery: {}\nparadigm: {}",
+        qjob.render(),
+        pjob.render()
+    );
+
+    // Resubmitting the identical query is a report-cache hit.
+    let (s, j) = http(
+        addr,
+        "POST",
+        "/query",
+        &[("X-Api-Key", "t")],
+        Some(query_spec),
+    );
+    assert_eq!(s, 202, "{j}");
+    let rid = Json::parse(&j)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let warm = wait_done(addr, "t", rid, 60);
+    assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        warm.get("report").and_then(Json::as_str),
+        qjob.get("report").and_then(Json::as_str)
+    );
+
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_queued_and_running_jobs() {
     let server = Server::start(ServerConfig {
         workers: 1,
