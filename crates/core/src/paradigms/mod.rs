@@ -17,6 +17,7 @@ pub mod contention_diag;
 pub mod critpath;
 pub mod graphs;
 pub mod mpi_profiler;
+pub mod perf_regression;
 pub mod scalability;
 pub mod self_analysis;
 
@@ -26,6 +27,7 @@ pub use graphs::{
     causal_loop_graph, comm_analysis_graph, diagnosis_graph, scalability_graph, ParadigmGraph,
 };
 pub use mpi_profiler::mpi_profiler;
+pub use perf_regression::{perf_regression, RegressionConfig, RegressionResult};
 pub use scalability::{scalability_analysis, ScalabilityResult};
 pub use self_analysis::{
     self_analysis, self_analysis_graph, SelfAnalysisNodes, SelfAnalysisResult,

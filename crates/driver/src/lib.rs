@@ -6,6 +6,8 @@
 //! session. Front-ends parse arguments and print; everything that decides
 //! *what to run* lives here so it can be driven programmatically.
 
+pub mod bench_diff;
+
 use perflow::paradigms::{
     causal_loop_graph, comm_analysis_graph, contention_diagnosis, critical_path_paradigm,
     diagnosis_graph, iterative_causal, mpi_profiler, scalability_analysis, scalability_graph,

@@ -2,7 +2,7 @@
 //! Object" flavor).
 
 use crate::escape::{json_num, json_str};
-use crate::{Layer, Obs};
+use crate::{Layer, Obs, SpanRec};
 
 impl Obs {
     /// Export everything as Chrome-trace JSON: one complete (`"X"`)
@@ -11,7 +11,18 @@ impl Obs {
     /// set, and every string (span names are hostile input) goes through
     /// the shared [`crate::escape`] helper.
     pub fn chrome_trace(&self) -> String {
-        let spans = self.spans();
+        self.render_trace(&self.spans(), None)
+    }
+
+    /// Export a single trace (spans stamped with `trace` by
+    /// [`Obs::with_trace`]) as Chrome-trace JSON. `otherData` carries
+    /// the trace id and its timestamp-free [`Obs::trace_digest`] so
+    /// callers can compare two runs of the same job structurally.
+    pub fn chrome_trace_for(&self, trace: u64) -> String {
+        self.render_trace(&self.spans_for_trace(trace), Some(trace))
+    }
+
+    fn render_trace(&self, spans: &[SpanRec], trace: Option<u64>) -> String {
         let mut out = String::with_capacity(256 + spans.len() * 96);
         out.push_str("{\"traceEvents\":[");
         let mut layers: Vec<Layer> = spans.iter().map(|s| s.layer).collect();
@@ -29,7 +40,7 @@ impl Obs {
                 json_str(layer.name())
             ));
         }
-        for s in &spans {
+        for s in spans {
             if !first {
                 out.push(',');
             }
@@ -43,6 +54,10 @@ impl Obs {
                 s.start_us,
                 s.dur_us
             ));
+            if s.trace != 0 {
+                // Non-standard field; trace viewers ignore unknown keys.
+                out.push_str(&format!(",\"trace\":{}", s.trace));
+            }
             if !s.args.is_empty() {
                 out.push_str(",\"args\":{");
                 for (i, (k, v)) in s.args.iter().enumerate() {
@@ -56,18 +71,56 @@ impl Obs {
             out.push('}');
         }
         out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
-        let counters = self.counters();
-        for (i, (k, v)) in counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+        if let Some(id) = trace {
+            out.push_str(&format!(
+                "\"trace\":{id},\"traceDigest\":\"{:016x}\",\"spanCount\":{},",
+                self.trace_digest(id),
+                spans.len()
+            ));
+        } else {
+            let counters = self.counters();
+            for (k, v) in &counters {
+                out.push_str(&format!("{}:{},", json_str(k), v));
             }
-            out.push_str(&format!("{}:{}", json_str(k), v));
-        }
-        if !counters.is_empty() {
-            out.push(',');
         }
         out.push_str(&format!("\"droppedSpans\":{}", self.dropped_spans()));
         out.push_str("}}");
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Layer, Obs};
+
+    #[test]
+    fn per_trace_export_filters_and_digests() {
+        let obs = Obs::enabled();
+        let job = obs.with_trace(11);
+        job.record_span(Layer::Serve, "job", 0, 0.0, 20.0, &[]);
+        job.record_span(Layer::Core, "pass:a", 1, 2.0, 6.0, &[]);
+        obs.record_span(Layer::App, "background", 0, 0.0, 1.0, &[]);
+
+        let t = obs.chrome_trace_for(11);
+        assert!(t.contains("\"trace\":11"));
+        assert!(t.contains("\"pass:a\""));
+        assert!(!t.contains("background"));
+        assert!(t.contains("\"spanCount\":2"));
+        assert!(t.contains(&format!(
+            "\"traceDigest\":\"{:016x}\"",
+            obs.trace_digest(11)
+        )));
+        // The full export still includes everything, with trace ids on
+        // the stamped events only.
+        let full = obs.chrome_trace();
+        assert!(full.contains("background"));
+        assert!(full.contains("\"trace\":11"));
+    }
+
+    #[test]
+    fn untraced_spans_omit_the_trace_field() {
+        let obs = Obs::enabled();
+        obs.record_span(Layer::Core, "pass:a", 0, 0.0, 1.0, &[]);
+        assert!(!obs.chrome_trace().contains("\"trace\":"));
     }
 }

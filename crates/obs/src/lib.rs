@@ -36,6 +36,7 @@
 mod chrome_trace;
 pub mod escape;
 mod folded;
+pub mod json;
 pub mod metrics;
 mod prometheus;
 
@@ -86,6 +87,27 @@ pub mod names {
     pub const SERVE_RUN_CACHE_MISS: &str = "serve.run_cache.miss";
     /// Gauge: jobs currently queued (not yet running).
     pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+    /// Counter: run-cache entries dropped by LRU eviction.
+    pub const SERVE_RUN_CACHE_EVICT: &str = "serve.run_cache.evictions";
+    /// Counter: report-cache entries dropped by LRU eviction.
+    pub const SERVE_REPORT_CACHE_EVICT: &str = "serve.report_cache.evictions";
+    /// Histogram: per-job queue wait (HTTP admission → executor
+    /// dispatch), µs. Per-tenant variants are emitted as
+    /// `serve.tenant.<tenant>.queue_wait_us`.
+    pub const SERVE_JOB_QUEUE_WAIT_US: &str = "serve.job.queue_wait_us";
+    /// Histogram: per-job execution time (dispatch → settled), µs.
+    pub const SERVE_JOB_EXEC_US: &str = "serve.job.exec_us";
+    /// Histogram: per-job end-to-end latency (admission → settled), µs.
+    pub const SERVE_JOB_TOTAL_US: &str = "serve.job.total_us";
+    /// Counter: `POST /bench-diff` comparisons served.
+    pub const SERVE_BENCH_DIFF: &str = "serve.bench_diff.requests";
+    /// Gauge (sampled at `/metrics` scrape): shared pass-cache hits.
+    pub const SERVE_PASS_CACHE_HITS: &str = "serve.pass_cache.hits";
+    /// Gauge (sampled at `/metrics` scrape): shared pass-cache misses.
+    pub const SERVE_PASS_CACHE_MISSES: &str = "serve.pass_cache.misses";
+    /// Gauge (sampled at `/metrics` scrape): shared pass-cache
+    /// evictions.
+    pub const SERVE_PASS_CACHE_EVICT: &str = "serve.pass_cache.evictions";
 }
 
 use std::borrow::Cow;
@@ -109,6 +131,8 @@ pub enum Layer {
     Core,
     /// Application-level spans (CLI, benches, user code).
     App,
+    /// The `perflow-serve` daemon (job admission, queueing, dispatch).
+    Serve,
 }
 
 impl Layer {
@@ -119,6 +143,7 @@ impl Layer {
             Layer::Collect => "collect",
             Layer::Core => "core",
             Layer::App => "app",
+            Layer::Serve => "serve",
         }
     }
 
@@ -129,6 +154,7 @@ impl Layer {
             Layer::Collect => 2,
             Layer::Core => 3,
             Layer::App => 4,
+            Layer::Serve => 5,
         }
     }
 }
@@ -147,6 +173,11 @@ pub struct SpanRec {
     pub start_us: f64,
     /// Duration in µs.
     pub dur_us: f64,
+    /// Trace id stamped by the recording handle (0 = untraced). Serve
+    /// jobs record through [`Obs::with_trace`] so every span of one job
+    /// — HTTP admission through the core scheduler's passes — carries
+    /// the same id and can be exported as one request-scoped trace.
+    pub trace: u64,
     /// Numeric annotations.
     pub args: Vec<(&'static str, f64)>,
 }
@@ -155,9 +186,9 @@ pub struct SpanRec {
 struct State {
     spans: Vec<SpanRec>,
     dropped: u64,
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
-    gauges: BTreeMap<&'static str, f64>,
+    counters: BTreeMap<Cow<'static, str>, u64>,
+    histograms: BTreeMap<Cow<'static, str>, Histogram>,
+    gauges: BTreeMap<Cow<'static, str>, f64>,
 }
 
 struct Inner {
@@ -172,12 +203,15 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Obs {
     inner: Option<Arc<Inner>>,
+    /// Trace id stamped onto every span this handle records (0 = none).
+    trace: u64,
 }
 
 impl std::fmt::Debug for Obs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Obs")
             .field("enabled", &self.is_enabled())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -186,7 +220,10 @@ impl Obs {
     /// A disabled handle: all instrumentation compiles to branches that
     /// never touch the clock.
     pub fn disabled() -> Self {
-        Obs { inner: None }
+        Obs {
+            inner: None,
+            trace: 0,
+        }
     }
 
     /// An enabled handle with the default span cap.
@@ -203,12 +240,45 @@ impl Obs {
                 cap,
                 state: Mutex::new(State::default()),
             })),
+            trace: 0,
         }
     }
 
     /// Whether instrumentation is recording.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A handle sharing this one's storage (same spans, counters, epoch)
+    /// that stamps `trace` onto every span it records. Zero means
+    /// untraced; serve derives one per job (trace id = job id) so the
+    /// whole request — admission, queue wait, dispatch, and every core
+    /// pass executed on its behalf — shares one trace id.
+    pub fn with_trace(&self, trace: u64) -> Obs {
+        Obs {
+            inner: self.inner.clone(),
+            trace,
+        }
+    }
+
+    /// The trace id this handle stamps (0 = untraced).
+    pub fn trace_id(&self) -> u64 {
+        self.trace
+    }
+
+    /// The span cap of this handle (0 when disabled).
+    pub fn span_cap(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.cap)
+    }
+
+    /// Number of spans currently stored. Spans are only ever appended
+    /// (up to the cap), so this doubles as the span-storage high-water
+    /// mark.
+    pub fn stored_spans(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.state.lock().unwrap().spans.len(),
+            None => 0,
+        }
     }
 
     /// Microseconds since this handle's epoch (0.0 when disabled).
@@ -244,6 +314,7 @@ impl Obs {
             lane,
             start_us: self.now_us(),
             dur_us: 0.0,
+            trace: self.trace,
             args: Vec::new(),
         });
         Span { obs: self, rec }
@@ -267,20 +338,24 @@ impl Obs {
                 lane,
                 start_us,
                 dur_us: (end_us - start_us).max(0.0),
+                trace: self.trace,
                 args: args.to_vec(),
             });
         }
     }
 
-    /// Add `delta` to a named counter.
-    pub fn count(&self, name: &'static str, delta: u64) {
+    /// Add `delta` to a named counter. Names are usually `&'static str`
+    /// constants from [`names`]; owned `String`s are accepted for
+    /// dynamically labelled series (e.g. per-tenant metrics) and only
+    /// allocate when the handle is enabled.
+    pub fn count(&self, name: impl Into<Cow<'static, str>>, delta: u64) {
         if let Some(inner) = &self.inner {
             *inner
                 .state
                 .lock()
                 .unwrap()
                 .counters
-                .entry(name)
+                .entry(name.into())
                 .or_insert(0) += delta;
         }
     }
@@ -301,7 +376,7 @@ impl Obs {
     }
 
     /// Snapshot of all counters, sorted by name.
-    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+    pub fn counters(&self) -> Vec<(String, u64)> {
         match &self.inner {
             Some(inner) => inner
                 .state
@@ -309,7 +384,7 @@ impl Obs {
                 .unwrap()
                 .counters
                 .iter()
-                .map(|(&k, &v)| (k, v))
+                .map(|(k, &v)| (k.to_string(), v))
                 .collect(),
             None => Vec::new(),
         }
@@ -336,14 +411,14 @@ impl Obs {
 
     /// Record one measurement into the named histogram (no-op when
     /// disabled, so instrumented code stays digest-identical).
-    pub fn observe(&self, name: &'static str, value: f64) {
+    pub fn observe(&self, name: impl Into<Cow<'static, str>>, value: f64) {
         if let Some(inner) = &self.inner {
             inner
                 .state
                 .lock()
                 .unwrap()
                 .histograms
-                .entry(name)
+                .entry(name.into())
                 .or_default()
                 .record(value);
         }
@@ -353,14 +428,14 @@ impl Obs {
     /// disabled). Used by workers that accumulate locally and publish
     /// once; `Histogram::merge` is order-invariant, so the result does
     /// not depend on worker completion order.
-    pub fn observe_merged(&self, name: &'static str, h: &Histogram) {
+    pub fn observe_merged(&self, name: impl Into<Cow<'static, str>>, h: &Histogram) {
         if let Some(inner) = &self.inner {
             inner
                 .state
                 .lock()
                 .unwrap()
                 .histograms
-                .entry(name)
+                .entry(name.into())
                 .or_default()
                 .merge(h);
         }
@@ -375,7 +450,7 @@ impl Obs {
     }
 
     /// Snapshot of all histograms, sorted by name.
-    pub fn histograms(&self) -> Vec<(&'static str, Histogram)> {
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
         match &self.inner {
             Some(inner) => inner
                 .state
@@ -383,16 +458,21 @@ impl Obs {
                 .unwrap()
                 .histograms
                 .iter()
-                .map(|(&k, v)| (k, v.clone()))
+                .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
             None => Vec::new(),
         }
     }
 
     /// Set a gauge to a value (last write wins; no-op when disabled).
-    pub fn set_gauge(&self, name: &'static str, value: f64) {
+    pub fn set_gauge(&self, name: impl Into<Cow<'static, str>>, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.state.lock().unwrap().gauges.insert(name, value);
+            inner
+                .state
+                .lock()
+                .unwrap()
+                .gauges
+                .insert(name.into(), value);
         }
     }
 
@@ -404,7 +484,7 @@ impl Obs {
     }
 
     /// Snapshot of all gauges, sorted by name.
-    pub fn gauges(&self) -> Vec<(&'static str, f64)> {
+    pub fn gauges(&self) -> Vec<(String, f64)> {
         match &self.inner {
             Some(inner) => inner
                 .state
@@ -412,10 +492,51 @@ impl Obs {
                 .unwrap()
                 .gauges
                 .iter()
-                .map(|(&k, &v)| (k, v))
+                .map(|(k, &v)| (k.to_string(), v))
                 .collect(),
             None => Vec::new(),
         }
+    }
+
+    /// Spans recorded under `trace`, in deterministic order (same sort
+    /// as [`Obs::spans`]).
+    pub fn spans_for_trace(&self, trace: u64) -> Vec<SpanRec> {
+        let mut spans = self.spans();
+        spans.retain(|s| s.trace == trace);
+        spans
+    }
+
+    /// A timestamp-free digest of one trace: FNV-1a over the sorted
+    /// multiset of (layer, span name) pairs. Two runs of the same job
+    /// execute the same spans in the same layers, so their digests are
+    /// equal even though wall-clock timestamps differ; a missing or
+    /// extra pass changes the digest.
+    pub fn trace_digest(&self, trace: u64) -> u64 {
+        let mut keys: Vec<String> = match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .unwrap()
+                .spans
+                .iter()
+                .filter(|s| s.trace == trace)
+                .map(|s| format!("{}\u{1f}{}", s.layer.name(), s.name))
+                .collect(),
+            None => Vec::new(),
+        };
+        keys.sort();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for key in &keys {
+            for &b in key.as_bytes() {
+                mix(b);
+            }
+            mix(0x1e);
+        }
+        h
     }
 
     /// Spans discarded because the cap was reached.
@@ -535,7 +656,13 @@ mod tests {
         obs.count("hits", 3);
         obs.count("misses", 1);
         assert_eq!(obs.counter("hits"), 5);
-        assert_eq!(obs.counters(), vec![("hits", 5), ("misses", 1)]);
+        assert_eq!(
+            obs.counters(),
+            vec![("hits".to_string(), 5), ("misses".to_string(), 1)]
+        );
+        // Owned (dynamically labelled) names land in the same namespace.
+        obs.count(format!("tenant.{}.hits", "acme"), 2);
+        assert_eq!(obs.counter("tenant.acme.hits"), 2);
     }
 
     #[test]
@@ -552,7 +679,7 @@ mod tests {
         obs.set_gauge("depth", 4.0);
         obs.set_gauge("depth", 7.0);
         assert_eq!(obs.gauge("depth"), Some(7.0));
-        assert_eq!(obs.gauges(), vec![("depth", 7.0)]);
+        assert_eq!(obs.gauges(), vec![("depth".to_string(), 7.0)]);
         assert_eq!(obs.histograms().len(), 1);
         assert_eq!(obs.histograms()[0].0, "lat");
     }
@@ -637,5 +764,69 @@ mod tests {
         let t = obs.chrome_trace();
         assert!(t.contains("\"bad\":null"));
         assert!(!t.contains("NaN"));
+    }
+
+    #[test]
+    fn with_trace_shares_storage_and_stamps_ids() {
+        let obs = Obs::enabled();
+        assert_eq!(obs.trace_id(), 0);
+        let job = obs.with_trace(7);
+        assert_eq!(job.trace_id(), 7);
+        {
+            let _s = job.span(Layer::Serve, "job", 0);
+        }
+        job.record_span(Layer::Core, "pass:a", 1, 0.0, 5.0, &[]);
+        obs.record_span(Layer::App, "background", 0, 0.0, 1.0, &[]);
+        // All three spans share one store...
+        assert_eq!(obs.spans().len(), 3);
+        // ...but only the job handle's spans carry the trace id.
+        let traced = obs.spans_for_trace(7);
+        assert_eq!(traced.len(), 2);
+        assert!(traced.iter().all(|s| s.trace == 7));
+        assert_eq!(obs.spans_for_trace(0).len(), 1);
+        // Counters recorded through a traced handle are shared too.
+        job.count("c", 1);
+        assert_eq!(obs.counter("c"), 1);
+    }
+
+    #[test]
+    fn trace_digest_ignores_timestamps_but_not_structure() {
+        let run = |start: f64| {
+            let obs = Obs::enabled().with_trace(3);
+            obs.record_span(Layer::Serve, "job", 0, start, start + 9.0, &[]);
+            obs.record_span(Layer::Core, "pass:a", 1, start + 1.0, start + 2.0, &[]);
+            obs.record_span(Layer::Core, "pass:b", 2, start + 2.0, start + 4.0, &[]);
+            obs.trace_digest(3)
+        };
+        assert_eq!(run(0.0), run(1234.5));
+
+        let missing_pass = {
+            let obs = Obs::enabled().with_trace(3);
+            obs.record_span(Layer::Serve, "job", 0, 0.0, 9.0, &[]);
+            obs.record_span(Layer::Core, "pass:a", 1, 1.0, 2.0, &[]);
+            obs.trace_digest(3)
+        };
+        assert_ne!(run(0.0), missing_pass);
+        // Other traces' spans do not leak into the digest.
+        let obs = Obs::enabled();
+        obs.with_trace(3)
+            .record_span(Layer::Core, "pass:a", 0, 0.0, 1.0, &[]);
+        let lone = obs.trace_digest(3);
+        obs.with_trace(4)
+            .record_span(Layer::Core, "pass:z", 0, 0.0, 1.0, &[]);
+        assert_eq!(obs.trace_digest(3), lone);
+    }
+
+    #[test]
+    fn span_cap_and_high_water_are_reported() {
+        let obs = Obs::enabled_with_cap(2);
+        assert_eq!(obs.span_cap(), 2);
+        assert_eq!(obs.stored_spans(), 0);
+        for i in 0..5 {
+            obs.record_span(Layer::App, "s", i, 0.0, 1.0, &[]);
+        }
+        assert_eq!(obs.stored_spans(), 2);
+        assert_eq!(Obs::disabled().span_cap(), 0);
+        assert_eq!(Obs::disabled().stored_spans(), 0);
     }
 }

@@ -72,17 +72,17 @@ impl Obs {
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in self.counters() {
-            let metric = format!("perflow_{}_total", sanitize_metric_name(name));
+            let metric = format!("perflow_{}_total", sanitize_metric_name(&name));
             header(&mut out, &metric, "Monotonic counter.", "counter");
             out.push_str(&format!("{metric} {value}\n"));
         }
         for (name, value) in self.gauges() {
-            let metric = format!("perflow_{}", sanitize_metric_name(name));
+            let metric = format!("perflow_{}", sanitize_metric_name(&name));
             header(&mut out, &metric, "Gauge (last written value).", "gauge");
             out.push_str(&format!("{metric} {value}\n"));
         }
         for (name, hist) in self.histograms() {
-            let metric = format!("perflow_{}", sanitize_metric_name(name));
+            let metric = format!("perflow_{}", sanitize_metric_name(&name));
             header(&mut out, &metric, "Log-bucketed histogram.", "histogram");
             for (bound, cum) in hist.cumulative_buckets() {
                 out.push_str(&format!(
@@ -130,6 +130,28 @@ impl Obs {
                     escape_label_value(name),
                 ));
             }
+        }
+        // Span-storage visibility (enabled handles only): the cap and
+        // the high-water mark make trace truncation observable before
+        // `GET /jobs/:id/trace` silently caps.
+        if self.is_enabled() {
+            header(
+                &mut out,
+                "perflow_span_cap",
+                "Maximum number of spans the handle will store.",
+                "gauge",
+            );
+            out.push_str(&format!("perflow_span_cap {}\n", self.span_cap()));
+            header(
+                &mut out,
+                "perflow_span_high_water",
+                "Spans currently stored (monotonic: spans are only appended, up to the cap).",
+                "gauge",
+            );
+            out.push_str(&format!(
+                "perflow_span_high_water {}\n",
+                self.stored_spans()
+            ));
         }
         header(
             &mut out,
@@ -185,6 +207,9 @@ mod tests {
         );
         assert!(text.contains("perflow_spans_total{layer=\"core\",name=\"pass:hotspot\"} 2\n"));
         assert!(text.contains("perflow_dropped_spans_total 0\n"));
+        assert!(text.contains("# TYPE perflow_span_cap gauge"));
+        assert!(text.contains(&format!("perflow_span_cap {}\n", crate::DEFAULT_SPAN_CAP)));
+        assert!(text.contains("perflow_span_high_water 2\n"));
         // Every non-comment line is `name{…}? value`.
         for line in text.lines() {
             if line.starts_with('#') {

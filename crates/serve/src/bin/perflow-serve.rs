@@ -13,6 +13,7 @@ Options:
   --cache-capacity N          pass-result cache entry cap (default 1024)
   --run-cache-capacity N      simulated-run cache entry cap (default 16)
   --report-cache-capacity N   rendered-report cache entry cap (default 256)
+  --span-cap N                span-storage cap of the trace store (default 65536)
   --api-key KEY               accepted API key (repeatable; none = open server)
   --admin-key KEY             require this X-Admin-Key on POST /shutdown
   --help                      print this help
@@ -59,6 +60,11 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.report_cache_capacity = value("--report-cache-capacity")?
                     .parse()
                     .map_err(|_| "--report-cache-capacity needs an integer".to_string())?
+            }
+            "--span-cap" => {
+                cfg.span_cap = value("--span-cap")?
+                    .parse()
+                    .map_err(|_| "--span-cap needs an integer".to_string())?
             }
             "--api-key" => cfg.api_keys.push(value("--api-key")?.clone()),
             "--admin-key" => cfg.admin_key = Some(value("--admin-key")?.clone()),

@@ -60,8 +60,9 @@ impl<V: Clone> LruMap<V> {
     }
 
     /// Insert (or refresh) `key`, evicting the least-recently-used
-    /// entries past capacity.
-    pub fn insert(&self, key: u64, value: V) {
+    /// entries past capacity. Returns how many entries were evicted so
+    /// the caller can feed an eviction counter.
+    pub fn insert(&self, key: u64, value: V) -> usize {
         let mut st = self.lock();
         let tick = st.next_tick;
         st.next_tick += 1;
@@ -69,11 +70,14 @@ impl<V: Clone> LruMap<V> {
             st.order.remove(&old_tick);
         }
         st.order.insert(tick, key);
+        let mut evicted = 0;
         while st.entries.len() > self.capacity {
             let (&oldest_tick, &oldest_key) = st.order.iter().next().expect("order tracks entries");
             st.order.remove(&oldest_tick);
             st.entries.remove(&oldest_key);
+            evicted += 1;
         }
+        evicted
     }
 
     /// Number of cached entries.
@@ -94,10 +98,10 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let m = LruMap::new(2);
-        m.insert(1, "a");
-        m.insert(2, "b");
+        assert_eq!(m.insert(1, "a"), 0);
+        assert_eq!(m.insert(2, "b"), 0);
         assert_eq!(m.get(1), Some("a")); // touch 1 → 2 is LRU
-        m.insert(3, "c");
+        assert_eq!(m.insert(3, "c"), 1);
         assert_eq!(m.len(), 2);
         assert_eq!(m.get(2), None);
         assert_eq!(m.get(1), Some("a"));
@@ -116,7 +120,7 @@ mod tests {
     #[test]
     fn zero_capacity_stores_nothing() {
         let m = LruMap::new(0);
-        m.insert(1, "a");
+        assert_eq!(m.insert(1, "a"), 1);
         assert!(m.is_empty());
         assert_eq!(m.get(1), None);
     }

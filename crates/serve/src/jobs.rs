@@ -213,6 +213,10 @@ pub struct JobResult {
     /// True when the report came from the fingerprint-keyed cache
     /// without re-running the analysis.
     pub cached: bool,
+    /// Rendered [`perflow::RunMetrics`] JSON for jobs that executed the
+    /// observed scheduler (`comm` jobs that actually ran). `None` for
+    /// paradigm/query jobs and report-cache hits.
+    pub run_metrics: Option<String>,
 }
 
 /// One tracked job.
@@ -230,6 +234,13 @@ pub struct JobRecord {
     pub result: Option<JobResult>,
     /// Present when `status == Failed`.
     pub error: Option<String>,
+    /// Monotonic timestamp (`Obs::now_us`) when the HTTP layer admitted
+    /// the job — queue wait is measured from here, not from dispatch.
+    pub admitted_us: f64,
+    /// When an executor picked the job up.
+    pub dispatched_us: Option<f64>,
+    /// When the job settled into a terminal state.
+    pub finished_us: Option<f64>,
 }
 
 impl JobRecord {
@@ -246,6 +257,7 @@ impl JobRecord {
             ("threads", Json::Num(self.spec.cfg.threads as f64)),
             ("seed", Json::Num(self.spec.cfg.seed as f64)),
             ("tenant", Json::Str(self.tenant.clone())),
+            ("trace", Json::Num(self.id as f64)),
         ];
         if let JobKind::Query(text) = &self.spec.kind {
             fields.push(("query", Json::Str(text.clone())));
@@ -263,7 +275,36 @@ impl JobRecord {
         if let Some(e) = &self.error {
             fields.push(("error", Json::Str(e.clone())));
         }
+        if let Some(m) = self.metrics_json() {
+            fields.push(("metrics", m));
+        }
         obj(fields)
+    }
+
+    /// Per-job latency block for terminal jobs: queue wait measured
+    /// from HTTP admission, executor time, end-to-end time, and the
+    /// scheduler's `RunMetrics` when the job produced one.
+    fn metrics_json(&self) -> Option<Json> {
+        let dispatched = self.dispatched_us?;
+        let finished = self.finished_us?;
+        let run = self
+            .result
+            .as_ref()
+            .and_then(|r| r.run_metrics.as_deref())
+            .and_then(|text| Json::parse(text).ok())
+            .unwrap_or(Json::Null);
+        Some(obj(vec![
+            (
+                "queue_wait_us",
+                Json::Num((dispatched - self.admitted_us).max(0.0)),
+            ),
+            ("exec_us", Json::Num((finished - dispatched).max(0.0))),
+            (
+                "total_us",
+                Json::Num((finished - self.admitted_us).max(0.0)),
+            ),
+            ("run", run),
+        ]))
     }
 }
 
@@ -290,8 +331,15 @@ impl JobRegistry {
     }
 
     /// Admit a job if the tenant is below `quota` active jobs. Returns
-    /// the new record or the tenant's current active count.
-    pub fn admit(&self, tenant: &str, spec: JobSpec, quota: usize) -> Result<JobRecord, usize> {
+    /// the new record or the tenant's current active count. `now_us` is
+    /// the admission timestamp queue wait is measured from.
+    pub fn admit(
+        &self,
+        tenant: &str,
+        spec: JobSpec,
+        quota: usize,
+        now_us: f64,
+    ) -> Result<JobRecord, usize> {
         let mut st = self.lock();
         let active = st.active_per_tenant.get(tenant).copied().unwrap_or(0);
         if active >= quota {
@@ -305,6 +353,9 @@ impl JobRegistry {
             status: JobStatus::Queued,
             result: None,
             error: None,
+            admitted_us: now_us,
+            dispatched_us: None,
+            finished_us: None,
         };
         st.jobs.insert(record.id, record.clone());
         *st.active_per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
@@ -330,15 +381,16 @@ impl JobRegistry {
         jobs
     }
 
-    /// Mark a job running.
-    pub fn start(&self, id: u64) {
+    /// Mark a job running, stamping the dispatch time.
+    pub fn start(&self, id: u64, now_us: f64) {
         if let Some(j) = self.lock().jobs.get_mut(&id) {
             j.status = JobStatus::Running;
+            j.dispatched_us = Some(now_us);
         }
     }
 
     /// Settle a job into a terminal state and release its quota slot.
-    pub fn finish(&self, id: u64, outcome: Result<JobResult, String>) {
+    pub fn finish(&self, id: u64, outcome: Result<JobResult, String>, now_us: f64) {
         let mut st = self.lock();
         if let Some(j) = st.jobs.get_mut(&id) {
             match outcome {
@@ -350,6 +402,10 @@ impl JobRegistry {
                     j.status = JobStatus::Failed;
                     j.error = Some(e);
                 }
+            }
+            j.finished_us = Some(now_us);
+            if j.dispatched_us.is_none() {
+                j.dispatched_us = Some(now_us);
             }
             let tenant = j.tenant.clone();
             if let Some(n) = st.active_per_tenant.get_mut(&tenant) {
@@ -454,7 +510,7 @@ mod tests {
         assert_eq!(ok.kind.name(), "query");
 
         let reg = JobRegistry::default();
-        let rec = reg.admit("t1", ok, 1).unwrap();
+        let rec = reg.admit("t1", ok, 1, 0.0).unwrap();
         let j = reg.get(rec.id).unwrap().to_json(false);
         assert_eq!(j.get("paradigm").and_then(Json::as_str), Some("query"));
         assert_eq!(
@@ -474,13 +530,13 @@ mod tests {
     #[test]
     fn quotas_and_lifecycle() {
         let reg = JobRegistry::default();
-        let a = reg.admit("t1", spec("cg"), 2).unwrap();
-        let _b = reg.admit("t1", spec("bt"), 2).unwrap();
-        assert_eq!(reg.admit("t1", spec("ep"), 2).err(), Some(2));
+        let a = reg.admit("t1", spec("cg"), 2, 10.0).unwrap();
+        let _b = reg.admit("t1", spec("bt"), 2, 11.0).unwrap();
+        assert_eq!(reg.admit("t1", spec("ep"), 2, 12.0).err(), Some(2));
         // Another tenant is unaffected.
-        assert!(reg.admit("t2", spec("ep"), 2).is_ok());
+        assert!(reg.admit("t2", spec("ep"), 2, 13.0).is_ok());
         assert_eq!(reg.active_total(), 3);
-        reg.start(a.id);
+        reg.start(a.id, 25.0);
         assert_eq!(reg.get(a.id).unwrap().status, JobStatus::Running);
         reg.finish(
             a.id,
@@ -488,28 +544,51 @@ mod tests {
                 report: "r".into(),
                 report_digest: 1,
                 cached: false,
+                run_metrics: None,
             }),
+            40.0,
         );
-        assert_eq!(reg.get(a.id).unwrap().status, JobStatus::Done);
+        let done = reg.get(a.id).unwrap();
+        assert_eq!(done.status, JobStatus::Done);
+        // Queue wait is measured from HTTP admission, not dispatch.
+        let m = done.to_json(false);
+        let metrics = m.get("metrics").expect("terminal job carries metrics");
+        assert_eq!(
+            metrics.get("queue_wait_us").and_then(Json::as_f64),
+            Some(15.0)
+        );
+        assert_eq!(metrics.get("exec_us").and_then(Json::as_f64), Some(15.0));
+        assert_eq!(metrics.get("total_us").and_then(Json::as_f64), Some(30.0));
+        assert_eq!(metrics.get("run"), Some(&Json::Null));
         // The slot frees up.
-        assert!(reg.admit("t1", spec("ep"), 2).is_ok());
+        assert!(reg.admit("t1", spec("ep"), 2, 50.0).is_ok());
         assert_eq!(reg.for_tenant("t1").len(), 3);
     }
 
     #[test]
     fn record_json_shape() {
         let reg = JobRegistry::default();
-        let a = reg.admit("t1", spec("cg"), 1).unwrap();
+        let a = reg.admit("t1", spec("cg"), 1, 0.0).unwrap();
         reg.finish(
             a.id,
             Ok(JobResult {
                 report: "line1\nline2".into(),
                 report_digest: 0xabcd,
                 cached: true,
+                run_metrics: Some(r#"{"total_wall_us":5}"#.to_string()),
             }),
+            2.0,
         );
         let j = reg.get(a.id).unwrap().to_json(true);
         assert_eq!(j.get("status").and_then(Json::as_str), Some("done"));
+        assert_eq!(j.get("trace").and_then(Json::as_f64), Some(a.id as f64));
+        assert_eq!(
+            j.get("metrics")
+                .and_then(|m| m.get("run"))
+                .and_then(|r| r.get("total_wall_us"))
+                .and_then(Json::as_f64),
+            Some(5.0)
+        );
         assert_eq!(j.get("cached").and_then(Json::as_bool), Some(true));
         assert_eq!(
             j.get("report_digest").and_then(Json::as_str),

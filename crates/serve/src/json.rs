@@ -1,393 +1,6 @@
-//! Minimal JSON: a recursive-descent parser and a deterministic
-//! renderer, enough for the daemon's request/response bodies without an
-//! external dependency. Objects keep insertion order so rendered
-//! responses are byte-stable.
+//! Minimal JSON for the daemon's request/response bodies. The
+//! implementation lives in [`obs::json`] (hoisted so `driver` can parse
+//! telemetry snapshots without depending on serve); this module keeps
+//! the daemon-local paths compiling unchanged.
 
-use std::fmt::Write as _;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number (always carried as `f64`).
-    Num(f64),
-    /// A string (unescaped).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parse a complete JSON document (rejects trailing garbage).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            b: text.as_bytes(),
-            at: 0,
-        };
-        p.ws();
-        let v = p.value(0)?;
-        p.ws();
-        if p.at != p.b.len() {
-            return Err(format!("trailing characters at byte {}", p.at));
-        }
-        Ok(v)
-    }
-
-    /// Object field lookup (None on non-objects or absent keys).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload as a non-negative integer (rejects
-    /// fractional, negative and out-of-range numbers).
-    pub fn as_u64(&self) -> Option<u64> {
-        let n = self.as_f64()?;
-        if n.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&n) {
-            Some(n as u64)
-        } else {
-            None
-        }
-    }
-
-    /// The boolean payload, if this is a bool.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// Render as compact JSON text.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    let _ = write!(out, "{n}");
-                } else {
-                    out.push_str("null"); // JSON has no Inf/NaN
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                out.push_str(&escape(s));
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, v) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    v.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('"');
-                    out.push_str(&escape(k));
-                    out.push_str("\":");
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// JSON string escaping (control characters, quote, backslash).
-///
-/// Delegates to [`obs::json_escape`] — the workspace keeps exactly one
-/// escaper (verify re-exports the same one) so serve, verify and obs
-/// can never drift on what a hostile string renders as.
-pub fn escape(s: &str) -> String {
-    obs::json_escape(s)
-}
-
-/// Shorthand for building an object literal in code.
-pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(
-        fields
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
-}
-
-const MAX_DEPTH: usize = 32;
-
-struct Parser<'a> {
-    b: &'a [u8],
-    at: usize,
-}
-
-impl Parser<'_> {
-    fn ws(&mut self) {
-        while let Some(&c) = self.b.get(self.at) {
-            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
-                self.at += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.b.get(self.at).copied()
-    }
-
-    fn eat(&mut self, lit: &str) -> Result<(), String> {
-        if self.b[self.at..].starts_with(lit.as_bytes()) {
-            self.at += lit.len();
-            Ok(())
-        } else {
-            Err(format!("expected `{lit}` at byte {}", self.at))
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Result<Json, String> {
-        if depth > MAX_DEPTH {
-            return Err("nesting too deep".into());
-        }
-        match self.peek() {
-            Some(b'n') => self.eat("null").map(|_| Json::Null),
-            Some(b't') => self.eat("true").map(|_| Json::Bool(true)),
-            Some(b'f') => self.eat("false").map(|_| Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => {
-                self.at += 1;
-                let mut items = Vec::new();
-                self.ws();
-                if self.peek() == Some(b']') {
-                    self.at += 1;
-                    return Ok(Json::Arr(items));
-                }
-                loop {
-                    self.ws();
-                    items.push(self.value(depth + 1)?);
-                    self.ws();
-                    match self.peek() {
-                        Some(b',') => self.at += 1,
-                        Some(b']') => {
-                            self.at += 1;
-                            return Ok(Json::Arr(items));
-                        }
-                        _ => return Err(format!("expected `,` or `]` at byte {}", self.at)),
-                    }
-                }
-            }
-            Some(b'{') => {
-                self.at += 1;
-                let mut fields = Vec::new();
-                self.ws();
-                if self.peek() == Some(b'}') {
-                    self.at += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                loop {
-                    self.ws();
-                    let key = self.string()?;
-                    self.ws();
-                    self.eat(":")?;
-                    self.ws();
-                    let val = self.value(depth + 1)?;
-                    fields.push((key, val));
-                    self.ws();
-                    match self.peek() {
-                        Some(b',') => self.at += 1,
-                        Some(b'}') => {
-                            self.at += 1;
-                            return Ok(Json::Obj(fields));
-                        }
-                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.at)),
-                    }
-                }
-            }
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.at)),
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.at;
-        if self.peek() == Some(b'-') {
-            self.at += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.at += 1;
-        }
-        if self.peek() == Some(b'.') {
-            self.at += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.at += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.at += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.at += 1;
-            }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.at += 1;
-            }
-        }
-        std::str::from_utf8(&self.b[start..self.at])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .filter(|n| n.is_finite())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        if self.peek() != Some(b'"') {
-            return Err(format!("expected string at byte {}", self.at));
-        }
-        self.at += 1;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.at += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.at += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .b
-                                .get(self.at + 1..self.at + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
-                            // Surrogates are replaced rather than paired:
-                            // good enough for config payloads.
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                            self.at += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.at)),
-                    }
-                    self.at += 1;
-                }
-                Some(c) if c < 0x20 => {
-                    return Err(format!("raw control character at byte {}", self.at))
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
-                    let s = &self.b[self.at..];
-                    let ch = std::str::from_utf8(s)
-                        .map_err(|_| "invalid utf-8".to_string())?
-                        .chars()
-                        .next()
-                        .unwrap();
-                    out.push(ch);
-                    self.at += ch.len_utf8();
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_scalars_and_containers() {
-        assert_eq!(Json::parse("null").unwrap(), Json::Null);
-        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
-        assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Num(-250.0));
-        assert_eq!(
-            Json::parse("\"a\\nb\\u0041\"").unwrap(),
-            Json::Str("a\nbA".into())
-        );
-        let v = Json::parse(r#"{"a":[1,2,{"b":false}],"c":"x"}"#).unwrap();
-        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
-        match v.get("a") {
-            Some(Json::Arr(items)) => assert_eq!(items.len(), 3),
-            other => panic!("bad array: {other:?}"),
-        }
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(Json::parse("").is_err());
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("1 2").is_err());
-        assert!(Json::parse("\"unterminated").is_err());
-        assert!(Json::parse("nul").is_err());
-        let deep = "[".repeat(64) + &"]".repeat(64);
-        assert!(Json::parse(&deep).is_err(), "depth cap");
-    }
-
-    #[test]
-    fn render_round_trips() {
-        let src = r#"{"name":"a\"b\\c","nums":[1,2.5,-3],"flag":true,"none":null}"#;
-        let v = Json::parse(src).unwrap();
-        let rendered = v.render();
-        assert_eq!(Json::parse(&rendered).unwrap(), v);
-        assert_eq!(rendered, src, "insertion order and escaping preserved");
-    }
-
-    #[test]
-    fn u64_accessor_is_strict() {
-        assert_eq!(Json::parse("7").unwrap().as_u64(), Some(7));
-        assert_eq!(Json::parse("7.5").unwrap().as_u64(), None);
-        assert_eq!(Json::parse("-7").unwrap().as_u64(), None);
-        assert_eq!(Json::parse("\"7\"").unwrap().as_u64(), None);
-    }
-
-    #[test]
-    fn escapes_control_characters() {
-        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
-        assert_eq!(escape("q\"\\\n"), "q\\\"\\\\\\n");
-    }
-}
+pub use obs::json::{escape, obj, Json};

@@ -11,11 +11,22 @@
 //! |---|---|
 //! | `POST /jobs` | Submit a job (JSON body: `workload`, `paradigm`, `ranks`, `threads`, `seed`, `priority`, resilience knobs). 202 + job id. |
 //! | `POST /query` | Submit a perflow-query job (body adds a required `query` string). The query is statically linted (PF03xx) **before** admission: lint errors are a 400 with the diagnostics as JSON and nothing is enqueued or executed. 202 + job id otherwise. |
-//! | `GET /jobs/:id` | Job status; includes the report, its digest and `cached` once done. |
+//! | `GET /jobs/:id` | Job status; includes the report, its digest, `cached` and a per-job `metrics` latency block once done. |
+//! | `GET /jobs/:id/trace` | The job's end-to-end trace as Chrome-trace JSON: every span stamped with the job's trace id (= job id), from HTTP admission through queue wait to per-pass scheduler spans. |
 //! | `GET /jobs` | The calling tenant's jobs (no report bodies). |
+//! | `POST /bench-diff` | Regression watchdog: diff two bench/`RunMetrics` snapshots (body: `baseline`, `current`, optional `threshold`, `noise_floor_us`) into PF04xx verdicts. |
 //! | `GET /metrics` | Prometheus text exposition of the whole engine + daemon. |
 //! | `GET /healthz` | Liveness. |
 //! | `POST /shutdown` | Graceful shutdown: stop accepting, drain queued and running jobs, exit. |
+//!
+//! ## Tracing
+//!
+//! Every admitted job gets a deterministic trace id equal to its job
+//! id. The HTTP layer records a `job.admit` span, the executor records
+//! `job.queue_wait` (admission → dispatch), `job.exec` and a whole-`job`
+//! span, and the core scheduler's per-pass spans inherit the id through
+//! a trace-scoped [`Obs`] handle, so `GET /jobs/:id/trace` returns one
+//! connected tree across the serve, core, simrt and collect layers.
 //!
 //! ## Multi-tenancy and scheduling
 //!
@@ -317,8 +328,10 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
                         [
                             "POST /jobs",
                             "POST /query",
+                            "POST /bench-diff",
                             "GET /jobs",
                             "GET /jobs/:id",
+                            "GET /jobs/:id/trace",
                             "GET /metrics",
                             "GET /healthz",
                             "POST /shutdown",
@@ -344,10 +357,23 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
         ),
         ("GET", "/metrics") => {
             shared.tick_queue_gauge();
+            // Surface the core pass cache's counters as gauges so all
+            // three cache layers show up in one scrape.
+            let pc = shared.pass_cache.stats();
+            shared
+                .obs
+                .set_gauge(names::SERVE_PASS_CACHE_HITS, pc.hits as f64);
+            shared
+                .obs
+                .set_gauge(names::SERVE_PASS_CACHE_MISSES, pc.misses as f64);
+            shared
+                .obs
+                .set_gauge(names::SERVE_PASS_CACHE_EVICT, pc.evictions as f64);
             (200, "text/plain; version=0.0.4", shared.obs.prometheus())
         }
         ("POST", "/jobs") => submit(shared, req, false),
         ("POST", "/query") => submit(shared, req, true),
+        ("POST", "/bench-diff") => bench_diff_endpoint(shared, req),
         ("GET", "/jobs") => match authenticate(shared, req) {
             Err((status, body)) => (status, "application/json", body),
             Ok(tenant) => {
@@ -364,6 +390,10 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
                 )
             }
         },
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/trace") => {
+            let id_text = &p["/jobs/".len()..p.len() - "/trace".len()];
+            job_trace(shared, req, id_text)
+        }
         ("GET", p) if p.starts_with("/jobs/") => job_status(shared, req, &p["/jobs/".len()..]),
         ("POST", "/shutdown") => {
             if let Some(admin) = &shared.cfg.admin_key {
@@ -388,6 +418,7 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
         }
         (_, "/jobs")
         | (_, "/query")
+        | (_, "/bench-diff")
         | (_, "/metrics")
         | (_, "/healthz")
         | (_, "/shutdown")
@@ -440,9 +471,10 @@ fn submit(shared: &Arc<Shared>, req: &Request, require_query: bool) -> Response 
             );
         }
     }
+    let admitted_us = shared.obs.now_us();
     let record = match shared
         .registry
-        .admit(&tenant, spec, shared.cfg.tenant_quota)
+        .admit(&tenant, spec, shared.cfg.tenant_quota, admitted_us)
     {
         Ok(r) => r,
         Err(active) => {
@@ -461,6 +493,16 @@ fn submit(shared: &Arc<Shared>, req: &Request, require_query: bool) -> Response 
     };
     match shared.queue.push(record.spec.priority, record.id) {
         Ok(depth) => {
+            // The job's trace starts here: a Serve-layer span stamped
+            // with the deterministic trace id (= job id).
+            shared.obs.with_trace(record.id).record_span(
+                obs::Layer::Serve,
+                "job.admit",
+                record.id as u32,
+                admitted_us,
+                shared.obs.now_us(),
+                &[("priority", record.spec.priority as f64)],
+            );
             shared.obs.count(names::SERVE_JOBS_SUBMITTED, 1);
             shared.obs.set_gauge(names::SERVE_QUEUE_DEPTH, depth as f64);
             (
@@ -512,6 +554,91 @@ fn job_status(shared: &Arc<Shared>, req: &Request, id_text: &str) -> Response {
     }
 }
 
+/// `GET /jobs/:id/trace` — the job's spans as Chrome-trace JSON.
+/// Tenant visibility mirrors [`job_status`]: other tenants' jobs 404.
+fn job_trace(shared: &Arc<Shared>, req: &Request, id_text: &str) -> Response {
+    let tenant = match authenticate(shared, req) {
+        Ok(t) => t,
+        Err((status, body)) => return (status, "application/json", body),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (
+            400,
+            "application/json",
+            err_body("job id must be an integer"),
+        );
+    };
+    match shared.registry.get(id) {
+        None => (404, "application/json", err_body("no such job")),
+        Some(j) if j.tenant != tenant => (404, "application/json", err_body("no such job")),
+        Some(_) => (200, "application/json", shared.obs.chrome_trace_for(id)),
+    }
+}
+
+/// `POST /bench-diff` — the regression watchdog over two snapshots.
+///
+/// Body: `{"baseline": ..., "current": ..., "threshold"?: f,
+/// "noise_floor_us"?: f}` where each snapshot is either an embedded
+/// bench/`RunMetrics` JSON object or a string holding one.
+fn bench_diff_endpoint(shared: &Arc<Shared>, req: &Request) -> Response {
+    if let Err((status, body)) = authenticate(shared, req) {
+        return (status, "application/json", body);
+    }
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return (400, "application/json", err_body(e.message())),
+    };
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, "application/json", err_body(format!("bad JSON: {e}"))),
+    };
+    let snapshot = |field: &str| -> Result<driver::bench_diff::BenchSnapshot, String> {
+        let v = parsed
+            .get(field)
+            .ok_or_else(|| format!("missing required field `{field}`"))?;
+        match v {
+            Json::Str(text) => driver::bench_diff::BenchSnapshot::parse(text)
+                .map_err(|e| format!("`{field}`: {e}")),
+            other => driver::bench_diff::BenchSnapshot::from_json(other)
+                .map_err(|e| format!("`{field}`: {e}")),
+        }
+    };
+    let mut cfg = driver::bench_diff::BenchDiffConfig::default();
+    if let Some(t) = parsed.get("threshold") {
+        match t.as_f64() {
+            Some(v) if v >= 0.0 => cfg.threshold = v,
+            _ => {
+                return (
+                    400,
+                    "application/json",
+                    err_body("`threshold` must be a non-negative number"),
+                )
+            }
+        }
+    }
+    if let Some(n) = parsed.get("noise_floor_us") {
+        match n.as_f64() {
+            Some(v) if v >= 0.0 => cfg.noise_floor_us = v,
+            _ => {
+                return (
+                    400,
+                    "application/json",
+                    err_body("`noise_floor_us` must be a non-negative number"),
+                )
+            }
+        }
+    }
+    let outcome = match (snapshot("baseline"), snapshot("current")) {
+        (Ok(b), Ok(c)) => match driver::bench_diff::bench_diff(&b, &c, &cfg) {
+            Ok(o) => o,
+            Err(e) => return (400, "application/json", err_body(e.to_string())),
+        },
+        (Err(e), _) | (_, Err(e)) => return (400, "application/json", err_body(e)),
+    };
+    shared.obs.count(names::SERVE_BENCH_DIFF, 1);
+    (200, "application/json", outcome.render_json())
+}
+
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
@@ -522,23 +649,72 @@ fn executor_loop(shared: &Arc<Shared>) {
         let Some(record) = shared.registry.get(id) else {
             continue;
         };
-        shared.registry.start(id);
+        // Everything this job does — including the core scheduler's
+        // per-pass spans — records through a trace-scoped handle, so
+        // `/jobs/:id/trace` can filter one connected tree back out.
+        let jobobs = shared.obs.with_trace(id);
+        let lane = id as u32;
+        let dispatched_us = jobobs.now_us();
+        shared.registry.start(id, dispatched_us);
+        jobobs.record_span(
+            obs::Layer::Serve,
+            "job.queue_wait",
+            lane,
+            record.admitted_us.min(dispatched_us),
+            dispatched_us,
+            &[("priority", record.spec.priority as f64)],
+        );
         if record.spec.hold_ms > 0 {
             std::thread::sleep(Duration::from_millis(record.spec.hold_ms));
         }
-        let outcome = execute(shared, &record);
+        let outcome = execute(shared, &record, &jobobs);
+        let finished_us = jobobs.now_us();
         match &outcome {
             Ok(_) => shared.obs.count(names::SERVE_JOBS_COMPLETED, 1),
             Err(_) => shared.obs.count(names::SERVE_JOBS_FAILED, 1),
         }
-        shared.registry.finish(id, outcome);
+        jobobs.record_span(
+            obs::Layer::Serve,
+            "job.exec",
+            lane,
+            dispatched_us,
+            finished_us,
+            &[],
+        );
+        jobobs.record_span(
+            obs::Layer::Serve,
+            "job",
+            lane,
+            record.admitted_us.min(dispatched_us),
+            finished_us,
+            &[("priority", record.spec.priority as f64)],
+        );
+        let queue_wait = (dispatched_us - record.admitted_us).max(0.0);
+        let exec = (finished_us - dispatched_us).max(0.0);
+        let total = (finished_us - record.admitted_us).max(0.0);
+        shared
+            .obs
+            .observe(names::SERVE_JOB_QUEUE_WAIT_US, queue_wait);
+        shared.obs.observe(names::SERVE_JOB_EXEC_US, exec);
+        shared.obs.observe(names::SERVE_JOB_TOTAL_US, total);
+        for (suffix, value) in [
+            ("queue_wait_us", queue_wait),
+            ("exec_us", exec),
+            ("total_us", total),
+        ] {
+            shared
+                .obs
+                .observe(format!("serve.tenant.{}.{suffix}", record.tenant), value);
+        }
+        shared.registry.finish(id, outcome, finished_us);
     }
 }
 
 /// Run one job through the three cache layers (run → report → pass).
-fn execute(shared: &Arc<Shared>, record: &JobRecord) -> Result<JobResult, String> {
+/// `obs` is the job's trace-scoped handle: spans recorded below it
+/// (simulator, collector, scheduler passes) carry the job's trace id.
+fn execute(shared: &Arc<Shared>, record: &JobRecord, obs: &Obs) -> Result<JobResult, String> {
     let spec = &record.spec;
-    let obs = &shared.obs;
     let prog = driver::workload(&spec.workload)
         .ok_or_else(|| format!("unknown workload {}", spec.workload))?;
 
@@ -558,7 +734,10 @@ fn execute(shared: &Arc<Shared>, record: &JobRecord) -> Result<JobResult, String
                 .pflow
                 .run(&prog, &run_cfg)
                 .map_err(|e| format!("run failed: {e}"))?;
-            shared.run_cache.insert(sim_fp, run.clone());
+            let evicted = shared.run_cache.insert(sim_fp, run.clone());
+            if evicted > 0 {
+                obs.count(names::SERVE_RUN_CACHE_EVICT, evicted as u64);
+            }
             run
         }
     };
@@ -582,10 +761,12 @@ fn execute(shared: &Arc<Shared>, record: &JobRecord) -> Result<JobResult, String
             report: hit.0.clone(),
             report_digest: hit.1,
             cached: true,
+            run_metrics: None,
         });
     }
     obs.count(names::SERVE_REPORT_CACHE_MISS, 1);
 
+    let mut run_metrics = None;
     let (report, report_digest) = match &spec.kind {
         JobKind::Paradigm(p) => {
             let rendered = driver::analyze(&shared.pflow, &prog, &run, *p, &spec.cfg)
@@ -618,16 +799,21 @@ fn execute(shared: &Arc<Shared>, record: &JobRecord) -> Result<JobResult, String
                 &shared.pass_cache,
             )
             .map_err(|e| e.to_string())?;
+            run_metrics = Some(out.outputs.metrics.render_json());
             (out.report, out.report_digest)
         }
     };
-    shared
+    let evicted = shared
         .report_cache
         .insert(report_fp, Arc::new((report.clone(), report_digest)));
+    if evicted > 0 {
+        obs.count(names::SERVE_REPORT_CACHE_EVICT, evicted as u64);
+    }
     Ok(JobResult {
         report,
         report_digest,
         cached: false,
+        run_metrics,
     })
 }
 

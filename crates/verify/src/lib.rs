@@ -129,4 +129,20 @@ pub mod codes {
     pub const QUERY_EMPTY_RESULT: &str = "PF0305";
     /// Deprecated string-keyed `shim:` property access (warning).
     pub const QUERY_SHIM_ACCESS: &str = "PF0306";
+
+    // PF04xx — bench-diff regression watchdog (`driver::bench_diff`).
+
+    /// A pass present in both snapshots slowed down past the threshold
+    /// (error; drives the CLI's non-zero exit).
+    pub const BENCH_REGRESSED: &str = "PF0401";
+    /// A pass in the baseline is missing from the current snapshot
+    /// (warning — a silently dropped measurement hides regressions).
+    pub const BENCH_MISSING_PASS: &str = "PF0402";
+    /// A pass sped up past the threshold (info).
+    pub const BENCH_IMPROVED: &str = "PF0403";
+    /// A pass appears only in the current snapshot (info).
+    pub const BENCH_NEW_PASS: &str = "PF0404";
+    /// A baseline measurement is unusable — NaN, negative, or zero with
+    /// a nonzero current value — so no ratio can be formed (warning).
+    pub const BENCH_BAD_BASELINE: &str = "PF0405";
 }

@@ -15,6 +15,7 @@
 //! cargo run --release --bin perflow-cli -- cg --ranks 8 --crash 5@10000 --sample-loss 0.1
 //! cargo run --release --bin perflow-cli -- cg --query 'from vertices | sort time desc nan_last | top 5 | select name, time'
 //! cargo run --release --bin perflow-cli -- cg --check-query 'from vertices | filter tme > 5'
+//! cargo run --release --bin perflow-cli -- --bench-diff BENCH_pag.json BENCH_new.json --bench-threshold 0.15
 //! ```
 
 use driver::{AnalysisConfig, CheckpointStatus, Paradigm, ResilienceConfig, WORKLOAD_NAMES};
@@ -27,6 +28,7 @@ fn usage() -> ! {
          \x20                [--ranks N] [--small-ranks N] [--threads N] [--seed N] [--dot]\n\
          \x20                [--trace-out FILE] [--metrics] [--metrics-json] [--lint] [--lint-json]\n\
          \x20                [--query QUERY] [--check-query QUERY] [--query-json]\n\
+         \x20                [--bench-diff OLD NEW [--bench-threshold F] [--bench-noise-floor US] [--bench-json]]\n\
          \x20                [--self-analyze] [--prom-out FILE] [--folded-out FILE] [--app-folded-out FILE]\n\
          \x20                [--fail-policy failfast|isolate] [--pass-timeout-ms N] [--retries N]\n\
          \x20                [--cache-capacity N]\n\
@@ -51,6 +53,50 @@ fn check_query_exit(qtext: &str, json: bool) -> ! {
         println!("{}", d.summary());
     }
     std::process::exit(if d.has_errors() { 1 } else { 0 });
+}
+
+/// The regression watchdog (`--bench-diff OLD NEW`): load two bench /
+/// `--metrics-json` snapshots, align passes by name, print PF04xx
+/// verdicts, and exit — code 1 iff a pass regressed past the threshold.
+fn bench_diff_exit(rest: &[String]) -> ! {
+    let (Some(old_path), Some(new_path)) = (rest.first(), rest.get(1)) else {
+        eprintln!("--bench-diff needs two snapshot files: OLD NEW");
+        std::process::exit(2);
+    };
+    let mut cfg = driver::bench_diff::BenchDiffConfig::default();
+    let mut json = false;
+    let mut it = rest[2..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> f64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .filter(|v| *v >= 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a non-negative number");
+                    std::process::exit(2)
+                })
+        };
+        match flag.as_str() {
+            "--bench-threshold" => cfg.threshold = val("--bench-threshold"),
+            "--bench-noise-floor" => cfg.noise_floor_us = val("--bench-noise-floor"),
+            "--bench-json" => json = true,
+            other => {
+                eprintln!("unknown flag {other} after --bench-diff");
+                std::process::exit(2);
+            }
+        }
+    }
+    let read = |path: &String| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")))
+    };
+    let outcome = driver::bench_diff::bench_diff_texts(&read(old_path), &read(new_path), &cfg)
+        .unwrap_or_else(|e| fail(e));
+    if json {
+        println!("{}", outcome.render_json());
+    } else {
+        print!("{}", outcome.render_text());
+    }
+    std::process::exit(if outcome.regressed() { 1 } else { 0 });
 }
 
 fn rank_at(flag: &str, s: &str) -> (u32, f64) {
@@ -88,6 +134,11 @@ fn main() {
             std::process::exit(2);
         };
         check_query_exit(qtext, args.iter().any(|a| a == "--query-json"));
+    }
+    // `--bench-diff` compares two saved snapshots — no workload, no
+    // simulation — so it too works with the positional omitted.
+    if target == "--bench-diff" {
+        bench_diff_exit(&args[1..]);
     }
     let Some(prog) = driver::workload(target) else {
         eprintln!("unknown workload `{target}` (try `list`)");

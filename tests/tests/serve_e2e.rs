@@ -343,6 +343,191 @@ fn graceful_shutdown_drains_queued_and_running_jobs() {
 }
 
 #[test]
+fn comm_job_trace_is_one_connected_tree() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let spec = r#"{"workload":"cg","paradigm":"comm","ranks":2,"threads":2,"seed":5}"#;
+    let (s, j) = submit(addr, "t", spec);
+    assert_eq!(s, 202, "{}", j.render());
+    let id = j.get("id").and_then(Json::as_u64).unwrap();
+    let job = wait_done(addr, "t", id, 60);
+    assert_eq!(job.get("status").and_then(Json::as_str), Some("done"));
+
+    // The status JSON carries the trace id and a per-job latency block
+    // whose queue wait is measured from HTTP admission.
+    assert_eq!(job.get("trace").and_then(Json::as_u64), Some(id));
+    let metrics = job.get("metrics").expect("terminal job has metrics");
+    let queue_wait = metrics.get("queue_wait_us").and_then(Json::as_f64).unwrap();
+    let exec = metrics.get("exec_us").and_then(Json::as_f64).unwrap();
+    let total = metrics.get("total_us").and_then(Json::as_f64).unwrap();
+    assert!(queue_wait >= 0.0 && exec >= 0.0, "{}", job.render());
+    assert!(total >= queue_wait, "{}", job.render());
+    // A comm job executes the observed scheduler, so its RunMetrics
+    // ride along.
+    let run = metrics.get("run").expect("run block");
+    assert!(
+        matches!(run.get("passes"), Some(Json::Arr(p)) if !p.is_empty()),
+        "comm job should embed RunMetrics: {}",
+        job.render()
+    );
+
+    // The trace endpoint returns valid Chrome-trace JSON where every
+    // span carries the job's trace id, spanning the serve layer (HTTP
+    // admission, queue wait, execution) and the core scheduler's
+    // per-pass spans.
+    let (ts, trace) = http(
+        addr,
+        "GET",
+        &format!("/jobs/{id}/trace"),
+        &[("X-Api-Key", "t")],
+        None,
+    );
+    assert_eq!(ts, 200, "{trace}");
+    let t = Json::parse(&trace).expect("trace must be valid JSON");
+    let Some(Json::Arr(events)) = t.get("traceEvents") else {
+        panic!("no traceEvents array: {trace}");
+    };
+    let xs: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert!(!xs.is_empty(), "{trace}");
+    let mut cats = Vec::new();
+    let mut names = Vec::new();
+    for e in &xs {
+        assert_eq!(
+            e.get("trace").and_then(Json::as_u64),
+            Some(id),
+            "span without the job's trace id: {}",
+            e.render()
+        );
+        cats.push(e.get("cat").and_then(Json::as_str).unwrap().to_string());
+        names.push(e.get("name").and_then(Json::as_str).unwrap().to_string());
+    }
+    for cat in ["serve", "core"] {
+        assert!(cats.iter().any(|c| c == cat), "no {cat} spans in {names:?}");
+    }
+    for name in ["job.admit", "job.queue_wait", "job.exec", "job"] {
+        assert!(names.iter().any(|n| n == name), "no {name} in {names:?}");
+    }
+    assert!(
+        names.iter().any(|n| n.starts_with("pass:")),
+        "no scheduler pass spans in {names:?}"
+    );
+    // The queue-wait span is non-negative and inside the whole-job span.
+    let span = |name: &str| {
+        xs.iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap()
+    };
+    let wait = span("job.queue_wait");
+    let whole = span("job");
+    let ts_of = |e: &Json| e.get("ts").and_then(Json::as_f64).unwrap();
+    let dur_of = |e: &Json| e.get("dur").and_then(Json::as_f64).unwrap();
+    assert!(dur_of(wait) >= 0.0);
+    assert!(ts_of(wait) >= ts_of(whole) - 1e-6);
+    let other = t.get("otherData").expect("otherData");
+    assert_eq!(other.get("trace").and_then(Json::as_u64), Some(id));
+    assert_eq!(
+        other.get("spanCount").and_then(Json::as_u64),
+        Some(xs.len() as u64)
+    );
+    let digest = other.get("traceDigest").and_then(Json::as_str).unwrap();
+    assert_eq!(digest.len(), 16, "digest is 16 hex chars: {digest}");
+
+    // Other tenants cannot see the trace (same 404 as job status).
+    let (s404, _) = http(
+        addr,
+        "GET",
+        &format!("/jobs/{id}/trace"),
+        &[("X-Api-Key", "someone-else")],
+        None,
+    );
+    assert_eq!(s404, 404);
+    server.shutdown();
+}
+
+#[test]
+fn identical_jobs_trace_digests_match_across_servers() {
+    let spec = r#"{"workload":"ep","paradigm":"comm","ranks":2,"threads":2,"seed":11}"#;
+    let digest_of = || {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let (s, j) = submit(addr, "t", spec);
+        assert_eq!(s, 202, "{}", j.render());
+        let id = j.get("id").and_then(Json::as_u64).unwrap();
+        let job = wait_done(addr, "t", id, 60);
+        assert_eq!(job.get("status").and_then(Json::as_str), Some("done"));
+        let (ts, trace) = http(
+            addr,
+            "GET",
+            &format!("/jobs/{id}/trace"),
+            &[("X-Api-Key", "t")],
+            None,
+        );
+        assert_eq!(ts, 200);
+        server.shutdown();
+        Json::parse(&trace)
+            .unwrap()
+            .get("otherData")
+            .and_then(|o| o.get("traceDigest"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    // Same spec on two fresh servers executes the same span structure,
+    // so the timestamp-free digests agree.
+    assert_eq!(digest_of(), digest_of());
+}
+
+#[test]
+fn bench_diff_endpoint_judges_snapshots() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let base = r#"{"passes":[{"name":"a","wall_us":100.0},{"name":"b","wall_us":500.0}]}"#;
+
+    // Identical snapshots: no regression.
+    let body = format!(r#"{{"baseline":{base},"current":{base}}}"#);
+    let (s, out) = http(addr, "POST", "/bench-diff", &[], Some(&body));
+    assert_eq!(s, 200, "{out}");
+    let j = Json::parse(&out).unwrap();
+    assert_eq!(j.get("regressed").and_then(Json::as_bool), Some(false));
+    assert_eq!(j.get("aligned").and_then(Json::as_u64), Some(2));
+
+    // A 3x slowdown past threshold and noise floor regresses with a
+    // PF0401 verdict.
+    let cur = r#"{"passes":[{"name":"a","wall_us":300.0},{"name":"b","wall_us":500.0}]}"#;
+    let body =
+        format!(r#"{{"baseline":{base},"current":{cur},"threshold":0.5,"noise_floor_us":10}}"#);
+    let (s, out) = http(addr, "POST", "/bench-diff", &[], Some(&body));
+    assert_eq!(s, 200, "{out}");
+    let j = Json::parse(&out).unwrap();
+    assert_eq!(j.get("regressed").and_then(Json::as_bool), Some(true));
+    assert!(out.contains("PF0401"), "{out}");
+
+    // Snapshots may also arrive as JSON-encoded strings.
+    let body = format!(
+        r#"{{"baseline":{},"current":{}}}"#,
+        serve::json::Json::Str(base.to_string()).render(),
+        serve::json::Json::Str(base.to_string()).render()
+    );
+    let (s, out) = http(addr, "POST", "/bench-diff", &[], Some(&body));
+    assert_eq!(s, 200, "{out}");
+    assert_eq!(
+        Json::parse(&out)
+            .unwrap()
+            .get("regressed")
+            .and_then(Json::as_bool),
+        Some(false)
+    );
+
+    // Malformed input is a 400, not a 500.
+    let (s, out) = http(addr, "POST", "/bench-diff", &[], Some(r#"{"baseline":{}}"#));
+    assert_eq!(s, 400, "{out}");
+    server.shutdown();
+}
+
+#[test]
 fn api_keys_and_tenant_isolation() {
     let server = Server::start(ServerConfig {
         api_keys: vec!["alpha".into(), "beta".into()],
